@@ -1,0 +1,56 @@
+"""Ablation — crowd-comparison merge strategies for the ground truth.
+
+The paper merges pairwise judgements into a total order citing
+crowdsourced top-k work [16, 17].  This bench compares the three
+implemented aggregators (Borda, Copeland, Bradley-Terry) on how well
+the merged order recovers the oracle's latent chart quality.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.core.enumeration import enumerate_rule_based
+from repro.corpus import PerceptionOracle, aggregate_comparisons, make_table
+from repro.ml.metrics import ndcg_at_k
+
+
+@pytest.fixture(scope="module")
+def comparison_setup():
+    oracle = PerceptionOracle()
+    table = make_table("Airbnb Summary", scale=0.05)
+    nodes = enumerate_rule_based(table)
+    annotation = oracle.annotate(nodes)
+    pairs = oracle.pairwise_comparisons(nodes)
+    good = [i for i, ok in enumerate(annotation.labels) if ok]
+    return nodes, annotation, pairs, good
+
+
+@pytest.mark.parametrize("method", ["borda", "copeland", "bradley_terry"])
+def test_crowd_merge_method(comparison_setup, method, benchmark):
+    nodes, annotation, pairs, good = comparison_setup
+    scores = benchmark(aggregate_comparisons, pairs, len(nodes), method)
+
+    # Rank the good charts by the merged order; gains are the latent
+    # merged scores the oracle actually used.
+    order = sorted(good, key=lambda i: -scores[i])
+    gains = [annotation.scores[i] for i in order]
+    quality = ndcg_at_k(np.asarray(gains) - min(gains))
+    benchmark.extra_info["ndcg_vs_latent"] = round(float(quality), 4)
+    assert quality > 0.85  # every merge recovers the latent order well
+
+
+def test_crowd_merge_report(comparison_setup):
+    nodes, annotation, pairs, good = comparison_setup
+    rows = []
+    for method in ("borda", "copeland", "bradley_terry"):
+        scores = aggregate_comparisons(pairs, len(nodes), method)
+        order = sorted(good, key=lambda i: -scores[i])
+        gains = [annotation.scores[i] for i in order]
+        quality = ndcg_at_k(np.asarray(gains) - min(gains))
+        rows.append([method, len(pairs), round(float(quality), 4)])
+    print_table(
+        "Ablation: crowd-comparison merge strategies",
+        ["method", "#comparisons", "NDCG vs latent order"],
+        rows,
+    )

@@ -1,0 +1,82 @@
+"""Ablation — correlation families and trend threshold (Section III / IV-B).
+
+The paper's c(X, Y) takes the max over linear / polynomial / power /
+log correlations, and Trend(Y) fires when any distribution family fits.
+This bench quantifies what each choice buys: restricting to the linear
+family alone must lose nonlinear relationships, and the trend R^2
+threshold trades precision against recall of "follows a distribution".
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.core.correlation import CORRELATION_FAMILIES, correlation
+from repro.core.trend import fit_trend
+
+
+@pytest.fixture(scope="module")
+def planted_relationships():
+    rng = np.random.default_rng(11)
+    x = np.linspace(1, 50, 300)
+    noise = lambda s: rng.normal(0, s, len(x))
+    return {
+        "linear": (x, 3 * x + 5 + noise(5)),
+        "power": (x, x**1.8 + noise(30)),
+        "log": (x, 12 * np.log(x) + noise(1.5)),
+        "parabola": (x - 25, (x - 25) ** 2 + noise(20)),
+        "noise": (x, noise(10.0)),
+    }
+
+
+def test_correlation_family_ablation(planted_relationships, benchmark):
+    def run():
+        rows = []
+        for name, (x, y) in planted_relationships.items():
+            full = correlation(x, y).strength
+            linear_only = correlation(x, y, families=("linear",)).strength
+            rows.append([name, round(full, 3), round(linear_only, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: correlation families (all four vs linear only)",
+        ["relationship", "|c| all families", "|c| linear only"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+    # The nonlinear families rescue relationships plain Pearson misses.
+    assert by_name["parabola"][1] > by_name["parabola"][2] + 0.3
+    assert by_name["power"][1] >= 0.9
+    assert by_name["noise"][1] < 0.4  # no false positives on noise
+
+
+def test_trend_threshold_ablation(benchmark):
+    rng = np.random.default_rng(5)
+    clean = np.linspace(0, 10, 50)
+    signals = {
+        "clean linear": clean,
+        "noisy linear": clean + rng.normal(0, 1.0, 50),
+        "very noisy": clean + rng.normal(0, 4.0, 50),
+        "pure noise": rng.normal(0, 3.0, 50),
+    }
+
+    def run():
+        rows = []
+        for name, y in signals.items():
+            r2 = fit_trend(y, r2_threshold=0.0).r_squared
+            detections = [
+                fit_trend(y, r2_threshold=t).has_trend for t in (0.5, 0.75, 0.9)
+            ]
+            rows.append([name, round(r2, 3)] + detections)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: Trend(Y) threshold sweep",
+        ["signal", "best R^2", "t=0.5", "t=0.75", "t=0.9"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["clean linear"][3]      # detected at the default 0.75
+    assert not by_name["pure noise"][2]    # never detected, even lax

@@ -1,0 +1,48 @@
+"""Ablation — dominance-graph construction strategies (Section IV-C).
+
+The paper proposes quick-sort partition pruning and range-tree indexing
+over the naive pairwise construction.  All three must produce the same
+edge set; this bench measures their comparison/time trade-off on real
+candidate score sets.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.core import PartialOrderScorer, build_graph, enumerate_rule_based
+from repro.core.graph import GRAPH_STRATEGIES
+from repro.corpus import make_table
+
+
+@pytest.fixture(scope="module")
+def factor_scores():
+    table = make_table("NFL Player Statistics", scale=0.02)
+    nodes = enumerate_rule_based(table)
+    return PartialOrderScorer().score(nodes)
+
+
+@pytest.mark.parametrize("strategy", sorted(GRAPH_STRATEGIES))
+def test_graph_construction_strategy(factor_scores, strategy, benchmark):
+    graph = benchmark(build_graph, factor_scores, strategy)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges
+    # Strategies are interchangeable: identical dominance edges.
+    reference = build_graph(factor_scores, "naive")
+    assert graph.edge_set() == reference.edge_set()
+
+
+def test_graph_strategies_scale_report(factor_scores):
+    import time
+
+    rows = []
+    for strategy in sorted(GRAPH_STRATEGIES):
+        start = time.perf_counter()
+        graph = build_graph(factor_scores, strategy)
+        elapsed = time.perf_counter() - start
+        rows.append([strategy, graph.num_nodes, graph.num_edges, round(1000 * elapsed, 2)])
+    print_table(
+        "Ablation: graph construction strategies",
+        ["strategy", "nodes", "edges", "ms"],
+        rows,
+    )

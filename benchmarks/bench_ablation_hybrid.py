@@ -1,0 +1,45 @@
+"""Ablation — hybrid preference weight alpha sweep (Section IV-D).
+
+HybridRank scores a chart l_v + alpha * p_v.  alpha = 0 is pure
+learning-to-rank, large alpha approaches the pure partial order; the
+tuned alpha should sit at or above both endpoints' NDCG.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import METHODS, ndcg_with_exponential_gain
+
+
+def test_hybrid_alpha_sweep(setup, benchmark):
+    def sweep():
+        grid = (0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 100.0)
+        results = {alpha: [] for alpha in grid}
+        for annotated in setup.test:
+            n = len(annotated.nodes)
+            relevance = annotated.annotation.relevance
+            po_pos = np.empty(n)
+            po_pos[np.asarray(setup.partial_order_full_ranking(annotated))] = (
+                np.arange(1, n + 1)
+            )
+            ltr_pos = np.empty(n)
+            ltr_pos[np.asarray(setup.ltr_full_ranking(annotated))] = np.arange(1, n + 1)
+            for alpha in grid:
+                order = list(np.argsort(ltr_pos + alpha * po_pos, kind="stable"))
+                results[alpha].append(
+                    ndcg_with_exponential_gain(order, relevance)
+                )
+        return {alpha: float(np.mean(v)) for alpha, v in results.items()}
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: hybrid alpha sweep (mean NDCG over X1-X10)",
+        ["alpha", "mean NDCG"],
+        [[alpha, round(v, 4)] for alpha, v in means.items()],
+    )
+    benchmark.extra_info.update({str(a): round(v, 4) for a, v in means.items()})
+
+    best_alpha = max(means, key=means.get)
+    # A mixture should match or beat both pure endpoints.
+    assert means[best_alpha] >= means[0.0] - 1e-9
+    assert means[best_alpha] >= means[100.0] - 1e-9

@@ -1,0 +1,58 @@
+"""Ablation — topological-sort baseline vs weight-aware S(v) ranking.
+
+Section IV-C argues the straw-man topological ranking ignores edge
+weights; the weight-aware score should align better with ground truth.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core import PartialOrderScorer, build_graph, rank_topological, rank_weight_aware
+from repro.experiments import ndcg_with_exponential_gain
+
+
+def test_ranking_method_quality(setup, benchmark):
+    def evaluate():
+        scores = {"topological": [], "weight_aware": []}
+        scorer = PartialOrderScorer()
+        for annotated in setup.test:
+            keep = setup.decision_tree.predict(annotated.nodes)
+            valid = [n for n, k in zip(annotated.nodes, keep) if k]
+            relevance = [
+                r for r, k in zip(annotated.annotation.relevance, keep) if k
+            ]
+            if len(valid) < 3:
+                continue
+            graph = build_graph(scorer.score(valid), "range_tree")
+            scores["topological"].append(
+                ndcg_with_exponential_gain(rank_topological(graph), relevance)
+            )
+            scores["weight_aware"].append(
+                ndcg_with_exponential_gain(rank_weight_aware(graph), relevance)
+            )
+        return scores
+
+    scores = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    means = {k: float(np.mean(v)) for k, v in scores.items()}
+    print_table(
+        "Ablation: ranking method NDCG (valid charts only)",
+        ["method", "mean NDCG", "#tables"],
+        [[k, round(v, 3), len(scores[k])] for k, v in means.items()],
+    )
+    benchmark.extra_info.update({k: round(v, 4) for k, v in means.items()})
+    # The weight-aware method should not lose to the straw man.
+    assert means["weight_aware"] >= means["topological"] - 0.02
+
+
+def test_ranking_method_speed(setup, benchmark):
+    scorer = PartialOrderScorer()
+    annotated = max(setup.test, key=lambda a: len(a.nodes))
+    graph = build_graph(scorer.score(annotated.nodes), "range_tree")
+
+    def both():
+        rank_topological(graph)
+        rank_weight_aware(graph)
+
+    benchmark(both)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges

@@ -1,0 +1,65 @@
+"""Ablation — worker-quality weighting vs unweighted crowd merging.
+
+With a realistic annotator pool (some spammers), estimating per-worker
+quality and weighting votes should cut pairwise merge errors — the
+reason crowd pipelines (and the paper's cited top-k work) model worker
+reliability at all.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.corpus import WorkerPool, estimate_worker_quality, weighted_merge
+
+
+def _setting(spammer_fraction: float, seed: int):
+    rng = np.random.default_rng(seed)
+    scores = list(np.linspace(0.0, 1.0, 10))
+    num_workers = 12
+    num_spammers = int(round(spammer_fraction * num_workers))
+    accuracies = [0.9] * (num_workers - num_spammers) + [0.5] * num_spammers
+    pool = WorkerPool(accuracies, resolution=0.03, seed=seed)
+    pairs = [(i, j) for i in range(10) for j in range(i + 1, 10)] * 6
+    judgements = pool.collect(scores, pairs, judgements_per_pair=5)
+    return scores, accuracies, judgements
+
+
+def _error_rate(winners, scores):
+    wrong = sum(1 for a, b in winners if scores[a] < scores[b])
+    return wrong / len(winners) if winners else 0.0
+
+
+def test_worker_quality_weighting(benchmark):
+    def run():
+        rows = []
+        for spammer_fraction in (0.0, 0.25, 0.5):
+            weighted_errors, unweighted_errors = [], []
+            for seed in range(5):
+                scores, accuracies, judgements = _setting(spammer_fraction, seed)
+                quality = estimate_worker_quality(judgements, len(accuracies))
+                weighted = weighted_merge(judgements, len(accuracies), quality)
+                flat = weighted_merge(
+                    judgements, len(accuracies),
+                    np.full(len(accuracies), 0.7),
+                )
+                weighted_errors.append(_error_rate(weighted, scores))
+                unweighted_errors.append(_error_rate(flat, scores))
+            rows.append(
+                [
+                    f"{spammer_fraction:.0%}",
+                    round(float(np.mean(unweighted_errors)), 4),
+                    round(float(np.mean(weighted_errors)), 4),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: crowd merge error rate vs spammer fraction",
+        ["spammers", "unweighted", "quality-weighted"],
+        rows,
+    )
+    # Weighting must not hurt, and must help once spammers are present.
+    by_fraction = {r[0]: r for r in rows}
+    assert by_fraction["50%"][2] <= by_fraction["50%"][1] + 1e-9

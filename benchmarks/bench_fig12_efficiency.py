@@ -1,0 +1,59 @@
+"""Figure 12 — end-to-end latency of the E/R x L/P configurations.
+
+Paper shape: rule-based enumeration (R*) always beats exhaustive (E*)
+because it never generates bad candidates; partial-order selection (*P)
+beats learning-to-rank (*L) because LTR must score every candidate.
+Absolute milliseconds differ from the paper's MacBook; the orderings
+and the % breakdown per phase are the reproduced claims.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import CONFIGURATIONS, figure12
+
+
+def test_figure12_end_to_end_latency(setup, benchmark):
+    rows = benchmark.pedantic(
+        figure12, args=(setup,), kwargs={"k": 10}, rounds=1, iterations=1
+    )
+
+    printable = [
+        [
+            r.dataset[:24],
+            r.label,
+            round(1000 * r.total_seconds, 1),
+            f"{100 * r.enumerate_fraction:.0f}%",
+            f"{100 * r.select_fraction:.0f}%",
+            r.candidates,
+            r.valid,
+        ]
+        for r in rows
+    ]
+    print_table(
+        "Figure 12: end-to-end time (ms) per configuration",
+        ["dataset", "config", "total ms", "enum %", "select %", "cands", "valid"],
+        printable,
+    )
+
+    by_key = {(r.dataset, r.label): r for r in rows}
+    datasets = sorted({r.dataset for r in rows})
+
+    # Shape 1: R enumerates strictly fewer candidates than E, everywhere.
+    for dataset in datasets:
+        assert by_key[(dataset, "RP")].candidates < by_key[(dataset, "EP")].candidates
+
+    # Shape 2: aggregate wall-clock ordering R < E for both selectors.
+    def total(label):
+        return sum(by_key[(d, label)].total_seconds for d in datasets)
+
+    assert total("RP") < total("EP")
+    assert total("RL") < total("EL")
+    benchmark.extra_info.update(
+        {label: round(total(label), 3) for label, _, _ in
+         [(c[0], c[1], c[2]) for c in CONFIGURATIONS]}
+    )
+
+    # Shape 3: partial order selection is not slower than LTR overall
+    # (LTR must score every candidate; PO prunes via the classifier).
+    assert total("EP") <= total("EL") * 1.5

@@ -1,0 +1,38 @@
+"""Table III — statistics of the 42-dataset corpus.
+
+Paper: #-tuples 3..99,527 (avg 3,381); #-columns 2..25; 2,520 good /
+30,892 bad annotated charts; 285,236 pairwise comparisons.  We
+regenerate the same statistics over the synthetic corpus (at benchmark
+scale, so tuple counts shrink proportionally while column counts and
+good/bad proportions hold).
+"""
+
+from conftest import print_table
+
+from repro.experiments import table3
+
+
+def test_table3_corpus_statistics(setup, benchmark):
+    stats = benchmark.pedantic(table3, args=(setup,), rounds=1, iterations=1)
+
+    print_table(
+        "Table III: corpus statistics",
+        ["metric", "value"],
+        [
+            ["#-datasets", stats["num_datasets"]],
+            ["#-tuples (min..max)", f"{stats['tuples_min']}..{stats['tuples_max']}"],
+            ["#-tuples (avg)", round(stats["tuples_avg"], 1)],
+            ["#-columns (min..max)", f"{stats['columns_min']}..{stats['columns_max']}"],
+            ["good charts", stats["good_charts"]],
+            ["bad charts", stats["bad_charts"]],
+            ["pairwise comparisons", stats["comparisons"]],
+        ],
+    )
+
+    benchmark.extra_info.update(
+        {k: v for k, v in stats.items() if k != "tables"}
+    )
+    assert stats["num_datasets"] == 42
+    assert stats["columns_max"] == 25  # NFL Player Statistics
+    # The paper's good:bad skew (~1:12) holds in shape: bads dominate.
+    assert stats["bad_charts"] > 2 * stats["good_charts"]

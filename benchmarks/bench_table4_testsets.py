@@ -1,0 +1,31 @@
+"""Table IV — the ten testing datasets X1-X10.
+
+Paper: names, #-tuples (75..99,527), #-columns (4..25), and #-charts
+(good visualizations: 10..275).  Regenerated at benchmark scale.
+"""
+
+from conftest import TEST_SCALE, print_table
+
+from repro.experiments import table4
+
+
+def test_table4_testing_datasets(setup, benchmark):
+    rows = benchmark.pedantic(table4, args=(setup,), rounds=1, iterations=1)
+
+    print_table(
+        f"Table IV: 10 testing datasets (rows scaled x{TEST_SCALE})",
+        ["No.", "name", "#-tuples", "#-columns", "#-charts"],
+        [
+            [r["no"], r["name"], r["#-tuples"], r["#-columns"], r["#-charts"]]
+            for r in rows
+        ],
+    )
+
+    assert len(rows) == 10
+    names = [r["name"] for r in rows]
+    assert names[0] == "Hollywood's Stories"
+    assert names[9] == "FlyDelay"
+    # Column counts are scale-independent and match the paper exactly.
+    assert [r["#-columns"] for r in rows] == [8, 4, 23, 12, 13, 25, 9, 6, 14, 6]
+    # Every dataset has at least one good chart to find.
+    assert all(r["#-charts"] > 0 for r in rows)

@@ -1,0 +1,51 @@
+"""Table VI / Figure 9 — coverage of the nine real use cases D1-D9.
+
+Paper shape: every use case's published charts are covered by a finite
+top-k; the best case (D3 Flight Statistics, Figure 9) has all published
+charts on the first page (top-6), while other cases need a deeper k
+(e.g. D1's 5 charts covered by top-23).
+"""
+
+from conftest import print_table
+
+from repro.experiments import figure9_top_results, table6
+
+USECASE_SCALE = 0.15
+
+
+def test_table6_real_usecase_coverage(setup, benchmark):
+    rows = benchmark.pedantic(
+        table6, args=(setup,), kwargs={"scale": USECASE_SCALE}, rounds=1, iterations=1
+    )
+
+    print_table(
+        "Table VI: coverage of real use cases",
+        ["use case", "#-published", "covered at top-k", "#-candidates"],
+        [
+            [r.usecase, r.num_published, r.covered_at_k or "not covered", r.candidates]
+            for r in rows
+        ],
+    )
+
+    assert len(rows) == 9
+    covered = [r for r in rows if r.covered]
+    # Shape: the pipeline finds what publishers chart — most use cases
+    # are fully covered at some finite k.
+    assert len(covered) >= 7
+    for row in covered:
+        assert row.covered_at_k >= row.num_published
+        benchmark.extra_info[row.usecase] = row.covered_at_k
+
+
+def test_figure9_first_page_for_d3(setup, benchmark):
+    top6 = benchmark.pedantic(
+        figure9_top_results,
+        args=(setup,),
+        kwargs={"scale": USECASE_SCALE, "k": 6},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Figure 9: DeepEye first page for D3 Flight Statistics ===")
+    for i, description in enumerate(top6, start=1):
+        print(f"  {i}. {description}")
+    assert len(top6) == 6

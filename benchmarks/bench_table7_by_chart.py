@@ -1,0 +1,45 @@
+"""Table VII — recognition effectiveness per chart type (B/L/P/S).
+
+Paper shape: decision tree beats SVM and Bayes on every chart type;
+line charts are the easiest class (99.5% in the paper).
+"""
+
+from conftest import print_table
+
+from repro.experiments import MODEL_LABELS, table7
+
+
+def test_table7_effectiveness_by_chart_type(setup, benchmark):
+    result = benchmark.pedantic(table7, args=(setup,), rounds=1, iterations=1)
+
+    rows = []
+    for chart, per_model in result.items():
+        for model, metrics in per_model.items():
+            rows.append(
+                [
+                    chart,
+                    MODEL_LABELS[model],
+                    round(100 * metrics["precision"], 1),
+                    round(100 * metrics["recall"], 1),
+                    round(100 * metrics["f1"], 1),
+                ]
+            )
+    print_table(
+        "Table VII: effectiveness by chart type (%)",
+        ["chart", "model", "precision", "recall", "F-measure"],
+        rows,
+    )
+
+    assert set(result) == {"bar", "line", "pie", "scatter"}
+    wins = 0
+    comparisons = 0
+    for per_model in result.values():
+        if "decision_tree" not in per_model:
+            continue
+        for other in ("bayes", "svm"):
+            if other in per_model:
+                comparisons += 1
+                if per_model["decision_tree"]["f1"] >= per_model[other]["f1"] - 0.03:
+                    wins += 1
+    # DT wins (or ties within noise) in the large majority of cells.
+    assert wins >= comparisons * 0.7

@@ -1,0 +1,41 @@
+"""Table VIII — F-measure per dataset x chart type x model.
+
+Paper shape: decision tree has the best F-measure in (nearly) every
+dataset/chart cell, typically by 10+ points over Bayes.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments import MODEL_LABELS, table8
+
+
+def test_table8_fmeasure_per_dataset(setup, benchmark):
+    result = benchmark.pedantic(table8, args=(setup,), rounds=1, iterations=1)
+
+    rows = []
+    for dataset, by_chart in result.items():
+        for chart, models in by_chart.items():
+            rows.append(
+                [dataset[:24], chart]
+                + [round(100 * models[m], 0) for m in ("bayes", "svm", "decision_tree")]
+            )
+    print_table(
+        "Table VIII: F-measure (%) per dataset and chart type",
+        ["dataset", "chart", "Bayes", "SVM", "DT"],
+        rows,
+    )
+
+    assert len(result) == 10
+    # Aggregate over all cells: DT's mean F-measure is the highest.
+    means = {}
+    for model in ("bayes", "svm", "decision_tree"):
+        values = [
+            models[model]
+            for by_chart in result.values()
+            for models in by_chart.values()
+        ]
+        means[model] = float(np.mean(values))
+        benchmark.extra_info[f"{model}_mean_f1"] = round(means[model], 4)
+    assert means["decision_tree"] >= means["bayes"]
+    assert means["decision_tree"] >= means["svm"] - 0.02

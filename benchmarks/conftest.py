@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+trained :class:`~repro.experiments.common.ExperimentSetup` is expensive
+(corpus generation + annotation + model training), so it is built once
+per benchmark session at a moderate scale.
+
+Absolute numbers depend on the scale and this machine; the *shapes*
+(who wins, by roughly what factor, where crossovers fall) are what the
+paper claims and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSetup
+
+#: Row-count scales used for the reported results.  X10 at TEST_SCALE
+#: has ~2,000 rows; the training corpus ~8,000 labelled charts.
+TRAIN_SCALE = 0.08
+TEST_SCALE = 0.02
+MAX_NODES = 150
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    return ExperimentSetup.build(
+        train_scale=TRAIN_SCALE,
+        test_scale=TEST_SCALE,
+        max_nodes_per_table=MAX_NODES,
+        ltr_estimators=50,
+    )
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Print a paper-style table to the benchmark log."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,47 @@
+"""Auto-dashboard: diverse panels that together tell the story.
+
+The paper's selection problem asks for top-k charts that "when putting
+them together, can tell compelling stories".  A plain top-k is often
+redundant; this example composes a diversified dashboard (MMR over the
+partial-order scores, mixing single-column charts with stacked/grouped
+multi-column views), renders each panel as ASCII, and writes the whole
+board as a set of standalone SVG files.
+
+Run:  python examples/auto_dashboard.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import compose_dashboard
+from repro.corpus import make_table
+from repro.render import multi_to_svg, render_ascii, render_multi_ascii, to_svg
+
+
+def main() -> None:
+    table = make_table("FlyDelay", scale=0.03)
+    print(f"Input: {table}\n")
+
+    dashboard = compose_dashboard(table, k=6, diversity=0.5)
+    print(dashboard.describe())
+    print()
+
+    out_dir = Path(__file__).with_name("dashboard_svg")
+    out_dir.mkdir(exist_ok=True)
+    for i, item in enumerate(dashboard.items, start=1):
+        print(f"--- panel {i} " + "-" * 46)
+        if item.is_multi:
+            print(render_multi_ascii(item.chart))
+            svg = multi_to_svg(item.chart)
+        else:
+            print(render_ascii(item.chart))
+            svg = to_svg(item.chart)
+        (out_dir / f"panel_{i}.svg").write_text(svg, encoding="utf-8")
+        print()
+
+    print(f"SVG panels written to {out_dir}/panel_*.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Keyword-driven visualization search (the paper's future work, Sec VIII).
+
+"One major future work is to support keyword queries such that users
+specify their intent in a natural way" — this example searches the
+flight-delay table with plain-language queries and renders the hits.
+
+Run:  python examples/keyword_search.py
+"""
+
+from __future__ import annotations
+
+from repro.core import keyword_search
+from repro.corpus import make_table
+from repro.render import render_ascii
+
+QUERIES = (
+    "average delay by hour",
+    "share of passengers per carrier",
+    "total passengers by month",
+    "departure versus arrival delay",
+)
+
+
+def main() -> None:
+    flights = make_table("FlyDelay", scale=0.02)
+    print(f"Input: {flights}\n")
+
+    for query in QUERIES:
+        print(f'>> "{query}"')
+        hits = keyword_search(flights, query, k=2)
+        if not hits:
+            print("   (no matching charts)\n")
+            continue
+        for hit in hits:
+            print(
+                f"   score={hit.score:.2f} "
+                f"(keywords={hit.keyword_score:.2f}, quality={hit.quality_score:.2f}) "
+                f"matched={list(hit.matched)}"
+            )
+            print("   " + hit.node.describe())
+        print()
+        print(render_ascii(hits[0].node))
+        print()
+
+
+if __name__ == "__main__":
+    main()

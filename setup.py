@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so fully offline environments (no `wheel` on PyPI mirror) can
+install editable via `python setup.py develop`; normal environments
+should use `pip install -e .`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""DeepEye reproduction: automatic data visualization.
+
+A full re-implementation of *DeepEye: Towards Automatic Data
+Visualization* (ICDE 2018): given a relational table, enumerate the
+visualization search space, recognise good charts with a trained
+classifier, rank them by learned or expert partial orders, and return
+the top-k — plus every substrate (relational tables, a visualization
+query language, and from-scratch ML models) the system depends on.
+
+Quickstart::
+
+    from repro import DeepEye, Table
+
+    table = Table.from_dict("sales", {"month": [...], "revenue": [...]})
+    engine = DeepEye(ranking="partial_order")
+    for node in engine.top_k(table, k=5).nodes:
+        print(node.describe())
+"""
+
+from .core import (
+    DeepEye,
+    EnumerationConfig,
+    HybridRanker,
+    LearningToRankRanker,
+    PartialOrderRanker,
+    SelectionResult,
+    TrainingExample,
+    VisualizationNode,
+    VisualizationRecognizer,
+    enumerate_candidates,
+    make_node,
+    progressive_top_k,
+    select_top_k,
+)
+from .dataset import Column, ColumnType, Table, read_csv, write_csv
+from .language import ChartType, VisQuery, execute, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeepEye",
+    "EnumerationConfig",
+    "HybridRanker",
+    "LearningToRankRanker",
+    "PartialOrderRanker",
+    "SelectionResult",
+    "TrainingExample",
+    "VisualizationNode",
+    "VisualizationRecognizer",
+    "enumerate_candidates",
+    "make_node",
+    "progressive_top_k",
+    "select_top_k",
+    "Column",
+    "ColumnType",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "ChartType",
+    "VisQuery",
+    "execute",
+    "parse_query",
+    "__version__",
+]

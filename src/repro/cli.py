@@ -1,0 +1,230 @@
+"""Command-line interface: automatic visualization from a shell.
+
+Commands
+--------
+``visualize``  top-k charts of a CSV file (ASCII, Vega-Lite, or list)::
+
+    python -m repro visualize data.csv --k 5 --format ascii
+
+``search``     keyword search over a CSV's candidate charts::
+
+    python -m repro search data.csv "average delay by hour"
+
+``query``      run a visualization-language query against a CSV::
+
+    python -m repro query data.csv --text "VISUALIZE bar
+    SELECT carrier, CNT(carrier)
+    FROM data
+    GROUP BY carrier"
+
+``datasets``   list the built-in synthetic corpus; ``generate`` writes
+one of them to CSV for experimentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core import keyword_search, make_node, select_top_k
+from .core.enumeration import EnumerationConfig
+from .corpus.generators import TESTING_SPECS, TRAINING_SPECS, make_table
+from .dataset import read_csv, write_csv
+from .errors import ReproError
+from .language import parse_query
+from .render import render_ascii, to_vega_lite_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepEye reproduction: automatic data visualization",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    visualize = commands.add_parser(
+        "visualize", help="top-k visualizations of a CSV file"
+    )
+    visualize.add_argument("csv", help="input CSV path")
+    visualize.add_argument("--k", type=int, default=5, help="number of charts")
+    visualize.add_argument(
+        "--format",
+        choices=("ascii", "vega", "list"),
+        default="ascii",
+        help="output format",
+    )
+    visualize.add_argument(
+        "--enumeration",
+        choices=("rules", "exhaustive"),
+        default="rules",
+        help="candidate generation mode",
+    )
+
+    search = commands.add_parser("search", help="keyword visualization search")
+    search.add_argument("csv", help="input CSV path")
+    search.add_argument("keywords", help="query, e.g. 'average delay by hour'")
+    search.add_argument("--k", type=int, default=3)
+    search.add_argument(
+        "--format", choices=("ascii", "vega", "list"), default="ascii"
+    )
+
+    query = commands.add_parser(
+        "query", help="run a visualization-language query"
+    )
+    query.add_argument("csv", help="input CSV path")
+    query.add_argument(
+        "--text",
+        help="the query text; reads stdin when omitted",
+    )
+    query.add_argument(
+        "--format", choices=("ascii", "vega"), default="ascii"
+    )
+
+    explain = commands.add_parser(
+        "explain", help="rank a CSV's charts and explain each position"
+    )
+    explain.add_argument("csv", help="input CSV path")
+    explain.add_argument("--k", type=int, default=3)
+
+    profile = commands.add_parser(
+        "profile", help="profile a CSV: types, cardinalities, correlations"
+    )
+    profile.add_argument("csv", help="input CSV path")
+
+    commands.add_parser("datasets", help="list the built-in synthetic corpus")
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic corpus dataset to CSV"
+    )
+    generate.add_argument("name", help="dataset name (see `datasets`)")
+    generate.add_argument("out", help="output CSV path")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _emit_nodes(nodes, fmt: str, out) -> None:
+    for rank, node in enumerate(nodes, start=1):
+        if fmt == "vega":
+            print(to_vega_lite_json(node), file=out)
+        elif fmt == "ascii":
+            print(f"--- #{rank} " + "-" * 50, file=out)
+            print(render_ascii(node), file=out)
+        else:
+            print(f"{rank}. {node.describe()}", file=out)
+
+
+def _cmd_visualize(args, out) -> int:
+    table = read_csv(args.csv)
+    result = select_top_k(table, k=args.k, enumeration=args.enumeration)
+    print(
+        f"# {table.name}: {result.candidates} candidates, "
+        f"{result.valid} valid, top-{len(result.nodes)} "
+        f"({result.total_seconds:.2f}s)",
+        file=out,
+    )
+    _emit_nodes(result.nodes, args.format, out)
+    return 0
+
+
+def _cmd_search(args, out) -> int:
+    table = read_csv(args.csv)
+    hits = keyword_search(table, args.keywords, k=args.k)
+    if not hits:
+        print(f"no charts match {args.keywords!r}", file=out)
+        return 1
+    for hit in hits:
+        print(
+            f"# score={hit.score:.2f} matched={','.join(hit.matched)}", file=out
+        )
+        _emit_nodes([hit.node], args.format, out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    from .language import validate_query
+
+    table = read_csv(args.csv)
+    text = args.text if args.text is not None else sys.stdin.read()
+    parsed = parse_query(text)
+    problems = validate_query(parsed.query, table)
+    if problems:
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        return 2
+    node = make_node(table, parsed.query)
+    if args.format == "vega":
+        print(to_vega_lite_json(node), file=out)
+    else:
+        print(render_ascii(node), file=out)
+    return 0
+
+
+def _cmd_datasets(args, out) -> int:
+    print("# testing datasets (Table IV)", file=out)
+    for spec in TESTING_SPECS:
+        print(f"  {spec.name}  ({spec.rows} rows, {spec.domain})", file=out)
+    print("# training datasets", file=out)
+    for spec in TRAINING_SPECS:
+        print(f"  {spec.name}  ({spec.rows} rows, {spec.domain})", file=out)
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    table = make_table(args.name, scale=args.scale, seed=args.seed)
+    write_csv(table, args.out)
+    print(
+        f"wrote {table.num_rows} rows x {table.num_columns} columns to "
+        f"{args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    from .core import enumerate_rule_based, explain_ranking
+    from .core.partial_order import matching_quality_raw
+
+    table = read_csv(args.csv)
+    nodes = [
+        n for n in enumerate_rule_based(table) if matching_quality_raw(n) > 0
+    ]
+    for explanation in explain_ranking(nodes, top=args.k):
+        print(explanation.summary(), file=out)
+        print("", file=out)
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from .dataset import profile_table
+
+    table = read_csv(args.csv)
+    print(profile_table(table).describe(), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "visualize": _cmd_visualize,
+    "search": _cmd_search,
+    "query": _cmd_query,
+    "explain": _cmd_explain,
+    "profile": _cmd_profile,
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except (ReproError, FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

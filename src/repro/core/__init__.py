@@ -1,0 +1,128 @@
+"""DeepEye core: features, rules, recognition, ranking, and selection."""
+
+from .correlation import CorrelationResult, correlation, correlation_strength, pearson
+from .enumeration import (
+    EnumerationConfig,
+    EnumerationContext,
+    enumerate_candidates,
+    enumerate_exhaustive,
+    enumerate_rule_based,
+    multi_column_space,
+    one_column_space,
+    rule_based_for_column,
+    rule_based_for_pair,
+    two_column_space,
+)
+from .features import FeatureVector, encode_features, extract_features
+from .graph import DominanceGraph, build_graph
+from .hybrid import HybridRanker
+from .ltr import LearningToRankRanker
+from .multicolumn import (
+    MultiSeriesData,
+    enumerate_grouped,
+    enumerate_multi_series,
+    execute_grouped,
+    execute_multi_series,
+    multi_series_quality,
+)
+from .dashboard import Dashboard, DashboardItem, compose_dashboard, diversified_top_k
+from .explain import ChartExplanation, explain_node, explain_ranking
+from .nodes import VisualizationNode, make_node
+from .search import SearchHit, keyword_search, score_keywords
+from .partial_order import (
+    FactorScores,
+    PartialOrderScorer,
+    dominates,
+    edge_weight,
+    matching_quality_raw,
+    strictly_dominates,
+    transformation_quality,
+)
+from .pipeline import DeepEye, TrainingExample
+from .progressive import ProgressiveResult, estimate_column_importance, progressive_top_k
+from .ranking import rank_topological, rank_weight_aware, top_k, weight_aware_scores
+from .recognition import RECOGNIZER_MODELS, VisualizationRecognizer
+from .rules import (
+    RuleConfig,
+    aggregate_rules,
+    canonical_order,
+    complies,
+    sorting_rules,
+    transform_rules,
+    visualization_rules,
+)
+from .selection import PartialOrderRanker, SelectionResult, select_top_k
+from .trend import TrendResult, fit_trend, trend
+
+__all__ = [
+    "CorrelationResult",
+    "correlation",
+    "correlation_strength",
+    "pearson",
+    "EnumerationConfig",
+    "EnumerationContext",
+    "enumerate_candidates",
+    "enumerate_exhaustive",
+    "enumerate_rule_based",
+    "rule_based_for_pair",
+    "rule_based_for_column",
+    "two_column_space",
+    "one_column_space",
+    "multi_column_space",
+    "FeatureVector",
+    "encode_features",
+    "extract_features",
+    "DominanceGraph",
+    "build_graph",
+    "HybridRanker",
+    "LearningToRankRanker",
+    "VisualizationNode",
+    "make_node",
+    "MultiSeriesData",
+    "enumerate_grouped",
+    "enumerate_multi_series",
+    "execute_grouped",
+    "execute_multi_series",
+    "multi_series_quality",
+    "SearchHit",
+    "keyword_search",
+    "score_keywords",
+    "ChartExplanation",
+    "explain_node",
+    "explain_ranking",
+    "Dashboard",
+    "DashboardItem",
+    "compose_dashboard",
+    "diversified_top_k",
+    "FactorScores",
+    "PartialOrderScorer",
+    "dominates",
+    "strictly_dominates",
+    "edge_weight",
+    "matching_quality_raw",
+    "transformation_quality",
+    "DeepEye",
+    "TrainingExample",
+    "ProgressiveResult",
+    "estimate_column_importance",
+    "progressive_top_k",
+    "rank_topological",
+    "rank_weight_aware",
+    "top_k",
+    "weight_aware_scores",
+    "RECOGNIZER_MODELS",
+    "VisualizationRecognizer",
+    "RuleConfig",
+    "aggregate_rules",
+    "canonical_order",
+    "complies",
+    "sorting_rules",
+    "transform_rules",
+    "visualization_rules",
+    "PartialOrderRanker",
+    "SelectionResult",
+    "select_top_k",
+    "TrendResult",
+    "fit_trend",
+    "trend",
+]

@@ -1,0 +1,120 @@
+"""Column correlation c(X, Y) — feature (6) of Section III.
+
+The paper considers *linear, polynomial, power, and log* correlations and
+takes the maximum of the four as c(X, Y) in [-1, 1].  Each family is
+evaluated as the absolute Pearson correlation of a transformed pair:
+
+* linear:       corr(x, y)
+* polynomial:   corr(x^2, y) — degree-2 proxy, plus quadratic-fit R
+* power:        corr(log x, log y)   (requires positive x and y)
+* log:          corr(log x, y)       (requires positive x)
+
+The returned value keeps the sign of the winning family's correlation so
+"larger is higher correlation" holds as in the paper, while rules that
+only need strength use :func:`correlation_strength`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CorrelationResult",
+    "pearson",
+    "correlation",
+    "correlation_strength",
+    "CORRELATION_FAMILIES",
+]
+
+CORRELATION_FAMILIES = ("linear", "polynomial", "power", "log")
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Plain Pearson correlation; 0.0 when either side is constant."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y) or len(x) < 2:
+        return 0.0
+    x_std = x.std()
+    y_std = y.std()
+    if x_std <= 1e-12 or y_std <= 1e-12:
+        return 0.0
+    value = float(np.mean((x - x.mean()) * (y - y.mean())) / (x_std * y_std))
+    return max(-1.0, min(1.0, value))
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """The winning correlation family and all per-family scores."""
+
+    value: float
+    family: str
+    per_family: Dict[str, float]
+
+    @property
+    def strength(self) -> float:
+        """Magnitude of the strongest correlation, in [0, 1]."""
+        return abs(self.value)
+
+
+def _family_scores(
+    x: np.ndarray, y: np.ndarray, families: Sequence[str]
+) -> Dict[str, float]:
+    scores: Dict[str, float] = {}
+    if "linear" in families:
+        scores["linear"] = pearson(x, y)
+    if "polynomial" in families:
+        # Degree-2 proxy: correlation against the centred square captures
+        # symmetric parabolic relationships that plain Pearson misses.
+        centred = x - x.mean()
+        scores["polynomial"] = pearson(centred**2, y)
+    positive_x = x > 0
+    if "log" in families and positive_x.sum() >= max(3, len(x) // 2):
+        scores["log"] = pearson(np.log(x[positive_x]), y[positive_x])
+    if "power" in families:
+        positive_both = positive_x & (y > 0)
+        if positive_both.sum() >= max(3, len(x) // 2):
+            scores["power"] = pearson(
+                np.log(x[positive_both]), np.log(y[positive_both])
+            )
+    return scores
+
+
+def correlation(
+    x: Sequence[float],
+    y: Sequence[float],
+    families: Sequence[str] = CORRELATION_FAMILIES,
+) -> CorrelationResult:
+    """Compute c(X, Y): the strongest correlation across families.
+
+    Non-finite values are dropped pairwise.  Fewer than three valid pairs
+    yields zero correlation.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        shorter = min(len(x), len(y))
+        x, y = x[:shorter], y[:shorter]
+    finite = np.isfinite(x) & np.isfinite(y)
+    x, y = x[finite], y[finite]
+    if len(x) < 3:
+        return CorrelationResult(0.0, "linear", {f: 0.0 for f in families})
+
+    scores = _family_scores(x, y, families)
+    if not scores:
+        return CorrelationResult(0.0, "linear", {})
+    best_family = max(scores, key=lambda f: abs(scores[f]))
+    return CorrelationResult(scores[best_family], best_family, scores)
+
+
+def correlation_strength(
+    x: Sequence[float],
+    y: Sequence[float],
+    families: Sequence[str] = CORRELATION_FAMILIES,
+) -> float:
+    """|c(X, Y)| in [0, 1]; convenience for rules and M(v) of scatter."""
+    return correlation(x, y, families).strength

@@ -1,0 +1,187 @@
+"""Dashboard composition: top-k charts that *together* tell the story.
+
+The paper motivates selection with "it often needs to show multiple
+(or top-k) visualizations that, when putting them together, can tell
+compelling stories" — but a plain top-k list is often redundant (the
+same data as a bar, a line, and sorted differently).  This module adds
+diversified selection: maximal-marginal-relevance (MMR) over the
+partial-order scores, where a candidate's redundancy against already
+chosen charts is measured from shared columns, chart type, and
+transform.
+
+``compose_dashboard`` also folds in the multi-column extension
+candidates so a dashboard can mix simple charts with stacked/grouped
+views (the paper's Figure 1 is exactly such a mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dataset.table import Table
+from .enumeration import EnumerationConfig, enumerate_rule_based
+from .multicolumn import (
+    MultiSeriesData,
+    enumerate_grouped,
+    enumerate_multi_series,
+    multi_series_quality,
+)
+from .nodes import VisualizationNode
+from .partial_order import PartialOrderScorer, matching_quality_raw
+from .ranking import weight_aware_scores_from_factors
+
+__all__ = ["DashboardItem", "Dashboard", "diversified_top_k", "compose_dashboard"]
+
+ChartLike = Union[VisualizationNode, MultiSeriesData]
+
+
+@dataclass
+class DashboardItem:
+    """One panel: a chart plus its selection bookkeeping."""
+
+    chart: ChartLike
+    relevance: float
+    redundancy: float
+
+    @property
+    def is_multi(self) -> bool:
+        return isinstance(self.chart, MultiSeriesData)
+
+    def describe(self) -> str:
+        """One-line summary of the panel's chart."""
+        return self.chart.describe()
+
+
+@dataclass
+class Dashboard:
+    """An ordered set of diverse panels for one table."""
+
+    table_name: str
+    items: List[DashboardItem]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def describe(self) -> str:
+        """Multi-line summary of every panel with its bookkeeping."""
+        lines = [f"Dashboard for {self.table_name} ({len(self.items)} panels):"]
+        for i, item in enumerate(self.items, start=1):
+            kind = "multi" if item.is_multi else "chart"
+            lines.append(
+                f"  {i}. [{kind}] {item.describe()} "
+                f"(relevance {item.relevance:.2f}, overlap {item.redundancy:.2f})"
+            )
+        return "\n".join(lines)
+
+
+def _columns_of(chart: ChartLike) -> frozenset:
+    if isinstance(chart, MultiSeriesData):
+        return frozenset({chart.x_name} | set(chart.series))
+    return frozenset(chart.columns)
+
+
+def _chart_kind(chart: ChartLike) -> str:
+    return chart.chart.value
+
+
+def _transform_of(chart: ChartLike):
+    if isinstance(chart, MultiSeriesData):
+        return chart.transform
+    return chart.query.transform
+
+
+def similarity(a: ChartLike, b: ChartLike) -> float:
+    """Redundancy between two charts in [0, 1].
+
+    Weighted Jaccard of columns (0.6), same chart type (0.25), same
+    transform (0.15): two bars of the same grouped columns are nearly
+    duplicates; a pie and a line over disjoint columns are not.
+    """
+    columns_a, columns_b = _columns_of(a), _columns_of(b)
+    union = columns_a | columns_b
+    jaccard = len(columns_a & columns_b) / len(union) if union else 0.0
+    same_type = 1.0 if _chart_kind(a) == _chart_kind(b) else 0.0
+    same_transform = 1.0 if _transform_of(a) == _transform_of(b) else 0.0
+    return 0.6 * jaccard + 0.25 * same_type + 0.15 * same_transform
+
+
+def diversified_top_k(
+    charts: Sequence[ChartLike],
+    relevance: Sequence[float],
+    k: int,
+    diversity: float = 0.45,
+) -> List[DashboardItem]:
+    """MMR selection: iteratively take the chart maximising
+
+        (1 - diversity) * relevance  -  diversity * max_sim(selected).
+
+    ``diversity`` = 0 degenerates to plain top-k; 1 ignores relevance.
+    """
+    if not 0.0 <= diversity <= 1.0:
+        raise ValueError(f"diversity must be in [0, 1], got {diversity}")
+    if len(charts) != len(relevance):
+        raise ValueError("charts and relevance must be aligned")
+
+    remaining = list(range(len(charts)))
+    chosen: List[DashboardItem] = []
+    while remaining and len(chosen) < k:
+        best_index, best_value, best_overlap = None, -np.inf, 0.0
+        for index in remaining:
+            overlap = max(
+                (similarity(charts[index], item.chart) for item in chosen),
+                default=0.0,
+            )
+            value = (1.0 - diversity) * relevance[index] - diversity * overlap
+            if value > best_value:
+                best_index, best_value, best_overlap = index, value, overlap
+        chosen.append(
+            DashboardItem(
+                chart=charts[best_index],
+                relevance=float(relevance[best_index]),
+                redundancy=float(best_overlap),
+            )
+        )
+        remaining.remove(best_index)
+    return chosen
+
+
+def compose_dashboard(
+    table: Table,
+    k: int = 6,
+    diversity: float = 0.45,
+    include_multicolumn: bool = True,
+    config: EnumerationConfig = EnumerationConfig(),
+) -> Dashboard:
+    """Build a diversified dashboard for a table.
+
+    Single-chart candidates are scored with the normalised weight-aware
+    partial order; multi-column candidates with their quality heuristic,
+    mapped onto the same [0, 1] scale.
+    """
+    nodes = [
+        n for n in enumerate_rule_based(table, config)
+        if matching_quality_raw(n) > 0
+    ]
+    charts: List[ChartLike] = list(nodes)
+    if nodes:
+        factors = PartialOrderScorer().score(nodes)
+        raw_scores = np.asarray(weight_aware_scores_from_factors(factors))
+        top = raw_scores.max()
+        relevance = list(raw_scores / top if top > 0 else raw_scores)
+    else:
+        relevance = []
+
+    if include_multicolumn:
+        multi = enumerate_multi_series(table, config=config.rule_config())
+        multi += enumerate_grouped(table, config=config.rule_config())
+        for data in multi:
+            quality = multi_series_quality(data)
+            if quality > 0:
+                charts.append(data)
+                relevance.append(quality)
+
+    items = diversified_top_k(charts, relevance, k, diversity)
+    return Dashboard(table_name=table.name, items=items)

@@ -1,0 +1,484 @@
+"""Candidate enumeration over the visualization search space (Figure 3).
+
+Two generation modes mirror the paper's Figure 12 legends:
+
+* **Exhaustive (E)** — every executable query in the two-column (and
+  optionally one-column) search space: all transforms, aggregates,
+  orderings, and chart types.
+* **Rule-based (R)** — only queries the Section V-A decision rules
+  admit, with one canonical ordering per chart.
+
+Both modes share an :class:`EnumerationContext` that caches the
+expensive work per *data variant* — the grouped/binned assignment per
+(column, transform) and each aggregate per (transform, Y, op) — so the
+four chart types and three orderings over the same data cost one
+transform pass, which is the paper's first Section V-B optimization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataset.column import Column, ColumnType
+from ..dataset.table import Table
+from ..errors import ValidationError
+from ..language.aggregation import aggregate
+from ..language.ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    Transform,
+    VisQuery,
+)
+from ..language.binning import DEFAULT_NUM_BUCKETS
+from ..language.executor import ChartData, apply_transform
+from .correlation import correlation
+from .features import ColumnFeatures, FeatureVector, series_stats
+from .nodes import VisualizationNode
+from .rules import (
+    RuleConfig,
+    aggregate_rules,
+    canonical_order,
+    sorting_rules,
+    transform_rules,
+    visualization_rules,
+)
+
+__all__ = [
+    "EnumerationConfig",
+    "EnumerationContext",
+    "enumerate_exhaustive",
+    "enumerate_rule_based",
+    "rule_based_for_pair",
+    "rule_based_for_column",
+    "enumerate_candidates",
+    "two_column_space",
+    "one_column_space",
+    "multi_column_space",
+]
+
+
+# ----------------------------------------------------------------------
+# Search-space sizes (the closed forms of Section II-B)
+# ----------------------------------------------------------------------
+def two_column_space(m: int) -> int:
+    """|search space| for two columns: 528 * m * (m - 1)."""
+    return 528 * m * (m - 1)
+
+
+def one_column_space(m: int) -> int:
+    """|search space| for one column: 264 * m."""
+    return 264 * m
+
+
+def multi_column_space(m: int) -> int:
+    """|search space| for the X/Y/Z three-column case: 704 * m^3."""
+    return 704 * m**3
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnumerationConfig:
+    """Knobs shared by both enumeration modes.
+
+    ``orderings`` is ``"all"`` (none/X/Y — the exhaustive space),
+    ``"canonical"`` (one designer-chosen ordering per chart) or
+    ``"none"``.
+    """
+
+    include_one_column: bool = True
+    orderings: str = "all"
+    numeric_bins: Tuple[int, ...] = (DEFAULT_NUM_BUCKETS,)
+    granularities: Tuple[BinGranularity, ...] = tuple(BinGranularity)
+    correlation_threshold: float = 0.5
+    #: Registered UDF bucketings as (name, callable) pairs; applied to
+    #: numeric x columns in both enumeration modes (the paper's
+    #: ``BIN X BY UDF(X)`` case).
+    udfs: Tuple = ()
+
+    def rule_config(self) -> RuleConfig:
+        """The rule-system view of this configuration."""
+        return RuleConfig(
+            granularities=self.granularities,
+            numeric_bins=self.numeric_bins,
+            correlation_threshold=self.correlation_threshold,
+            udfs=self.udfs,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared-computation context
+# ----------------------------------------------------------------------
+class EnumerationContext:
+    """Caches per-table computation shared by many candidates.
+
+    All caches key on hashable AST fragments, so a context can be reused
+    across enumeration modes for the same table.
+    """
+
+    def __init__(self, table: Table, config: EnumerationConfig = EnumerationConfig()) -> None:
+        self.table = table
+        self.config = config
+        self._column_features: Dict[str, ColumnFeatures] = {}
+        self._raw_corr: Dict[Tuple[str, str], float] = {}
+        self._transforms: Dict[Transform, Tuple] = {}
+        self._aggregates: Dict[Tuple[Transform, str, AggregateOp], np.ndarray] = {}
+        self._transformed_corr: Dict[Tuple, float] = {}
+
+    # -- cached primitives ---------------------------------------------
+    def column_features(self, name: str) -> ColumnFeatures:
+        """Cached per-column features (1)-(5)."""
+        if name not in self._column_features:
+            self._column_features[name] = ColumnFeatures.of(self.table.column(name))
+        return self._column_features[name]
+
+    def raw_correlation(self, x: str, y: str) -> float:
+        """c(X, Y) over the raw columns; 0 when either is categorical."""
+        key = (x, y) if x <= y else (y, x)
+        if key not in self._raw_corr:
+            col_x = self.table.column(key[0])
+            col_y = self.table.column(key[1])
+            if ColumnType.CATEGORICAL in (col_x.ctype, col_y.ctype):
+                value = 0.0
+            else:
+                value = correlation(col_x.values, col_y.values).value
+            self._raw_corr[key] = value
+        return self._raw_corr[key]
+
+    def transform_result(self, transform: Transform):
+        """(distinct buckets, per-row assignment) for a TRANSFORM, cached."""
+        if transform not in self._transforms:
+            self._transforms[transform] = apply_transform(transform, self.table)
+        return self._transforms[transform]
+
+    def aggregated(self, transform: Transform, y: str, op: AggregateOp) -> np.ndarray:
+        """Cached per-bucket aggregate of Y under a TRANSFORM."""
+        key = (transform, y, op)
+        if key not in self._aggregates:
+            buckets, assignment = self.transform_result(transform)
+            y_col = self.table.column(y) if op is not AggregateOp.CNT else None
+            self._aggregates[key] = aggregate(op, assignment, len(buckets), y_col)
+        return self._aggregates[key]
+
+    # -- data-variant construction ---------------------------------------
+    def _base_data(
+        self,
+        x: str,
+        y: str,
+        transform: Optional[Transform],
+        op: Optional[AggregateOp],
+    ) -> Optional[ChartData]:
+        """Unordered ChartData for a variant; None when inexecutable."""
+        placeholder = VisQuery(
+            chart=ChartType.BAR, x=x, y=y, transform=transform, aggregate=op
+        )
+        if transform is None:
+            y_col = self.table.column(y)
+            if y_col.ctype is not ColumnType.NUMERICAL:
+                return None
+            x_col = self.table.column(x)
+            if x_col.ctype is ColumnType.CATEGORICAL:
+                labels = tuple(str(v) for v in x_col.values)
+                x_values = tuple(float(i) for i in range(len(labels)))
+                discrete = True
+            else:
+                x_values = tuple(float(v) for v in x_col.values)
+                labels = ()  # elided for continuous raw series (fast path)
+                discrete = False
+            return ChartData(
+                query=placeholder,
+                x_labels=labels,
+                x_values=x_values,
+                y_values=tuple(float(v) for v in y_col.values),
+                x_is_discrete=discrete,
+                source_rows=self.table.num_rows,
+            )
+        try:
+            buckets, _ = self.transform_result(transform)
+            y_values = self.aggregated(transform, y, op)
+        except ValidationError:
+            return None
+        return ChartData(
+            query=placeholder,
+            x_labels=tuple(b.label for b in buckets),
+            x_values=tuple(b.value for b in buckets),
+            y_values=tuple(float(v) for v in y_values),
+            x_is_discrete=isinstance(transform, GroupBy),
+            source_rows=self.table.num_rows,
+        )
+
+    @staticmethod
+    def _order_data(data: ChartData, order: Optional[OrderBy]) -> ChartData:
+        if order is None or data.is_empty():
+            return data
+        keys = np.asarray(
+            data.x_values if order.target is OrderTarget.X else data.y_values
+        )
+        permutation = np.argsort(keys, kind="stable")
+        if order.descending:
+            permutation = permutation[::-1]
+        return dataclasses.replace(
+            data,
+            x_labels=tuple(data.x_labels[i] for i in permutation)
+            if data.x_labels
+            else (),
+            x_values=tuple(data.x_values[i] for i in permutation),
+            y_values=tuple(data.y_values[i] for i in permutation),
+        )
+
+    def transformed_correlation(
+        self,
+        x: str,
+        y: str,
+        transform: Optional[Transform],
+        op: Optional[AggregateOp],
+        data: ChartData,
+    ) -> float:
+        """c(X', Y') — permutation-invariant, so cached per data variant."""
+        key = (x, y, transform, op)
+        if key not in self._transformed_corr:
+            self._transformed_corr[key] = correlation(
+                data.x_values, data.y_values
+            ).value
+        return self._transformed_corr[key]
+
+    def build_node(self, query: VisQuery, data: ChartData) -> VisualizationNode:
+        """Assemble a node from cached parts (equivalent to make_node)."""
+        chart_data = dataclasses.replace(data, query=query)
+        y_entropy, y_spread, trend_r2 = series_stats(chart_data.y_values)
+        features = FeatureVector(
+            x=self.column_features(query.x),
+            y=self.column_features(query.y),
+            corr=self.raw_correlation(query.x, query.y),
+            chart=query.chart,
+            transformed_rows=chart_data.transformed_rows,
+            distinct_tx=chart_data.distinct_x,
+            distinct_ty=chart_data.distinct_y,
+            corr_transformed=self.transformed_correlation(
+                query.x, query.y, query.transform, query.aggregate, chart_data
+            ),
+            y_min_transformed=chart_data.y_min,
+            y_entropy=y_entropy,
+            y_spread=y_spread,
+            trend_r2=trend_r2,
+        )
+        return VisualizationNode(
+            query=query,
+            data=chart_data,
+            features=features,
+            table_name=self.table.name,
+        )
+
+
+# ----------------------------------------------------------------------
+# Variant generation shared by both modes
+# ----------------------------------------------------------------------
+def _exhaustive_transforms(
+    x: Column, config: EnumerationConfig
+) -> List[Optional[Transform]]:
+    """All transform options of the two-column space for column X."""
+    options: List[Optional[Transform]] = [None]
+    if x.ctype.is_groupable:
+        options.append(GroupBy(x.name))
+    if x.ctype is ColumnType.TEMPORAL:
+        options.extend(BinByGranularity(x.name, g) for g in config.granularities)
+    if x.ctype is ColumnType.NUMERICAL:
+        options.extend(BinIntoBuckets(x.name, n) for n in config.numeric_bins)
+        options.extend(BinByUDF(x.name, name, udf) for name, udf in config.udfs)
+    return options
+
+
+def _aggregates_for(y: Column, transform: Optional[Transform]) -> List[Optional[AggregateOp]]:
+    if transform is None:
+        return [None]
+    if y.ctype is ColumnType.NUMERICAL:
+        return [AggregateOp.AVG, AggregateOp.SUM, AggregateOp.CNT]
+    return [AggregateOp.CNT]
+
+
+def _order_options(
+    config: EnumerationConfig, chart: ChartType, x_type: ColumnType
+) -> List[Optional[OrderBy]]:
+    if config.orderings == "none":
+        return [None]
+    if config.orderings == "canonical":
+        return [canonical_order(chart, x_type)]
+    return [None, OrderBy(OrderTarget.X), OrderBy(OrderTarget.Y)]
+
+
+def _column_pairs(table: Table, include_one_column: bool) -> Iterator[Tuple[str, str]]:
+    names = table.column_names
+    if include_one_column:
+        for name in names:
+            yield name, name
+    for x in names:
+        for y in names:
+            if x != y:
+                yield x, y
+
+
+# ----------------------------------------------------------------------
+# The two enumeration modes
+# ----------------------------------------------------------------------
+def enumerate_exhaustive(
+    table: Table,
+    config: EnumerationConfig = EnumerationConfig(),
+    context: Optional[EnumerationContext] = None,
+) -> List[VisualizationNode]:
+    """Mode E: every executable candidate in the search space."""
+    ctx = context or EnumerationContext(table, config)
+    nodes: List[VisualizationNode] = []
+    for x_name, y_name in _column_pairs(table, config.include_one_column):
+        x_col = table.column(x_name)
+        y_col = table.column(y_name)
+        one_column = x_name == y_name
+        transforms = _exhaustive_transforms(x_col, config)
+        for transform in transforms:
+            if one_column and transform is None:
+                continue  # a raw single column has no (X, Y) pairing
+            ops = (
+                [AggregateOp.CNT]
+                if one_column
+                else _aggregates_for(y_col, transform)
+            )
+            for op in ops:
+                data = ctx._base_data(x_name, y_name, transform, op)
+                if data is None or data.is_empty():
+                    continue
+                for chart in ChartType:
+                    for order in _order_options(config, chart, x_col.ctype):
+                        query = VisQuery(
+                            chart=chart,
+                            x=x_name,
+                            y=y_name,
+                            transform=transform,
+                            aggregate=op,
+                            order=order,
+                        )
+                        nodes.append(ctx.build_node(query, ctx._order_data(data, order)))
+    return nodes
+
+
+def rule_based_for_pair(
+    ctx: EnumerationContext, x_name: str, y_name: str
+) -> List[VisualizationNode]:
+    """Rule-compliant candidates for one ordered (X, Y) pair.
+
+    The building block of both full rule-based enumeration and the
+    progressive method's per-column leaves.
+    """
+    table = ctx.table
+    rule_config = ctx.config.rule_config()
+    x_col = table.column(x_name)
+    y_col = table.column(y_name)
+    one_column = x_name == y_name
+    nodes: List[VisualizationNode] = []
+
+    # Raw (untransformed) candidates: scatter for correlated Num/Num pairs.
+    if not one_column and y_col.ctype is ColumnType.NUMERICAL:
+        if (
+            x_col.ctype is ColumnType.NUMERICAL
+            and abs(ctx.raw_correlation(x_name, y_name))
+            >= rule_config.correlation_threshold
+        ):
+            query = VisQuery(
+                chart=ChartType.SCATTER,
+                x=x_name,
+                y=y_name,
+                order=OrderBy(OrderTarget.X),
+            )
+            data = ctx._base_data(x_name, y_name, None, None)
+            if data is not None and not data.is_empty():
+                nodes.append(
+                    ctx.build_node(query, ctx._order_data(data, query.order))
+                )
+
+    # Transformed candidates per the transformation rules.  CNT(Y) counts
+    # rows per bucket regardless of Y, so the chart it produces is
+    # identical for every Y column: rule-based enumeration emits count
+    # charts only through the one-column (x == y) path to avoid
+    # duplicates, leaving AVG/SUM for genuine two-column pairs.
+    for transform in transform_rules(x_col, rule_config):
+        if one_column:
+            ops = [AggregateOp.CNT]
+        else:
+            ops = [op for op in aggregate_rules(y_col) if op is not AggregateOp.CNT]
+            if not ops:
+                continue
+        for op in ops:
+            data = ctx._base_data(x_name, y_name, transform, op)
+            # A transform that leaves fewer than two buckets can never
+            # be a meaningful chart; rules prune it outright.
+            if data is None or data.transformed_rows < 2:
+                continue
+            correlated = (
+                abs(
+                    ctx.transformed_correlation(x_name, y_name, transform, op, data)
+                )
+                >= rule_config.correlation_threshold
+            )
+            for chart in visualization_rules(x_col.ctype, True, correlated):
+                order = canonical_order(chart, x_col.ctype)
+                query = VisQuery(
+                    chart=chart,
+                    x=x_name,
+                    y=y_name,
+                    transform=transform,
+                    aggregate=op,
+                    order=order,
+                )
+                nodes.append(ctx.build_node(query, ctx._order_data(data, order)))
+    return nodes
+
+
+def rule_based_for_column(
+    ctx: EnumerationContext, x_name: str
+) -> List[VisualizationNode]:
+    """All rule-compliant candidates with ``x_name`` on the x-axis."""
+    nodes: List[VisualizationNode] = []
+    if ctx.config.include_one_column:
+        nodes.extend(rule_based_for_pair(ctx, x_name, x_name))
+    for y_name in ctx.table.column_names:
+        if y_name != x_name:
+            nodes.extend(rule_based_for_pair(ctx, x_name, y_name))
+    return nodes
+
+
+def enumerate_rule_based(
+    table: Table,
+    config: EnumerationConfig = EnumerationConfig(),
+    context: Optional[EnumerationContext] = None,
+) -> List[VisualizationNode]:
+    """Mode R: only rule-compliant candidates, one canonical ordering each."""
+    ctx = context or EnumerationContext(table, config)
+    nodes: List[VisualizationNode] = []
+    for x_name in table.column_names:
+        nodes.extend(rule_based_for_column(ctx, x_name))
+    return nodes
+
+
+def enumerate_candidates(
+    table: Table,
+    mode: str = "rules",
+    config: EnumerationConfig = EnumerationConfig(),
+    context: Optional[EnumerationContext] = None,
+) -> List[VisualizationNode]:
+    """Enumerate candidates in ``mode`` "exhaustive" (E) or "rules" (R)."""
+    if mode in ("rules", "R"):
+        return enumerate_rule_based(table, config, context)
+    if mode in ("exhaustive", "E"):
+        return enumerate_exhaustive(table, config, context)
+    raise ValueError(f"unknown enumeration mode {mode!r}; use 'rules' or 'exhaustive'")

@@ -1,0 +1,170 @@
+"""Explanations: *why* DeepEye ranked a chart where it did.
+
+A recommendation a user can't interrogate is a black box — the paper
+argues for expert rules precisely because "it is hard to improve search
+performance of black-boxes".  :func:`explain_ranking` turns a ranked
+candidate set into per-chart explanations: the factor breakdown
+(M/Q/W), how many charts it dominates / is dominated by, which decision
+rules admitted it, and plain-language notes (trend found, correlation
+strength, slice diversity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..language.ast import AggregateOp, ChartType
+from .nodes import VisualizationNode
+from .partial_order import (
+    FactorScores,
+    PartialOrderScorer,
+    strictly_dominates,
+)
+from .ranking import weight_aware_scores_from_factors
+from .trend import fit_trend
+
+__all__ = ["ChartExplanation", "explain_ranking", "explain_node"]
+
+
+@dataclass
+class ChartExplanation:
+    """Everything explaining one chart's position in a ranking."""
+
+    node: VisualizationNode
+    rank: int
+    factors: FactorScores
+    score: float
+    dominates: int
+    dominated_by: int
+    notes: List[str]
+
+    def summary(self) -> str:
+        """A compact multi-line human-readable explanation."""
+        lines = [
+            f"#{self.rank}: {self.node.describe()}",
+            (
+                f"  factors: M={self.factors.m:.2f} (chart/data fit), "
+                f"Q={self.factors.q:.2f} (summarisation), "
+                f"W={self.factors.w:.2f} (column importance)"
+            ),
+            (
+                f"  dominance: better than {self.dominates} charts, "
+                f"beaten by {self.dominated_by}"
+            ),
+        ]
+        lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _notes_for(node: VisualizationNode) -> List[str]:
+    """Plain-language observations about one chart."""
+    notes: List[str] = []
+    chart = node.chart
+    data = node.data
+
+    if node.query.transform is not None:
+        reduction = 1.0 - data.transformed_rows / max(data.source_rows, 1)
+        notes.append(
+            f"{node.query.transform.describe()} summarises "
+            f"{data.source_rows} rows into {data.transformed_rows} points "
+            f"({100 * reduction:.0f}% reduction)"
+        )
+    else:
+        notes.append(f"raw data: all {data.transformed_rows} points plotted")
+
+    if chart is ChartType.LINE:
+        result = fit_trend(data.y_values)
+        if result.has_trend:
+            notes.append(
+                f"y values follow a {result.family} trend "
+                f"(R²={result.r_squared:.2f})"
+            )
+        else:
+            notes.append(
+                f"no clear trend in the y values "
+                f"(best R²={result.r_squared:.2f}) — weak line chart"
+            )
+    elif chart is ChartType.SCATTER:
+        strength = abs(node.features.corr_transformed)
+        grade = "strong" if strength >= 0.7 else "moderate" if strength >= 0.4 else "weak"
+        notes.append(f"{grade} correlation between the axes (|c|={strength:.2f})")
+    elif chart is ChartType.PIE:
+        if node.query.aggregate is AggregateOp.AVG:
+            notes.append("AVG slices make no part-to-whole sense in a pie")
+        if data.distinct_x > 10:
+            notes.append(f"{data.distinct_x} slices is a lot for one pie")
+    elif chart is ChartType.BAR:
+        if data.distinct_x > 20:
+            notes.append(f"{data.distinct_x} bars exceeds the ~20-bar sweet spot")
+
+    return notes
+
+
+def explain_node(
+    node: VisualizationNode,
+    factors: FactorScores,
+    rank: int,
+    score: float,
+    dominates: int,
+    dominated_by: int,
+) -> ChartExplanation:
+    """Assemble the explanation of one already-scored chart."""
+    return ChartExplanation(
+        node=node,
+        rank=rank,
+        factors=factors,
+        score=score,
+        dominates=dominates,
+        dominated_by=dominated_by,
+        notes=_notes_for(node),
+    )
+
+
+def explain_ranking(
+    nodes: Sequence[VisualizationNode],
+    top: Optional[int] = None,
+    scorer: Optional[PartialOrderScorer] = None,
+) -> List[ChartExplanation]:
+    """Score, rank, and explain a candidate set (best first).
+
+    ``top`` limits how many explanations are returned (all by default);
+    dominance counts are always computed over the full set.
+    """
+    if not nodes:
+        return []
+    scorer = scorer or PartialOrderScorer()
+    factors = scorer.score(nodes)
+    scores = weight_aware_scores_from_factors(factors)
+
+    n = len(nodes)
+    dominates_count = [0] * n
+    dominated_count = [0] * n
+    for i in range(n):
+        for j in range(n):
+            if i != j and strictly_dominates(factors[i], factors[j]):
+                dominates_count[i] += 1
+                dominated_count[j] += 1
+
+    order = sorted(
+        range(n),
+        key=lambda i: (
+            -scores[i],
+            -(factors[i].m + factors[i].q + factors[i].w),
+            i,
+        ),
+    )
+    limit = len(order) if top is None else min(top, len(order))
+    return [
+        explain_node(
+            nodes[i],
+            factors[i],
+            rank=position + 1,
+            score=scores[i],
+            dominates=dominates_count[i],
+            dominated_by=dominated_count[i],
+        )
+        for position, i in enumerate(order[:limit])
+    ]

@@ -1,0 +1,176 @@
+"""Dominance-graph construction **G**(V, E) (Section IV-C).
+
+Vertices are valid visualization nodes; a directed edge u -> v exists
+when u *strictly* dominates v under Definition 2, weighted by Eq. 9.
+(Strict dominance keeps **G** acyclic, which the score recursion S(v)
+requires; nodes tied on all three factors are simply incomparable.)
+
+Three construction strategies, fastest-practical last:
+
+* ``naive``     — compare every ordered pair: O(n^2) comparisons.
+* ``quicksort`` — the paper's partition pruning: comparing everything to
+  a pivot splits the rest into better / worse / incomparable, and every
+  (better, worse) pair is a dominance edge *by transitivity*, so those
+  comparisons are skipped.
+* ``range_tree``— sweep nodes in ascending (M, Q, W) order, maintaining
+  a 2-D dominance index over (Q, W); each node's dominated set is one
+  index query (Section IV-C's range-tree-based indexing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SelectionError
+from ..indexes.range_tree import FenwickDominanceIndex
+from .partial_order import FactorScores, edge_weight, strictly_dominates
+
+__all__ = ["DominanceGraph", "build_graph", "GRAPH_STRATEGIES"]
+
+
+@dataclass
+class DominanceGraph:
+    """Adjacency-list dominance DAG over node indices 0..n-1.
+
+    ``out_edges[u]`` lists ``(v, weight)`` pairs with u strictly better
+    than v.  ``scores`` keeps each node's factor triple for reporting.
+    """
+
+    scores: List[FactorScores]
+    out_edges: List[List[Tuple[int, float]]]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.scores)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self.out_edges)
+
+    def in_degrees(self) -> List[int]:
+        """In-degree per node (how many charts dominate it)."""
+        degrees = [0] * self.num_nodes
+        for edges in self.out_edges:
+            for v, _ in edges:
+                degrees[v] += 1
+        return degrees
+
+    def edge_set(self) -> set:
+        """The set of (u, v) pairs — used by tests to compare strategies."""
+        return {
+            (u, v) for u, edges in enumerate(self.out_edges) for v, _ in edges
+        }
+
+
+def _add_edge(graph: DominanceGraph, u: int, v: int) -> None:
+    graph.out_edges[u].append((v, edge_weight(graph.scores[u], graph.scores[v])))
+
+
+# ----------------------------------------------------------------------
+# Strategy 1: naive pairwise
+# ----------------------------------------------------------------------
+def _build_naive(scores: Sequence[FactorScores]) -> DominanceGraph:
+    graph = DominanceGraph(list(scores), [[] for _ in scores])
+    n = len(scores)
+    for u in range(n):
+        for v in range(n):
+            if u != v and strictly_dominates(scores[u], scores[v]):
+                _add_edge(graph, u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Strategy 2: quick-sort-style partition pruning
+# ----------------------------------------------------------------------
+def _build_quicksort(scores: Sequence[FactorScores]) -> DominanceGraph:
+    graph = DominanceGraph(list(scores), [[] for _ in scores])
+
+    def compare_pairwise(left: List[int], right: List[int]) -> None:
+        """Resolve all cross pairs between two sets by direct comparison."""
+        for u in left:
+            for v in right:
+                if strictly_dominates(scores[u], scores[v]):
+                    _add_edge(graph, u, v)
+                elif strictly_dominates(scores[v], scores[u]):
+                    _add_edge(graph, v, u)
+
+    # Explicit worklist instead of recursion: a chain input degrades the
+    # partitioning to linear depth, which would overflow Python frames.
+    worklist: List[List[int]] = [list(range(len(scores)))]
+    while worklist:
+        items = worklist.pop()
+        if len(items) < 2:
+            continue
+        pivot, rest = items[0], items[1:]
+        better: List[int] = []  # strictly dominate the pivot
+        worse: List[int] = []  # strictly dominated by the pivot
+        incomparable: List[int] = []
+        for node in rest:
+            if strictly_dominates(scores[node], scores[pivot]):
+                better.append(node)
+                _add_edge(graph, node, pivot)
+            elif strictly_dominates(scores[pivot], scores[node]):
+                worse.append(node)
+                _add_edge(graph, pivot, node)
+            else:
+                incomparable.append(node)
+        # Transitivity: every better-node dominates every worse-node —
+        # the comparisons the paper's partitioning prunes away.
+        for u in better:
+            for v in worse:
+                _add_edge(graph, u, v)
+        worklist.extend((better, worse, incomparable))
+        compare_pairwise(better, incomparable)
+        compare_pairwise(incomparable, worse)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Strategy 3: range-tree (Fenwick) sweep
+# ----------------------------------------------------------------------
+def _build_range_tree(scores: Sequence[FactorScores]) -> DominanceGraph:
+    graph = DominanceGraph(list(scores), [[] for _ in scores])
+    n = len(scores)
+    if n == 0:
+        return graph
+
+    # Sort ascending by (M, Q, W).  If u strictly dominates v then v's
+    # triple is lexicographically smaller, so v is already inserted when
+    # u is processed.
+    order = sorted(range(n), key=lambda i: scores[i].as_tuple())
+    index = FenwickDominanceIndex([scores[i].q for i in range(n)])
+    for u in order:
+        su = scores[u]
+        for v in index.report(su.q, su.w):
+            # The index guarantees Q, W dominance among inserted (hence
+            # M <= M(u)) nodes; reject full ties to keep strictness.
+            if strictly_dominates(su, scores[v]):
+                _add_edge(graph, u, v)
+        index.insert(su.q, su.w, u)
+    return graph
+
+
+GRAPH_STRATEGIES: Dict[str, Callable[[Sequence[FactorScores]], DominanceGraph]] = {
+    "naive": _build_naive,
+    "quicksort": _build_quicksort,
+    "range_tree": _build_range_tree,
+}
+
+
+def build_graph(
+    scores: Sequence[FactorScores], strategy: str = "range_tree"
+) -> DominanceGraph:
+    """Build the dominance graph with the chosen strategy.
+
+    All strategies produce the identical edge set (a property the test
+    suite verifies); they differ only in comparison count and speed.
+    """
+    try:
+        builder = GRAPH_STRATEGIES[strategy]
+    except KeyError:
+        raise SelectionError(
+            f"unknown graph strategy {strategy!r}; "
+            f"choose from {sorted(GRAPH_STRATEGIES)}"
+        ) from None
+    return builder(scores)

@@ -1,0 +1,100 @@
+"""HybridRank (Section IV-D): combine learning-to-rank and partial order.
+
+Each visualization v gets the combined score ``l_v + alpha * p_v`` where
+``l_v`` / ``p_v`` are v's 1-based rank positions under learning-to-rank
+and the partial order respectively (smaller is better), and ``alpha`` is
+a preference weight learned from labelled data by maximising NDCG over
+validation groups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from ..ml.metrics import ndcg_at_k
+from .ltr import LearningToRankRanker
+from .nodes import VisualizationNode
+from .selection import PartialOrderRanker
+
+__all__ = ["HybridRanker", "DEFAULT_ALPHA_GRID"]
+
+DEFAULT_ALPHA_GRID = (0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0)
+
+
+def _positions(order: Sequence[int], n: int) -> np.ndarray:
+    """1-based rank position per item index given a best-first order."""
+    positions = np.empty(n, dtype=np.float64)
+    for position, item in enumerate(order, start=1):
+        positions[item] = position
+    return positions
+
+
+class HybridRanker:
+    """Linear rank combination of LTR and the partial order."""
+
+    def __init__(
+        self,
+        ltr: LearningToRankRanker,
+        partial_order: Optional[PartialOrderRanker] = None,
+        alpha: float = 1.0,
+    ) -> None:
+        self.ltr = ltr
+        self.partial_order = partial_order or PartialOrderRanker()
+        self.alpha = alpha
+
+    def rank(self, nodes: Sequence[VisualizationNode]) -> List[int]:
+        """Indices into ``nodes``, best first, by ``l_v + alpha * p_v``."""
+        n = len(nodes)
+        if n == 0:
+            return []
+        ltr_positions = _positions(self.ltr.rank(nodes), n)
+        po_positions = _positions(self.partial_order.rank(nodes), n)
+        combined = ltr_positions + self.alpha * po_positions
+        return sorted(range(n), key=lambda i: (combined[i], i))
+
+    def fit_alpha(
+        self,
+        groups: Sequence[Tuple[Sequence[VisualizationNode], Sequence[float]]],
+        grid: Sequence[float] = DEFAULT_ALPHA_GRID,
+        k: Optional[int] = None,
+    ) -> float:
+        """Learn alpha by grid search: pick the value maximising the mean
+        NDCG of the hybrid ranking over labelled validation groups.
+
+        ``groups`` pairs node lists with graded relevance (higher =
+        better chart).  Returns the chosen alpha (also stored).
+        """
+        if not groups:
+            raise ModelError("need at least one validation group to fit alpha")
+        cached = []
+        for nodes, relevance in groups:
+            n = len(nodes)
+            if n == 0:
+                continue
+            if len(relevance) != n:
+                raise ModelError("nodes and relevance must be aligned")
+            cached.append(
+                (
+                    _positions(self.ltr.rank(nodes), n),
+                    _positions(self.partial_order.rank(nodes), n),
+                    np.asarray(relevance, dtype=np.float64),
+                )
+            )
+        if not cached:
+            raise ModelError("all validation groups are empty")
+
+        best_alpha, best_score = self.alpha, -1.0
+        for alpha in grid:
+            scores = []
+            for ltr_pos, po_pos, relevance in cached:
+                combined = ltr_pos + alpha * po_pos
+                order = np.argsort(combined, kind="stable")
+                scores.append(ndcg_at_k(relevance[order], k=k))
+            mean_score = float(np.mean(scores))
+            if mean_score > best_score:
+                best_alpha, best_score = float(alpha), mean_score
+        self.alpha = best_alpha
+        return best_alpha

@@ -1,0 +1,286 @@
+"""Multi-column visualizations (Section II-B, "Extensions").
+
+The paper sketches two multi-column cases beyond the two-column core:
+
+* **Case (i) — multi-series:** one x-axis column X and several y-axis
+  columns Y1..Yz, compared as series on the same chart (the search
+  space term 44·m(i+2)·Σ 4^i·C(m,i)).
+* **Case (ii) — group-then-bin:** three columns X, Y, Z: group the data
+  by X, bin/group Y inside each group for the x-axis, and aggregate Z
+  per (group, bucket) — the paper's Figure 1(b) stacked bars (monthly
+  passengers by destination) and Figure 1(a) scatter colored by
+  carrier.  Search space 704·m^3.
+
+Both execute into :class:`MultiSeriesData`: shared x buckets and one
+named y series per Y column / per X group, which the renderer can draw
+as multi-line charts, stacked/grouped bars, or colored scatters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataset.column import ColumnType
+from ..dataset.table import Table
+from ..errors import ValidationError
+from ..language.aggregation import aggregate
+from ..language.ast import AggregateOp, ChartType, Transform
+from ..language.executor import apply_transform
+from .rules import RuleConfig, transform_rules
+
+__all__ = [
+    "MultiSeriesData",
+    "execute_multi_series",
+    "execute_grouped",
+    "enumerate_multi_series",
+    "enumerate_grouped",
+    "multi_series_quality",
+]
+
+
+@dataclass(frozen=True)
+class MultiSeriesData:
+    """Chart data with several named y series over shared x buckets.
+
+    ``series`` maps a series label (a Y column name for case (i), an X
+    group value for case (ii)) to its y values, one per x bucket.
+    """
+
+    chart: ChartType
+    x_name: str
+    x_labels: Tuple[str, ...]
+    series: Dict[str, Tuple[float, ...]]
+    aggregate_op: Optional[AggregateOp]
+    transform: Optional[Transform]
+    source_rows: int
+
+    @property
+    def num_series(self) -> int:
+        return len(self.series)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.x_labels)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        names = ", ".join(sorted(self.series))
+        op = f"{self.aggregate_op.value}" if self.aggregate_op else "raw"
+        return (
+            f"{self.chart.value}: x={self.x_name}, {self.num_series} series "
+            f"[{names}] ({op}), {self.num_points} points"
+        )
+
+
+# ----------------------------------------------------------------------
+# Case (i): one X, several Y columns
+# ----------------------------------------------------------------------
+def execute_multi_series(
+    table: Table,
+    x: str,
+    ys: Sequence[str],
+    transform: Transform,
+    op: AggregateOp,
+    chart: ChartType = ChartType.LINE,
+) -> MultiSeriesData:
+    """Compare aggregate series of several Y columns over transformed X."""
+    if len(ys) < 2:
+        raise ValidationError("multi-series queries need at least two Y columns")
+    for y in ys:
+        if table.column(y).ctype is not ColumnType.NUMERICAL and op is not AggregateOp.CNT:
+            raise ValidationError(
+                f"{op.value} requires numerical Y columns; {y!r} is "
+                f"{table.column(y).ctype.value}"
+            )
+    buckets, assignment = apply_transform(transform, table)
+    series: Dict[str, Tuple[float, ...]] = {}
+    for y in ys:
+        y_col = table.column(y) if op is not AggregateOp.CNT else None
+        values = aggregate(op, assignment, len(buckets), y_col)
+        series[y] = tuple(float(v) for v in values)
+    return MultiSeriesData(
+        chart=chart,
+        x_name=x,
+        x_labels=tuple(b.label for b in buckets),
+        series=series,
+        aggregate_op=op,
+        transform=transform,
+        source_rows=table.num_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Case (ii): group by X, transform Y, aggregate Z
+# ----------------------------------------------------------------------
+def execute_grouped(
+    table: Table,
+    group_by: str,
+    x: str,
+    z: str,
+    transform: Transform,
+    op: AggregateOp,
+    chart: ChartType = ChartType.BAR,
+    max_groups: int = 12,
+) -> MultiSeriesData:
+    """One series per distinct ``group_by`` value: Figure 1(b)'s stacked
+    bars (x = month buckets of ``x``, series = destinations, values =
+    aggregated ``z``).
+
+    Groups beyond ``max_groups`` (by row count) are dropped — a chart
+    with dozens of series is unreadable, matching the paper's "hard to
+    put many categories in a single chart" principle.
+    """
+    group_col = table.column(group_by)
+    if not group_col.ctype.is_groupable:
+        raise ValidationError(
+            f"cannot group by {group_by!r} ({group_col.ctype.value})"
+        )
+    buckets, assignment = apply_transform(transform, table)
+    z_col = table.column(z) if op is not AggregateOp.CNT else None
+    if z_col is not None and z_col.ctype is not ColumnType.NUMERICAL:
+        raise ValidationError(f"{op.value} requires a numerical Z column")
+
+    # Top groups by support.
+    values, counts = np.unique(
+        np.asarray([str(v) for v in group_col.values], dtype=object),
+        return_counts=True,
+    )
+    keep = [str(v) for v in values[np.argsort(-counts)][:max_groups]]
+
+    series: Dict[str, Tuple[float, ...]] = {}
+    group_values = np.asarray([str(v) for v in group_col.values], dtype=object)
+    for group in keep:
+        mask = group_values == group
+        sub_assignment = assignment[mask]
+        if z_col is not None:
+            sub_z = z_col.take(np.flatnonzero(mask))
+        else:
+            sub_z = None
+        values_g = aggregate(op, sub_assignment, len(buckets), sub_z)
+        series[group] = tuple(float(v) for v in values_g)
+
+    return MultiSeriesData(
+        chart=chart,
+        x_name=x,
+        x_labels=tuple(b.label for b in buckets),
+        series=series,
+        aggregate_op=op,
+        transform=transform,
+        source_rows=table.num_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule-guided enumeration of multi-column candidates
+# ----------------------------------------------------------------------
+def enumerate_multi_series(
+    table: Table,
+    max_ys: int = 3,
+    config: RuleConfig = RuleConfig(),
+) -> List[MultiSeriesData]:
+    """Case (i) candidates: comparable numeric Y sets over each X.
+
+    Y columns are only compared on one chart when their scales are
+    commensurate (max magnitudes within ~20x), which prunes the
+    exponential Σ C(m, i) blow-up to the humanly sensible subset.
+    """
+    import itertools
+
+    numeric = table.columns_of_type(ColumnType.NUMERICAL)
+    results: List[MultiSeriesData] = []
+    for x_col in table.columns:
+        transforms = transform_rules(x_col, config)
+        y_pool = [c for c in numeric if c.name != x_col.name]
+        for size in range(2, min(max_ys, len(y_pool)) + 1):
+            for combo in itertools.combinations(y_pool, size):
+                magnitudes = [max(abs(c.min() or 0), abs(c.max() or 0)) or 1.0 for c in combo]
+                if max(magnitudes) / max(min(magnitudes), 1e-9) > 20:
+                    continue  # incomparable scales
+                for transform in transforms:
+                    chart = (
+                        ChartType.LINE
+                        if x_col.ctype in (ColumnType.TEMPORAL, ColumnType.NUMERICAL)
+                        else ChartType.BAR
+                    )
+                    try:
+                        data = execute_multi_series(
+                            table,
+                            x_col.name,
+                            [c.name for c in combo],
+                            transform,
+                            AggregateOp.AVG,
+                            chart,
+                        )
+                    except ValidationError:
+                        continue
+                    if 2 <= data.num_points <= 60:
+                        results.append(data)
+    return results
+
+
+def enumerate_grouped(
+    table: Table,
+    max_groups: int = 8,
+    config: RuleConfig = RuleConfig(),
+) -> List[MultiSeriesData]:
+    """Case (ii) candidates: group x bin x aggregate triples.
+
+    Only low-cardinality categorical grouping columns qualify (more
+    series than ``max_groups`` stops being readable).
+    """
+    results: List[MultiSeriesData] = []
+    group_candidates = [
+        c
+        for c in table.columns_of_type(ColumnType.CATEGORICAL)
+        if 2 <= c.num_distinct <= max_groups
+    ]
+    numeric = table.columns_of_type(ColumnType.NUMERICAL)
+    for group_col in group_candidates:
+        for x_col in table.columns:
+            if x_col.name == group_col.name or not x_col.ctype.is_binnable:
+                continue
+            for transform in transform_rules(x_col, config):
+                for z_col in numeric:
+                    if z_col.name in (group_col.name, x_col.name):
+                        continue
+                    chart = (
+                        ChartType.LINE
+                        if x_col.ctype is ColumnType.TEMPORAL
+                        else ChartType.BAR
+                    )
+                    try:
+                        data = execute_grouped(
+                            table,
+                            group_col.name,
+                            x_col.name,
+                            z_col.name,
+                            transform,
+                            AggregateOp.SUM,
+                            chart,
+                            max_groups=max_groups,
+                        )
+                    except ValidationError:
+                        continue
+                    if 2 <= data.num_points <= 60 and data.num_series >= 2:
+                        results.append(data)
+    return results
+
+
+def multi_series_quality(data: MultiSeriesData) -> float:
+    """A matching-quality heuristic for multi-series charts in [0, 1].
+
+    Combines readability (few series, bounded points) with informative
+    contrast between the series (they should not be identical lines).
+    """
+    if data.num_points < 2 or data.num_series < 2:
+        return 0.0
+    series = np.asarray(list(data.series.values()), dtype=np.float64)
+    spread = series.std(axis=0).mean()
+    scale = np.abs(series).mean() + 1e-9
+    contrast = min(1.0, spread / scale)
+    readability = 1.0 if data.num_series <= 6 else 6.0 / data.num_series
+    points_penalty = 1.0 if data.num_points <= 40 else 40.0 / data.num_points
+    return contrast * readability * points_penalty

@@ -1,0 +1,103 @@
+"""Visualization nodes (Definition 1, Section IV-A).
+
+A *visualization node* packages everything DeepEye knows about one
+candidate chart: the original columns X, Y, the transformed data X', Y'
+(as executed :class:`~repro.language.executor.ChartData`), the feature
+vector **F** and the visualization type **T**.  Nodes are the unit that
+recognition classifies, ranking orders, and selection returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..dataset.table import Table
+from ..language.ast import ChartType, VisQuery
+from ..language.executor import ChartData, execute
+from .features import FeatureVector, extract_features
+
+__all__ = ["VisualizationNode", "make_node"]
+
+
+@dataclass
+class VisualizationNode:
+    """One candidate visualization of a table.
+
+    Attributes
+    ----------
+    query:
+        The visualization-language query that defines the chart.
+    data:
+        The executed chart data (the transformed X', Y' series).
+    features:
+        The measured feature vector **F**.
+    table_name:
+        Name of the source table (nodes never hold the table itself, so
+        large tables are not pinned by candidate lists).
+    """
+
+    query: VisQuery
+    data: ChartData
+    features: FeatureVector
+    table_name: str
+
+    @property
+    def chart(self) -> ChartType:
+        return self.query.chart
+
+    @property
+    def x_name(self) -> str:
+        return self.query.x
+
+    @property
+    def y_name(self) -> str:
+        return self.query.y
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Distinct source column names used by this node."""
+        return self.query.columns
+
+    def key(self) -> Tuple:
+        """A hashable identity for dedup: (chart, x, y, transform, agg, order)."""
+        return (
+            self.query.chart,
+            self.query.x,
+            self.query.y,
+            self.query.transform,
+            self.query.aggregate,
+            self.query.order,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in reports and examples."""
+        transform = (
+            self.query.transform.describe() if self.query.transform else "raw"
+        )
+        y_expr = (
+            f"{self.query.aggregate.value}({self.y_name})"
+            if self.query.aggregate
+            else self.y_name
+        )
+        return (
+            f"{self.chart.value}: x={self.x_name} [{transform}], y={y_expr}, "
+            f"{self.data.transformed_rows} points"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VisualizationNode({self.describe()})"
+
+
+def make_node(table: Table, query: VisQuery) -> VisualizationNode:
+    """Execute a query against a table and package the result as a node.
+
+    Propagates :class:`~repro.errors.ValidationError` /
+    :class:`~repro.errors.ExecutionError` from execution; callers that
+    enumerate speculative candidates catch these to skip invalid combos.
+    """
+    data = execute(query, table)
+    features = extract_features(table, query, data)
+    return VisualizationNode(
+        query=query, data=data, features=features, table_name=table.name
+    )

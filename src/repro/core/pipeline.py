@@ -1,0 +1,247 @@
+"""The DeepEye facade (Figure 4): offline training + online selection.
+
+Offline, the system learns from examples — good/bad chart labels train
+the recognition classifier, graded per-table rankings train LambdaMART,
+and a held-out slice tunes the hybrid preference weight alpha.  Online,
+a table comes in and the trained components produce its top-k charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..dataset.table import Table
+from ..errors import ModelError, SelectionError
+from .enumeration import EnumerationConfig
+from .hybrid import HybridRanker
+from .ltr import LearningToRankRanker
+from .nodes import VisualizationNode
+from .recognition import VisualizationRecognizer
+from .selection import PartialOrderRanker, SelectionResult, select_top_k
+
+__all__ = ["TrainingExample", "DeepEye"]
+
+
+@dataclass
+class TrainingExample:
+    """One labelled table: its candidates, good/bad labels, and grades.
+
+    ``relevance[i]`` is the graded goodness of ``nodes[i]`` (higher is
+    better; 0 for bad charts) — the merged crowdsourced total order of
+    the paper's ground truth.
+    """
+
+    table_name: str
+    nodes: List[VisualizationNode]
+    labels: List[bool]
+    relevance: List[float]
+
+    def __post_init__(self) -> None:
+        if not (len(self.nodes) == len(self.labels) == len(self.relevance)):
+            raise ModelError(
+                f"training example {self.table_name!r}: nodes, labels and "
+                f"relevance must be aligned"
+            )
+
+    def good_nodes(self) -> List[VisualizationNode]:
+        """The subset of candidates labelled good."""
+        return [n for n, ok in zip(self.nodes, self.labels) if ok]
+
+
+class DeepEye:
+    """Automatic data visualization: train once, select top-k anywhere.
+
+    Parameters
+    ----------
+    ranking:
+        Online ranking engine: ``"partial_order"`` (no training data
+        needed), ``"learning_to_rank"``, or ``"hybrid"`` (the paper's
+        best configuration).
+    recognizer_model:
+        Classifier for recognition: ``"decision_tree"`` / ``"bayes"`` /
+        ``"svm"``; ``None`` disables the recognition filter.
+    enumeration:
+        Candidate generation mode: ``"rules"`` (default) or
+        ``"exhaustive"``.
+    """
+
+    def __init__(
+        self,
+        ranking: str = "hybrid",
+        recognizer_model: Optional[str] = "decision_tree",
+        enumeration: str = "rules",
+        config: EnumerationConfig = EnumerationConfig(),
+        graph_strategy: str = "range_tree",
+    ) -> None:
+        if ranking not in ("partial_order", "learning_to_rank", "hybrid"):
+            raise SelectionError(f"unknown ranking mode {ranking!r}")
+        self.ranking = ranking
+        self.enumeration = enumeration
+        self.config = config
+        self.graph_strategy = graph_strategy
+        self.recognizer: Optional[VisualizationRecognizer] = (
+            VisualizationRecognizer(model=recognizer_model)
+            if recognizer_model
+            else None
+        )
+        self.ltr: Optional[LearningToRankRanker] = None
+        self.hybrid: Optional[HybridRanker] = None
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def train(self, examples: Sequence[TrainingExample]) -> "DeepEye":
+        """Fit recognition + ranking models from labelled examples.
+
+        With ``ranking="partial_order"`` only the recognizer trains (the
+        partial order is expert knowledge, not learned).
+        """
+        if not examples:
+            raise ModelError("need at least one training example")
+
+        if self.recognizer is not None:
+            all_nodes: List[VisualizationNode] = []
+            all_labels: List[bool] = []
+            for example in examples:
+                all_nodes.extend(example.nodes)
+                all_labels.extend(example.labels)
+            self.recognizer.fit(all_nodes, all_labels)
+
+        if self.ranking in ("learning_to_rank", "hybrid"):
+            groups = [
+                (example.nodes, example.relevance)
+                for example in examples
+                if example.nodes
+            ]
+            self.ltr = LearningToRankRanker()
+            self.ltr.fit(groups)
+
+        if self.ranking == "hybrid":
+            self.hybrid = HybridRanker(
+                self.ltr, PartialOrderRanker(self.graph_strategy)
+            )
+            self.hybrid.fit_alpha(groups)
+
+        self._trained = True
+        return self
+
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Persist the trained engine (models + settings) to a directory.
+
+        Writes ``engine.json`` with the configuration plus per-model
+        JSON files; :meth:`load` restores an equivalent engine.  Only
+        trained engines can be saved.
+        """
+        import json
+        from pathlib import Path
+
+        if not self._trained:
+            raise ModelError("train() the engine before save()")
+        from ..persistence import save_ltr, save_recognizer
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "ranking": self.ranking,
+            "enumeration": self.enumeration,
+            "graph_strategy": self.graph_strategy,
+            "hybrid_alpha": self.hybrid.alpha if self.hybrid else None,
+            "has_recognizer": self.recognizer is not None,
+            "has_ltr": self.ltr is not None,
+        }
+        (directory / "engine.json").write_text(json.dumps(manifest))
+        if self.recognizer is not None:
+            save_recognizer(self.recognizer, directory / "recognizer.json")
+        if self.ltr is not None:
+            save_ltr(self.ltr, directory / "ltr.json")
+
+    @classmethod
+    def load(cls, directory) -> "DeepEye":
+        """Restore an engine saved by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        from ..persistence import load_ltr, load_recognizer
+
+        directory = Path(directory)
+        manifest = json.loads((directory / "engine.json").read_text())
+        engine = cls(
+            ranking=manifest["ranking"],
+            recognizer_model=None,
+            enumeration=manifest["enumeration"],
+            graph_strategy=manifest["graph_strategy"],
+        )
+        if manifest["has_recognizer"]:
+            engine.recognizer = load_recognizer(directory / "recognizer.json")
+        if manifest["has_ltr"]:
+            engine.ltr = load_ltr(directory / "ltr.json")
+        if engine.ranking == "hybrid":
+            alpha = manifest["hybrid_alpha"]
+            engine.hybrid = HybridRanker(
+                engine.ltr,
+                PartialOrderRanker(engine.graph_strategy),
+                # alpha = 0.0 is a legitimate learned value (pure LTR).
+                alpha=1.0 if alpha is None else float(alpha),
+            )
+        engine._trained = True
+        return engine
+
+    # ------------------------------------------------------------------
+    def top_k(self, table: Table, k: int = 10) -> SelectionResult:
+        """Select the top-k visualizations for a table."""
+        if self.ranking == "partial_order":
+            return select_top_k(
+                table,
+                k=k,
+                enumeration=self.enumeration,
+                ranker="partial_order",
+                recognizer=self.recognizer if self._trained else None,
+                config=self.config,
+                graph_strategy=self.graph_strategy,
+            )
+        if not self._trained:
+            raise ModelError(
+                f"ranking={self.ranking!r} requires train() before top_k()"
+            )
+        if self.ranking == "learning_to_rank":
+            return select_top_k(
+                table,
+                k=k,
+                enumeration=self.enumeration,
+                ranker="learning_to_rank",
+                recognizer=self.recognizer,
+                ltr=self.ltr,
+                config=self.config,
+                graph_strategy=self.graph_strategy,
+            )
+        # Hybrid: reuse select_top_k's enumerate+recognize phases via the
+        # partial-order path, then re-rank with the hybrid combiner.
+        import time
+
+        timings = {}
+        start = time.perf_counter()
+        from .enumeration import enumerate_candidates
+
+        candidates = enumerate_candidates(table, self.enumeration, self.config)
+        timings["enumerate"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        valid = (
+            self.recognizer.filter_valid(candidates)
+            if self.recognizer is not None
+            else list(candidates)
+        ) or list(candidates)
+        timings["recognize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        order = self.hybrid.rank(valid)
+        timings["rank"] = time.perf_counter() - start
+
+        return SelectionResult(
+            nodes=[valid[i] for i in order[:k]],
+            order=order,
+            candidates=len(candidates),
+            valid=len(valid),
+            timings=timings,
+        )

@@ -1,0 +1,220 @@
+"""Decision rules for meaningful visualizations (Section V-A).
+
+Three rule families prune the search space down to candidates a human
+could plausibly want:
+
+1. **Transformation rules** — which GROUP/BIN + aggregate combinations
+   make sense for the column types (e.g. categorical X can only be
+   grouped; non-numerical Y only admits CNT).
+2. **Sorting rules** — numerical/temporal X' may be sorted; numerical Y'
+   may be sorted; categorical X' may not.
+3. **Visualization rules** — which chart types fit the (T(X), T(Y))
+   combination (e.g. Cat/Num -> bar or pie; Num/Num -> line/bar, plus
+   scatter when correlated; Tem/Num -> line).
+
+Section V-C argues these rules are *complete*: they enumerate every
+(type, operation) combination that can yield a meaningful chart.  The
+test suite checks that completeness claim mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..dataset.column import Column, ColumnType
+from ..dataset.table import Table
+from ..language.ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    Transform,
+    VisQuery,
+)
+from ..language.binning import DEFAULT_NUM_BUCKETS
+
+__all__ = [
+    "RuleConfig",
+    "CORRELATION_RULE_THRESHOLD",
+    "transform_rules",
+    "aggregate_rules",
+    "sorting_rules",
+    "visualization_rules",
+    "canonical_order",
+    "complies",
+]
+
+#: |c(X, Y)| above which the Num/Num scatter rule fires.
+CORRELATION_RULE_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Tunable knobs of the rule system.
+
+    ``granularities`` limits which temporal BIN granularities rules
+    propose; ``numeric_bins`` the bucket counts for BIN INTO; ``udfs``
+    registers user-defined bucketing functions as (name, callable)
+    pairs — the paper's ``BIN X BY UDF(X)`` case (e.g. splitting a
+    delay column at 0 into early/late).
+    """
+
+    granularities: Tuple[BinGranularity, ...] = tuple(BinGranularity)
+    numeric_bins: Tuple[int, ...] = (DEFAULT_NUM_BUCKETS,)
+    correlation_threshold: float = CORRELATION_RULE_THRESHOLD
+    udfs: Tuple[Tuple[str, Callable[[float], object]], ...] = ()
+
+
+def transform_rules(x: Column, config: RuleConfig = RuleConfig()) -> List[Transform]:
+    """Transforms the rules permit for x-axis column X.
+
+    * Cat X -> GROUP(X) only.
+    * Num X -> BIN(X) only (equal-width buckets).
+    * Tem X -> GROUP(X) or BIN(X) at every granularity.
+    """
+    if x.ctype is ColumnType.CATEGORICAL:
+        return [GroupBy(x.name)]
+    if x.ctype is ColumnType.NUMERICAL:
+        transforms: List[Transform] = [
+            BinIntoBuckets(x.name, n) for n in config.numeric_bins
+        ]
+        transforms.extend(
+            BinByUDF(x.name, name, udf) for name, udf in config.udfs
+        )
+        return transforms
+    transforms = [GroupBy(x.name)]
+    transforms.extend(
+        BinByGranularity(x.name, g) for g in config.granularities
+    )
+    return transforms
+
+
+def aggregate_rules(y: Column) -> List[AggregateOp]:
+    """Aggregates the rules permit for Y: AGG for Num, CNT otherwise."""
+    if y.ctype is ColumnType.NUMERICAL:
+        return [AggregateOp.AVG, AggregateOp.SUM, AggregateOp.CNT]
+    return [AggregateOp.CNT]
+
+
+def sorting_rules(
+    x_type: ColumnType, y_is_numeric: bool
+) -> List[Optional[OrderBy]]:
+    """Order-by options the sorting rules permit (``None`` = unsorted).
+
+    Numerical/temporal X may be sorted; numerical Y may be sorted; both
+    at once is impossible by construction of the language.
+    """
+    options: List[Optional[OrderBy]] = [None]
+    if x_type.is_sortable_on_x:
+        options.append(OrderBy(OrderTarget.X))
+    if y_is_numeric:
+        options.append(OrderBy(OrderTarget.Y, descending=True))
+    return options
+
+
+def visualization_rules(
+    x_type: ColumnType,
+    y_is_numeric: bool,
+    correlated: bool = False,
+) -> List[ChartType]:
+    """Chart types the visualization rules permit for (T(X), numeric Y).
+
+    ``y_is_numeric`` refers to the *plotted* y values; after aggregation
+    every y is numeric, so this is False only for raw non-numeric Y —
+    which no rule permits.
+    """
+    if not y_is_numeric:
+        return []
+    if x_type is ColumnType.CATEGORICAL:
+        return [ChartType.BAR, ChartType.PIE]
+    if x_type is ColumnType.NUMERICAL:
+        charts = [ChartType.LINE, ChartType.BAR]
+        if correlated:
+            charts.append(ChartType.SCATTER)
+        return charts
+    return [ChartType.LINE]
+
+
+def canonical_order(chart: ChartType, x_type: ColumnType) -> Optional[OrderBy]:
+    """The single ordering a designer would pick for a chart.
+
+    Line and scatter charts need a sorted scale axis; bar charts over
+    categories read best sorted by value (descending); pie slices
+    likewise.  Used by rule-based enumeration to avoid tripling the
+    candidate count over order variants.
+    """
+    if chart in (ChartType.LINE, ChartType.SCATTER):
+        if x_type.is_sortable_on_x:
+            return OrderBy(OrderTarget.X)
+        return OrderBy(OrderTarget.Y, descending=True)
+    if x_type is ColumnType.CATEGORICAL:
+        return OrderBy(OrderTarget.Y, descending=True)
+    if x_type.is_sortable_on_x:
+        return OrderBy(OrderTarget.X)
+    return None
+
+
+def complies(
+    query: VisQuery,
+    table: Table,
+    correlated: bool = False,
+    config: RuleConfig = RuleConfig(),
+) -> bool:
+    """Whether a query satisfies every applicable decision rule.
+
+    Used to label enumerated candidates as rule-compliant (and by tests
+    of rule completeness).  ``correlated`` supplies the |c(X, Y)| >=
+    threshold fact for the Num/Num scatter rule.
+    """
+    x = table.column(query.x)
+    y = table.column(query.y)
+
+    # Transformation rules.
+    if query.transform is not None:
+        if isinstance(query.transform, GroupBy) and not x.ctype.is_groupable:
+            return False
+        if (
+            isinstance(query.transform, (BinIntoBuckets, BinByGranularity, BinByUDF))
+            and not x.ctype.is_binnable
+        ):
+            return False
+        if isinstance(query.transform, BinByGranularity) and x.ctype is not ColumnType.TEMPORAL:
+            return False
+        if isinstance(query.transform, BinIntoBuckets) and x.ctype is not ColumnType.NUMERICAL:
+            return False
+        if query.aggregate is not AggregateOp.CNT and y.ctype is not ColumnType.NUMERICAL:
+            return False
+    else:
+        # Raw plots need a numerical Y; only scatter/line read raw pairs.
+        if y.ctype is not ColumnType.NUMERICAL:
+            return False
+        if query.chart not in (ChartType.SCATTER, ChartType.LINE):
+            return False
+        if query.chart is ChartType.SCATTER and not (
+            x.ctype in (ColumnType.NUMERICAL, ColumnType.TEMPORAL) and correlated
+        ):
+            return False
+        if query.chart is ChartType.LINE and x.ctype is ColumnType.CATEGORICAL:
+            return False
+
+    # Sorting rules.
+    if query.order is not None:
+        if query.order.target is OrderTarget.X and not (
+            x.ctype.is_sortable_on_x or query.transform is not None
+        ):
+            return False
+        # Y' is always numeric after aggregation; raw Y must be numeric
+        # (checked above), so ORDER BY Y is always legal here.
+
+    # Visualization rules (on the x type; aggregated y is always numeric).
+    if query.transform is not None:
+        permitted = visualization_rules(x.ctype, True, correlated)
+        if query.chart not in permitted:
+            return False
+    return True

@@ -1,0 +1,159 @@
+"""Keyword-driven visualization search (the paper's stated future work).
+
+Section VIII: "One major future work is to support keyword queries such
+that users specify their intent in a natural way" — realised in the
+DeepEye demo papers [25, 26].  This module implements that interface on
+top of the selection pipeline: keywords are matched against each
+candidate's column names, chart type, aggregate, and binning
+granularity, and the match score is blended with the expert
+partial-order composite so that, among matching charts, the *good* ones
+surface first.
+
+Example::
+
+    results = keyword_search(table, "average delay by hour", k=3)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataset.table import Table
+from ..language.ast import (
+    AggregateOp,
+    BinByGranularity,
+    ChartType,
+    GroupBy,
+    Transform,
+)
+from .enumeration import EnumerationConfig, enumerate_rule_based
+from .nodes import VisualizationNode
+from .partial_order import matching_quality_raw, transformation_quality
+
+__all__ = ["SearchHit", "keyword_search", "score_keywords"]
+
+#: Synonyms mapping query words onto chart types.
+_CHART_WORDS = {
+    "bar": ChartType.BAR, "bars": ChartType.BAR, "histogram": ChartType.BAR,
+    "line": ChartType.LINE, "trend": ChartType.LINE, "series": ChartType.LINE,
+    "over": ChartType.LINE,
+    "pie": ChartType.PIE, "share": ChartType.PIE, "proportion": ChartType.PIE,
+    "breakdown": ChartType.PIE,
+    "scatter": ChartType.SCATTER, "correlation": ChartType.SCATTER,
+    "versus": ChartType.SCATTER, "vs": ChartType.SCATTER,
+}
+
+#: Synonyms mapping query words onto aggregates.
+_AGG_WORDS = {
+    "average": AggregateOp.AVG, "avg": AggregateOp.AVG, "mean": AggregateOp.AVG,
+    "total": AggregateOp.SUM, "sum": AggregateOp.SUM,
+    "count": AggregateOp.CNT, "number": AggregateOp.CNT, "frequency": AggregateOp.CNT,
+}
+
+#: Words mapping onto temporal binning granularities.
+_GRANULARITY_WORDS = {
+    "minute": "MINUTE", "hour": "HOUR", "hourly": "HOUR", "day": "DAY",
+    "daily": "DAY", "week": "WEEK", "weekly": "WEEK", "month": "MONTH",
+    "monthly": "MONTH", "quarter": "QUARTER", "quarterly": "QUARTER",
+    "year": "YEAR", "yearly": "YEAR", "annual": "YEAR",
+}
+
+
+#: Query words that carry no chart intent.
+_STOP_WORDS = frozenset(
+    ("by", "per", "of", "the", "a", "an", "in", "for", "each", "and", "show", "me")
+)
+
+
+def _tokens(text: str) -> List[str]:
+    return [t for t in re.split(r"[^a-z0-9]+", text.lower()) if t]
+
+
+def _column_tokens(name: str) -> set:
+    return set(_tokens(name))
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result: the node, its match score, and why it matched."""
+
+    node: VisualizationNode
+    score: float
+    keyword_score: float
+    quality_score: float
+    matched: Tuple[str, ...]
+
+
+def score_keywords(node: VisualizationNode, keywords: Sequence[str]) -> Tuple[float, List[str]]:
+    """Fraction of query keywords the candidate satisfies, plus the
+    matched keyword list.  Column-name tokens, chart-type synonyms,
+    aggregate synonyms, and granularity words all count."""
+    if not keywords:
+        return 0.0, []
+    column_words = _column_tokens(node.x_name) | _column_tokens(node.y_name)
+    matched: List[str] = []
+    for word in keywords:
+        if word in _STOP_WORDS:
+            continue  # stop words neither match nor hurt
+        hit = False
+        if word in column_words:
+            hit = True
+        elif word in _CHART_WORDS and _CHART_WORDS[word] is node.chart:
+            hit = True
+        elif word in _AGG_WORDS and _AGG_WORDS[word] is node.query.aggregate:
+            hit = True
+        elif (
+            word in _GRANULARITY_WORDS
+            and isinstance(node.query.transform, BinByGranularity)
+            and _GRANULARITY_WORDS[word] == node.query.transform.granularity.value
+        ):
+            hit = True
+        if hit:
+            matched.append(word)
+    content_words = [w for w in keywords if w not in _STOP_WORDS]
+    if not content_words:
+        return 0.0, matched
+    return len(matched) / len(content_words), matched
+
+
+def keyword_search(
+    table: Table,
+    query: str,
+    k: int = 5,
+    config: EnumerationConfig = EnumerationConfig(),
+    candidates: Optional[Sequence[VisualizationNode]] = None,
+    keyword_weight: float = 0.7,
+) -> List[SearchHit]:
+    """Find the top-k charts matching a natural keyword query.
+
+    The final score blends keyword match (weight ``keyword_weight``)
+    with chart quality (the expert M and Q factors), so "delay by hour"
+    returns the *good* hourly delay chart rather than an arbitrary one.
+    Candidates default to rule-based enumeration of the table.
+    """
+    words = _tokens(query)
+    nodes = (
+        list(candidates)
+        if candidates is not None
+        else enumerate_rule_based(table, config)
+    )
+    hits: List[SearchHit] = []
+    for node in nodes:
+        keyword_score, matched = score_keywords(node, words)
+        if keyword_score <= 0:
+            continue
+        quality = 0.5 * matching_quality_raw(node) + 0.5 * transformation_quality(node)
+        score = keyword_weight * keyword_score + (1 - keyword_weight) * quality
+        hits.append(
+            SearchHit(
+                node=node,
+                score=score,
+                keyword_score=keyword_score,
+                quality_score=quality,
+                matched=tuple(matched),
+            )
+        )
+    hits.sort(key=lambda h: (-h.score, -h.quality_score, h.node.describe()))
+    return hits[:k]

@@ -1,0 +1,155 @@
+"""End-to-end visualization selection (Sections IV-C, V-B, VI-D).
+
+:func:`select_top_k` composes the pipeline the paper benchmarks:
+
+1. *enumerate* candidates — exhaustive (**E**) or rule-based (**R**);
+2. optionally *recognise* — keep only charts a trained classifier deems
+   good (skipped when no recognizer is supplied; rules already filter a
+   lot in R mode);
+3. *rank* — partial order (**P**: factor scoring, dominance graph,
+   weight-aware S(v)) or learning-to-rank (**L**: LambdaMART scores);
+4. return the top-*k* with per-phase wall-clock timings, the raw
+   material of Figure 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..dataset.table import Table
+from ..errors import SelectionError
+from .enumeration import EnumerationConfig, enumerate_candidates
+from .graph import DominanceGraph, build_graph
+from .ltr import LearningToRankRanker
+from .nodes import VisualizationNode
+from .partial_order import FactorScores, PartialOrderScorer, matching_quality_raw
+from .ranking import rank_weight_aware, rank_weight_aware_factors
+from .recognition import VisualizationRecognizer
+
+__all__ = ["SelectionResult", "PartialOrderRanker", "select_top_k"]
+
+
+class PartialOrderRanker:
+    """Rank nodes by the expert partial order (factors -> graph -> S(v))."""
+
+    def __init__(
+        self,
+        graph_strategy: str = "range_tree",
+        scorer: Optional[PartialOrderScorer] = None,
+    ) -> None:
+        self.graph_strategy = graph_strategy
+        self.scorer = scorer or PartialOrderScorer()
+
+    def score(self, nodes: Sequence[VisualizationNode]) -> List[FactorScores]:
+        """The normalised (M, Q, W) factor triples of the nodes."""
+        return self.scorer.score(nodes)
+
+    def graph(self, nodes: Sequence[VisualizationNode]) -> DominanceGraph:
+        """The explicit dominance graph (Hasse diagram with weights)."""
+        return build_graph(self.score(nodes), self.graph_strategy)
+
+    def rank(self, nodes: Sequence[VisualizationNode]) -> List[int]:
+        """Indices into ``nodes``, best first, by weight-aware S(v).
+
+        Uses the edge-free O(n log^2 n) computation (see
+        :func:`repro.core.ranking.weight_aware_scores_from_factors`),
+        which produces exactly the same scores as materialising the
+        dominance graph; ``self.graph(...)`` remains available when the
+        explicit Hasse diagram itself is wanted.
+        """
+        if not nodes:
+            return []
+        return rank_weight_aware_factors(self.score(nodes))
+
+
+@dataclass
+class SelectionResult:
+    """Top-k nodes plus the diagnostics Figure 12 reports."""
+
+    nodes: List[VisualizationNode]
+    order: List[int]
+    candidates: int
+    valid: int
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+    def phase_fraction(self, phase: str) -> float:
+        """Share of end-to-end time spent in one phase (the % annotations
+        on the paper's Figure 12 bars)."""
+        total = self.total_seconds
+        return self.timings.get(phase, 0.0) / total if total > 0 else 0.0
+
+
+def select_top_k(
+    table: Table,
+    k: int = 10,
+    enumeration: str = "rules",
+    ranker: str = "partial_order",
+    recognizer: Optional[VisualizationRecognizer] = None,
+    ltr: Optional[LearningToRankRanker] = None,
+    config: EnumerationConfig = EnumerationConfig(),
+    graph_strategy: str = "range_tree",
+) -> SelectionResult:
+    """Compute the top-k visualizations of a table.
+
+    Parameters mirror the four Figure 12 configurations: ``enumeration``
+    in {"exhaustive"/"E", "rules"/"R"} x ``ranker`` in
+    {"partial_order"/"P", "learning_to_rank"/"L"}.  A ``ltr`` ranker is
+    required for L mode; a ``recognizer`` is optional in both.
+    """
+    if k < 0:
+        raise SelectionError(f"k must be non-negative, got {k}")
+
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    candidates = enumerate_candidates(table, enumeration, config)
+    timings["enumerate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if recognizer is not None and candidates:
+        valid_nodes = recognizer.filter_valid(candidates)
+    else:
+        # No trained recognizer: apply the expert validity criterion —
+        # a chart whose matching quality M(v) is zero (AVG pies,
+        # trendless lines, uncorrelated scatters, singleton bars) is
+        # never a valid chart.
+        valid_nodes = [
+            node for node in candidates if matching_quality_raw(node) > 0
+        ]
+    if not valid_nodes:
+        # A filter that rejects everything would return nothing; fall
+        # back to the unfiltered candidates so selection still surfaces
+        # the least-bad charts.
+        valid_nodes = list(candidates)
+    timings["recognize"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if ranker in ("partial_order", "P"):
+        order = PartialOrderRanker(graph_strategy).rank(valid_nodes)
+    elif ranker in ("learning_to_rank", "L"):
+        if ltr is None:
+            raise SelectionError(
+                "ranker='learning_to_rank' requires a fitted "
+                "LearningToRankRanker via the ltr parameter"
+            )
+        order = ltr.rank(valid_nodes)
+    else:
+        raise SelectionError(
+            f"unknown ranker {ranker!r}; use 'partial_order' or "
+            f"'learning_to_rank'"
+        )
+    timings["rank"] = time.perf_counter() - start
+
+    top = [valid_nodes[i] for i in order[:k]]
+    return SelectionResult(
+        nodes=top,
+        order=order,
+        candidates=len(candidates),
+        valid=len(valid_nodes),
+        timings=timings,
+    )

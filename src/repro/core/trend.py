@@ -1,0 +1,132 @@
+"""Trend detection Trend(Y) — Eq. (4) of Section IV-B.
+
+A line chart is worth drawing when the y series "follows a distribution,
+e.g., linear distribution, power law distribution, log distribution or
+exponential distribution"; otherwise the chart shows noise (the paper's
+Figure 1(d)).  We fit each family against the point index (the x order
+of the chart), measure goodness of fit by R², and declare a trend when
+the best family's R² clears a threshold.
+
+Fits are all reduced to ordinary least squares on transformed axes:
+
+* linear:        y   ~ a * t + b
+* logarithmic:   y   ~ a * ln(t) + b           (t >= 1)
+* exponential:   ln y ~ a * t + b              (y > 0)
+* power law:     ln y ~ a * ln(t) + b          (y > 0, t >= 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrendResult",
+    "fit_trend",
+    "trend",
+    "smoothness",
+    "TREND_FAMILIES",
+    "EXTENDED_TREND_FAMILIES",
+    "DEFAULT_R2_THRESHOLD",
+]
+
+TREND_FAMILIES = ("linear", "log", "exponential", "power")
+
+#: TREND_FAMILIES plus "smooth": structured-but-non-monotone series
+#: (the paper's Figure 1(c) hourly seasonality) score on lag-1
+#: autocorrelation instead of a monotone fit.  Opt-in because the
+#: paper's Eq. 4 names only the four monotone families.
+EXTENDED_TREND_FAMILIES = TREND_FAMILIES + ("smooth",)
+
+#: Minimum R² of the best family to declare "follows a distribution".
+DEFAULT_R2_THRESHOLD = 0.75
+
+
+@dataclass(frozen=True)
+class TrendResult:
+    """Best-fitting trend family for a series and its R² per family."""
+
+    has_trend: bool
+    family: Optional[str]
+    r_squared: float
+    per_family: Dict[str, float]
+
+
+def _r_squared_linear(t: np.ndarray, y: np.ndarray) -> float:
+    """R² of the OLS line ``y ~ a t + b``; 0 when y is constant."""
+    if len(t) < 3:
+        return 0.0
+    y_var = np.var(y)
+    if y_var <= 1e-12:
+        # A constant series trivially follows a (flat) linear trend.
+        return 1.0
+    t_var = np.var(t)
+    if t_var <= 1e-12:
+        return 0.0
+    slope = np.cov(t, y, bias=True)[0, 1] / t_var
+    intercept = y.mean() - slope * t.mean()
+    residual = y - (slope * t + intercept)
+    return float(max(0.0, 1.0 - np.var(residual) / y_var))
+
+
+def smoothness(y: Sequence[float]) -> float:
+    """Lag-1 autocorrelation clipped to [0, 1].
+
+    A smooth curve (seasonal delays by hour, Figure 1(c)) has strongly
+    positive lag-1 autocorrelation; white noise (delays by date, Figure
+    1(d)) sits near zero.  This is the "smooth" trend family's score.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    y = y[np.isfinite(y)]
+    if len(y) < 4:
+        return 0.0
+    centred = y - y.mean()
+    denominator = float((centred**2).sum())
+    if denominator <= 1e-12:
+        return 1.0  # constant series: perfectly smooth
+    lag1 = float((centred[:-1] * centred[1:]).sum()) / denominator
+    return max(0.0, min(1.0, lag1))
+
+
+def fit_trend(
+    y: Sequence[float],
+    families: Sequence[str] = TREND_FAMILIES,
+    r2_threshold: float = DEFAULT_R2_THRESHOLD,
+) -> TrendResult:
+    """Fit each trend family to the series and pick the best.
+
+    The independent variable is the 1-based point index, matching a line
+    chart whose x-axis is already ordered.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    y = y[np.isfinite(y)]
+    if len(y) < 3:
+        return TrendResult(False, None, 0.0, {})
+    t = np.arange(1, len(y) + 1, dtype=np.float64)
+
+    scores: Dict[str, float] = {}
+    if "linear" in families:
+        scores["linear"] = _r_squared_linear(t, y)
+    if "log" in families:
+        scores["log"] = _r_squared_linear(np.log(t), y)
+    if (y > 0).all():
+        log_y = np.log(y)
+        if "exponential" in families:
+            scores["exponential"] = _r_squared_linear(t, log_y)
+        if "power" in families:
+            scores["power"] = _r_squared_linear(np.log(t), log_y)
+    if "smooth" in families:
+        scores["smooth"] = smoothness(y)
+
+    if not scores:
+        return TrendResult(False, None, 0.0, {})
+    best = max(scores, key=scores.get)
+    best_r2 = scores[best]
+    return TrendResult(best_r2 >= r2_threshold, best, best_r2, scores)
+
+
+def trend(y: Sequence[float], r2_threshold: float = DEFAULT_R2_THRESHOLD) -> float:
+    """Trend(Y) per Eq. (4): 1.0 when Y follows a distribution, else 0.0."""
+    return 1.0 if fit_trend(y, r2_threshold=r2_threshold).has_trend else 0.0

@@ -1,0 +1,64 @@
+"""Synthetic corpus: dataset generators, perception oracle, use cases."""
+
+from .aggregation import (
+    aggregate_comparisons,
+    borda_scores,
+    bradley_terry_scores,
+    copeland_scores,
+    grades_from_scores,
+)
+from .crowd_topk import crowd_top_k, majority_vote, noisy_max, oracle_comparator
+from .workers import Judgement, WorkerPool, estimate_worker_quality, weighted_merge
+from .benchmark import (
+    AnnotatedTable,
+    CorpusConfig,
+    annotate_table,
+    build_corpus,
+    build_training_examples,
+    corpus_statistics,
+)
+from .generators import (
+    TESTING_SPECS,
+    TRAINING_SPECS,
+    corpus_tables,
+    make_table,
+    testing_tables,
+    training_tables,
+)
+from .labeling import PerceptionOracle, TableAnnotation
+from .usecases import USECASE_SPECS, UseCase, chart_key, coverage_k, use_cases
+
+__all__ = [
+    "aggregate_comparisons",
+    "borda_scores",
+    "bradley_terry_scores",
+    "copeland_scores",
+    "grades_from_scores",
+    "crowd_top_k",
+    "majority_vote",
+    "noisy_max",
+    "oracle_comparator",
+    "Judgement",
+    "WorkerPool",
+    "estimate_worker_quality",
+    "weighted_merge",
+    "AnnotatedTable",
+    "CorpusConfig",
+    "annotate_table",
+    "build_corpus",
+    "build_training_examples",
+    "corpus_statistics",
+    "TESTING_SPECS",
+    "TRAINING_SPECS",
+    "corpus_tables",
+    "make_table",
+    "testing_tables",
+    "training_tables",
+    "PerceptionOracle",
+    "TableAnnotation",
+    "USECASE_SPECS",
+    "UseCase",
+    "chart_key",
+    "coverage_k",
+    "use_cases",
+]

@@ -1,0 +1,183 @@
+"""Corpus assembly: enumerate, annotate, and package training data.
+
+Glues the synthetic tables (:mod:`repro.corpus.generators`) to the
+perception oracle (:mod:`repro.corpus.labeling`) and produces the
+:class:`~repro.core.pipeline.TrainingExample` lists the experiments
+consume, plus the Table III-style corpus statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.enumeration import EnumerationConfig, enumerate_candidates
+from ..language.ast import AggregateOp
+from ..core.nodes import VisualizationNode
+from ..core.pipeline import TrainingExample
+from ..dataset.stats import table_stats
+from ..dataset.table import Table
+from .generators import testing_tables, training_tables
+from .labeling import PerceptionOracle, TableAnnotation
+
+__all__ = [
+    "CorpusConfig",
+    "AnnotatedTable",
+    "annotate_table",
+    "build_corpus",
+    "build_training_examples",
+    "corpus_statistics",
+]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs for corpus construction.
+
+    ``scale`` shrinks every table's row count (tests use small scales);
+    ``enumeration_mode`` is "exhaustive" for labelling — the paper
+    enumerated *all* candidates for annotation — with ``orderings=
+    "none"`` since good/bad judgements don't depend on sort order;
+    ``max_nodes_per_table`` caps the labelled candidates per table
+    (keeping every good chart, subsampling bad ones) so model training
+    stays tractable.
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    enumeration_mode: str = "exhaustive"
+    orderings: str = "none"
+    include_one_column: bool = True
+    max_nodes_per_table: Optional[int] = 400
+    #: Drop two-column CNT candidates before labelling: CNT(Y) counts
+    #: rows per bucket regardless of Y, so those charts are exact
+    #: duplicates of the one-column histogram and would be labelled (and
+    #: counted) many times over.
+    dedupe_cnt: bool = True
+
+    def enumeration_config(self) -> EnumerationConfig:
+        """The enumeration view of this corpus configuration."""
+        return EnumerationConfig(
+            include_one_column=self.include_one_column,
+            orderings=self.orderings,
+        )
+
+
+@dataclass
+class AnnotatedTable:
+    """One table with its (possibly subsampled) labelled candidates."""
+
+    table: Table
+    nodes: List[VisualizationNode]
+    annotation: TableAnnotation
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    def to_training_example(self) -> TrainingExample:
+        """Repackage as a pipeline-consumable training example."""
+        return TrainingExample(
+            table_name=self.table.name,
+            nodes=list(self.nodes),
+            labels=list(self.annotation.labels),
+            relevance=list(self.annotation.relevance),
+        )
+
+
+def _subsample(
+    nodes: List[VisualizationNode],
+    annotation: TableAnnotation,
+    cap: int,
+    seed: int,
+) -> List[int]:
+    """Indices to keep: all good charts plus bad ones up to the cap."""
+    good = [i for i, ok in enumerate(annotation.labels) if ok]
+    bad = [i for i, ok in enumerate(annotation.labels) if not ok]
+    budget_bad = max(0, cap - len(good))
+    if len(bad) > budget_bad:
+        rng = np.random.default_rng(seed)
+        bad = list(rng.choice(bad, size=budget_bad, replace=False))
+    keep = sorted(good + bad)
+    return keep
+
+
+def annotate_table(
+    table: Table,
+    oracle: PerceptionOracle,
+    config: CorpusConfig = CorpusConfig(),
+) -> AnnotatedTable:
+    """Enumerate a table's candidates and label them with the oracle."""
+    nodes = enumerate_candidates(
+        table, config.enumeration_mode, config.enumeration_config()
+    )
+    if config.dedupe_cnt:
+        nodes = [
+            node
+            for node in nodes
+            if not (
+                node.query.aggregate is AggregateOp.CNT
+                and node.query.x != node.query.y
+            )
+        ]
+    annotation = oracle.annotate(nodes)
+    if config.max_nodes_per_table is not None and len(nodes) > config.max_nodes_per_table:
+        keep = _subsample(
+            nodes, annotation, config.max_nodes_per_table, config.seed
+        )
+        nodes = [nodes[i] for i in keep]
+        annotation = TableAnnotation(
+            labels=[annotation.labels[i] for i in keep],
+            relevance=[annotation.relevance[i] for i in keep],
+            scores=[annotation.scores[i] for i in keep],
+        )
+    return AnnotatedTable(table=table, nodes=nodes, annotation=annotation)
+
+
+def build_corpus(
+    tables: Sequence[Table],
+    oracle: Optional[PerceptionOracle] = None,
+    config: CorpusConfig = CorpusConfig(),
+) -> List[AnnotatedTable]:
+    """Annotate a list of tables (defaults to a fresh oracle)."""
+    oracle = oracle or PerceptionOracle(seed=config.seed)
+    return [annotate_table(table, oracle, config) for table in tables]
+
+
+def build_training_examples(
+    annotated: Sequence[AnnotatedTable],
+) -> List[TrainingExample]:
+    """Convert annotated tables into pipeline training examples."""
+    return [item.to_training_example() for item in annotated]
+
+
+def corpus_statistics(annotated: Sequence[AnnotatedTable]) -> Dict[str, object]:
+    """Aggregate statistics in the shape of the paper's Tables III/IV."""
+    per_table = []
+    total_good = total_bad = total_pairs = 0
+    for item in annotated:
+        stats = table_stats(item.table)
+        good = item.annotation.num_good
+        bad = item.annotation.num_bad
+        total_good += good
+        total_bad += bad
+        # k good charts yield k(k-1)/2 rankings per table (Section VI).
+        total_pairs += good * (good - 1) // 2
+        row = stats.as_row()
+        row["#-charts"] = good
+        per_table.append(row)
+    tuples = [row["#-tuples"] for row in per_table]
+    return {
+        "tables": per_table,
+        "num_datasets": len(per_table),
+        "tuples_min": min(tuples) if tuples else 0,
+        "tuples_max": max(tuples) if tuples else 0,
+        "tuples_avg": float(np.mean(tuples)) if tuples else 0.0,
+        "columns_min": min(r["#-columns"] for r in per_table) if per_table else 0,
+        "columns_max": max(r["#-columns"] for r in per_table) if per_table else 0,
+        "good_charts": total_good,
+        "bad_charts": total_bad,
+        "comparisons": total_pairs,
+    }

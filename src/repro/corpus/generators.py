@@ -1,0 +1,579 @@
+"""Synthetic reconstructions of the paper's 42-dataset corpus.
+
+Table IV's ten testing datasets (X1-X10) are rebuilt by name with the
+published row/column counts; 32 training datasets across the same
+domains (real estate, social study, transportation, ...) mirror Table
+III's statistics.  Each generator is a pure function of a seeded RNG, so
+the whole corpus is reproducible byte-for-byte.
+
+Every generator deliberately plants the structures the paper's system
+is supposed to find: grouped part-to-whole splits for pie charts,
+bounded category sets for bars, seasonal/trending series for lines, and
+correlated numeric pairs for scatters — alongside plenty of noise
+columns that should *not* chart well.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..dataset.column import ColumnType
+from ..dataset.table import Table
+from . import samplers as S
+
+__all__ = [
+    "DatasetSpec",
+    "TESTING_SPECS",
+    "TRAINING_SPECS",
+    "make_table",
+    "testing_tables",
+    "training_tables",
+    "corpus_tables",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset generator with its canonical row count."""
+
+    name: str
+    builder: Callable[[np.random.Generator, int], Table]
+    rows: int
+    domain: str
+
+
+def _scaled(rows: int, scale: float) -> int:
+    return max(20, int(round(rows * scale)))
+
+
+# ----------------------------------------------------------------------
+# The ten testing datasets (Table IV)
+# ----------------------------------------------------------------------
+def build_hollywood(rng: np.random.Generator, n: int) -> Table:
+    """X1: films with budgets, grosses and scores (75 x 8)."""
+    genres = ["Comedy", "Drama", "Action", "Romance", "Animation", "Horror"]
+    studios = ["Fox", "Universal", "Warner", "Disney", "Paramount", "Sony", "Independent"]
+    budget = S.lognormal(rng, 3.3, 0.8, n)
+    gross = S.correlated_with(rng, budget, slope=2.4, noise=budget.std())
+    data = {
+        "film": S.names_like(rng, n),
+        "genre": S.weighted_categories(rng, genres, [30, 25, 20, 12, 8, 5], n),
+        "studio": S.categories(rng, studios, n),
+        "year": S.years(rng, 2007, 2011, n),
+        "budget_musd": np.round(budget, 1),
+        "worldwide_gross_musd": np.round(np.clip(gross, 0.5, None), 1),
+        "audience_score": S.integers(rng, 30, 96, n),
+        "profitability": np.round(np.clip(gross, 0.5, None) / np.maximum(budget, 1.0), 2),
+    }
+    return Table.from_dict("Hollywood's Stories", data)
+
+
+def build_visitor_arrivals(rng: np.random.Generator, n: int) -> Table:
+    """X2: monthly foreign visitor arrivals by nationality (172 x 4)."""
+    nationalities = ["Japan", "Korea", "USA", "Russia", "Germany", "France", "UK", "Others"]
+    months = S.dates(rng, _dt.date(2009, 1, 1), 365 * 4, n)
+    arrivals = S.seasonal(rng, n, period=12.0, amplitude=12000, baseline=45000, noise=4000)
+    data = {
+        "month": months,
+        "nationality": S.weighted_categories(
+            rng, nationalities, [28, 22, 14, 10, 8, 7, 6, 5], n
+        ),
+        "arrivals": np.round(np.clip(arrivals, 500, None)),
+        "growth_pct": np.round(rng.normal(4.0, 9.0, n), 1),
+    }
+    return Table.from_dict("Foreign Visitor Arrivals", data)
+
+
+def build_menu(rng: np.random.Generator, n: int) -> Table:
+    """X3: fast-food menu nutrition (263 x 23, heavily correlated)."""
+    cats = ["Breakfast", "Beef & Pork", "Chicken & Fish", "Salads",
+            "Snacks & Sides", "Desserts", "Beverages", "Coffee & Tea", "Smoothies"]
+    fat = np.clip(S.gaussian(rng, 13, 9, n), 0, None)
+    carbs = np.clip(S.gaussian(rng, 47, 25, n), 0, None)
+    protein = np.clip(S.gaussian(rng, 14, 10, n), 0, None)
+    calories = np.round(9 * fat + 4 * carbs + 4 * protein + rng.normal(0, 20, n))
+    sodium = np.clip(S.correlated_with(rng, fat, 55, 120, 160), 0, None)
+    sat_fat = np.clip(S.correlated_with(rng, fat, 0.35, 0, 1.5), 0, None)
+    sugar = np.clip(S.correlated_with(rng, carbs, 0.45, -5, 8), 0, None)
+    data = {
+        "item": S.names_like(rng, n, prefix="Mc"),
+        "category": S.categories(rng, cats, n),
+        "serving_size_g": np.round(np.clip(S.gaussian(rng, 220, 90, n), 30, None)),
+        "calories": np.clip(calories, 0, None),
+        "calories_from_fat": np.round(9 * fat),
+        "total_fat_g": np.round(fat, 1),
+        "saturated_fat_g": np.round(sat_fat, 1),
+        "trans_fat_g": np.round(np.clip(S.gaussian(rng, 0.2, 0.4, n), 0, None), 1),
+        "cholesterol_mg": np.round(np.clip(S.correlated_with(rng, protein, 3.2, 5, 25), 0, None)),
+        "sodium_mg": np.round(sodium),
+        "carbohydrates_g": np.round(carbs, 1),
+        "dietary_fiber_g": np.round(np.clip(S.gaussian(rng, 2.5, 2.0, n), 0, None), 1),
+        "sugars_g": np.round(sugar, 1),
+        "protein_g": np.round(protein, 1),
+        "vitamin_a_dv": S.integers(rng, 0, 100, n),
+        "vitamin_c_dv": S.integers(rng, 0, 100, n),
+        "calcium_dv": S.integers(rng, 0, 50, n),
+        "iron_dv": S.integers(rng, 0, 40, n),
+        "caffeine_mg": np.round(np.clip(S.gaussian(rng, 40, 60, n), 0, None)),
+        "price_usd": np.round(np.clip(S.correlated_with(rng, calories, 0.004, 1.2, 0.8), 0.5, None), 2),
+        "popularity_rank": S.integers(rng, 1, n, n),
+        "is_limited": S.weighted_categories(rng, ["yes", "no"], [1, 6], n),
+        "added_year": S.years(rng, 1990, 2015, n),
+    }
+    return Table.from_dict("McDonald's Menu", data)
+
+
+def build_happiness(rng: np.random.Generator, n: int) -> Table:
+    """X4: world happiness report (316 x 12)."""
+    regions = ["Western Europe", "North America", "Latin America", "East Asia",
+               "Southeast Asia", "Middle East", "Sub-Saharan Africa", "CEE"]
+    gdp = np.clip(S.gaussian(rng, 0.9, 0.4, n), 0.01, 1.9)
+    family = np.clip(S.correlated_with(rng, gdp, 0.5, 0.4, 0.18), 0, 1.4)
+    health = np.clip(S.correlated_with(rng, gdp, 0.45, 0.15, 0.12), 0, 1.1)
+    score = np.clip(2.0 + 1.8 * gdp + 0.9 * family + 1.1 * health
+                    + rng.normal(0, 0.35, n), 2.0, 8.0)
+    rank = (np.argsort(np.argsort(-score)) + 1).astype(np.float64)
+    data = {
+        "country": S.names_like(rng, n),
+        "region": S.categories(rng, regions, n),
+        "year": S.years(rng, 2015, 2017, n),
+        "happiness_rank": rank,
+        "happiness_score": np.round(score, 3),
+        "gdp_per_capita": np.round(gdp, 3),
+        "family": np.round(family, 3),
+        "life_expectancy": np.round(health, 3),
+        "freedom": np.round(np.clip(S.gaussian(rng, 0.4, 0.15, n), 0, 0.7), 3),
+        "trust_gov": np.round(np.clip(S.gaussian(rng, 0.14, 0.1, n), 0, 0.55), 3),
+        "generosity": np.round(np.clip(S.gaussian(rng, 0.24, 0.12, n), 0, 0.8), 3),
+        "dystopia_residual": np.round(np.clip(S.gaussian(rng, 2.1, 0.55, n), 0.3, 3.8), 3),
+    }
+    return Table.from_dict("Happiness Rank", data)
+
+
+def build_zhvi(rng: np.random.Generator, n: int) -> Table:
+    """X5: home-value index summary (1,749 x 13)."""
+    states = ["CA", "TX", "NY", "FL", "WA", "IL", "MA", "CO", "GA", "AZ", "OR", "NC"]
+    zhvi = S.lognormal(rng, 12.2, 0.5, n)
+    # Region names repeat across rows (metro areas recur by month).
+    region_pool = S.names_like(rng, max(25, n // 12))
+    data = {
+        "region": S.categories(rng, region_pool, n),
+        "state": S.categories(rng, states, n),
+        "size_rank": S.integers(rng, 1, max(30, n // 10), n),
+        "month": S.dates(rng, _dt.date(2010, 1, 1), 365 * 7, n),
+        "zhvi_usd": np.round(zhvi),
+        "mom_pct": np.round(rng.normal(0.4, 0.5, n), 2),
+        "qoq_pct": np.round(rng.normal(1.2, 1.2, n), 2),
+        "yoy_pct": np.round(rng.normal(5.0, 3.5, n), 2),
+        "peak_zhvi_usd": np.round(S.correlated_with(rng, zhvi, 1.12, 0, zhvi.std() * 0.1)),
+        "pct_from_peak": np.round(np.clip(rng.normal(-6, 5, n), -35, 0), 1),
+        "median_rent_usd": np.round(np.clip(S.correlated_with(rng, zhvi, 0.004, 350, 120), 400, None)),
+        "price_to_rent": np.round(np.clip(S.gaussian(rng, 14, 4, n), 5, 35), 1),
+        "forecast_pct": np.round(rng.normal(3.2, 2.0, n), 1),
+    }
+    return Table.from_dict("ZHVI Summary", data)
+
+
+def build_nfl(rng: np.random.Generator, n: int) -> Table:
+    """X6: NFL player statistics (4,626 x 25)."""
+    teams = S.names_like(rng, 32, prefix="")
+    positions = ["QB", "RB", "WR", "TE", "OL", "DL", "LB", "CB", "S", "K"]
+    games = S.integers(rng, 1, 16, n)
+    attempts = np.round(np.clip(S.correlated_with(rng, games, 12, 0, 25), 0, None))
+    yards = np.round(np.clip(S.correlated_with(rng, attempts, 7.1, 0, 90), 0, None))
+    touchdowns = np.round(np.clip(S.correlated_with(rng, yards, 0.008, 0, 1.6), 0, None))
+    data = {
+        "player": S.names_like(rng, n),
+        "team": S.categories(rng, teams, n),
+        "position": S.weighted_categories(
+            rng, positions, [6, 10, 14, 8, 18, 14, 12, 10, 6, 2], n
+        ),
+        "age": S.integers(rng, 21, 38, n),
+        "seasons": S.integers(rng, 1, 15, n),
+        "games_played": games,
+        "games_started": np.round(np.clip(S.correlated_with(rng, games, 0.7, -1, 2.2), 0, 16)),
+        "attempts": attempts,
+        "completions": np.round(np.clip(S.correlated_with(rng, attempts, 0.62, 0, 22), 0, None)),
+        "yards": yards,
+        "yards_per_game": np.round(
+            yards / np.maximum(games, 1) + rng.normal(0, 12, n), 1
+        ),
+        "touchdowns": touchdowns,
+        "interceptions": np.round(np.clip(S.gaussian(rng, 1.1, 1.6, n), 0, None)),
+        "fumbles": np.round(np.clip(S.gaussian(rng, 0.8, 1.1, n), 0, None)),
+        "first_downs": np.round(np.clip(S.correlated_with(rng, yards, 0.05, 0, 18), 0, None)),
+        "longest_play": np.round(np.clip(S.gaussian(rng, 28, 16, n), 0, 99)),
+        "tackles": np.round(np.clip(S.gaussian(rng, 25, 28, n), 0, None)),
+        "sacks": np.round(np.clip(S.gaussian(rng, 1.5, 2.4, n), 0, None), 1),
+        "forced_fumbles": np.round(np.clip(S.gaussian(rng, 0.5, 0.9, n), 0, None)),
+        "passes_defended": np.round(np.clip(S.gaussian(rng, 2.2, 3.4, n), 0, None)),
+        "penalties": np.round(np.clip(S.gaussian(rng, 3.2, 2.8, n), 0, None)),
+        "salary_musd": np.round(S.lognormal(rng, 0.4, 0.8, n), 2),
+        "draft_year": S.years(rng, 2000, 2015, n),
+        "pro_bowls": np.round(np.clip(S.gaussian(rng, 0.5, 1.1, n), 0, 10)),
+        "weight_kg": np.round(np.clip(S.gaussian(rng, 107, 17, n), 72, 160)),
+    }
+    return Table.from_dict("NFL Player Statistics", data)
+
+
+def build_airbnb(rng: np.random.Generator, n: int) -> Table:
+    """X7: listings summary (6,001 x 9)."""
+    hoods = S.names_like(rng, 24)
+    room_types = ["Entire home/apt", "Private room", "Shared room"]
+    reviews = np.round(S.lognormal(rng, 2.2, 1.1, n))
+    price = np.clip(S.lognormal(rng, 4.4, 0.6, n), 15, 1200)
+    data = {
+        "neighbourhood": S.categories(rng, hoods, n),
+        "room_type": S.weighted_categories(rng, room_types, [55, 40, 5], n),
+        "price_usd": np.round(price),
+        "minimum_nights": np.round(np.clip(S.lognormal(rng, 0.8, 0.9, n), 1, 60)),
+        "number_of_reviews": reviews,
+        "reviews_per_month": np.round(np.clip(S.correlated_with(rng, reviews, 0.02, 0.2, 0.6), 0.01, 20), 2),
+        "rating": np.round(np.clip(S.gaussian(rng, 4.6, 0.35, n), 1, 5), 1),
+        "availability_365": S.integers(rng, 0, 365, n),
+        "host_since": S.dates(rng, _dt.date(2009, 1, 1), 365 * 8, n, sort=False),
+    }
+    return Table.from_dict("Airbnb Summary", data)
+
+
+def build_baby_names(rng: np.random.Generator, n: int) -> Table:
+    """X8: top baby names in the US (22,037 x 6)."""
+    name_pool = S.names_like(rng, max(50, min(800, n // 25)))
+    counts = S.power_law_counts(rng, n, exponent=1.1, scale=6000)
+    rng.shuffle(counts)
+    data = {
+        "year": S.years(rng, 1960, 2015, n),
+        "gender": S.categories(rng, ["F", "M"], n),
+        "name": S.categories(rng, name_pool, n),
+        "state": S.categories(
+            rng, ["CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "MI"], n
+        ),
+        "count": np.clip(counts, 5, None),
+        "rank": S.integers(rng, 1, 100, n),
+    }
+    return Table.from_dict("Top Baby Names in US", data)
+
+
+def build_adult(rng: np.random.Generator, n: int) -> Table:
+    """X9: the census-income table (32,561 x 14)."""
+    workclass = ["Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov", "Without-pay"]
+    education = ["HS-grad", "Some-college", "Bachelors", "Masters", "Assoc", "11th", "Doctorate"]
+    marital = ["Married", "Never-married", "Divorced", "Separated", "Widowed"]
+    occupation = ["Craft-repair", "Prof-specialty", "Exec-managerial", "Adm-clerical",
+                  "Sales", "Other-service", "Machine-op", "Transport"]
+    age = np.round(np.clip(S.gaussian(rng, 38.6, 13.6, n), 17, 90))
+    edu_num = np.round(np.clip(S.gaussian(rng, 10, 2.6, n), 1, 16))
+    hours = np.round(np.clip(S.correlated_with(rng, edu_num, 1.2, 28, 9), 1, 99))
+    data = {
+        "age": age,
+        "workclass": S.weighted_categories(rng, workclass, [70, 11, 4, 7, 5, 3], n),
+        "fnlwgt": np.round(S.lognormal(rng, 12.0, 0.45, n)),
+        "education": S.weighted_categories(rng, education, [32, 22, 16, 6, 10, 8, 6], n),
+        "education_num": edu_num,
+        "marital_status": S.weighted_categories(rng, marital, [46, 33, 14, 3, 4], n),
+        "occupation": S.categories(rng, occupation, n),
+        "relationship": S.categories(rng, ["Husband", "Not-in-family", "Own-child", "Unmarried", "Wife"], n),
+        "race": S.weighted_categories(rng, ["White", "Black", "Asian", "Other"], [85, 10, 3, 2], n),
+        "sex": S.weighted_categories(rng, ["Male", "Female"], [2, 1], n),
+        "capital_gain": np.round(np.where(rng.random(n) < 0.08, S.lognormal(rng, 8.4, 1.1, n), 0.0)),
+        "capital_loss": np.round(np.where(rng.random(n) < 0.05, S.lognormal(rng, 7.4, 0.5, n), 0.0)),
+        "hours_per_week": hours,
+        "birth_year": S.years(rng, 1930, 1998, n, sort=False),
+    }
+    return Table.from_dict("Adult", data)
+
+
+def build_flydelay(rng: np.random.Generator, n: int) -> Table:
+    """X10: the running example — O'Hare flight-delay statistics
+    (99,527 x 6), with the hour-of-day delay seasonality and the
+    departure/arrival delay correlation the paper's Figure 1 shows."""
+    carriers = ["UA", "AA", "MQ", "OO", "DL"]
+    dests = ["New York", "Los Angeles", "San Francisco", "Atlanta", "Boston",
+             "Seattle", "Denver", "Dallas", "Miami", "Phoenix"]
+    scheduled = S.timestamps(
+        rng, _dt.datetime(2015, 1, 1), _dt.datetime(2016, 1, 1), n
+    )
+    hours = np.asarray([t.hour for t in scheduled], dtype=np.float64)
+    # Delays peak in the late afternoon (the paper's ~19:00 peak).
+    hourly_shape = 6.0 + 10.0 * np.exp(-((hours - 19.0) ** 2) / 18.0) \
+        + 5.0 * np.exp(-((hours - 11.0) ** 2) / 10.0)
+    carrier = S.weighted_categories(rng, carriers, [30, 25, 18, 15, 12], n)
+    carrier_bias = {"UA": -2.0, "AA": -1.0, "MQ": 2.0, "OO": 6.0, "DL": 0.0}
+    dep_delay = hourly_shape + np.asarray([carrier_bias[c] for c in carrier]) \
+        + rng.normal(0, 9, n)
+    arr_delay = S.correlated_with(rng, dep_delay, slope=0.9, intercept=-2.0, noise=5.0)
+    data = {
+        "scheduled": scheduled,
+        "carrier": carrier,
+        "destination": S.weighted_categories(
+            rng, dests, [18, 15, 13, 12, 9, 8, 8, 7, 5, 5], n
+        ),
+        "departure_delay": np.round(dep_delay),
+        "arrival_delay": np.round(arr_delay),
+        "passengers": S.integers(rng, 60, 320, n),
+    }
+    return Table.from_dict("FlyDelay", data)
+
+
+# ----------------------------------------------------------------------
+# Training-domain generators (the 32 training tables draw from these)
+# ----------------------------------------------------------------------
+def build_monthly_sales(rng: np.random.Generator, n: int) -> Table:
+    products = ["Laptop", "Phone", "Tablet", "Monitor", "Headset", "Camera"]
+    regions = ["North", "South", "East", "West"]
+    units = np.round(np.clip(S.seasonal(rng, n, 12, 140, 420, 60), 10, None))
+    data = {
+        "month": S.dates(rng, _dt.date(2012, 1, 1), 365 * 4, n),
+        "product": S.categories(rng, products, n),
+        "region": S.categories(rng, regions, n),
+        "units_sold": units,
+        "revenue_usd": np.round(np.clip(S.correlated_with(rng, units, 210, 500, 4000), 100, None)),
+        "discount_pct": np.round(np.clip(S.gaussian(rng, 8, 6, n), 0, 45), 1),
+    }
+    return Table.from_dict("Monthly Sales", data)
+
+
+def build_weather(rng: np.random.Generator, n: int) -> Table:
+    temp = S.seasonal(rng, n, 365, 12.0, 11.0, noise=3.0)
+    data = {
+        "date": S.dates(rng, _dt.date(2014, 1, 1), max(n, 365), n),
+        "city": S.categories(rng, ["Beijing", "Shanghai", "Shenzhen", "Chengdu", "Xian"], n),
+        "temperature_c": np.round(temp, 1),
+        "humidity_pct": np.round(np.clip(S.correlated_with(rng, temp, -1.1, 75, 8), 10, 100)),
+        "rainfall_mm": np.round(np.clip(S.lognormal(rng, 0.4, 1.2, n) - 1.0, 0, None), 1),
+        "aqi": np.round(np.clip(S.gaussian(rng, 95, 55, n), 10, 450)),
+    }
+    return Table.from_dict("City Weather", data)
+
+
+def build_web_traffic(rng: np.random.Generator, n: int) -> Table:
+    visits = np.round(np.clip(S.trending(rng, n, 1500, 4.0, noise=220), 100, None))
+    data = {
+        "day": S.dates(rng, _dt.date(2016, 1, 1), max(n, 200), n),
+        "channel": S.weighted_categories(
+            rng, ["organic", "paid", "social", "referral", "email"], [45, 25, 15, 10, 5], n
+        ),
+        "visits": visits,
+        "bounce_rate_pct": np.round(np.clip(S.gaussian(rng, 48, 12, n), 5, 95), 1),
+        "conversions": np.round(np.clip(S.correlated_with(rng, visits, 0.021, 3, 9), 0, None)),
+        "avg_session_s": np.round(np.clip(S.lognormal(rng, 4.8, 0.5, n), 10, None)),
+    }
+    return Table.from_dict("Website Traffic", data)
+
+
+def build_stock_prices(rng: np.random.Generator, n: int) -> Table:
+    close = np.clip(S.trending(rng, n, 80, 0.12, noise=3.5), 5, None)
+    data = {
+        "date": S.dates(rng, _dt.date(2013, 1, 2), max(n, 260), n),
+        "ticker": S.categories(rng, ["ACME", "GLOBEX", "INITECH", "UMBRELLA"], n),
+        "close_usd": np.round(close, 2),
+        "volume": np.round(S.lognormal(rng, 13.2, 0.6, n)),
+        "volatility_pct": np.round(np.clip(S.gaussian(rng, 1.8, 0.9, n), 0.1, 9), 2),
+    }
+    return Table.from_dict("Stock Prices", data)
+
+
+def build_city_population(rng: np.random.Generator, n: int) -> Table:
+    population = S.power_law_counts(rng, n, exponent=1.05, scale=9_000_000)
+    data = {
+        "city": S.names_like(rng, n),
+        "province": S.categories(rng, S.names_like(rng, 12), n),
+        "population": np.clip(population, 20_000, None),
+        "area_km2": np.round(np.clip(S.correlated_with(rng, population, 0.0006, 120, 900), 30, None)),
+        "gdp_busd": np.round(np.clip(S.correlated_with(rng, population, 4.1e-5, 2, 40), 0.5, None), 1),
+        "founded_year": S.years(rng, 800, 1950, n, sort=False),
+    }
+    return Table.from_dict("City Population", data)
+
+
+def build_exam_scores(rng: np.random.Generator, n: int) -> Table:
+    study = np.clip(S.gaussian(rng, 5.5, 2.5, n), 0, 14)
+    score = np.clip(S.correlated_with(rng, study, 6.5, 38, 9), 0, 100)
+    data = {
+        "student": S.names_like(rng, n),
+        "class": S.categories(rng, ["A", "B", "C", "D"], n),
+        "gender": S.categories(rng, ["F", "M"], n),
+        "study_hours": np.round(study, 1),
+        "score": np.round(score),
+        "absences": np.round(np.clip(S.gaussian(rng, 3, 3, n), 0, 30)),
+    }
+    return Table.from_dict("Exam Scores", data)
+
+
+def build_energy(rng: np.random.Generator, n: int) -> Table:
+    usage = S.seasonal(rng, n, 24, 120, 340, noise=25)
+    data = {
+        "timestamp": S.timestamps(
+            rng, _dt.datetime(2016, 6, 1), _dt.datetime(2016, 9, 1), n
+        ),
+        "sector": S.weighted_categories(
+            rng, ["residential", "industrial", "commercial"], [5, 3, 2], n
+        ),
+        "usage_mwh": np.round(np.clip(usage, 30, None), 1),
+        "price_per_mwh": np.round(np.clip(S.correlated_with(rng, usage, 0.11, 18, 5), 8, None), 2),
+        "renewable_pct": np.round(np.clip(S.gaussian(rng, 22, 9, n), 0, 70), 1),
+    }
+    return Table.from_dict("Energy Consumption", data)
+
+
+def build_taxi(rng: np.random.Generator, n: int) -> Table:
+    distance = np.clip(S.lognormal(rng, 1.1, 0.7, n), 0.3, 60)
+    data = {
+        "pickup_time": S.timestamps(
+            rng, _dt.datetime(2015, 3, 1), _dt.datetime(2015, 3, 31), n
+        ),
+        "zone": S.categories(rng, S.names_like(rng, 15), n),
+        "payment": S.weighted_categories(rng, ["card", "cash", "app"], [5, 3, 2], n),
+        "distance_km": np.round(distance, 2),
+        "fare_usd": np.round(np.clip(S.correlated_with(rng, distance, 2.6, 3.1, 1.8), 3, None), 2),
+        "tip_usd": np.round(np.clip(S.correlated_with(rng, distance, 0.35, 0.4, 0.9), 0, None), 2),
+        "passengers": S.integers(rng, 1, 6, n),
+    }
+    return Table.from_dict("Taxi Trips", data)
+
+
+def build_movie_ratings(rng: np.random.Generator, n: int) -> Table:
+    votes = np.round(S.lognormal(rng, 8.2, 1.4, n))
+    data = {
+        "title": S.names_like(rng, n),
+        "genre": S.categories(rng, ["Drama", "Comedy", "Thriller", "SciFi", "Documentary"], n),
+        "release_year": S.years(rng, 1980, 2017, n, sort=False),
+        "rating": np.round(np.clip(S.gaussian(rng, 6.5, 1.1, n), 1, 10), 1),
+        "votes": votes,
+        "runtime_min": np.round(np.clip(S.gaussian(rng, 107, 19, n), 60, 240)),
+    }
+    return Table.from_dict("Movie Ratings", data)
+
+
+def build_healthcare(rng: np.random.Generator, n: int) -> Table:
+    age = np.round(np.clip(S.gaussian(rng, 52, 19, n), 0, 99))
+    data = {
+        "admission_date": S.dates(rng, _dt.date(2015, 1, 1), 365 * 2, n, sort=False),
+        "department": S.weighted_categories(
+            rng, ["cardiology", "oncology", "orthopedics", "pediatrics", "ER"], [4, 3, 3, 2, 6], n
+        ),
+        "age": age,
+        "stay_days": np.round(np.clip(S.correlated_with(rng, age, 0.06, 1.5, 2.5), 0, 60)),
+        "cost_usd": np.round(np.clip(S.lognormal(rng, 8.6, 0.8, n), 200, None)),
+        "readmitted": S.weighted_categories(rng, ["no", "yes"], [5, 1], n),
+    }
+    return Table.from_dict("Hospital Admissions", data)
+
+
+def build_retail_inventory(rng: np.random.Generator, n: int) -> Table:
+    stock = np.round(np.clip(S.gaussian(rng, 180, 120, n), 0, None))
+    data = {
+        "sku": S.names_like(rng, n, prefix="SKU"),
+        "department": S.categories(rng, ["grocery", "apparel", "electronics", "home", "toys"], n),
+        "supplier": S.categories(rng, S.names_like(rng, 9), n),
+        "stock_units": stock,
+        "unit_cost_usd": np.round(np.clip(S.lognormal(rng, 2.4, 0.8, n), 0.5, None), 2),
+        "weekly_sales": np.round(np.clip(S.correlated_with(rng, stock, 0.22, 4, 14), 0, None)),
+        "last_restock": S.dates(rng, _dt.date(2016, 1, 1), 365, n, sort=False),
+    }
+    return Table.from_dict("Retail Inventory", data)
+
+
+def build_marathon(rng: np.random.Generator, n: int) -> Table:
+    age = np.round(np.clip(S.gaussian(rng, 38, 11, n), 18, 80))
+    data = {
+        "runner": S.names_like(rng, n),
+        "country": S.categories(rng, S.names_like(rng, 20), n),
+        "age": age,
+        "finish_min": np.round(np.clip(S.correlated_with(rng, age, 1.1, 170, 28), 125, 420)),
+        "division": S.categories(rng, ["elite", "open", "masters"], n),
+        "bib_year": S.years(rng, 2010, 2017, n, sort=False),
+    }
+    return Table.from_dict("Marathon Results", data)
+
+
+TESTING_SPECS: List[DatasetSpec] = [
+    DatasetSpec("Hollywood's Stories", build_hollywood, 75, "entertainment"),
+    DatasetSpec("Foreign Visitor Arrivals", build_visitor_arrivals, 172, "tourism"),
+    DatasetSpec("McDonald's Menu", build_menu, 263, "food"),
+    DatasetSpec("Happiness Rank", build_happiness, 316, "social study"),
+    DatasetSpec("ZHVI Summary", build_zhvi, 1749, "real estate"),
+    DatasetSpec("NFL Player Statistics", build_nfl, 4626, "sports"),
+    DatasetSpec("Airbnb Summary", build_airbnb, 6001, "real estate"),
+    DatasetSpec("Top Baby Names in US", build_baby_names, 22037, "social study"),
+    DatasetSpec("Adult", build_adult, 32561, "social study"),
+    DatasetSpec("FlyDelay", build_flydelay, 99527, "transportation"),
+]
+
+_TRAINING_DOMAINS: List[DatasetSpec] = [
+    DatasetSpec("Monthly Sales", build_monthly_sales, 480, "retail"),
+    DatasetSpec("City Weather", build_weather, 1460, "weather"),
+    DatasetSpec("Website Traffic", build_web_traffic, 730, "web"),
+    DatasetSpec("Stock Prices", build_stock_prices, 1040, "finance"),
+    DatasetSpec("City Population", build_city_population, 290, "social study"),
+    DatasetSpec("Exam Scores", build_exam_scores, 620, "education"),
+    DatasetSpec("Energy Consumption", build_energy, 2200, "energy"),
+    DatasetSpec("Taxi Trips", build_taxi, 5200, "transportation"),
+    DatasetSpec("Movie Ratings", build_movie_ratings, 980, "entertainment"),
+    DatasetSpec("Hospital Admissions", build_healthcare, 1700, "health"),
+    DatasetSpec("Retail Inventory", build_retail_inventory, 830, "retail"),
+    DatasetSpec("Marathon Results", build_marathon, 2600, "sports"),
+]
+
+#: 32 training datasets: the 12 domains instantiated with varied sizes
+#: and seeds (suffixes distinguish the variants).
+TRAINING_SPECS: List[DatasetSpec] = []
+_SIZE_FACTORS = (1.0, 0.45, 1.7)
+for _round, _factor in enumerate(_SIZE_FACTORS):
+    for _spec in _TRAINING_DOMAINS:
+        if len(TRAINING_SPECS) >= 32:
+            break
+        _suffix = "" if _round == 0 else f" #{_round + 1}"
+        TRAINING_SPECS.append(
+            DatasetSpec(
+                _spec.name + _suffix,
+                _spec.builder,
+                max(30, int(_spec.rows * _factor)),
+                _spec.domain,
+            )
+        )
+
+_ALL_SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec for spec in TESTING_SPECS + TRAINING_SPECS
+}
+
+
+def make_table(name: str, scale: float = 1.0, seed: int = 0) -> Table:
+    """Instantiate one corpus dataset by name.
+
+    ``scale`` multiplies the canonical row count (use < 1 for fast test
+    runs); ``seed`` controls the RNG, with the dataset name mixed in so
+    same-domain training variants differ.
+    """
+    spec = _ALL_SPECS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown corpus dataset {name!r}; available: {sorted(_ALL_SPECS)}"
+        )
+    # zlib.crc32 gives a process-stable name hash (builtin hash() is
+    # randomised per interpreter run, which would break reproducibility).
+    mixed_seed = (seed * 1_000_003 + zlib.crc32(name.encode("utf-8"))) % (2**32)
+    rng = np.random.default_rng(mixed_seed)
+    table = spec.builder(rng, _scaled(spec.rows, scale))
+    table.name = spec.name
+    return table
+
+
+def testing_tables(scale: float = 1.0, seed: int = 0) -> List[Table]:
+    """The ten Table IV testing datasets X1-X10 (in order)."""
+    return [make_table(spec.name, scale, seed) for spec in TESTING_SPECS]
+
+
+def training_tables(scale: float = 1.0, seed: int = 0) -> List[Table]:
+    """The 32 training datasets."""
+    return [make_table(spec.name, scale, seed) for spec in TRAINING_SPECS]
+
+
+def corpus_tables(scale: float = 1.0, seed: int = 0) -> List[Table]:
+    """All 42 datasets: training followed by testing."""
+    return training_tables(scale, seed) + testing_tables(scale, seed)

@@ -1,0 +1,187 @@
+"""Seeded column samplers used by the synthetic dataset generators.
+
+The paper's 42 real-world tables are proprietary web scrapes; the
+reproduction replaces them with synthetic tables whose *feature-level*
+shape matches (cardinalities, type mixes, correlations, trends,
+part-to-whole structures — everything the 14-feature vector and the
+partial-order factors can see).  These samplers are the vocabulary the
+generators compose: every one is deterministic given the numpy
+Generator passed in.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "categories",
+    "weighted_categories",
+    "gaussian",
+    "lognormal",
+    "uniform",
+    "integers",
+    "correlated_with",
+    "seasonal",
+    "trending",
+    "power_law_counts",
+    "timestamps",
+    "dates",
+    "years",
+    "names_like",
+]
+
+
+def categories(
+    rng: np.random.Generator, values: Sequence[str], n: int
+) -> List[str]:
+    """Uniformly sampled categorical values."""
+    return [values[i] for i in rng.integers(0, len(values), size=n)]
+
+
+def weighted_categories(
+    rng: np.random.Generator,
+    values: Sequence[str],
+    weights: Sequence[float],
+    n: int,
+) -> List[str]:
+    """Categorical values with a skewed distribution (realistic shares)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    indices = rng.choice(len(values), size=n, p=weights)
+    return [values[i] for i in indices]
+
+
+def gaussian(
+    rng: np.random.Generator, mean: float, std: float, n: int,
+    low: Optional[float] = None, high: Optional[float] = None,
+) -> np.ndarray:
+    """Normal values, optionally clipped to a plausible range."""
+    values = rng.normal(mean, std, size=n)
+    if low is not None or high is not None:
+        values = np.clip(values, low, high)
+    return values
+
+
+def lognormal(rng: np.random.Generator, mean: float, sigma: float, n: int) -> np.ndarray:
+    """Log-normal values — prices, incomes, view counts."""
+    return rng.lognormal(mean, sigma, size=n)
+
+
+def uniform(rng: np.random.Generator, low: float, high: float, n: int) -> np.ndarray:
+    return rng.uniform(low, high, size=n)
+
+
+def integers(rng: np.random.Generator, low: int, high: int, n: int) -> np.ndarray:
+    """Uniform integers in [low, high]."""
+    return rng.integers(low, high + 1, size=n).astype(np.float64)
+
+
+def correlated_with(
+    rng: np.random.Generator,
+    base: np.ndarray,
+    slope: float = 1.0,
+    intercept: float = 0.0,
+    noise: float = 1.0,
+) -> np.ndarray:
+    """A column linearly correlated with ``base`` plus Gaussian noise —
+    gives the scatter-chart rule something real to find."""
+    base = np.asarray(base, dtype=np.float64)
+    return slope * base + intercept + rng.normal(0.0, noise, size=len(base))
+
+
+def seasonal(
+    rng: np.random.Generator,
+    n: int,
+    period: float,
+    amplitude: float,
+    baseline: float,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """A periodic series — hourly delays, monthly passengers."""
+    t = np.arange(n, dtype=np.float64)
+    values = baseline + amplitude * np.sin(2.0 * np.pi * t / period)
+    if noise > 0:
+        values = values + rng.normal(0.0, noise, size=n)
+    return values
+
+
+def trending(
+    rng: np.random.Generator,
+    n: int,
+    start: float,
+    slope: float,
+    noise: float = 0.0,
+    curvature: float = 0.0,
+) -> np.ndarray:
+    """A monotone-ish series (line charts should detect a trend here)."""
+    t = np.arange(n, dtype=np.float64)
+    values = start + slope * t + curvature * t**2
+    if noise > 0:
+        values = values + rng.normal(0.0, noise, size=n)
+    return values
+
+
+def power_law_counts(
+    rng: np.random.Generator, n: int, exponent: float = 1.2, scale: float = 1000.0
+) -> np.ndarray:
+    """Zipf-ish counts — name popularity, city sizes."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    base = scale / ranks**exponent
+    jitter = rng.uniform(0.8, 1.25, size=n)
+    return np.round(base * jitter)
+
+
+def timestamps(
+    rng: np.random.Generator,
+    start: _dt.datetime,
+    end: _dt.datetime,
+    n: int,
+    sort: bool = True,
+) -> List[_dt.datetime]:
+    """Random timestamps in [start, end), optionally sorted."""
+    span = (end - start).total_seconds()
+    offsets = rng.uniform(0.0, span, size=n)
+    if sort:
+        offsets = np.sort(offsets)
+    return [start + _dt.timedelta(seconds=float(s)) for s in offsets]
+
+
+def dates(
+    rng: np.random.Generator, start: _dt.date, days: int, n: int, sort: bool = True
+) -> List[_dt.datetime]:
+    """Random calendar dates within ``days`` of ``start``."""
+    offsets = rng.integers(0, days, size=n)
+    if sort:
+        offsets = np.sort(offsets)
+    base = _dt.datetime(start.year, start.month, start.day)
+    return [base + _dt.timedelta(days=int(d)) for d in offsets]
+
+
+def years(rng: np.random.Generator, first: int, last: int, n: int, sort: bool = True) -> List[int]:
+    """Year values (detected as temporal by inference)."""
+    values = rng.integers(first, last + 1, size=n)
+    if sort:
+        values = np.sort(values)
+    return [int(v) for v in values]
+
+
+_SYLLABLES = (
+    "an", "bel", "cor", "dan", "el", "far", "gor", "hal", "is", "jo",
+    "kin", "lor", "mar", "nor", "ol", "per", "quin", "ros", "sal", "tor",
+)
+
+
+def names_like(rng: np.random.Generator, count: int, prefix: str = "") -> List[str]:
+    """``count`` distinct pronounceable names (entity labels)."""
+    out: List[str] = []
+    seen = set()
+    while len(out) < count:
+        parts = rng.integers(0, len(_SYLLABLES), size=int(rng.integers(2, 4)))
+        name = prefix + "".join(_SYLLABLES[i] for i in parts).capitalize()
+        if name not in seen:
+            seen.add(name)
+            out.append(name)
+    return out

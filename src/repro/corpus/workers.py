@@ -1,0 +1,180 @@
+"""Heterogeneous annotator pools and worker-quality estimation.
+
+The paper's 100 students were not equally reliable; crowdsourcing
+pipelines routinely model per-worker accuracy and down-weight spammers
+before merging judgements.  This module provides:
+
+* :class:`WorkerPool` — simulated workers with individual accuracies
+  (including pure spammers answering at random) issuing pairwise
+  judgements over latent item scores;
+* :func:`estimate_worker_quality` — an EM-style iteration that
+  alternates between (a) deciding each pair by quality-weighted
+  majority and (b) re-scoring each worker by agreement with those
+  decisions — a pairwise-comparison cousin of Dawid–Skene;
+* :func:`weighted_merge` — per-pair winners under the estimated
+  qualities, ready for :mod:`repro.corpus.aggregation`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "Judgement",
+    "WorkerPool",
+    "estimate_worker_quality",
+    "weighted_merge",
+]
+
+
+@dataclass(frozen=True)
+class Judgement:
+    """One worker's verdict on one ordered pair: "i is better than j"."""
+
+    worker: int
+    i: int
+    j: int
+    i_wins: bool
+
+
+class WorkerPool:
+    """Simulated annotators with heterogeneous reliability.
+
+    Each worker w answers correctly (according to the latent scores)
+    with probability ``accuracies[w]``; 0.5 is a pure spammer.  Near-tied
+    pairs are intrinsically harder: the effective accuracy interpolates
+    toward 0.5 as the score gap shrinks below ``resolution``.
+    """
+
+    def __init__(
+        self,
+        accuracies: Sequence[float],
+        resolution: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        for accuracy in accuracies:
+            if not 0.0 <= accuracy <= 1.0:
+                raise ReproError(f"accuracy {accuracy} outside [0, 1]")
+        self.accuracies = list(accuracies)
+        self.resolution = resolution
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.accuracies)
+
+    def judge(self, worker: int, score_i: float, score_j: float) -> bool:
+        """Worker's answer to "is i better than j?" for latent scores."""
+        gap = abs(score_i - score_j)
+        difficulty = min(1.0, gap / max(self.resolution, 1e-9))
+        accuracy = 0.5 + (self.accuracies[worker] - 0.5) * difficulty
+        truth = score_i > score_j
+        return truth if self._rng.random() < accuracy else not truth
+
+    def collect(
+        self,
+        scores: Sequence[float],
+        pairs: Sequence[Tuple[int, int]],
+        judgements_per_pair: int = 3,
+    ) -> List[Judgement]:
+        """Sample ``judgements_per_pair`` worker verdicts for each pair."""
+        output: List[Judgement] = []
+        for i, j in pairs:
+            workers = self._rng.choice(
+                self.num_workers,
+                size=min(judgements_per_pair, self.num_workers),
+                replace=False,
+            )
+            for worker in workers:
+                output.append(
+                    Judgement(
+                        worker=int(worker),
+                        i=i,
+                        j=j,
+                        i_wins=self.judge(int(worker), scores[i], scores[j]),
+                    )
+                )
+        return output
+
+
+def estimate_worker_quality(
+    judgements: Sequence[Judgement],
+    num_workers: int,
+    iterations: int = 10,
+    smoothing: float = 1.0,
+) -> np.ndarray:
+    """EM-style per-worker accuracy estimates from raw judgements.
+
+    Iterates: (1) decide every pair by quality-weighted vote; (2) score
+    each worker as its (smoothed) agreement rate with the decisions.
+    Workers start at uniform quality; spammers converge toward 0.5 and
+    diligent workers toward their true accuracy.
+    """
+    if num_workers < 1:
+        raise ReproError("need at least one worker")
+    by_pair: Dict[Tuple[int, int], List[Judgement]] = defaultdict(list)
+    for judgement in judgements:
+        key = (min(judgement.i, judgement.j), max(judgement.i, judgement.j))
+        by_pair[key].append(judgement)
+
+    quality = np.full(num_workers, 0.7)
+    for _ in range(iterations):
+        # E-step: weighted majority decision per pair.
+        decisions: Dict[Tuple[int, int], bool] = {}
+        for key, votes in by_pair.items():
+            weight_first_wins = 0.0
+            for vote in votes:
+                # Normalise the vote to "does the pair's first item win?".
+                first_wins = vote.i_wins if vote.i == key[0] else not vote.i_wins
+                weight = max(quality[vote.worker] - 0.5, 0.01)
+                weight_first_wins += weight if first_wins else -weight
+            decisions[key] = weight_first_wins >= 0
+
+        # M-step: agreement rate per worker, Laplace-smoothed.
+        agree = np.full(num_workers, smoothing)
+        total = np.full(num_workers, 2.0 * smoothing)
+        for key, votes in by_pair.items():
+            for vote in votes:
+                first_wins = vote.i_wins if vote.i == key[0] else not vote.i_wins
+                total[vote.worker] += 1.0
+                if first_wins == decisions[key]:
+                    agree[vote.worker] += 1.0
+        updated = agree / total
+        if np.allclose(updated, quality, atol=1e-6):
+            quality = updated
+            break
+        quality = updated
+    return quality
+
+
+def weighted_merge(
+    judgements: Sequence[Judgement],
+    num_workers: int,
+    quality: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int]]:
+    """Per-pair winners under quality-weighted voting.
+
+    Returns (winner, loser) tuples consumable by
+    :func:`repro.corpus.aggregation.aggregate_comparisons`.  Estimates
+    worker quality first when none is supplied.
+    """
+    if quality is None:
+        quality = estimate_worker_quality(judgements, num_workers)
+    by_pair: Dict[Tuple[int, int], float] = defaultdict(float)
+    for judgement in judgements:
+        key = (min(judgement.i, judgement.j), max(judgement.i, judgement.j))
+        first_wins = (
+            judgement.i_wins if judgement.i == key[0] else not judgement.i_wins
+        )
+        weight = max(quality[judgement.worker] - 0.5, 0.01)
+        by_pair[key] += weight if first_wins else -weight
+    winners: List[Tuple[int, int]] = []
+    for (a, b), balance in by_pair.items():
+        winners.append((a, b) if balance >= 0 else (b, a))
+    return winners

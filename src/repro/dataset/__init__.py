@@ -1,0 +1,28 @@
+"""Relational-table substrate: typed columns, tables, inference, and IO."""
+
+from .column import EPOCH, Column, ColumnType
+from .inference import build_column, infer_type, parse_temporal
+from .io import read_csv, write_csv
+from .profile import ColumnProfile, TableProfile, profile_table
+from .stats import ColumnStats, TableStats, column_stats, entropy, table_stats
+from .table import Table
+
+__all__ = [
+    "EPOCH",
+    "Column",
+    "ColumnType",
+    "Table",
+    "build_column",
+    "infer_type",
+    "parse_temporal",
+    "read_csv",
+    "write_csv",
+    "ColumnProfile",
+    "TableProfile",
+    "profile_table",
+    "ColumnStats",
+    "TableStats",
+    "column_stats",
+    "table_stats",
+    "entropy",
+]

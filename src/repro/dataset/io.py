@@ -1,0 +1,68 @@
+"""CSV loading and saving for :class:`~repro.dataset.table.Table`.
+
+Real DeepEye consumed CSV exports of web tables; this module provides the
+equivalent entry point so the examples can work against files on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from ..errors import DatasetError
+from .column import ColumnType
+from .table import Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def read_csv(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    types: Optional[Mapping[str, ColumnType]] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file into a typed :class:`Table`.
+
+    Column types are inferred from the cell values unless pinned via
+    ``types``.  The table name defaults to the file stem.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path}: empty CSV file") from None
+        rows = list(reader)
+    return Table.from_rows(name or path.stem, header, rows, types)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, _dt.datetime):
+        return value.isoformat(sep=" ")
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def write_csv(table: Table, path: Union[str, Path], delimiter: str = ",") -> None:
+    """Write a table to disk as CSV.
+
+    Temporal columns are decoded back to ISO timestamps so that a
+    round-trip through :func:`read_csv` re-infers the temporal type.
+    """
+    path = Path(path)
+    materialized = []
+    for column in table.columns:
+        if column.ctype is ColumnType.TEMPORAL:
+            materialized.append(column.as_datetimes())
+        else:
+            materialized.append(list(column.values))
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for i in range(table.num_rows):
+            writer.writerow([_format_cell(col[i]) for col in materialized])

@@ -1,0 +1,122 @@
+"""Table profiling: what DeepEye sees before it enumerates anything.
+
+A profile summarises each column (type, cardinality, range, top
+values), the pairwise correlation structure among numeric columns, and
+the resulting search-space sizes — the pre-flight report a user reads
+to understand why certain charts will or won't exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .column import Column, ColumnType
+from .stats import ColumnStats, column_stats
+from .table import Table
+
+__all__ = ["ColumnProfile", "TableProfile", "profile_table"]
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """One column's profile: statistics plus representative values."""
+
+    stats: ColumnStats
+    top_values: Tuple[Tuple[str, int], ...]
+
+    @property
+    def name(self) -> str:
+        return self.stats.name
+
+    @property
+    def ctype(self) -> ColumnType:
+        return self.stats.ctype
+
+    def describe(self) -> str:
+        """One-line column summary for reports."""
+        parts = [
+            f"{self.name} [{self.ctype.value}]",
+            f"{self.stats.num_distinct} distinct / {self.stats.num_tuples} rows",
+        ]
+        if self.stats.min_value is not None:
+            parts.append(f"range [{self.stats.min_value:g}, {self.stats.max_value:g}]")
+        if self.top_values:
+            head = ", ".join(f"{v}({c})" for v, c in self.top_values[:3])
+            parts.append(f"top: {head}")
+        return "; ".join(parts)
+
+
+@dataclass
+class TableProfile:
+    """The full pre-enumeration picture of a table."""
+
+    name: str
+    num_rows: int
+    columns: List[ColumnProfile]
+    correlations: Dict[Tuple[str, str], float]
+    two_column_space: int
+    one_column_space: int
+
+    def strongest_pairs(self, k: int = 5) -> List[Tuple[str, str, float]]:
+        """The k most correlated numeric column pairs, strongest first."""
+        ranked = sorted(
+            self.correlations.items(), key=lambda item: -abs(item[1])
+        )
+        return [(a, b, value) for (a, b), value in ranked[:k]]
+
+    def describe(self) -> str:
+        """Multi-line profile: columns, space sizes, top correlations."""
+        lines = [
+            f"{self.name}: {self.num_rows} rows, {len(self.columns)} columns",
+            f"search space: {self.two_column_space} two-column + "
+            f"{self.one_column_space} one-column query forms",
+        ]
+        lines.extend("  " + profile.describe() for profile in self.columns)
+        pairs = self.strongest_pairs(3)
+        if pairs:
+            lines.append("strongest correlations:")
+            lines.extend(
+                f"  {a} ~ {b}: {value:+.2f}" for a, b, value in pairs
+            )
+        return "\n".join(lines)
+
+
+def _top_values(column: Column, k: int) -> Tuple[Tuple[str, int], ...]:
+    if column.ctype is not ColumnType.CATEGORICAL:
+        return ()
+    values, counts = np.unique(
+        np.asarray([str(v) for v in column.values], dtype=object),
+        return_counts=True,
+    )
+    order = np.argsort(-counts)[:k]
+    return tuple((str(values[i]), int(counts[i])) for i in order)
+
+
+def profile_table(table: Table, top_k_values: int = 5) -> TableProfile:
+    """Profile a table: per-column stats, correlations, search space."""
+    from ..core.correlation import correlation
+    from ..core.enumeration import one_column_space, two_column_space
+
+    columns = [
+        ColumnProfile(stats=column_stats(c), top_values=_top_values(c, top_k_values))
+        for c in table.columns
+    ]
+
+    numeric = table.columns_of_type(ColumnType.NUMERICAL)
+    correlations: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(numeric):
+        for b in numeric[i + 1 :]:
+            correlations[(a.name, b.name)] = correlation(a.values, b.values).value
+
+    m = table.num_columns
+    return TableProfile(
+        name=table.name,
+        num_rows=table.num_rows,
+        columns=columns,
+        correlations=correlations,
+        two_column_space=two_column_space(m),
+        one_column_space=one_column_space(m),
+    )

@@ -1,0 +1,107 @@
+"""Column- and table-level statistics.
+
+These are the raw measurements behind the paper's feature vector
+(Section III) and the corpus statistics of Table III.  Everything here is
+purely descriptive; interpretation (features, rules) lives in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .column import Column, ColumnType
+from .table import Table
+
+__all__ = ["ColumnStats", "TableStats", "column_stats", "table_stats", "entropy"]
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (natural log) of a vector of non-negative counts.
+
+    Used by the pie-chart matching-quality score M(v), which prefers
+    diverse slice sizes: ``sum(-p(y) * log(p(y)))`` (Eq. 1).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    # Re-filter after normalisation: a subnormal count can underflow to
+    # an exact zero share, and 0 * log(0) would be NaN.
+    p = p[p > 0]
+    return float(-(p * np.log(p)).sum())
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Per-column statistics: the measurable part of the feature vector."""
+
+    name: str
+    ctype: ColumnType
+    num_tuples: int
+    num_distinct: int
+    unique_ratio: float
+    min_value: Optional[float]
+    max_value: Optional[float]
+    mean: Optional[float]
+    std: Optional[float]
+
+
+def column_stats(column: Column) -> ColumnStats:
+    """Compute :class:`ColumnStats` for one column."""
+    if column.ctype is ColumnType.CATEGORICAL or len(column) == 0:
+        mean = std = None
+    else:
+        mean = float(np.mean(column.values))
+        std = float(np.std(column.values))
+    return ColumnStats(
+        name=column.name,
+        ctype=column.ctype,
+        num_tuples=column.num_tuples,
+        num_distinct=column.num_distinct,
+        unique_ratio=column.unique_ratio,
+        min_value=column.min(),
+        max_value=column.max(),
+        mean=mean,
+        std=std,
+    )
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Table-level statistics in the shape of the paper's Table III row."""
+
+    name: str
+    num_tuples: int
+    num_columns: int
+    num_categorical: int
+    num_numerical: int
+    num_temporal: int
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict suitable for tabular reports."""
+        return {
+            "name": self.name,
+            "#-tuples": self.num_tuples,
+            "#-columns": self.num_columns,
+            "#-Cat": self.num_categorical,
+            "#-Num": self.num_numerical,
+            "#-Tem": self.num_temporal,
+        }
+
+
+def table_stats(table: Table) -> TableStats:
+    """Compute :class:`TableStats` for a table."""
+    counts = table.type_counts()
+    return TableStats(
+        name=table.name,
+        num_tuples=table.num_rows,
+        num_columns=table.num_columns,
+        num_categorical=counts[ColumnType.CATEGORICAL],
+        num_numerical=counts[ColumnType.NUMERICAL],
+        num_temporal=counts[ColumnType.TEMPORAL],
+    )

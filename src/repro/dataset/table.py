@@ -1,0 +1,167 @@
+"""The relational table ``D`` over schema ``R(A1, ..., Am)``.
+
+A :class:`Table` is a named, ordered collection of equally long
+:class:`~repro.dataset.column.Column` objects — the input to every
+DeepEye stage.  It is deliberately columnar: the visualization language
+only ever touches one or two columns at a time, and feature extraction
+is per-column, so a column store keeps both cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ColumnNotFoundError, DatasetError
+from .column import Column, ColumnType
+from .inference import build_column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable-by-convention relational table.
+
+    Parameters
+    ----------
+    name:
+        Human-readable table name (used in reports and benchmarks).
+    columns:
+        The table's columns, all of identical length.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        self.name = name
+        self._columns: List[Column] = list(columns)
+        if self._columns:
+            lengths = {len(c) for c in self._columns}
+            if len(lengths) > 1:
+                raise DatasetError(
+                    f"table {name!r}: columns have differing lengths {sorted(lengths)}"
+                )
+        names = [c.name for c in self._columns]
+        if len(set(names)) != len(names):
+            raise DatasetError(f"table {name!r}: duplicate column names in {names}")
+        self._by_name: Dict[str, Column] = {c.name: c for c in self._columns}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        name: str,
+        data: Mapping[str, Sequence],
+        types: Optional[Mapping[str, ColumnType]] = None,
+    ) -> "Table":
+        """Build a table from ``{column name: values}`` with type inference.
+
+        ``types`` may pin the type of specific columns; the rest are
+        inferred from their values.
+        """
+        types = dict(types or {})
+        columns = [
+            build_column(col_name, values, types.get(col_name))
+            for col_name, values in data.items()
+        ]
+        return cls(name, columns)
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Iterable[Sequence],
+        types: Optional[Mapping[str, ColumnType]] = None,
+    ) -> "Table":
+        """Build a table from a header and row tuples."""
+        materialized = [list(row) for row in rows]
+        for i, row in enumerate(materialized):
+            if len(row) != len(header):
+                raise DatasetError(
+                    f"table {name!r}: row {i} has {len(row)} cells, "
+                    f"expected {len(header)}"
+                )
+        data = {
+            col: [row[j] for row in materialized] for j, col in enumerate(header)
+        }
+        return cls.from_dict(name, data, types)
+
+    # ------------------------------------------------------------------
+    # Schema access
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of tuples in the table."""
+        return len(self._columns[0]) if self._columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        """Number of attributes ``m`` in the schema."""
+        return len(self._columns)
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        """The columns in schema order."""
+        return tuple(self._columns)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising :class:`ColumnNotFoundError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, list(self._by_name)) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def columns_of_type(self, ctype: ColumnType) -> List[Column]:
+        """All columns of the given type, in schema order."""
+        return [c for c in self._columns if c.ctype is ctype]
+
+    def type_counts(self) -> Dict[ColumnType, int]:
+        """``{type: #columns}`` — the Cat/Num/Tem mix reported in Table III."""
+        counts = {t: 0 for t in ColumnType}
+        for column in self._columns:
+            counts[column.ctype] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Row-level access (used by the executor and by tests)
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> Tuple:
+        """A single tuple of raw values, in schema order."""
+        if not 0 <= index < self.num_rows:
+            raise DatasetError(
+                f"row index {index} out of range for {self.num_rows} rows"
+            )
+        return tuple(c.values[index] for c in self._columns)
+
+    def select_rows(self, indices: Sequence[int]) -> "Table":
+        """A new table containing only the rows at ``indices``."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        return Table(self.name, [c.take(index_array) for c in self._columns])
+
+    def head(self, n: int = 5) -> "Table":
+        """The first ``n`` rows (for display and quick inspection)."""
+        n = min(n, self.num_rows)
+        return self.select_rows(list(range(n)))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """A new table with only the named columns, in the given order."""
+        return Table(self.name, [self.column(n) for n in names])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(f"{c.name}:{c.ctype.value}" for c in self._columns)
+        return f"Table({self.name!r}, rows={self.num_rows}, [{kinds}])"

@@ -1,0 +1,5 @@
+"""Query execution engine: shared-scan batch aggregation."""
+
+from .shared_scan import AggregateRequest, ScanStats, SharedScanEngine
+
+__all__ = ["AggregateRequest", "ScanStats", "SharedScanEngine"]

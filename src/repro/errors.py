@@ -1,0 +1,74 @@
+"""Exception hierarchy for the DeepEye reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  More specific
+subclasses mirror the subsystems: datasets, the visualization language,
+ML models, and selection.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DatasetError(ReproError):
+    """Problems with relational tables: bad columns, length mismatches."""
+
+
+class ColumnNotFoundError(DatasetError):
+    """A referenced column name does not exist in the table."""
+
+    def __init__(self, name: str, available: list) -> None:
+        super().__init__(
+            f"column {name!r} not found; available columns: {sorted(available)}"
+        )
+        self.name = name
+        self.available = list(available)
+
+
+class TypeInferenceError(DatasetError):
+    """A column's values could not be coerced to the inferred type."""
+
+
+class QueryError(ReproError):
+    """Problems with visualization-language queries."""
+
+
+class ParseError(QueryError):
+    """The textual visualization query could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class ValidationError(QueryError):
+    """A structurally valid query is semantically inconsistent.
+
+    Examples: binning a categorical column, aggregating with AVG over a
+    non-numeric column, or ordering by a column that is not selected.
+    """
+
+
+class ExecutionError(QueryError):
+    """A valid query failed while being evaluated against a table."""
+
+
+class ModelError(ReproError):
+    """Problems with the from-scratch ML models."""
+
+
+class NotFittedError(ModelError):
+    """A model was used for prediction before being fitted."""
+
+    def __init__(self, model_name: str) -> None:
+        super().__init__(
+            f"{model_name} is not fitted yet; call fit() before predicting"
+        )
+
+
+class SelectionError(ReproError):
+    """Problems during visualization selection (ranking / top-k)."""

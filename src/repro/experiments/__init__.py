@@ -1,0 +1,38 @@
+"""Section VI experiment protocols, shared by benchmarks and tests."""
+
+from .common import ExperimentSetup, ndcg_with_exponential_gain
+from .corpus_stats import table3, table4
+from .crossval import CrossValResult, cross_validate_recognition
+from .learning_curve import LearningCurvePoint, recognition_learning_curve
+from .coverage import CoverageRow, figure9_top_results, table6
+from .efficiency import CONFIGURATIONS, ConfigTiming, figure12
+from .ranking import METHODS, figure11, figure11_by_chart
+from .recognition import MODEL_LABELS, figure10, table7, table8
+from .report import ReproductionResult, run_reproduction, write_markdown_report
+
+__all__ = [
+    "ExperimentSetup",
+    "ndcg_with_exponential_gain",
+    "table3",
+    "table4",
+    "CrossValResult",
+    "cross_validate_recognition",
+    "LearningCurvePoint",
+    "recognition_learning_curve",
+    "CoverageRow",
+    "figure9_top_results",
+    "table6",
+    "CONFIGURATIONS",
+    "ConfigTiming",
+    "figure12",
+    "METHODS",
+    "figure11",
+    "figure11_by_chart",
+    "MODEL_LABELS",
+    "figure10",
+    "table7",
+    "table8",
+    "ReproductionResult",
+    "run_reproduction",
+    "write_markdown_report",
+]

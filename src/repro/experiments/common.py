@@ -1,0 +1,178 @@
+"""Shared experiment setup: corpus, trained models, and protocols.
+
+Every Section VI experiment starts the same way — build the 42-table
+corpus, annotate it with the perception oracle, train the recognizers
+and rankers on the 32 training tables — so that setup lives here once.
+``ExperimentSetup.build`` is the single entry point; benchmarks pass a
+small ``scale`` so the full suite runs in minutes, and EXPERIMENTS.md
+records the scale used for the reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.hybrid import HybridRanker
+from ..core.ltr import LearningToRankRanker
+from ..core.nodes import VisualizationNode
+from ..core.recognition import VisualizationRecognizer
+from ..core.selection import PartialOrderRanker
+from ..corpus.benchmark import AnnotatedTable, CorpusConfig, build_corpus
+from ..corpus.generators import testing_tables, training_tables
+from ..corpus.labeling import PerceptionOracle
+
+__all__ = ["ExperimentSetup", "ndcg_with_exponential_gain"]
+
+
+def ndcg_with_exponential_gain(
+    order: Sequence[int], relevance: Sequence[float]
+) -> float:
+    """NDCG with the standard graded gain 2^rel - 1 [Valizadegan 2009]."""
+    from ..ml.metrics import ndcg_at_k
+
+    gains = (2.0 ** np.asarray(relevance, dtype=np.float64)) - 1.0
+    return ndcg_at_k(gains[np.asarray(order, dtype=np.intp)])
+
+
+@dataclass
+class ExperimentSetup:
+    """Corpus + trained models shared by the Section VI experiments."""
+
+    oracle: PerceptionOracle
+    train: List[AnnotatedTable]
+    test: List[AnnotatedTable]
+    recognizers: Dict[str, VisualizationRecognizer]
+    ltr: LearningToRankRanker
+    partial_order: PartialOrderRanker
+    hybrid_alpha: float
+
+    @classmethod
+    def build(
+        cls,
+        train_scale: float = 0.08,
+        test_scale: float = 0.02,
+        seed: int = 0,
+        max_nodes_per_table: int = 150,
+        ltr_estimators: int = 50,
+        models: Sequence[str] = ("bayes", "svm", "decision_tree"),
+    ) -> "ExperimentSetup":
+        """Build the corpus and train every model the experiments need.
+
+        The last six training tables are held out from LambdaMART
+        fitting and used to tune the hybrid preference weight alpha
+        (fitting alpha on LTR's own training tables would always pick
+        alpha = 0, since LTR is near-perfect in-sample).
+        """
+        oracle = PerceptionOracle(seed=seed)
+        config = CorpusConfig(seed=seed, max_nodes_per_table=max_nodes_per_table)
+        train = build_corpus(training_tables(scale=train_scale, seed=seed), oracle, config)
+        test = build_corpus(testing_tables(scale=test_scale, seed=seed), oracle, config)
+
+        train_nodes = [n for a in train for n in a.nodes]
+        train_labels = [l for a in train for l in a.annotation.labels]
+        recognizers = {}
+        for model in models:
+            recognizers[model] = VisualizationRecognizer(model=model).fit(
+                train_nodes, train_labels
+            )
+
+        groups = [(a.nodes, a.annotation.relevance) for a in train]
+        holdout = min(6, max(1, len(groups) // 5))
+        ltr = LearningToRankRanker(n_estimators=ltr_estimators)
+        ltr.fit(groups[:-holdout])
+
+        partial_order = PartialOrderRanker()
+        setup = cls(
+            oracle=oracle,
+            train=train,
+            test=test,
+            recognizers=recognizers,
+            ltr=ltr,
+            partial_order=partial_order,
+            hybrid_alpha=1.0,
+        )
+        # Tune alpha against the same full-list protocol the evaluation
+        # uses (classifier-filtered partial order + full-list LTR), on
+        # the held-out training tables.
+        setup.hybrid_alpha = setup._fit_alpha_full_protocol(train[-holdout:])
+        return setup
+
+    def _fit_alpha_full_protocol(
+        self,
+        holdout: Sequence[AnnotatedTable],
+        grid: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0),
+    ) -> float:
+        """Grid-search alpha maximising mean NDCG of the hybrid
+        full-list ranking over held-out annotated tables."""
+        cached = []
+        for annotated in holdout:
+            n = len(annotated.nodes)
+            if n < 2:
+                continue
+            po_positions = np.empty(n)
+            po_positions[np.asarray(self.partial_order_full_ranking(annotated))] = (
+                np.arange(1, n + 1)
+            )
+            ltr_positions = np.empty(n)
+            ltr_positions[np.asarray(self.ltr_full_ranking(annotated))] = (
+                np.arange(1, n + 1)
+            )
+            cached.append(
+                (po_positions, ltr_positions, annotated.annotation.relevance)
+            )
+        best_alpha, best_score = 1.0, -1.0
+        for alpha in grid:
+            scores = []
+            for po_positions, ltr_positions, relevance in cached:
+                order = list(
+                    np.argsort(ltr_positions + alpha * po_positions, kind="stable")
+                )
+                scores.append(ndcg_with_exponential_gain(order, relevance))
+            mean_score = float(np.mean(scores)) if scores else 0.0
+            if mean_score > best_score:
+                best_alpha, best_score = float(alpha), mean_score
+        return best_alpha
+
+    # ------------------------------------------------------------------
+    # Pipeline-faithful full-list orderings (the Figure 11 protocol)
+    # ------------------------------------------------------------------
+    @property
+    def decision_tree(self) -> VisualizationRecognizer:
+        return self.recognizers["decision_tree"]
+
+    def partial_order_full_ranking(
+        self, annotated: AnnotatedTable
+    ) -> List[int]:
+        """The partial-order pipeline's ordering of *all* candidates.
+
+        As in Section IV-C, the trained classifier first decides the
+        valid charts; the dominance graph ranks those; candidates the
+        classifier rejected trail the list.
+        """
+        keep = self.decision_tree.predict(annotated.nodes)
+        valid_idx = [i for i, k in enumerate(keep) if k]
+        invalid_idx = [i for i, k in enumerate(keep) if not k]
+        sub_order = self.partial_order.rank([annotated.nodes[i] for i in valid_idx])
+        return [valid_idx[j] for j in sub_order] + invalid_idx
+
+    def ltr_full_ranking(self, annotated: AnnotatedTable) -> List[int]:
+        """Learning-to-rank's ordering: it "must evaluate every
+        visualization" (Section VI-D) — no classifier pre-filter."""
+        return self.ltr.rank(annotated.nodes)
+
+    def hybrid_full_ranking(self, annotated: AnnotatedTable) -> List[int]:
+        """HybridRank over the two full-list positions (Section IV-D)."""
+        n = len(annotated.nodes)
+        po_positions = np.empty(n)
+        po_positions[np.asarray(self.partial_order_full_ranking(annotated))] = (
+            np.arange(1, n + 1)
+        )
+        ltr_positions = np.empty(n)
+        ltr_positions[np.asarray(self.ltr_full_ranking(annotated))] = np.arange(
+            1, n + 1
+        )
+        combined = ltr_positions + self.hybrid_alpha * po_positions
+        return list(np.argsort(combined, kind="stable"))

@@ -1,0 +1,41 @@
+"""Corpus statistics experiments: Table III and Table IV.
+
+Table III summarises the 42-dataset corpus (tuple/column ranges, type
+mixes); Table IV lists the ten testing datasets with their number of
+good charts under the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..corpus.benchmark import AnnotatedTable, corpus_statistics
+from .common import ExperimentSetup
+
+__all__ = ["table3", "table4"]
+
+
+def table3(setup: ExperimentSetup) -> Dict[str, object]:
+    """Corpus statistics over all 42 annotated datasets."""
+    return corpus_statistics(setup.train + setup.test)
+
+
+def table4(setup: ExperimentSetup) -> List[Dict[str, object]]:
+    """Per-testing-dataset rows: name, #-tuples, #-columns, #-charts.
+
+    ``#-charts`` counts ground-truth *good* visualizations, matching the
+    paper's note that "the last column, #-charts, refers to good
+    visualizations".
+    """
+    rows = []
+    for index, annotated in enumerate(setup.test, start=1):
+        rows.append(
+            {
+                "no": f"X{index}",
+                "name": annotated.name,
+                "#-tuples": annotated.table.num_rows,
+                "#-columns": annotated.table.num_columns,
+                "#-charts": annotated.annotation.num_good,
+            }
+        )
+    return rows

@@ -1,0 +1,75 @@
+"""Coverage experiment: Table VI (and the Figure 9 screenshot scenario).
+
+For each use case D1-D9, run the trained DeepEye pipeline and report the
+smallest k at which the top-k results cover every chart the use case's
+publisher actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.enumeration import EnumerationConfig, enumerate_candidates
+from ..corpus.usecases import UseCase, coverage_k, use_cases
+from .common import ExperimentSetup
+
+__all__ = ["CoverageRow", "table6", "figure9_top_results"]
+
+
+@dataclass
+class CoverageRow:
+    """One row of Table VI."""
+
+    usecase: str
+    num_published: int
+    covered_at_k: Optional[int]
+    candidates: int
+
+    @property
+    def covered(self) -> bool:
+        return self.covered_at_k is not None
+
+
+def _pipeline_ranking(setup: ExperimentSetup, table):
+    """Full candidate ranking via the production pipeline: rule-based
+    enumeration, classifier filter, partial-order ranking."""
+    nodes = enumerate_candidates(table, "rules", EnumerationConfig(orderings="canonical"))
+    keep = setup.decision_tree.predict(nodes)
+    valid = [n for n, k in zip(nodes, keep) if k]
+    rejected = [n for n, k in zip(nodes, keep) if not k]
+    order = setup.partial_order.rank(valid)
+    return [valid[i] for i in order] + rejected, len(nodes)
+
+
+def table6(
+    setup: ExperimentSetup,
+    cases: Optional[List[UseCase]] = None,
+    scale: float = 0.2,
+) -> List[CoverageRow]:
+    """Coverage of the published charts of each use case."""
+    cases = cases if cases is not None else use_cases(scale=scale, oracle=setup.oracle)
+    rows = []
+    for case in cases:
+        ranked, num_candidates = _pipeline_ranking(setup, case.table)
+        rows.append(
+            CoverageRow(
+                usecase=case.name,
+                num_published=case.num_published,
+                covered_at_k=coverage_k(case, ranked),
+                candidates=num_candidates,
+            )
+        )
+    return rows
+
+
+def figure9_top_results(
+    setup: ExperimentSetup,
+    scale: float = 0.2,
+    k: int = 6,
+) -> List[str]:
+    """The first page (top-6) for D3 Flight Statistics — the paper's
+    Figure 9 screenshot — as chart descriptions."""
+    d3 = use_cases(scale=scale, oracle=setup.oracle)[2]
+    ranked, _ = _pipeline_ranking(setup, d3.table)
+    return [node.describe() for node in ranked[:k]]

@@ -1,0 +1,91 @@
+"""Efficiency experiment: Figure 12.
+
+End-to-end latency of the four pipeline configurations on each testing
+dataset — enumeration {exhaustive E, rule-based R} x selection
+{learning-to-rank L, partial order P} — with the per-phase breakdown
+the paper annotates on each bar.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.enumeration import EnumerationConfig
+from ..core.selection import select_top_k
+from ..dataset.table import Table
+from .common import ExperimentSetup
+
+__all__ = ["ConfigTiming", "figure12", "CONFIGURATIONS"]
+
+#: (label, enumeration mode, ranker) — the four Figure 12 bars.
+CONFIGURATIONS = (
+    ("EL", "exhaustive", "learning_to_rank"),
+    ("EP", "exhaustive", "partial_order"),
+    ("RL", "rules", "learning_to_rank"),
+    ("RP", "rules", "partial_order"),
+)
+
+
+@dataclass
+class ConfigTiming:
+    """One bar of Figure 12: total seconds + phase shares."""
+
+    label: str
+    dataset: str
+    total_seconds: float
+    enumerate_seconds: float
+    select_seconds: float
+    candidates: int
+    valid: int
+
+    @property
+    def enumerate_fraction(self) -> float:
+        return self.enumerate_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def select_fraction(self) -> float:
+        return self.select_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+def figure12(
+    setup: ExperimentSetup,
+    tables: Optional[List[Table]] = None,
+    k: int = 10,
+) -> List[ConfigTiming]:
+    """Time the four configurations on each table.
+
+    Uses the setup's trained decision tree for recognition and LambdaMART
+    for L-mode selection, exactly as the online pipeline would.
+    """
+    tables = tables if tables is not None else [a.table for a in setup.test]
+    results: List[ConfigTiming] = []
+    for table in tables:
+        for label, enumeration, ranker in CONFIGURATIONS:
+            start = time.perf_counter()
+            outcome = select_top_k(
+                table,
+                k=k,
+                enumeration=enumeration,
+                ranker=ranker,
+                recognizer=setup.decision_tree,
+                ltr=setup.ltr if ranker == "learning_to_rank" else None,
+                config=EnumerationConfig(),
+            )
+            total = time.perf_counter() - start
+            results.append(
+                ConfigTiming(
+                    label=label,
+                    dataset=table.name,
+                    total_seconds=total,
+                    enumerate_seconds=outcome.timings.get("enumerate", 0.0),
+                    select_seconds=(
+                        outcome.timings.get("recognize", 0.0)
+                        + outcome.timings.get("rank", 0.0)
+                    ),
+                    candidates=outcome.candidates,
+                    valid=outcome.valid,
+                )
+            )
+    return results

@@ -1,0 +1,80 @@
+"""Ranking experiments: Figure 11(a)-(e).
+
+NDCG of the three selection engines — expert partial order (with the
+classifier pre-filter, as in Section IV-C), learning-to-rank (which
+must score every candidate), and HybridRank — over the ten testing
+datasets, overall and restricted per chart type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..language.ast import ChartType
+from .common import ExperimentSetup, ndcg_with_exponential_gain
+
+__all__ = ["figure11", "figure11_by_chart", "METHODS"]
+
+METHODS = ("partial_order", "learning_to_rank", "hybrid")
+
+
+def _full_ranking(setup: ExperimentSetup, method: str, annotated) -> List[int]:
+    if method == "partial_order":
+        return setup.partial_order_full_ranking(annotated)
+    if method == "learning_to_rank":
+        return setup.ltr_full_ranking(annotated)
+    return setup.hybrid_full_ranking(annotated)
+
+
+def figure11(setup: ExperimentSetup) -> Dict[str, List[float]]:
+    """NDCG per method per testing dataset (Figure 11(a)).
+
+    Returns ``{method: [ndcg for each test table, in X1..X10 order]}``.
+    """
+    result: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for annotated in setup.test:
+        relevance = annotated.annotation.relevance
+        for method in METHODS:
+            order = _full_ranking(setup, method, annotated)
+            result[method].append(
+                ndcg_with_exponential_gain(order, relevance)
+            )
+    return result
+
+
+def figure11_by_chart(
+    setup: ExperimentSetup,
+) -> Dict[str, Dict[str, List[float]]]:
+    """NDCG per chart type (Figures 11(b)-(e)).
+
+    The full-list ranking of each method is restricted to nodes of one
+    chart type (order preserved) and scored against that type's gains.
+    Returns ``{chart: {method: [ndcg per table]}}``.
+    """
+    result: Dict[str, Dict[str, List[float]]] = {
+        chart.value: {m: [] for m in METHODS} for chart in ChartType
+    }
+    for annotated in setup.test:
+        relevance = np.asarray(annotated.annotation.relevance)
+        chart_of = [node.chart for node in annotated.nodes]
+        orders = {
+            method: _full_ranking(setup, method, annotated) for method in METHODS
+        }
+        for chart in ChartType:
+            member = [i for i, c in enumerate(chart_of) if c is chart]
+            if len(member) < 2:
+                continue
+            member_set = set(member)
+            sub_relevance = {i: relevance[i] for i in member}
+            for method in METHODS:
+                sub_order = [i for i in orders[method] if i in member_set]
+                gains_in_order = [sub_relevance[i] for i in sub_order]
+                # Re-index into a dense list for the NDCG helper.
+                result[chart.value][method].append(
+                    ndcg_with_exponential_gain(
+                        list(range(len(gains_in_order))), gains_in_order
+                    )
+                )
+    return result

@@ -1,0 +1,109 @@
+"""Recognition experiments: Figure 10, Table VII, Table VIII.
+
+* Figure 10 — average precision / recall / F-measure of Bayes, SVM and
+  decision tree over the ten testing datasets.
+* Table VII — the same three metrics broken down by chart type.
+* Table VIII — F-measure per dataset x chart type x model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..language.ast import ChartType
+from ..ml.metrics import precision_recall_f1
+from .common import ExperimentSetup
+
+__all__ = ["figure10", "table7", "table8", "MODEL_LABELS"]
+
+MODEL_LABELS = {"bayes": "Bayes", "svm": "SVM", "decision_tree": "DT"}
+
+
+def _per_table_metrics(
+    setup: ExperimentSetup, model: str, chart: ChartType = None
+) -> List[Dict[str, float]]:
+    """P/R/F per test table, optionally restricted to one chart type."""
+    recognizer = setup.recognizers[model]
+    rows = []
+    for annotated in setup.test:
+        nodes = annotated.nodes
+        labels = annotated.annotation.labels
+        if chart is not None:
+            pairs = [
+                (node, label)
+                for node, label in zip(nodes, labels)
+                if node.chart is chart
+            ]
+            if not pairs:
+                continue
+            nodes = [p[0] for p in pairs]
+            labels = [p[1] for p in pairs]
+        predictions = recognizer.predict(nodes)
+        rows.append(precision_recall_f1(np.asarray(labels), predictions))
+    return rows
+
+
+def figure10(setup: ExperimentSetup) -> Dict[str, Dict[str, float]]:
+    """Average precision/recall/F-measure per model over X1-X10.
+
+    Returns ``{model: {precision, recall, f1}}`` — the three bar groups
+    of the paper's Figure 10.
+    """
+    result = {}
+    for model in setup.recognizers:
+        rows = _per_table_metrics(setup, model)
+        result[model] = {
+            metric: float(np.mean([row[metric] for row in rows]))
+            for metric in ("precision", "recall", "f1")
+        }
+    return result
+
+
+def table7(setup: ExperimentSetup) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Average effectiveness per chart type (B/L/P/S) per model.
+
+    Returns ``{chart: {model: {precision, recall, f1}}}``.
+    """
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for chart in ChartType:
+        result[chart.value] = {}
+        for model in setup.recognizers:
+            rows = _per_table_metrics(setup, model, chart)
+            if not rows:
+                continue
+            result[chart.value][model] = {
+                metric: float(np.mean([row[metric] for row in rows]))
+                for metric in ("precision", "recall", "f1")
+            }
+    return result
+
+
+def table8(setup: ExperimentSetup) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """F-measure per dataset x chart type x model.
+
+    Returns ``{dataset: {chart: {model: f1}}}`` — the body of the
+    paper's Table VIII.
+    """
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for annotated in setup.test:
+        by_chart: Dict[str, Dict[str, float]] = {}
+        for chart in ChartType:
+            pairs = [
+                (node, label)
+                for node, label in zip(annotated.nodes, annotated.annotation.labels)
+                if node.chart is chart
+            ]
+            if not pairs:
+                continue
+            nodes = [p[0] for p in pairs]
+            labels = np.asarray([p[1] for p in pairs])
+            by_chart[chart.value] = {
+                model: precision_recall_f1(
+                    labels, recognizer.predict(nodes)
+                )["f1"]
+                for model, recognizer in setup.recognizers.items()
+            }
+        result[annotated.name] = by_chart
+    return result

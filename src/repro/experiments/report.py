@@ -1,0 +1,185 @@
+"""One-shot reproduction report: run every experiment, write Markdown.
+
+:func:`run_reproduction` executes all Section VI experiments against a
+freshly built setup and returns a structured result;
+:func:`write_markdown_report` renders it as a single Markdown document —
+the programmatic counterpart of EXPERIMENTS.md, usable from the
+``examples/reproduce_paper.py`` script or any notebook.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .common import ExperimentSetup
+from .corpus_stats import table3, table4
+from .coverage import CoverageRow, table6
+from .efficiency import ConfigTiming, figure12
+from .ranking import METHODS, figure11
+from .recognition import MODEL_LABELS, figure10, table7
+
+__all__ = ["ReproductionResult", "run_reproduction", "write_markdown_report"]
+
+
+@dataclass
+class ReproductionResult:
+    """Everything one reproduction run measured."""
+
+    setup: ExperimentSetup
+    corpus_stats: Dict
+    testing_datasets: List[Dict]
+    recognition: Dict[str, Dict[str, float]]
+    recognition_by_chart: Dict[str, Dict[str, Dict[str, float]]]
+    ranking_ndcg: Dict[str, List[float]]
+    coverage: List[CoverageRow]
+    efficiency: List[ConfigTiming]
+    elapsed_seconds: float
+
+    # -- headline shape checks (the paper's claims) --------------------
+    def decision_tree_wins(self) -> bool:
+        """Figure 10's claim: DT has the best recognition F-measure."""
+        f1 = {m: v["f1"] for m, v in self.recognition.items()}
+        return f1["decision_tree"] >= max(f1["bayes"], f1["svm"]) - 1e-9
+
+    def partial_order_beats_ltr(self) -> bool:
+        """Figure 11's claim: partial order >= learning-to-rank NDCG."""
+        means = {m: float(np.mean(v)) for m, v in self.ranking_ndcg.items()}
+        return means["partial_order"] >= means["learning_to_rank"] - 0.02
+
+    def rules_beat_exhaustive(self) -> bool:
+        """Figure 12's claim: rule pruning is faster for both selectors."""
+        by_config: Dict[str, float] = {}
+        for row in self.efficiency:
+            by_config[row.label] = by_config.get(row.label, 0.0) + row.total_seconds
+        return (
+            by_config.get("RP", 0.0) < by_config.get("EP", float("inf"))
+            and by_config.get("RL", 0.0) < by_config.get("EL", float("inf"))
+        )
+
+    def shape_summary(self) -> Dict[str, bool]:
+        """{claim: holds} for each headline shape."""
+        return {
+            "decision tree wins recognition": self.decision_tree_wins(),
+            "partial order >= learning-to-rank": self.partial_order_beats_ltr(),
+            "rule pruning beats exhaustive": self.rules_beat_exhaustive(),
+        }
+
+
+def run_reproduction(
+    train_scale: float = 0.06,
+    test_scale: float = 0.015,
+    seed: int = 0,
+    usecase_scale: float = 0.08,
+    setup: Optional[ExperimentSetup] = None,
+) -> ReproductionResult:
+    """Run every experiment at the given scales (smaller = faster)."""
+    start = time.perf_counter()
+    setup = setup or ExperimentSetup.build(
+        train_scale=train_scale,
+        test_scale=test_scale,
+        seed=seed,
+        max_nodes_per_table=120,
+        ltr_estimators=40,
+    )
+    return ReproductionResult(
+        setup=setup,
+        corpus_stats=table3(setup),
+        testing_datasets=table4(setup),
+        recognition=figure10(setup),
+        recognition_by_chart=table7(setup),
+        ranking_ndcg=figure11(setup),
+        coverage=table6(setup, scale=usecase_scale),
+        efficiency=figure12(setup, tables=[a.table for a in setup.test]),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _md_table(header: List[str], rows: List[List]) -> List[str]:
+    lines = ["| " + " | ".join(str(h) for h in header) + " |"]
+    lines.append("|" + "---|" * len(header))
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return lines
+
+
+def write_markdown_report(
+    result: ReproductionResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Render the result as Markdown; optionally write it to ``path``."""
+    lines: List[str] = ["# DeepEye reproduction report", ""]
+    lines.append(
+        f"_Full run in {result.elapsed_seconds:.0f}s; "
+        f"hybrid alpha = {result.setup.hybrid_alpha}._"
+    )
+
+    lines += ["", "## Headline shapes", ""]
+    lines += _md_table(
+        ["claim", "holds"],
+        [[claim, "yes" if ok else "NO"] for claim, ok in result.shape_summary().items()],
+    )
+
+    lines += ["", "## Corpus (Tables III / IV)", ""]
+    stats = result.corpus_stats
+    lines += _md_table(
+        ["datasets", "good charts", "bad charts", "comparisons"],
+        [[stats["num_datasets"], stats["good_charts"], stats["bad_charts"],
+          stats["comparisons"]]],
+    )
+    lines.append("")
+    lines += _md_table(
+        ["no", "name", "#-tuples", "#-cols", "#-charts"],
+        [
+            [r["no"], r["name"], r["#-tuples"], r["#-columns"], r["#-charts"]]
+            for r in result.testing_datasets
+        ],
+    )
+
+    lines += ["", "## Recognition (Figure 10)", ""]
+    lines += _md_table(
+        ["model", "precision", "recall", "F-measure"],
+        [
+            [MODEL_LABELS[m], f"{v['precision']:.3f}", f"{v['recall']:.3f}",
+             f"{v['f1']:.3f}"]
+            for m, v in result.recognition.items()
+        ],
+    )
+
+    lines += ["", "## Ranking NDCG (Figure 11a)", ""]
+    lines += _md_table(
+        ["method"] + [f"X{i}" for i in range(1, len(result.setup.test) + 1)] + ["mean"],
+        [
+            [m]
+            + [f"{v:.2f}" for v in result.ranking_ndcg[m]]
+            + [f"{float(np.mean(result.ranking_ndcg[m])):.3f}"]
+            for m in METHODS
+        ],
+    )
+
+    lines += ["", "## Use-case coverage (Table VI)", ""]
+    lines += _md_table(
+        ["use case", "#-published", "covered at k"],
+        [
+            [row.usecase, row.num_published, row.covered_at_k or "not covered"]
+            for row in result.coverage
+        ],
+    )
+
+    lines += ["", "## Efficiency (Figure 12)", ""]
+    lines += _md_table(
+        ["dataset", "config", "ms", "candidates", "valid"],
+        [
+            [row.dataset[:24], row.label, round(1000 * row.total_seconds, 1),
+             row.candidates, row.valid]
+            for row in result.efficiency
+        ],
+    )
+
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,6 @@
+"""Indexing structures for dominance queries (range tree, Fenwick index)."""
+
+from .fenwick2d import Fenwick2D
+from .range_tree import FenwickDominanceIndex, RangeTree2D
+
+__all__ = ["Fenwick2D", "FenwickDominanceIndex", "RangeTree2D"]

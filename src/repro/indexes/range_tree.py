@@ -1,0 +1,123 @@
+"""Dominance-reporting indexes for partial-order graph construction.
+
+Section IV-C notes the dominance graph "can also utilize the range-tree
+based indexing method" [de Berg et al.].  Two structures live here:
+
+* :class:`RangeTree2D` — a classic static 2-D range tree: a balanced
+  binary tree over x with each node storing its subtree's points sorted
+  by y.  Supports "report points with x <= qx and y <= qy" queries.
+* :class:`FenwickDominanceIndex` — an *incremental* 2-D dominance
+  reporter: a Fenwick (binary indexed) tree over compressed x ranks
+  whose cells hold y-sorted lists.  The graph builder sweeps nodes in
+  ascending-M order, querying then inserting, which turns 3-D dominance
+  into 2-D queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["RangeTree2D", "FenwickDominanceIndex"]
+
+
+class _RangeTreeNode:
+    __slots__ = ("lo", "hi", "left", "right", "sorted_y")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.left: Optional["_RangeTreeNode"] = None
+        self.right: Optional["_RangeTreeNode"] = None
+        self.sorted_y: List[Tuple[float, int]] = []
+
+
+class RangeTree2D:
+    """Static 2-D range tree over points ``(x, y)`` with integer ids.
+
+    Build: O(n log n).  Query ``report(qx, qy)``: all ids with
+    ``x <= qx`` and ``y <= qy`` in O(log^2 n + k).
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float, int]]) -> None:
+        """``points`` is a sequence of (x, y, id) triples."""
+        self._points = sorted(points, key=lambda p: (p[0], p[1]))
+        self._xs = [p[0] for p in self._points]
+        self.root = self._build(0, len(self._points)) if self._points else None
+
+    def _build(self, lo: int, hi: int) -> _RangeTreeNode:
+        node = _RangeTreeNode(lo, hi)
+        node.sorted_y = sorted((p[1], p[2]) for p in self._points[lo:hi])
+        if hi - lo > 1:
+            mid = (lo + hi) // 2
+            node.left = self._build(lo, mid)
+            node.right = self._build(mid, hi)
+        return node
+
+    def report(self, qx: float, qy: float) -> List[int]:
+        """Ids of all points with x <= qx and y <= qy."""
+        if self.root is None:
+            return []
+        # The x-prefix [0, upper) covers every point with x <= qx.
+        upper = bisect.bisect_right(self._xs, qx)
+        result: List[int] = []
+        self._collect(self.root, upper, qy, result)
+        return result
+
+    def _collect(
+        self, node: _RangeTreeNode, upper: int, qy: float, out: List[int]
+    ) -> None:
+        if node.lo >= upper:
+            return
+        if node.hi <= upper:
+            # Whole subtree is inside the x-range: binary search on y.
+            cut = bisect.bisect_right(node.sorted_y, (qy, float("inf")))
+            out.extend(identifier for _, identifier in node.sorted_y[:cut])
+            return
+        if node.left is not None:
+            self._collect(node.left, upper, qy, out)
+            self._collect(node.right, upper, qy, out)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class FenwickDominanceIndex:
+    """Incremental "report all inserted points dominated by (x, y)" index.
+
+    x coordinates must come from a universe fixed at construction (they
+    are rank-compressed); y is unconstrained.  ``insert`` is
+    O(log n * log m) amortised, ``report`` O(log n * (log m + k)).
+    """
+
+    def __init__(self, x_universe: Sequence[float]) -> None:
+        self._ranks = sorted(set(float(x) for x in x_universe))
+        size = len(self._ranks)
+        self._cells: List[List[Tuple[float, int]]] = [[] for _ in range(size + 1)]
+        self._size = size
+
+    def _rank(self, x: float) -> int:
+        """1-based rank of x in the universe; raises on unknown values."""
+        position = bisect.bisect_left(self._ranks, float(x))
+        if position >= len(self._ranks) or self._ranks[position] != float(x):
+            raise KeyError(f"x={x!r} not in the index universe")
+        return position + 1
+
+    def insert(self, x: float, y: float, identifier: int) -> None:
+        """Insert a point; every Fenwick cell covering its rank records it."""
+        index = self._rank(x)
+        while index <= self._size:
+            bisect.insort(self._cells[index], (float(y), identifier))
+            index += index & (-index)
+
+    def report(self, x: float, y: float) -> List[int]:
+        """Ids of inserted points with x_i <= x and y_i <= y."""
+        prefix = bisect.bisect_right(self._ranks, float(x))
+        result: List[int] = []
+        index = prefix
+        while index > 0:
+            cell = self._cells[index]
+            cut = bisect.bisect_right(cell, (float(y), float("inf")))
+            result.extend(identifier for _, identifier in cell[:cut])
+            index -= index & (-index)
+        return result

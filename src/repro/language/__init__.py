@@ -1,0 +1,57 @@
+"""The DeepEye visualization language: AST, parser, and executor."""
+
+from .aggregation import aggregate, allowed_aggregates
+from .ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    Transform,
+    VisQuery,
+)
+from .binning import (
+    DEFAULT_NUM_BUCKETS,
+    Bucket,
+    assign_buckets,
+    bin_numeric,
+    bin_temporal,
+    bin_udf,
+    group_categorical,
+)
+from .executor import ChartData, apply_transform, execute
+from .parser import ParsedQuery, parse_query
+from .validate import validate_query
+
+__all__ = [
+    "AggregateOp",
+    "BinByGranularity",
+    "BinByUDF",
+    "BinGranularity",
+    "BinIntoBuckets",
+    "ChartType",
+    "GroupBy",
+    "OrderBy",
+    "OrderTarget",
+    "Transform",
+    "VisQuery",
+    "Bucket",
+    "DEFAULT_NUM_BUCKETS",
+    "assign_buckets",
+    "bin_numeric",
+    "bin_temporal",
+    "bin_udf",
+    "group_categorical",
+    "aggregate",
+    "allowed_aggregates",
+    "ChartData",
+    "apply_transform",
+    "execute",
+    "ParsedQuery",
+    "parse_query",
+    "validate_query",
+]

@@ -1,0 +1,85 @@
+"""Aggregation operators: AGG = {SUM, AVG, CNT} (Section II-A).
+
+Binning and grouping categorize rows; aggregation interprets each
+category by summarising the Y values that fall into it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dataset.column import Column, ColumnType
+from ..errors import ValidationError
+from .ast import AggregateOp
+
+__all__ = ["aggregate", "allowed_aggregates"]
+
+
+def allowed_aggregates(y_type: ColumnType) -> tuple:
+    """The aggregate ops valid for a Y column of the given type.
+
+    Per the transformation rules (Section V-A): numerical Y admits all of
+    {AVG, SUM, CNT}; any other type only admits CNT.
+    """
+    if y_type is ColumnType.NUMERICAL:
+        return (AggregateOp.AVG, AggregateOp.SUM, AggregateOp.CNT)
+    return (AggregateOp.CNT,)
+
+
+def aggregate(
+    op: AggregateOp,
+    assignment: np.ndarray,
+    num_buckets: int,
+    y: Optional[Column] = None,
+) -> np.ndarray:
+    """Aggregate Y per bucket.
+
+    Parameters
+    ----------
+    op:
+        The aggregation operator.
+    assignment:
+        ``assignment[i]`` is the bucket index of row ``i`` (from
+        :func:`repro.language.binning.assign_buckets`).
+    num_buckets:
+        Total number of distinct buckets.
+    y:
+        The Y column; required for SUM and AVG, ignored for CNT.
+
+    Returns
+    -------
+    numpy.ndarray
+        One aggregated value per bucket, in bucket order.  Empty buckets
+        (possible only when ``num_buckets`` exceeds the assigned range)
+        aggregate to 0.
+    """
+    assignment = np.asarray(assignment, dtype=np.intp)
+    counts = np.bincount(assignment, minlength=num_buckets).astype(np.float64)
+
+    if op is AggregateOp.CNT:
+        return counts
+
+    if y is None:
+        raise ValidationError(f"{op.value} requires a Y column")
+    if y.ctype is not ColumnType.NUMERICAL:
+        raise ValidationError(
+            f"{op.value} requires a numerical Y column, got "
+            f"{y.ctype.value} column {y.name!r}"
+        )
+    if len(y.values) != len(assignment):
+        raise ValidationError(
+            f"Y column has {len(y.values)} rows but assignment has "
+            f"{len(assignment)}"
+        )
+
+    sums = np.bincount(
+        assignment, weights=y.values.astype(np.float64), minlength=num_buckets
+    )
+    if op is AggregateOp.SUM:
+        return sums
+    # AVG: guard empty buckets against division by zero.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / counts, 0.0)
+    return means

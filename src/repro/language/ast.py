@@ -1,0 +1,201 @@
+"""Abstract syntax of the DeepEye visualization language (Section II-B).
+
+A query has three mandatory clauses and two optional ones::
+
+    VISUALIZE <type>
+    SELECT    <X'>, <Y'>
+    FROM      <table>
+    TRANSFORM (BIN X BY <granularity> | BIN X INTO <n> | GROUP BY X)
+    ORDER BY  (X | Y) [DESC]
+
+The AST is a tree of frozen dataclasses so queries hash, compare, and can
+be used as dictionary keys by the enumerator and the selectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional, Tuple
+
+__all__ = [
+    "ChartType",
+    "AggregateOp",
+    "BinGranularity",
+    "Transform",
+    "BinByGranularity",
+    "BinIntoBuckets",
+    "BinByUDF",
+    "GroupBy",
+    "OrderTarget",
+    "OrderBy",
+    "VisQuery",
+]
+
+
+class ChartType(str, Enum):
+    """The four chart types the paper studies (Section II-A)."""
+
+    BAR = "bar"
+    LINE = "line"
+    PIE = "pie"
+    SCATTER = "scatter"
+
+
+class AggregateOp(str, Enum):
+    """Aggregations applied to Y after binning/grouping X: AGG = {SUM, AVG, CNT}."""
+
+    SUM = "SUM"
+    AVG = "AVG"
+    CNT = "CNT"
+
+
+class BinGranularity(str, Enum):
+    """The seven temporal binning granularities of the TRANSFORM clause."""
+
+    MINUTE = "MINUTE"
+    HOUR = "HOUR"
+    DAY = "DAY"
+    WEEK = "WEEK"
+    MONTH = "MONTH"
+    QUARTER = "QUARTER"
+    YEAR = "YEAR"
+
+
+class Transform:
+    """Marker base class for TRANSFORM clauses."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BinByGranularity(Transform):
+    """``BIN X BY {MINUTE, ..., YEAR}`` — temporal binning."""
+
+    column: str
+    granularity: BinGranularity
+
+    def describe(self) -> str:
+        """The clause in the paper's textual syntax."""
+        return f"BIN {self.column} BY {self.granularity.value}"
+
+
+@dataclass(frozen=True)
+class BinIntoBuckets(Transform):
+    """``BIN X INTO N`` — numeric binning into ``n`` equal-width buckets."""
+
+    column: str
+    n: int
+
+    def describe(self) -> str:
+        """The clause in the paper's textual syntax."""
+        return f"BIN {self.column} INTO {self.n}"
+
+
+@dataclass(frozen=True)
+class BinByUDF(Transform):
+    """``BIN X BY UDF(X)`` — user-defined bucketing.
+
+    ``udf`` maps a raw value to a bucket label; ``udf_name`` identifies the
+    function so two queries with the same named UDF compare equal.
+    """
+
+    column: str
+    udf_name: str
+    udf: Callable[[float], object] = field(compare=False, hash=False, repr=False)
+
+    def describe(self) -> str:
+        """The clause in the paper's textual syntax."""
+        return f"BIN {self.column} BY UDF({self.udf_name})"
+
+
+@dataclass(frozen=True)
+class GroupBy(Transform):
+    """``GROUP BY X`` — grouping by the distinct values of a column."""
+
+    column: str
+
+    def describe(self) -> str:
+        """The clause in the paper's textual syntax."""
+        return f"GROUP BY {self.column}"
+
+
+class OrderTarget(str, Enum):
+    """Which selected column an ORDER BY sorts — X' or Y' (never both)."""
+
+    X = "X"
+    Y = "Y"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``ORDER BY X|Y [DESC]``."""
+
+    target: OrderTarget
+    descending: bool = False
+
+    def describe(self) -> str:
+        """The clause in the paper's textual syntax."""
+        suffix = " DESC" if self.descending else ""
+        return f"ORDER BY {self.target.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class VisQuery:
+    """One complete visualization query ``Q`` such that ``Q(D)`` is a chart.
+
+    Attributes
+    ----------
+    chart:
+        The VISUALIZE clause — one of bar/line/pie/scatter.
+    x, y:
+        The SELECT clause's source columns.  ``y`` may equal ``x`` for the
+        single-column case (e.g. a histogram: ``BIN X``, ``CNT(X)``).
+    transform:
+        The optional TRANSFORM clause; ``None`` visualizes raw data.
+    aggregate:
+        The aggregation applied to ``y`` per bin/group; only meaningful
+        when ``transform`` is present.
+    order:
+        The optional ORDER BY clause.
+    """
+
+    chart: ChartType
+    x: str
+    y: str
+    transform: Optional[Transform] = None
+    aggregate: Optional[AggregateOp] = None
+    order: Optional[OrderBy] = None
+
+    def __post_init__(self) -> None:
+        if (self.transform is None) != (self.aggregate is None):
+            raise ValueError(
+                "TRANSFORM and aggregation go together: binning/grouping X "
+                "requires an aggregate over Y, and vice versa"
+            )
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The distinct source columns referenced by the query."""
+        return (self.x,) if self.x == self.y else (self.x, self.y)
+
+    def select_clause(self) -> str:
+        """The SELECT line, with the aggregate wrapped around Y."""
+        y_expr = f"{self.aggregate.value}({self.y})" if self.aggregate else self.y
+        return f"SELECT {self.x}, {y_expr}"
+
+    def to_text(self, table_name: str = "D") -> str:
+        """Render the query in the paper's textual syntax (Figure 2)."""
+        lines = [
+            f"VISUALIZE {self.chart.value}",
+            self.select_clause(),
+            f"FROM {table_name}",
+        ]
+        if self.transform is not None:
+            lines.append(self.transform.describe())
+        if self.order is not None:
+            lines.append(self.order.describe())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()

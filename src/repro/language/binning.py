@@ -1,0 +1,196 @@
+"""Binning and grouping: the TRANSFORM operators of Section II-A.
+
+Binning maps every row of a column to a *bucket key*; grouping maps it to
+its categorical value.  The executor then aggregates Y over rows sharing
+a key.  Bucket keys carry a sortable ``sort_key`` and a human-readable
+``label`` so charts render meaningfully.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..dataset.column import EPOCH, Column, ColumnType
+from ..errors import ValidationError
+from .ast import BinGranularity
+
+__all__ = [
+    "Bucket",
+    "DEFAULT_NUM_BUCKETS",
+    "bin_temporal",
+    "bin_numeric",
+    "bin_udf",
+    "group_categorical",
+    "assign_buckets",
+]
+
+#: Default bucket count for ``BIN X`` with no explicit target (the paper's
+#: "default buckets" case in the 9 binning options).
+DEFAULT_NUM_BUCKETS = 10
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One bin/group of the transformed x-axis.
+
+    ``sort_key`` orders buckets on a scale axis; ``label`` is what a chart
+    would print on the tick; ``value`` is a numeric representative used
+    when the transformed axis is treated as numeric (e.g. correlation of
+    X' and Y').
+    """
+
+    sort_key: float
+    label: str
+    value: float
+
+
+def _quarter(month: int) -> int:
+    return (month - 1) // 3 + 1
+
+
+#: For each granularity: (key function over datetime, label function).
+#: Binning by HOUR puts all rows with the same hour-of-day in one bucket
+#: (the paper's Figure 1(c): "the rows with the same hour are in the same
+#: bucket"); DAY bins by calendar date; WEEK by ISO week; etc.
+_TEMPORAL_KEYS: Dict[BinGranularity, Tuple[Callable, Callable]] = {
+    BinGranularity.MINUTE: (lambda d: d.minute, lambda d: f"{d.minute:02d}"),
+    BinGranularity.HOUR: (lambda d: d.hour, lambda d: f"{d.hour:02d}:00"),
+    BinGranularity.DAY: (
+        lambda d: d.timetuple().tm_yday + d.year * 1000,
+        lambda d: d.strftime("%Y-%m-%d"),
+    ),
+    BinGranularity.WEEK: (
+        lambda d: d.isocalendar()[1] + d.isocalendar()[0] * 100,
+        lambda d: f"{d.isocalendar()[0]}-W{d.isocalendar()[1]:02d}",
+    ),
+    BinGranularity.MONTH: (
+        lambda d: d.month + d.year * 100,
+        lambda d: d.strftime("%Y-%m"),
+    ),
+    BinGranularity.QUARTER: (
+        lambda d: _quarter(d.month) + d.year * 10,
+        lambda d: f"{d.year}-Q{_quarter(d.month)}",
+    ),
+    BinGranularity.YEAR: (lambda d: d.year, lambda d: str(d.year)),
+}
+
+
+def bin_temporal(column: Column, granularity: BinGranularity) -> List[Bucket]:
+    """Assign each row of a temporal column to a granularity bucket.
+
+    Returns one :class:`Bucket` per row (row order preserved); equal
+    buckets compare equal so the executor can group on them.
+    """
+    if column.ctype is not ColumnType.TEMPORAL:
+        raise ValidationError(
+            f"BIN BY {granularity.value} requires a temporal column, "
+            f"got {column.ctype.value} column {column.name!r}"
+        )
+    key_fn, label_fn = _TEMPORAL_KEYS[granularity]
+    buckets = []
+    for seconds in column.values:
+        moment = EPOCH + _dt.timedelta(seconds=float(seconds))
+        key = float(key_fn(moment))
+        buckets.append(Bucket(sort_key=key, label=label_fn(moment), value=key))
+    return buckets
+
+
+def bin_numeric(column: Column, n: int = DEFAULT_NUM_BUCKETS) -> List[Bucket]:
+    """Assign each row of a numeric column to one of ``n`` equal-width bins.
+
+    Uses consecutive intervals ``[lo, lo+w), [lo+w, lo+2w), ...`` as in the
+    paper's "bin1 [0, 10), bin2 [10, 20)" example.  A constant column
+    collapses into a single bucket.
+    """
+    if column.ctype is not ColumnType.NUMERICAL:
+        raise ValidationError(
+            f"BIN INTO requires a numerical column, got "
+            f"{column.ctype.value} column {column.name!r}"
+        )
+    if n < 1:
+        raise ValidationError(f"BIN INTO requires n >= 1, got {n}")
+    values = column.values
+    if len(values) == 0:
+        return []
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if hi <= lo:
+        label = f"[{lo:g}, {lo:g}]"
+        return [Bucket(0.0, label, lo) for _ in values]
+    width = (hi - lo) / n
+    indices = np.clip(((values - lo) / width).astype(int), 0, n - 1)
+    buckets = []
+    for idx in indices:
+        left = lo + idx * width
+        right = left + width
+        mid = (left + right) / 2.0
+        buckets.append(
+            Bucket(sort_key=float(idx), label=f"[{left:g}, {right:g})", value=mid)
+        )
+    return buckets
+
+
+def bin_udf(column: Column, udf: Callable[[float], object]) -> List[Bucket]:
+    """Assign rows to buckets through a user-defined function.
+
+    The UDF receives the raw value and returns a bucket label; labels are
+    ordered by first appearance of their minimum input value so that a
+    monotone UDF (e.g. sign splits) yields a sensibly ordered axis.
+    """
+    labels = [str(udf(v)) for v in column.values]
+    representative: Dict[str, float] = {}
+    if column.ctype is ColumnType.CATEGORICAL:
+        for i, label in enumerate(labels):
+            representative.setdefault(label, float(i))
+    else:
+        for label, raw in zip(labels, column.values):
+            raw = float(raw)
+            if label not in representative or raw < representative[label]:
+                representative[label] = raw
+    return [
+        Bucket(sort_key=representative[label], label=label, value=representative[label])
+        for label in labels
+    ]
+
+
+def group_categorical(column: Column) -> List[Bucket]:
+    """``GROUP BY X`` — one bucket per distinct value, first-appearance order."""
+    if not column.ctype.is_groupable:
+        raise ValidationError(
+            f"GROUP BY requires a categorical or temporal column, got "
+            f"{column.ctype.value} column {column.name!r}"
+        )
+    order: Dict[object, int] = {}
+    for value in column.values:
+        if value not in order:
+            order[value] = len(order)
+    return [
+        Bucket(sort_key=float(order[v]), label=str(v), value=float(order[v]))
+        for v in column.values
+    ]
+
+
+def assign_buckets(buckets: Sequence[Bucket]) -> Tuple[List[Bucket], np.ndarray]:
+    """Deduplicate per-row buckets into distinct buckets + row assignment.
+
+    Returns ``(distinct, assignment)`` where ``distinct`` is sorted by
+    ``sort_key`` and ``assignment[i]`` is the index into ``distinct`` of
+    row ``i``'s bucket.
+    """
+    distinct: Dict[Tuple[float, str], int] = {}
+    ordered: List[Bucket] = []
+    assignment = np.empty(len(buckets), dtype=np.intp)
+    for i, bucket in enumerate(buckets):
+        key = (bucket.sort_key, bucket.label)
+        if key not in distinct:
+            distinct[key] = len(ordered)
+            ordered.append(bucket)
+        assignment[i] = distinct[key]
+    order = sorted(range(len(ordered)), key=lambda j: ordered[j].sort_key)
+    remap = np.empty(len(ordered), dtype=np.intp)
+    for new_pos, old_pos in enumerate(order):
+        remap[old_pos] = new_pos
+    return [ordered[j] for j in order], remap[assignment]

@@ -1,0 +1,215 @@
+"""Query execution: evaluate ``Q(D)`` to produce chart data.
+
+The executor turns a :class:`~repro.language.ast.VisQuery` plus a
+:class:`~repro.dataset.table.Table` into :class:`ChartData` — the
+(x, y) series a renderer would plot and the transformed-column
+statistics (``|X'|``, ``d(X')``, ``d(Y')``) the ranking factors need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..dataset.column import Column, ColumnType
+from ..dataset.table import Table
+from ..errors import ExecutionError, ValidationError
+from .aggregation import aggregate
+from .ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    Transform,
+    VisQuery,
+)
+from .binning import (
+    Bucket,
+    assign_buckets,
+    bin_numeric,
+    bin_temporal,
+    bin_udf,
+    group_categorical,
+)
+
+__all__ = ["ChartData", "execute", "apply_transform"]
+
+
+@dataclass(frozen=True)
+class ChartData:
+    """The materialised result of one visualization query.
+
+    Attributes
+    ----------
+    query:
+        The query that produced this data.
+    x_labels:
+        Tick labels for the x-axis, one per point.
+    x_values:
+        Numeric representatives of the x points (bucket sort keys /
+        midpoints, or raw values when no transform applied).
+    y_values:
+        The y series, one per point.
+    x_is_discrete:
+        True when the x-axis is categorical-like (grouped or categorical
+        raw data) rather than a continuous scale.
+    source_rows:
+        ``|X|`` — the number of source tuples the query consumed.
+    """
+
+    query: VisQuery
+    x_labels: Tuple[str, ...]
+    x_values: Tuple[float, ...]
+    y_values: Tuple[float, ...]
+    x_is_discrete: bool
+    source_rows: int
+
+    # -- transformed-column statistics used by ranking factors ---------
+    @property
+    def transformed_rows(self) -> int:
+        """``|X'|`` — cardinality of the transformed data (points plotted)."""
+        return len(self.x_values)
+
+    @property
+    def distinct_x(self) -> int:
+        """``d(X')`` — distinct transformed x values.
+
+        Falls back to ``x_values`` when labels were elided (continuous
+        raw series built by the enumeration fast path carry no labels).
+        """
+        if self.x_labels:
+            return len(set(self.x_labels))
+        return len(set(self.x_values))
+
+    @property
+    def distinct_y(self) -> int:
+        """``d(Y')`` — distinct transformed y values."""
+        return len(set(self.y_values))
+
+    @property
+    def y_min(self) -> float:
+        return float(min(self.y_values)) if self.y_values else 0.0
+
+    @property
+    def y_max(self) -> float:
+        return float(max(self.y_values)) if self.y_values else 0.0
+
+    def is_empty(self) -> bool:
+        """True when the query produced no points at all."""
+        return len(self.y_values) == 0
+
+
+def apply_transform(
+    transform: Transform, table: Table
+) -> Tuple[List[Bucket], np.ndarray]:
+    """Evaluate a TRANSFORM clause; returns (distinct buckets, assignment)."""
+    if isinstance(transform, GroupBy):
+        per_row = group_categorical(table.column(transform.column))
+    elif isinstance(transform, BinByGranularity):
+        per_row = bin_temporal(table.column(transform.column), transform.granularity)
+    elif isinstance(transform, BinIntoBuckets):
+        per_row = bin_numeric(table.column(transform.column), transform.n)
+    elif isinstance(transform, BinByUDF):
+        per_row = bin_udf(table.column(transform.column), transform.udf)
+    else:
+        raise ValidationError(f"unknown transform {transform!r}")
+    return assign_buckets(per_row)
+
+
+def _raw_series(query: VisQuery, table: Table) -> ChartData:
+    """No TRANSFORM: plot the raw (X, Y) pairs."""
+    x_col = table.column(query.x)
+    y_col = table.column(query.y)
+    if y_col.ctype is not ColumnType.NUMERICAL:
+        raise ValidationError(
+            f"y-axis column {query.y!r} must be numerical when no "
+            f"aggregation is applied"
+        )
+    if x_col.ctype is ColumnType.CATEGORICAL:
+        labels = tuple(str(v) for v in x_col.values)
+        x_values = tuple(float(i) for i in range(len(labels)))
+        discrete = True
+    else:
+        x_values = tuple(float(v) for v in x_col.values)
+        labels = tuple(f"{v:g}" for v in x_values)
+        discrete = False
+    return ChartData(
+        query=query,
+        x_labels=labels,
+        x_values=x_values,
+        y_values=tuple(float(v) for v in y_col.values),
+        x_is_discrete=discrete,
+        source_rows=table.num_rows,
+    )
+
+
+def _ordered(data: ChartData, order: Optional[OrderBy]) -> ChartData:
+    """Apply the ORDER BY clause by permuting the chart points."""
+    if order is None or data.is_empty():
+        return data
+    if order.target is OrderTarget.X:
+        keys = np.asarray(data.x_values, dtype=np.float64)
+    else:
+        keys = np.asarray(data.y_values, dtype=np.float64)
+    permutation = np.argsort(keys, kind="stable")
+    if order.descending:
+        permutation = permutation[::-1]
+    return ChartData(
+        query=data.query,
+        x_labels=tuple(data.x_labels[i] for i in permutation),
+        x_values=tuple(data.x_values[i] for i in permutation),
+        y_values=tuple(data.y_values[i] for i in permutation),
+        x_is_discrete=data.x_is_discrete,
+        source_rows=data.source_rows,
+    )
+
+
+def execute(query: VisQuery, table: Table) -> ChartData:
+    """Evaluate ``Q(D)``: transform, aggregate, order, and package.
+
+    Raises
+    ------
+    ValidationError
+        When the query is semantically invalid for the table's types.
+    ExecutionError
+        When evaluation fails despite a valid query (e.g. empty table for
+        a chart that needs data).
+    """
+    if query.x not in table or query.y not in table:
+        missing = query.x if query.x not in table else query.y
+        raise ValidationError(
+            f"query references column {missing!r} absent from table "
+            f"{table.name!r}"
+        )
+    if table.num_rows == 0:
+        raise ExecutionError(f"table {table.name!r} is empty")
+
+    if query.transform is None:
+        return _ordered(_raw_series(query, table), query.order)
+
+    transform_col = getattr(query.transform, "column", None)
+    if transform_col != query.x:
+        raise ValidationError(
+            f"TRANSFORM targets {transform_col!r} but SELECT's x is {query.x!r}"
+        )
+
+    buckets, assignment = apply_transform(query.transform, table)
+    y_col = table.column(query.y) if query.aggregate is not AggregateOp.CNT else None
+    y_values = aggregate(query.aggregate, assignment, len(buckets), y_col)
+
+    discrete = isinstance(query.transform, (GroupBy, BinByUDF))
+    data = ChartData(
+        query=query,
+        x_labels=tuple(b.label for b in buckets),
+        x_values=tuple(b.value for b in buckets),
+        y_values=tuple(float(v) for v in y_values),
+        x_is_discrete=discrete,
+        source_rows=table.num_rows,
+    )
+    return _ordered(data, query.order)

@@ -1,0 +1,172 @@
+"""Text parser for the visualization language (Figure 2 syntax).
+
+Example accepted query (the paper's Q1)::
+
+    VISUALIZE line
+    SELECT scheduled, AVG(departure delay)
+    FROM flights
+    BIN scheduled BY HOUR
+    ORDER BY scheduled
+
+The parser is line-oriented and case-insensitive on keywords.  Column
+names may contain spaces (as in the paper's ``departure delay``); commas
+separate the two SELECT expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from ..errors import ParseError
+from .ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    Transform,
+    VisQuery,
+)
+
+__all__ = ["parse_query", "ParsedQuery"]
+
+_AGG_PATTERN = re.compile(
+    r"^(SUM|AVG|CNT|COUNT)\s*\((?P<col>.+)\)$", re.IGNORECASE
+)
+
+
+class ParsedQuery:
+    """A parsed query plus the FROM table name (the AST drops it)."""
+
+    def __init__(self, query: VisQuery, table_name: str) -> None:
+        self.query = query
+        self.table_name = table_name
+
+
+def _strip(text: str) -> str:
+    return text.strip().strip('"').strip()
+
+
+def _parse_select(body: str, line_no: int) -> Tuple[str, str, Optional[AggregateOp]]:
+    parts = [p for p in (s.strip() for s in body.split(",")) if p]
+    if len(parts) != 2:
+        raise ParseError(
+            f"SELECT expects exactly two expressions, got {len(parts)}", line_no
+        )
+    x = _strip(parts[0])
+    match = _AGG_PATTERN.match(parts[1])
+    if match:
+        op_text = match.group(1).upper()
+        op = AggregateOp.CNT if op_text == "COUNT" else AggregateOp(op_text)
+        return x, _strip(match.group("col")), op
+    return x, _strip(parts[1]), None
+
+
+def _parse_transform(line: str, line_no: int, x: str) -> Transform:
+    upper = line.upper()
+    if upper.startswith("GROUP BY"):
+        column = _strip(line[len("GROUP BY"):])
+        return GroupBy(column or x)
+    if not upper.startswith("BIN "):
+        raise ParseError(f"unrecognised TRANSFORM clause: {line!r}", line_no)
+    body = line[4:].strip()
+    into_match = re.match(r"^(?P<col>.+?)\s+INTO\s+(?P<n>\d+)$", body, re.IGNORECASE)
+    if into_match:
+        return BinIntoBuckets(_strip(into_match.group("col")), int(into_match.group("n")))
+    by_match = re.match(r"^(?P<col>.+?)\s+BY\s+(?P<gran>\w+)$", body, re.IGNORECASE)
+    if by_match:
+        gran_text = by_match.group("gran").upper()
+        try:
+            granularity = BinGranularity(gran_text)
+        except ValueError:
+            raise ParseError(
+                f"unknown bin granularity {gran_text!r}; expected one of "
+                f"{[g.value for g in BinGranularity]}",
+                line_no,
+            ) from None
+        return BinByGranularity(_strip(by_match.group("col")), granularity)
+    raise ParseError(f"unrecognised BIN clause: {line!r}", line_no)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse the textual visualization language into a :class:`VisQuery`.
+
+    Raises :class:`~repro.errors.ParseError` with the offending line
+    number on malformed input.
+    """
+    chart: Optional[ChartType] = None
+    x = y = table_name = None
+    aggregate: Optional[AggregateOp] = None
+    transform: Optional[Transform] = None
+    order: Optional[OrderBy] = None
+
+    lines = [ln.strip() for ln in text.strip().splitlines()]
+    for line_no, line in enumerate(lines, start=1):
+        if not line or line.startswith("--"):
+            continue
+        upper = line.upper()
+        if upper.startswith("VISUALIZE"):
+            kind = line[len("VISUALIZE"):].strip().lower()
+            try:
+                chart = ChartType(kind)
+            except ValueError:
+                raise ParseError(
+                    f"unknown chart type {kind!r}; expected one of "
+                    f"{[c.value for c in ChartType]}",
+                    line_no,
+                ) from None
+        elif upper.startswith("SELECT"):
+            x, y, aggregate = _parse_select(line[len("SELECT"):], line_no)
+        elif upper.startswith("FROM"):
+            table_name = _strip(line[len("FROM"):])
+        elif upper.startswith("ORDER BY"):
+            body = line[len("ORDER BY"):].strip()
+            descending = False
+            if body.upper().endswith(" DESC"):
+                descending = True
+                body = body[: -len(" DESC")].strip()
+            elif body.upper().endswith(" ASC"):
+                body = body[: -len(" ASC")].strip()
+            column = _strip(body)
+            if x is None or y is None:
+                raise ParseError("ORDER BY must follow SELECT", line_no)
+            if column == x or column.upper() == "X":
+                order = OrderBy(OrderTarget.X, descending)
+            elif column == y or column.upper() == "Y":
+                order = OrderBy(OrderTarget.Y, descending)
+            else:
+                raise ParseError(
+                    f"ORDER BY column {column!r} is neither selected column "
+                    f"({x!r}, {y!r})",
+                    line_no,
+                )
+        elif upper.startswith(("BIN", "GROUP BY")):
+            if x is None:
+                raise ParseError("TRANSFORM must follow SELECT", line_no)
+            transform = _parse_transform(line, line_no, x)
+        else:
+            raise ParseError(f"unrecognised clause: {line!r}", line_no)
+
+    if chart is None:
+        raise ParseError("missing mandatory VISUALIZE clause")
+    if x is None or y is None:
+        raise ParseError("missing mandatory SELECT clause")
+    if table_name is None:
+        raise ParseError("missing mandatory FROM clause")
+    if transform is not None and aggregate is None:
+        # The language requires an aggregate with a transform; COUNT is the
+        # universal default (valid for any Y type).
+        aggregate = AggregateOp.CNT
+    if transform is None and aggregate is not None:
+        raise ParseError(
+            "aggregation in SELECT requires a TRANSFORM clause (BIN/GROUP BY)"
+        )
+
+    query = VisQuery(
+        chart=chart, x=x, y=y, transform=transform, aggregate=aggregate, order=order
+    )
+    return ParsedQuery(query, table_name)

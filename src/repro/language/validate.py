@@ -1,0 +1,98 @@
+"""Pre-execution query validation with full problem lists.
+
+The executor raises on the *first* semantic error; interactive callers
+(the CLI, notebooks) want *all* problems at once with readable
+messages.  :func:`validate_query` checks a query against a table's
+schema and types and returns every issue found; an empty list means the
+query will execute.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dataset.column import ColumnType
+from ..dataset.table import Table
+from .ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    VisQuery,
+)
+
+__all__ = ["validate_query"]
+
+
+def validate_query(query: VisQuery, table: Table) -> List[str]:
+    """Every reason ``execute(query, table)`` would fail, as messages."""
+    problems: List[str] = []
+
+    missing = [name for name in (query.x, query.y) if name not in table]
+    for name in missing:
+        problems.append(
+            f"column {name!r} does not exist (available: "
+            f"{', '.join(table.column_names)})"
+        )
+    if missing:
+        return problems  # type checks below need the columns
+
+    x = table.column(query.x)
+    y = table.column(query.y)
+
+    if table.num_rows == 0:
+        problems.append("the table has no rows")
+
+    transform = query.transform
+    if transform is None:
+        if y.ctype is not ColumnType.NUMERICAL:
+            problems.append(
+                f"raw plots need a numerical y column; {query.y!r} is "
+                f"{y.ctype.value}"
+            )
+    else:
+        target = getattr(transform, "column", None)
+        if target != query.x:
+            problems.append(
+                f"TRANSFORM targets {target!r} but SELECT's x is {query.x!r}"
+            )
+        if isinstance(transform, GroupBy) and not x.ctype.is_groupable:
+            problems.append(
+                f"cannot GROUP BY numerical column {query.x!r}; bin it instead"
+            )
+        if isinstance(transform, BinByGranularity) and x.ctype is not ColumnType.TEMPORAL:
+            problems.append(
+                f"BIN BY {transform.granularity.value} needs a temporal "
+                f"column; {query.x!r} is {x.ctype.value}"
+            )
+        if isinstance(transform, BinIntoBuckets):
+            if x.ctype is not ColumnType.NUMERICAL:
+                problems.append(
+                    f"BIN INTO needs a numerical column; {query.x!r} is "
+                    f"{x.ctype.value}"
+                )
+            if transform.n < 1:
+                problems.append(f"BIN INTO {transform.n}: need at least 1 bucket")
+        if isinstance(transform, BinByUDF) and x.ctype is ColumnType.CATEGORICAL:
+            problems.append(
+                f"BIN BY UDF over categorical column {query.x!r} is not "
+                f"meaningful; group it instead"
+            )
+        if (
+            query.aggregate in (AggregateOp.AVG, AggregateOp.SUM)
+            and y.ctype is not ColumnType.NUMERICAL
+        ):
+            problems.append(
+                f"{query.aggregate.value} needs a numerical y column; "
+                f"{query.y!r} is {y.ctype.value}"
+            )
+
+    if query.chart is ChartType.PIE and query.aggregate is AggregateOp.AVG:
+        problems.append(
+            "pie charts with AVG make no part-to-whole sense "
+            "(the significance score will be zero)"
+        )
+    return problems

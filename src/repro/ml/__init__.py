@@ -1,0 +1,43 @@
+"""From-scratch ML substrate: trees, Bayes, SVM, boosting, LambdaMART."""
+
+from .bayes import GaussianNaiveBayes
+from .boosting import GradientBoostedRegressor
+from .lambdamart import LambdaMART, RankingDataset
+from .metrics import (
+    accuracy,
+    confusion_matrix,
+    dcg_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    ndcg_of_ranking,
+    precision_recall_f1,
+)
+from .model_selection import KFold, cross_val_score, train_test_split
+from .preprocessing import OneHotEncoder, StandardScaler
+from .ranknet import RankNet
+from .svm import LinearSVM
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeNode
+
+__all__ = [
+    "GaussianNaiveBayes",
+    "GradientBoostedRegressor",
+    "LambdaMART",
+    "RankingDataset",
+    "accuracy",
+    "confusion_matrix",
+    "dcg_at_k",
+    "kendall_tau",
+    "ndcg_at_k",
+    "ndcg_of_ranking",
+    "precision_recall_f1",
+    "KFold",
+    "cross_val_score",
+    "train_test_split",
+    "OneHotEncoder",
+    "StandardScaler",
+    "RankNet",
+    "LinearSVM",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "TreeNode",
+]

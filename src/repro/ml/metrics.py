@@ -1,0 +1,146 @@
+"""Evaluation metrics used in the paper's Section VI.
+
+Classification: precision / recall / F-measure (Figures 10, Tables VII
+and VIII).  Ranking: normalized discounted cumulative gain (NDCG),
+the measure behind Figure 11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = [
+    "accuracy",
+    "precision_recall_f1",
+    "confusion_matrix",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "ndcg_of_ranking",
+    "kendall_tau",
+]
+
+
+def _aligned(y_true, y_pred):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ModelError(
+            f"y_true has {len(y_true)} items but y_pred has {len(y_pred)}"
+        )
+    if len(y_true) == 0:
+        raise ModelError("cannot score empty predictions")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, positive=True) -> Dict[str, int]:
+    """Binary confusion counts: tp / fp / tn / fn for the positive label."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    true_pos = y_true == positive
+    pred_pos = y_pred == positive
+    return {
+        "tp": int(np.sum(true_pos & pred_pos)),
+        "fp": int(np.sum(~true_pos & pred_pos)),
+        "tn": int(np.sum(~true_pos & ~pred_pos)),
+        "fn": int(np.sum(true_pos & ~pred_pos)),
+    }
+
+
+def precision_recall_f1(y_true, y_pred, positive=True) -> Dict[str, float]:
+    """Precision, recall and F-measure of the positive class.
+
+    Degenerate denominators (no predicted / no actual positives) score 0,
+    matching the convention of standard toolkits.
+    """
+    counts = confusion_matrix(y_true, y_pred, positive)
+    tp, fp, fn = counts["tp"], counts["fp"], counts["fn"]
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def dcg_at_k(gains: Sequence[float], k: Optional[int] = None) -> float:
+    """Discounted cumulative gain: sum of gain_i / log2(i + 1), 1-indexed."""
+    gains = np.asarray(gains, dtype=np.float64)
+    if k is not None:
+        gains = gains[:k]
+    if len(gains) == 0:
+        return 0.0
+    discounts = np.log2(np.arange(2, len(gains) + 2))
+    return float(np.sum(gains / discounts))
+
+
+def ndcg_at_k(gains_in_rank_order: Sequence[float], k: Optional[int] = None) -> float:
+    """NDCG: DCG of the produced order divided by the ideal DCG.
+
+    ``gains_in_rank_order[i]`` is the true relevance of the item the
+    system placed at position ``i``.  Returns 1.0 for a perfect ranking
+    and 1.0 (by convention) when all gains are zero.
+    """
+    gains = np.asarray(gains_in_rank_order, dtype=np.float64)
+    ideal = np.sort(gains)[::-1]
+    ideal_dcg = dcg_at_k(ideal, k)
+    if ideal_dcg <= 0:
+        return 1.0
+    return dcg_at_k(gains, k) / ideal_dcg
+
+
+def ndcg_of_ranking(
+    predicted_order: Sequence[int],
+    relevance: Sequence[float],
+    k: Optional[int] = None,
+) -> float:
+    """NDCG of an explicit item ordering against per-item relevance.
+
+    ``predicted_order`` lists item indices best-first; ``relevance[j]`` is
+    item ``j``'s graded relevance.
+    """
+    relevance = np.asarray(relevance, dtype=np.float64)
+    gains = [relevance[i] for i in predicted_order]
+    remaining = [relevance[j] for j in range(len(relevance)) if j not in set(predicted_order)]
+    # Items the ranker dropped count as zero-gain tail positions.
+    gains.extend([0.0] * len(remaining))
+    ideal = np.sort(relevance)[::-1]
+    ideal_dcg = dcg_at_k(ideal, k)
+    if ideal_dcg <= 0:
+        return 1.0
+    return dcg_at_k(gains, k) / ideal_dcg
+
+
+def kendall_tau(order_a: Sequence[int], order_b: Sequence[int]) -> float:
+    """Kendall rank correlation between two permutations of the same items.
+
+    Used by tests and ablations to compare ranking engines; 1.0 means
+    identical order, -1.0 fully reversed.
+    """
+    items = list(order_a)
+    if sorted(items) != sorted(order_b):
+        raise ModelError("orders must be permutations of the same items")
+    position_b = {item: i for i, item in enumerate(order_b)}
+    n = len(items)
+    if n < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            delta = position_b[items[i]] - position_b[items[j]]
+            if delta < 0:
+                concordant += 1
+            elif delta > 0:
+                discordant += 1
+    total = n * (n - 1) / 2
+    return (concordant - discordant) / total

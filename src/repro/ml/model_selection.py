@@ -1,0 +1,109 @@
+"""Train/test splitting and cross-validation helpers.
+
+The paper trains on 32 datasets and tests on 10, and also reports that
+"cross validation ... got similar results"; these utilities support both
+protocols for the from-scratch models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["train_test_split", "KFold", "cross_val_score"]
+
+
+def train_test_split(
+    X,
+    y,
+    test_fraction: float = 0.25,
+    random_state: Optional[int] = 0,
+    stratify: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split arrays into train and test parts.
+
+    With ``stratify=True`` the class proportions of ``y`` are preserved
+    in both parts (needed for the heavily imbalanced good/bad labels:
+    2,520 good vs 30,892 bad in the paper).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ModelError("X and y must be aligned")
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(random_state)
+
+    if stratify:
+        test_idx: List[int] = []
+        train_idx: List[int] = []
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            members = members[rng.permutation(len(members))]
+            n_test = max(1, int(round(test_fraction * len(members))))
+            if n_test >= len(members):
+                n_test = len(members) - 1
+            test_idx.extend(members[:n_test])
+            train_idx.extend(members[n_test:])
+        train = np.asarray(sorted(train_idx))
+        test = np.asarray(sorted(test_idx))
+    else:
+        permutation = rng.permutation(len(X))
+        n_test = max(1, int(round(test_fraction * len(X))))
+        test = permutation[:n_test]
+        train = permutation[n_test:]
+    return X[train], X[test], y[train], y[test]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = 0) -> None:
+        if n_splits < 2:
+            raise ModelError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ModelError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            indices = rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield np.sort(train), np.sort(test)
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    X,
+    y,
+    scorer: Callable[[Sequence, Sequence], float],
+    n_splits: int = 5,
+    random_state: Optional[int] = 0,
+) -> List[float]:
+    """Fit a fresh model per fold and score it on the held-out fold.
+
+    ``model_factory`` builds an unfitted model exposing ``fit``/``predict``;
+    ``scorer(y_true, y_pred)`` returns a float.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train, test in KFold(n_splits, random_state=random_state).split(len(X)):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        predictions = model.predict(X[test])
+        scores.append(float(scorer(y[test], predictions)))
+    return scores

@@ -1,0 +1,117 @@
+"""Feature preprocessing: standardisation and categorical encoding.
+
+The recognition feature vector mixes continuous statistics (cardinality,
+ratios, correlation) with categorical codes (column types, chart type).
+SVM and Bayes need standardized continuous inputs; the encoders here
+turn the mixed vector into a pure numeric matrix deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+__all__ = ["StandardScaler", "OneHotEncoder", "polynomial_features"]
+
+
+def polynomial_features(X, degree: int = 2) -> np.ndarray:
+    """Degree-2 polynomial expansion: [x, x_i * x_j for i <= j].
+
+    A cheap explicit feature map that lets a *linear* model (the Pegasos
+    SVM) express pairwise interactions and squared terms — the standard
+    trick when a kernel machine is too slow and the input is low-
+    dimensional.  Only degree 2 is supported.
+    """
+    if degree != 2:
+        raise ModelError(f"only degree=2 is supported, got {degree}")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    n, d = X.shape
+    blocks = [X]
+    for i in range(d):
+        blocks.append(X[:, i:] * X[:, i : i + 1])
+    return np.hstack(blocks)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling, with constant columns left at 0."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        """Learn per-feature means and scales."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None:
+            raise NotFittedError(type(self).__name__)
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit on ``X`` and return its standardised form."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Undo :meth:`transform` back to the original units."""
+        if self.mean_ is None:
+            raise NotFittedError(type(self).__name__)
+        X = np.asarray(X, dtype=np.float64)
+        return X * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encoding of string/categorical feature columns.
+
+    Unknown categories at transform time encode as the all-zero vector
+    rather than raising, because test datasets may contain chart/type
+    combinations absent from training.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: Optional[List[List[str]]] = None
+        self._index: Optional[List[Dict[str, int]]] = None
+
+    def fit(self, columns: Sequence[Sequence[str]]) -> "OneHotEncoder":
+        """``columns`` is a list of per-feature value sequences."""
+        self.categories_ = [sorted(set(map(str, col))) for col in columns]
+        self._index = [
+            {cat: i for i, cat in enumerate(cats)} for cats in self.categories_
+        ]
+        return self
+
+    def transform(self, columns: Sequence[Sequence[str]]) -> np.ndarray:
+        """One-hot encode the given per-feature value sequences."""
+        if self.categories_ is None:
+            raise NotFittedError(type(self).__name__)
+        if len(columns) != len(self.categories_):
+            raise ModelError(
+                f"expected {len(self.categories_)} categorical columns, "
+                f"got {len(columns)}"
+            )
+        blocks = []
+        for values, cats, index in zip(columns, self.categories_, self._index):
+            block = np.zeros((len(values), len(cats)))
+            for row, value in enumerate(map(str, values)):
+                position = index.get(value)
+                if position is not None:
+                    block[row, position] = 1.0
+            blocks.append(block)
+        return np.hstack(blocks) if blocks else np.zeros((0, 0))
+
+    def fit_transform(self, columns: Sequence[Sequence[str]]) -> np.ndarray:
+        """Fit the categories and encode in one call."""
+        return self.fit(columns).transform(columns)

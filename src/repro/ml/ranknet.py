@@ -1,0 +1,142 @@
+"""RankNet [Burges et al. 2005] — pairwise neural learning-to-rank.
+
+The paper's learning-to-rank citation [10] is RankNet: a scoring
+network f(x) trained so that for each within-query pair with
+``rel_i > rel_j`` the probability
+
+    P(i > j) = sigmoid(f(x_i) - f(x_j))
+
+matches the observed preference, by minimising pairwise cross-entropy.
+This implementation is a one-hidden-layer tanh MLP with manual
+backpropagation over mini-batches of preference pairs — small, exact,
+and dependency-free.  LambdaMART (:mod:`repro.ml.lambdamart`) remains
+the primary ranker; RankNet exists for the model-family ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .lambdamart import RankingDataset
+
+__all__ = ["RankNet"]
+
+
+class RankNet:
+    """One-hidden-layer RankNet with pairwise cross-entropy loss."""
+
+    def __init__(
+        self,
+        hidden_units: int = 16,
+        learning_rate: float = 0.02,
+        epochs: int = 40,
+        batch_pairs: int = 128,
+        l2: float = 1e-4,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        if hidden_units < 1:
+            raise ModelError(f"hidden_units must be >= 1, got {hidden_units}")
+        if epochs < 1:
+            raise ModelError(f"epochs must be >= 1, got {epochs}")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_pairs = batch_pairs
+        self.l2 = l2
+        self.random_state = random_state
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (hidden activations, scalar scores)."""
+        hidden = np.tanh(X @ self.W1_ + self.b1_)
+        scores = hidden @ self.W2_ + self.b2_
+        return hidden, scores.ravel()
+
+    @staticmethod
+    def _pairs_of(relevance: np.ndarray, indices: np.ndarray) -> List[Tuple[int, int]]:
+        pairs = []
+        for a_pos in range(len(indices)):
+            for b_pos in range(len(indices)):
+                i, j = indices[a_pos], indices[b_pos]
+                if relevance[i] > relevance[j]:
+                    pairs.append((i, j))
+        return pairs
+
+    def fit(self, data: RankingDataset) -> "RankNet":
+        """Train on all within-group preference pairs by mini-batch SGD."""
+        X = np.asarray(data.X, dtype=np.float64)
+        n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+
+        # Standardise internally (the network is scale-sensitive).
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._scale = np.where(std > 1e-12, std, 1.0)
+        Z = (X - self._mean) / self._scale
+
+        limit = 1.0 / np.sqrt(n_features)
+        self.W1_ = rng.uniform(-limit, limit, size=(n_features, self.hidden_units))
+        self.b1_ = np.zeros(self.hidden_units)
+        self.W2_ = rng.uniform(-0.5, 0.5, size=(self.hidden_units, 1))
+        self.b2_ = 0.0
+
+        all_pairs: List[Tuple[int, int]] = []
+        for group in data.groups():
+            all_pairs.extend(self._pairs_of(data.relevance, group))
+        if not all_pairs:
+            self._fitted = True
+            return self
+        pairs = np.asarray(all_pairs, dtype=np.intp)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(pairs))
+            for start in range(0, len(pairs), self.batch_pairs):
+                batch = pairs[order[start : start + self.batch_pairs]]
+                winners, losers = batch[:, 0], batch[:, 1]
+
+                hidden_w, score_w = self._forward(Z[winners])
+                hidden_l, score_l = self._forward(Z[losers])
+                # d(loss)/d(score_diff) for -log sigmoid(diff).
+                diff = np.clip(score_w - score_l, -60, 60)
+                gradient = -1.0 / (1.0 + np.exp(diff))  # shape (batch,)
+
+                # Backprop through both branches (winner +g, loser -g).
+                self._backward(Z[winners], hidden_w, gradient)
+                self._backward(Z[losers], hidden_l, -gradient)
+        self._fitted = True
+        return self
+
+    def _backward(self, Z: np.ndarray, hidden: np.ndarray, gradient: np.ndarray) -> None:
+        """One SGD step for one branch of the pair loss."""
+        batch = len(Z)
+        if batch == 0:
+            return
+        g = gradient[:, None]  # (batch, 1)
+        grad_W2 = hidden.T @ g / batch + self.l2 * self.W2_
+        grad_b2 = float(g.mean())
+        # dL/dhidden = g * W2^T ; through tanh: * (1 - hidden^2).
+        d_hidden = (g @ self.W2_.T) * (1.0 - hidden**2)
+        grad_W1 = Z.T @ d_hidden / batch + self.l2 * self.W1_
+        grad_b1 = d_hidden.mean(axis=0)
+
+        self.W2_ -= self.learning_rate * grad_W2
+        self.b2_ -= self.learning_rate * grad_b2
+        self.W1_ -= self.learning_rate * grad_W1
+        self.b1_ -= self.learning_rate * grad_b1
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Ranking scores; higher means ranked better."""
+        if not self._fitted:
+            raise NotFittedError(type(self).__name__)
+        X = np.asarray(X, dtype=np.float64)
+        Z = (X - self._mean) / self._scale
+        return self._forward(Z)[1]
+
+    def rank(self, X) -> np.ndarray:
+        """Item indices best-first."""
+        return np.argsort(-self.predict(X), kind="stable")

@@ -1,0 +1,105 @@
+"""Linear soft-margin SVM trained with Pegasos (the paper's SVM baseline).
+
+Pegasos [Shalev-Shwartz et al. 2007] is projected stochastic sub-gradient
+descent on the primal hinge-loss objective::
+
+    min_w  (lambda/2) ||w||^2 + (1/n) sum max(0, 1 - y_i <w, x_i>)
+
+It needs no QP solver, converges in O(1/(lambda * epsilon)) iterations,
+and on standardized features matches library linear SVMs closely — which
+is all the recognition benchmark requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """Binary linear SVM with hinge loss.
+
+    Class labels may be arbitrary; internally they map to {-1, +1}.
+    ``decision_function`` exposes the signed margin so the classifier can
+    be thresholded or calibrated downstream.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1e-3,
+        epochs: int = 30,
+        random_state: Optional[int] = 0,
+        fit_intercept: bool = True,
+    ) -> None:
+        if lam <= 0:
+            raise ModelError(f"lam must be > 0, got {lam}")
+        if epochs < 1:
+            raise ModelError(f"epochs must be >= 1, got {epochs}")
+        self.lam = lam
+        self.epochs = epochs
+        self.random_state = random_state
+        self.fit_intercept = fit_intercept
+        self.w_: Optional[np.ndarray] = None
+        self.b_: float = 0.0
+
+    def fit(self, X, y, sample_weight=None) -> "LinearSVM":
+        """Run Pegasos SGD on the (weighted) hinge-loss objective."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ModelError("X must be 2-D and aligned with y")
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ModelError(
+                f"LinearSVM is binary; got {len(self.classes_)} classes"
+            )
+        signs = np.where(y == self.classes_[1], 1.0, -1.0)
+        weights = (
+            np.ones(len(X))
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        # Weighted sampling keeps the expected sub-gradient equal to the
+        # weighted objective's gradient.
+        probabilities = weights / weights.sum()
+
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        t = 0
+        total_steps = self.epochs * n
+        order = rng.choice(n, size=total_steps, p=probabilities)
+        for i in order:
+            t += 1
+            eta = 1.0 / (self.lam * t)
+            margin = signs[i] * (X[i] @ w + b)
+            w *= 1.0 - eta * self.lam
+            if margin < 1.0:
+                w += eta * signs[i] * X[i]
+                if self.fit_intercept:
+                    b += eta * signs[i]
+            # Projection onto the ball of radius 1/sqrt(lambda).
+            norm = np.linalg.norm(w)
+            radius = 1.0 / np.sqrt(self.lam)
+            if norm > radius:
+                w *= radius / norm
+        self.w_, self.b_ = w, b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed distance to the separating hyperplane."""
+        if self.w_ is None:
+            raise NotFittedError(type(self).__name__)
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.w_ + self.b_
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted class labels (ties break toward the negative class)."""
+        scores = self.decision_function(X)
+        return np.where(scores > 0, self.classes_[1], self.classes_[0])

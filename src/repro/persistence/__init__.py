@@ -1,0 +1,28 @@
+"""Model persistence: JSON round-trips for every trained component."""
+
+from .pipeline_io import (
+    load_ltr,
+    load_recognizer,
+    ltr_from_dict,
+    ltr_to_dict,
+    recognizer_from_dict,
+    recognizer_to_dict,
+    save_ltr,
+    save_recognizer,
+)
+from .serialization import from_dict, load_model, save_model, to_dict
+
+__all__ = [
+    "from_dict",
+    "to_dict",
+    "save_model",
+    "load_model",
+    "recognizer_to_dict",
+    "recognizer_from_dict",
+    "ltr_to_dict",
+    "ltr_from_dict",
+    "save_recognizer",
+    "load_recognizer",
+    "save_ltr",
+    "load_ltr",
+]

@@ -1,0 +1,112 @@
+"""Persistence for the pipeline-level wrappers (recognizer, LTR ranker).
+
+Builds on :mod:`repro.persistence.serialization` to round-trip the
+trained online components of a DeepEye deployment: the recognition
+classifier (with its scaler and configuration) and the LambdaMART
+ranker, so "train offline, ship online" works across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.ltr import LearningToRankRanker
+from ..core.recognition import VisualizationRecognizer
+from ..errors import ReproError
+from .serialization import from_dict, to_dict
+
+__all__ = [
+    "recognizer_to_dict",
+    "recognizer_from_dict",
+    "ltr_to_dict",
+    "ltr_from_dict",
+    "save_recognizer",
+    "load_recognizer",
+    "save_ltr",
+    "load_ltr",
+]
+
+
+def recognizer_to_dict(recognizer: VisualizationRecognizer) -> Dict:
+    """Serialise a fitted recognizer (model + scaler + config)."""
+    if not recognizer._fitted:
+        raise ReproError("cannot serialise an unfitted recognizer")
+    return {
+        "kind": "visualization_recognizer",
+        "model_name": recognizer.model_name,
+        "extended_features": recognizer.extended_features,
+        "balance_classes": recognizer.balance_classes,
+        "random_state": recognizer.random_state,
+        "model": to_dict(recognizer._model),
+        "scaler": None if recognizer._scaler is None else to_dict(recognizer._scaler),
+    }
+
+
+def recognizer_from_dict(payload: Dict) -> VisualizationRecognizer:
+    """Rebuild a recognizer from :func:`recognizer_to_dict` output."""
+    if payload.get("kind") != "visualization_recognizer":
+        raise ReproError(f"not a serialised recognizer: {payload.get('kind')!r}")
+    recognizer = VisualizationRecognizer(
+        model=payload["model_name"],
+        extended_features=payload["extended_features"],
+        balance_classes=payload["balance_classes"],
+        random_state=payload["random_state"],
+    )
+    recognizer._model = from_dict(payload["model"])
+    if payload["scaler"] is not None:
+        recognizer._scaler = from_dict(payload["scaler"])
+    recognizer._fitted = True
+    return recognizer
+
+
+def ltr_to_dict(ranker: LearningToRankRanker) -> Dict:
+    """Serialise a fitted learning-to-rank ranker."""
+    if not ranker._fitted:
+        raise ReproError("cannot serialise an unfitted LTR ranker")
+    return {
+        "kind": "learning_to_rank_ranker",
+        "extended_features": ranker.extended_features,
+        "model": to_dict(ranker._model),
+    }
+
+
+def ltr_from_dict(payload: Dict) -> LearningToRankRanker:
+    """Rebuild an LTR ranker from :func:`ltr_to_dict` output."""
+    if payload.get("kind") != "learning_to_rank_ranker":
+        raise ReproError(f"not a serialised LTR ranker: {payload.get('kind')!r}")
+    ranker = LearningToRankRanker(extended_features=payload["extended_features"])
+    ranker._model = from_dict(payload["model"])
+    ranker._fitted = True
+    return ranker
+
+
+def _save(payload: Dict, path: Union[str, Path]) -> None:
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def _load(path: Union[str, Path]) -> Dict:
+    with Path(path).open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_recognizer(recognizer: VisualizationRecognizer, path: Union[str, Path]) -> None:
+    """Write a fitted recognizer to a JSON file."""
+    _save(recognizer_to_dict(recognizer), path)
+
+
+def load_recognizer(path: Union[str, Path]) -> VisualizationRecognizer:
+    """Load a recognizer written by :func:`save_recognizer`."""
+    return recognizer_from_dict(_load(path))
+
+
+def save_ltr(ranker: LearningToRankRanker, path: Union[str, Path]) -> None:
+    """Write a fitted LTR ranker to a JSON file."""
+    _save(ltr_to_dict(ranker), path)
+
+
+def load_ltr(path: Union[str, Path]) -> LearningToRankRanker:
+    """Load an LTR ranker written by :func:`save_ltr`."""
+    return ltr_from_dict(_load(path))

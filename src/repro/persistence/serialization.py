@@ -1,0 +1,250 @@
+"""JSON (de)serialization for trained models.
+
+DeepEye's offline component retrains "periodically when there are more
+examples available" (Section II-C) — which means trained models must
+outlive the process.  This module round-trips every from-scratch model
+through plain JSON-compatible dicts (no pickle: the format is stable,
+diffable, and safe to load).
+
+Entry points: :func:`save_model` / :func:`load_model` for files, and
+``to_dict`` / ``from_dict`` per model type.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from ..ml.bayes import GaussianNaiveBayes
+from ..ml.lambdamart import LambdaMART
+from ..ml.preprocessing import StandardScaler
+from ..ml.svm import LinearSVM
+from ..ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeNode
+
+__all__ = ["to_dict", "from_dict", "save_model", "load_model"]
+
+
+# ----------------------------------------------------------------------
+# Tree nodes
+# ----------------------------------------------------------------------
+def _node_to_dict(node: Optional[TreeNode]) -> Optional[Dict]:
+    if node is None:
+        return None
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "value": None if node.value is None else [float(v) for v in node.value],
+        "n_samples": node.n_samples,
+        "impurity": node.impurity,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(payload: Optional[Dict]) -> Optional[TreeNode]:
+    if payload is None:
+        return None
+    node = TreeNode(
+        feature=payload["feature"],
+        threshold=payload["threshold"],
+        value=None if payload["value"] is None else np.asarray(payload["value"]),
+        n_samples=payload["n_samples"],
+        impurity=payload["impurity"],
+    )
+    node.left = _node_from_dict(payload["left"])
+    node.right = _node_from_dict(payload["right"])
+    return node
+
+
+# ----------------------------------------------------------------------
+# Per-model encoders
+# ----------------------------------------------------------------------
+def _tree_classifier_to_dict(model: DecisionTreeClassifier) -> Dict:
+    return {
+        "kind": "decision_tree_classifier",
+        "params": {
+            "max_depth": model.max_depth,
+            "min_samples_split": model.min_samples_split,
+            "min_samples_leaf": model.min_samples_leaf,
+        },
+        "classes": [_jsonable(c) for c in model.classes_],
+        "n_features": model.n_features_,
+        "root": _node_to_dict(model.root_),
+    }
+
+
+def _tree_classifier_from_dict(payload: Dict) -> DecisionTreeClassifier:
+    model = DecisionTreeClassifier(**payload["params"])
+    model.classes_ = np.asarray(payload["classes"])
+    model._n_classes = len(model.classes_)
+    model.n_features_ = payload["n_features"]
+    model.root_ = _node_from_dict(payload["root"])
+    return model
+
+
+def _tree_regressor_to_dict(model: DecisionTreeRegressor) -> Dict:
+    return {
+        "kind": "decision_tree_regressor",
+        "params": {
+            "max_depth": model.max_depth,
+            "min_samples_split": model.min_samples_split,
+            "min_samples_leaf": model.min_samples_leaf,
+        },
+        "n_features": model.n_features_,
+        "root": _node_to_dict(model.root_),
+    }
+
+
+def _tree_regressor_from_dict(payload: Dict) -> DecisionTreeRegressor:
+    model = DecisionTreeRegressor(**payload["params"])
+    model.n_features_ = payload["n_features"]
+    model.root_ = _node_from_dict(payload["root"])
+    return model
+
+
+def _bayes_to_dict(model: GaussianNaiveBayes) -> Dict:
+    return {
+        "kind": "gaussian_naive_bayes",
+        "var_smoothing": model.var_smoothing,
+        "classes": [_jsonable(c) for c in model.classes_],
+        "theta": model.theta_.tolist(),
+        "var": model.var_.tolist(),
+        "class_log_prior": model.class_log_prior_.tolist(),
+    }
+
+
+def _bayes_from_dict(payload: Dict) -> GaussianNaiveBayes:
+    model = GaussianNaiveBayes(var_smoothing=payload["var_smoothing"])
+    model.classes_ = np.asarray(payload["classes"])
+    model.theta_ = np.asarray(payload["theta"])
+    model.var_ = np.asarray(payload["var"])
+    model.class_log_prior_ = np.asarray(payload["class_log_prior"])
+    return model
+
+
+def _svm_to_dict(model: LinearSVM) -> Dict:
+    return {
+        "kind": "linear_svm",
+        "params": {
+            "lam": model.lam,
+            "epochs": model.epochs,
+            "random_state": model.random_state,
+            "fit_intercept": model.fit_intercept,
+        },
+        "classes": [_jsonable(c) for c in model.classes_],
+        "w": model.w_.tolist(),
+        "b": model.b_,
+    }
+
+
+def _svm_from_dict(payload: Dict) -> LinearSVM:
+    model = LinearSVM(**payload["params"])
+    model.classes_ = np.asarray(payload["classes"])
+    model.w_ = np.asarray(payload["w"])
+    model.b_ = payload["b"]
+    return model
+
+
+def _lambdamart_to_dict(model: LambdaMART) -> Dict:
+    return {
+        "kind": "lambdamart",
+        "params": {
+            "n_estimators": model.n_estimators,
+            "learning_rate": model.learning_rate,
+            "max_depth": model.max_depth,
+            "min_samples_leaf": model.min_samples_leaf,
+            "sigma": model.sigma,
+            "ndcg_k": model.ndcg_k,
+            "random_state": model.random_state,
+        },
+        "trees": [_tree_regressor_to_dict(t) for t in model.trees_],
+    }
+
+
+def _lambdamart_from_dict(payload: Dict) -> LambdaMART:
+    model = LambdaMART(**payload["params"])
+    model.trees_ = [_tree_regressor_from_dict(t) for t in payload["trees"]]
+    return model
+
+
+def _scaler_to_dict(model: StandardScaler) -> Dict:
+    return {
+        "kind": "standard_scaler",
+        "mean": None if model.mean_ is None else model.mean_.tolist(),
+        "scale": None if model.scale_ is None else model.scale_.tolist(),
+    }
+
+
+def _scaler_from_dict(payload: Dict) -> StandardScaler:
+    model = StandardScaler()
+    if payload["mean"] is not None:
+        model.mean_ = np.asarray(payload["mean"])
+        model.scale_ = np.asarray(payload["scale"])
+    return model
+
+
+def _jsonable(value):
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+_ENCODERS = {
+    DecisionTreeClassifier: _tree_classifier_to_dict,
+    DecisionTreeRegressor: _tree_regressor_to_dict,
+    GaussianNaiveBayes: _bayes_to_dict,
+    LinearSVM: _svm_to_dict,
+    LambdaMART: _lambdamart_to_dict,
+    StandardScaler: _scaler_to_dict,
+}
+
+_DECODERS = {
+    "decision_tree_classifier": _tree_classifier_from_dict,
+    "decision_tree_regressor": _tree_regressor_from_dict,
+    "gaussian_naive_bayes": _bayes_from_dict,
+    "linear_svm": _svm_from_dict,
+    "lambdamart": _lambdamart_from_dict,
+    "standard_scaler": _scaler_from_dict,
+}
+
+
+def to_dict(model) -> Dict:
+    """Serialise a fitted model to a JSON-compatible dict."""
+    encoder = _ENCODERS.get(type(model))
+    if encoder is None:
+        raise ReproError(
+            f"cannot serialise {type(model).__name__}; supported: "
+            f"{sorted(t.__name__ for t in _ENCODERS)}"
+        )
+    return encoder(model)
+
+
+def from_dict(payload: Dict):
+    """Rebuild a model from :func:`to_dict` output."""
+    kind = payload.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise ReproError(f"unknown serialised model kind {kind!r}")
+    return decoder(payload)
+
+
+def save_model(model, path: Union[str, Path]) -> None:
+    """Write a model to a JSON file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_dict(model), handle)
+
+
+def load_model(path: Union[str, Path]):
+    """Load a model previously written by :func:`save_model`."""
+    path = Path(path)
+    with path.open(encoding="utf-8") as handle:
+        return from_dict(json.load(handle))

@@ -1,0 +1,17 @@
+"""Chart output: Vega-Lite spec emission and ASCII rendering."""
+
+from .ascii import render_ascii
+from .multi import multi_to_vega_lite, render_multi_ascii
+from .svg import SVG_PALETTE, multi_to_svg, to_svg
+from .vega import to_vega_lite, to_vega_lite_json
+
+__all__ = [
+    "render_ascii",
+    "multi_to_vega_lite",
+    "render_multi_ascii",
+    "SVG_PALETTE",
+    "multi_to_svg",
+    "to_svg",
+    "to_vega_lite",
+    "to_vega_lite_json",
+]

@@ -1,0 +1,68 @@
+"""Terminal (ASCII) chart rendering for examples and quick inspection.
+
+Bar and pie charts render as labelled horizontal bars; line and scatter
+charts as a dot grid.  Rendering is intentionally simple — it exists so
+the examples can *show* what DeepEye picked without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..language.ast import ChartType
+from ..core.nodes import VisualizationNode
+
+__all__ = ["render_ascii"]
+
+_MAX_POINTS = 24
+
+
+def _bar_rows(labels: Sequence[str], values: Sequence[float], width: int) -> List[str]:
+    top = max((abs(v) for v in values), default=1.0) or 1.0
+    label_width = min(18, max((len(l) for l in labels), default=4))
+    rows = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(abs(value) / top * width)))
+        rows.append(f"{label[:label_width]:>{label_width}} | {bar} {value:g}")
+    return rows
+
+
+def _grid_rows(xs: Sequence[float], ys: Sequence[float], width: int, height: int) -> List[str]:
+    if not xs:
+        return []
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    rows = ["|" + "".join(line) for line in grid]
+    rows.append("+" + "-" * width)
+    rows.append(f" y: [{y_lo:g}, {y_hi:g}]  x: [{x_lo:g}, {x_hi:g}]")
+    return rows
+
+
+def render_ascii(node: VisualizationNode, width: int = 48, height: int = 12) -> str:
+    """Render one node as a small ASCII chart (downsampled past 24 bars)."""
+    labels = list(
+        node.data.x_labels
+        or (f"{v:g}" for v in node.data.x_values)
+    )
+    values = list(node.data.y_values)
+    header = node.describe()
+
+    if node.chart in (ChartType.BAR, ChartType.PIE):
+        if len(values) > _MAX_POINTS:
+            labels = labels[:_MAX_POINTS] + [f"... (+{len(values) - _MAX_POINTS})"]
+            values = values[:_MAX_POINTS] + [0.0]
+        body = _bar_rows(labels, values, width)
+        if node.chart is ChartType.PIE:
+            total = sum(abs(v) for v in node.data.y_values) or 1.0
+            body.append(f" (pie: shares of total {total:g})")
+    else:
+        body = _grid_rows(list(node.data.x_values), values, width, height)
+    return "\n".join([header] + body)

@@ -1,0 +1,284 @@
+"""Standalone SVG rendering for visualization nodes.
+
+Produces self-contained SVG documents (no plotting library, no
+JavaScript) for all four chart types and for multi-series data — the
+output a DeepEye front end would actually display.  Geometry is kept
+deliberately simple: one plot area, linear scales, categorical bands.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.multicolumn import MultiSeriesData
+from ..core.nodes import VisualizationNode
+from ..language.ast import ChartType
+
+__all__ = ["to_svg", "multi_to_svg", "SVG_PALETTE"]
+
+#: Categorical palette (color-blind-safe Okabe-Ito).
+SVG_PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+)
+
+_WIDTH, _HEIGHT = 560, 360
+_MARGIN = {"left": 64, "right": 16, "top": 40, "bottom": 56}
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _document(body: List[str], title: str) -> str:
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif" font-size="11">'
+    )
+    title_el = (
+        f'<text x="{_WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="13" font-weight="bold">{_escape(title)}</text>'
+    )
+    return "\n".join([header, title_el] + body + ["</svg>"])
+
+
+def _plot_area() -> Tuple[float, float, float, float]:
+    x0 = _MARGIN["left"]
+    y0 = _MARGIN["top"]
+    x1 = _WIDTH - _MARGIN["right"]
+    y1 = _HEIGHT - _MARGIN["bottom"]
+    return x0, y0, x1, y1
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw_step = (hi - lo) / max(n - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    value = start
+    while value <= hi + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _y_scale(values: Sequence[float]) -> Tuple[float, float]:
+    lo = min(0.0, min(values))
+    hi = max(0.0, max(values))
+    if lo == hi:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def _axes(
+    y_lo: float, y_hi: float, x_label: str, y_label: str
+) -> Tuple[List[str], callable]:
+    """Axis lines, y grid/ticks, labels; returns (elements, y-mapper)."""
+    x0, y0, x1, y1 = _plot_area()
+
+    def map_y(v: float) -> float:
+        return y1 - (v - y_lo) / (y_hi - y_lo) * (y1 - y0)
+
+    elements = [
+        f'<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" stroke="#333"/>',
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#333"/>',
+    ]
+    for tick in _nice_ticks(y_lo, y_hi):
+        if not y_lo <= tick <= y_hi:
+            continue
+        y = map_y(tick)
+        elements.append(
+            f'<line x1="{x0}" y1="{y:.1f}" x2="{x1}" y2="{y:.1f}" '
+            f'stroke="#ddd" stroke-dasharray="2,3"/>'
+        )
+        elements.append(
+            f'<text x="{x0 - 6}" y="{y + 3:.1f}" text-anchor="end">'
+            f"{tick:g}</text>"
+        )
+    elements.append(
+        f'<text x="{(x0 + x1) / 2}" y="{_HEIGHT - 8}" text-anchor="middle">'
+        f"{_escape(x_label)}</text>"
+    )
+    elements.append(
+        f'<text x="14" y="{(y0 + y1) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(y0 + y1) / 2})">{_escape(y_label)}</text>'
+    )
+    return elements, map_y
+
+
+def _x_tick_labels(labels: Sequence[str], positions: Sequence[float]) -> List[str]:
+    _, _, _, y1 = _plot_area()
+    step = max(1, len(labels) // 12)  # at most ~12 printed ticks
+    elements = []
+    for i in range(0, len(labels), step):
+        elements.append(
+            f'<text x="{positions[i]:.1f}" y="{y1 + 14}" text-anchor="middle">'
+            f"{_escape(str(labels[i])[:10])}</text>"
+        )
+    return elements
+
+
+def _bar_chart(node: VisualizationNode) -> List[str]:
+    x0, y0, x1, y1 = _plot_area()
+    values = node.data.y_values
+    labels = node.data.x_labels or tuple(f"{v:g}" for v in node.data.x_values)
+    y_lo, y_hi = _y_scale(values)
+    elements, map_y = _axes(y_lo, y_hi, node.x_name, _y_title(node))
+    n = len(values)
+    band = (x1 - x0) / max(n, 1)
+    bar_width = band * 0.7
+    centers = []
+    for i, value in enumerate(values):
+        cx = x0 + band * (i + 0.5)
+        centers.append(cx)
+        top = map_y(max(value, 0.0))
+        bottom = map_y(min(value, 0.0))
+        elements.append(
+            f'<rect x="{cx - bar_width / 2:.1f}" y="{top:.1f}" '
+            f'width="{bar_width:.1f}" height="{max(bottom - top, 0.5):.1f}" '
+            f'fill="{SVG_PALETTE[0]}"/>'
+        )
+    elements.extend(_x_tick_labels(labels, centers))
+    return elements
+
+
+def _line_or_scatter(node: VisualizationNode, as_line: bool) -> List[str]:
+    x0, y0, x1, y1 = _plot_area()
+    values = node.data.y_values
+    xs = node.data.x_values
+    labels = node.data.x_labels or tuple(f"{v:g}" for v in xs)
+    y_lo, y_hi = _y_scale(values)
+    elements, map_y = _axes(y_lo, y_hi, node.x_name, _y_title(node))
+
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+    positions = [x0 + (v - x_min) / span * (x1 - x0) for v in xs]
+
+    if as_line:
+        points = " ".join(
+            f"{px:.1f},{map_y(v):.1f}" for px, v in zip(positions, values)
+        )
+        elements.append(
+            f'<polyline points="{points}" fill="none" '
+            f'stroke="{SVG_PALETTE[0]}" stroke-width="2"/>'
+        )
+    for px, v in zip(positions, values):
+        elements.append(
+            f'<circle cx="{px:.1f}" cy="{map_y(v):.1f}" r="2.5" '
+            f'fill="{SVG_PALETTE[0 if as_line else 1]}"/>'
+        )
+    elements.extend(_x_tick_labels(labels, positions))
+    return elements
+
+
+def _pie_chart(node: VisualizationNode) -> List[str]:
+    values = [max(v, 0.0) for v in node.data.y_values]
+    labels = node.data.x_labels
+    total = sum(values) or 1.0
+    cx, cy = _WIDTH * 0.38, (_HEIGHT + _MARGIN["top"]) / 2
+    radius = min(_WIDTH, _HEIGHT) * 0.3
+    elements = []
+    angle = -math.pi / 2
+    for i, (value, label) in enumerate(zip(values, labels)):
+        fraction = value / total
+        end = angle + fraction * 2 * math.pi
+        large = 1 if fraction > 0.5 else 0
+        x_start = cx + radius * math.cos(angle)
+        y_start = cy + radius * math.sin(angle)
+        x_end = cx + radius * math.cos(end)
+        y_end = cy + radius * math.sin(end)
+        color = SVG_PALETTE[i % len(SVG_PALETTE)]
+        if fraction >= 1.0 - 1e-9:
+            elements.append(
+                f'<circle cx="{cx}" cy="{cy}" r="{radius}" fill="{color}"/>'
+            )
+        elif fraction > 0:
+            elements.append(
+                f'<path d="M{cx:.1f},{cy:.1f} L{x_start:.1f},{y_start:.1f} '
+                f'A{radius:.1f},{radius:.1f} 0 {large} 1 '
+                f'{x_end:.1f},{y_end:.1f} Z" fill="{color}" stroke="white"/>'
+            )
+        # Legend entry.
+        ly = _MARGIN["top"] + 16 * i
+        elements.append(
+            f'<rect x="{_WIDTH * 0.7}" y="{ly}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        elements.append(
+            f'<text x="{_WIDTH * 0.7 + 14}" y="{ly + 9}">'
+            f"{_escape(str(label)[:16])} ({100 * fraction:.0f}%)</text>"
+        )
+        angle = end
+    return elements
+
+
+def _y_title(node: VisualizationNode) -> str:
+    if node.query.aggregate:
+        return f"{node.query.aggregate.value}({node.y_name})"
+    return node.y_name
+
+
+def to_svg(node: VisualizationNode, title: Optional[str] = None) -> str:
+    """Render one visualization node as a standalone SVG document."""
+    if node.chart is ChartType.PIE:
+        body = _pie_chart(node)
+    elif node.chart is ChartType.BAR:
+        body = _bar_chart(node)
+    else:
+        body = _line_or_scatter(node, as_line=node.chart is ChartType.LINE)
+    return _document(body, title or node.describe())
+
+
+def multi_to_svg(data: MultiSeriesData, title: Optional[str] = None) -> str:
+    """Render multi-series data: one colored polyline/point set per series."""
+    x0, y0, x1, y1 = _plot_area()
+    all_values = [v for ys in data.series.values() for v in ys]
+    if not all_values:
+        return _document([], title or data.describe())
+    y_lo, y_hi = _y_scale(all_values)
+    elements, map_y = _axes(y_lo, y_hi, data.x_name, "value")
+
+    n = data.num_points
+    positions = [
+        x0 + (i / max(n - 1, 1)) * (x1 - x0) for i in range(n)
+    ]
+    for series_idx, (name, ys) in enumerate(sorted(data.series.items())):
+        color = SVG_PALETTE[series_idx % len(SVG_PALETTE)]
+        points = " ".join(
+            f"{px:.1f},{map_y(v):.1f}" for px, v in zip(positions, ys)
+        )
+        if data.chart is ChartType.LINE:
+            elements.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                f'stroke-width="2"/>'
+            )
+        else:
+            for px, v in zip(positions, ys):
+                elements.append(
+                    f'<circle cx="{px:.1f}" cy="{map_y(v):.1f}" r="2.5" '
+                    f'fill="{color}"/>'
+                )
+        ly = _MARGIN["top"] + 14 * series_idx
+        elements.append(
+            f'<rect x="{x1 - 110}" y="{ly}" width="10" height="10" fill="{color}"/>'
+        )
+        elements.append(
+            f'<text x="{x1 - 96}" y="{ly + 9}">{_escape(str(name)[:14])}</text>'
+        )
+    elements.extend(_x_tick_labels(data.x_labels, positions))
+    return _document(elements, title or data.describe())

@@ -1,0 +1,74 @@
+"""Vega-Lite spec emission for visualization nodes.
+
+The paper's related work positions Vega as a JSON visualization grammar;
+emitting Vega-Lite specs makes DeepEye's output directly consumable by
+standard front ends.  Only the mark/encoding subset needed by the four
+chart types is produced — data values are inlined.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..language.ast import ChartType
+from ..core.nodes import VisualizationNode
+
+__all__ = ["to_vega_lite", "to_vega_lite_json"]
+
+_MARKS = {
+    ChartType.BAR: "bar",
+    ChartType.LINE: "line",
+    ChartType.PIE: "arc",
+    ChartType.SCATTER: "point",
+}
+
+
+def _data_values(node: VisualizationNode) -> List[Dict[str, object]]:
+    labels = node.data.x_labels or tuple(
+        f"{v:g}" for v in node.data.x_values
+    )
+    return [
+        {"x": label, "y": y}
+        for label, y in zip(labels, node.data.y_values)
+    ]
+
+
+def to_vega_lite(node: VisualizationNode, title: Optional[str] = None) -> Dict:
+    """A Vega-Lite v5 spec dict for one visualization node."""
+    y_title = (
+        f"{node.query.aggregate.value}({node.y_name})"
+        if node.query.aggregate
+        else node.y_name
+    )
+    spec: Dict[str, object] = {
+        "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+        "title": title or node.describe(),
+        "data": {"values": _data_values(node)},
+        "mark": _MARKS[node.chart],
+    }
+    if node.chart is ChartType.PIE:
+        spec["encoding"] = {
+            "theta": {"field": "y", "type": "quantitative", "title": y_title},
+            "color": {"field": "x", "type": "nominal", "title": node.x_name},
+        }
+        return spec
+    x_type = "nominal" if node.data.x_is_discrete else "quantitative"
+    # Preserve the query's ordering on a discrete axis.
+    x_encoding: Dict[str, object] = {
+        "field": "x",
+        "type": x_type,
+        "title": node.x_name,
+    }
+    if node.data.x_is_discrete:
+        x_encoding["sort"] = None
+    spec["encoding"] = {
+        "x": x_encoding,
+        "y": {"field": "y", "type": "quantitative", "title": y_title},
+    }
+    return spec
+
+
+def to_vega_lite_json(node: VisualizationNode, indent: int = 2) -> str:
+    """The spec serialised as JSON text."""
+    return json.dumps(to_vega_lite(node), indent=indent)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+import numpy as np
+import pytest
+
+from repro.dataset import Table
+
+
+@pytest.fixture
+def flights_table() -> Table:
+    """A small deterministic flight-delay table (the paper's Table I)."""
+    rng = random.Random(7)
+    n = 240
+    scheduled = [
+        dt.datetime(2015, 1 + (i // 20) % 12, 1 + i % 28, i % 24, (i * 7) % 60)
+        for i in range(n)
+    ]
+    carriers = [rng.choice(["UA", "AA", "MQ", "OO"]) for _ in range(n)]
+    dep = [rng.gauss(10, 6) for _ in range(n)]
+    arr = [d * 0.85 + rng.gauss(0, 2) for d in dep]
+    return Table.from_dict(
+        "flights",
+        {
+            "scheduled": scheduled,
+            "carrier": carriers,
+            "destination": [
+                rng.choice(["NYC", "LAX", "SFO", "ATL", "ORD"]) for _ in range(n)
+            ],
+            "departure_delay": dep,
+            "arrival_delay": arr,
+            "passengers": [rng.randint(60, 300) for _ in range(n)],
+        },
+    )
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A 6-row table with one column of each type."""
+    return Table.from_dict(
+        "tiny",
+        {
+            "city": ["a", "b", "a", "c", "b", "a"],
+            "value": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            "when": [dt.datetime(2020, 1, 1 + i) for i in range(6)],
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_setup():
+    """A miniature trained ExperimentSetup shared by slow integration
+    tests (session-scoped: building it costs tens of seconds)."""
+    from repro.experiments import ExperimentSetup
+
+    return ExperimentSetup.build(
+        train_scale=0.04,
+        test_scale=0.01,
+        max_nodes_per_table=80,
+        ltr_estimators=15,
+    )

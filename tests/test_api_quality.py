@@ -1,0 +1,110 @@
+"""API-quality gates: docstrings, exports, and error hygiene.
+
+These tests keep the public surface documented and consistent — the
+kind of check a maintained open-source project enforces in CI.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.dataset",
+    "repro.language",
+    "repro.ml",
+    "repro.core",
+    "repro.corpus",
+    "repro.indexes",
+    "repro.engine",
+    "repro.render",
+    "repro.persistence",
+    "repro.experiments",
+]
+
+
+def _public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in dir(module) if not n.startswith("_")]
+    for name in names:
+        member = getattr(module, name, None)
+        if member is not None and (
+            inspect.isclass(member) or inspect.isfunction(member)
+        ):
+            yield name, member
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstrings(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_members_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = [
+            name
+            for name, member in _public_members(module)
+            if not inspect.getdoc(member)
+        ]
+        assert not undocumented, f"{package}: undocumented {undocumented}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_methods_documented(self, package):
+        module = importlib.import_module(package)
+        missing = []
+        for name, member in _public_members(module):
+            if not inspect.isclass(member):
+                continue
+            for method_name, method in inspect.getmembers(member, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != member.__name__:
+                    continue  # inherited elsewhere
+                if not inspect.getdoc(method):
+                    missing.append(f"{name}.{method_name}")
+        assert not missing, f"{package}: undocumented methods {missing}"
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+    def test_every_submodule_importable(self):
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            importlib.import_module(info.name)
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        base = errors.ReproError
+        for name in dir(errors):
+            member = getattr(errors, name)
+            if inspect.isclass(member) and issubclass(member, Exception):
+                if member in (Exception,):
+                    continue
+                assert issubclass(member, base) or member is base, name
+
+    def test_catching_base_covers_subsystem_errors(self):
+        from repro.errors import ParseError, ReproError
+        from repro.language import parse_query
+
+        with pytest.raises(ReproError):
+            parse_query("VISUALIZE donut")

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corpus import make_table
+from repro.dataset import write_csv
+
+
+@pytest.fixture
+def flights_csv(tmp_path):
+    table = make_table("FlyDelay", scale=0.005)
+    path = tmp_path / "flights.csv"
+    write_csv(table, path)
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestVisualize:
+    def test_ascii_output(self, flights_csv):
+        code, text = _run(["visualize", flights_csv, "--k", "3"])
+        assert code == 0
+        assert "candidates" in text
+        assert text.count("--- #") == 3
+
+    def test_list_output(self, flights_csv):
+        code, text = _run(["visualize", flights_csv, "--k", "2", "--format", "list"])
+        assert code == 0
+        assert text.count("\n1. ") + text.count("\n2. ") >= 1
+
+    def test_vega_output_is_json(self, flights_csv):
+        code, text = _run(["visualize", flights_csv, "--k", "1", "--format", "vega"])
+        assert code == 0
+        body = text.split("\n", 1)[1]
+        spec = json.loads(body)
+        assert spec["$schema"].startswith("https://vega.github.io")
+
+    def test_missing_file_is_an_error(self):
+        code, _ = _run(["visualize", "/nonexistent.csv"])
+        assert code == 2
+
+
+class TestSearch:
+    def test_finds_matching_chart(self, flights_csv):
+        code, text = _run(
+            ["search", flights_csv, "average delay by hour", "--format", "list"]
+        )
+        assert code == 0
+        assert "AVG" in text
+        assert "score=" in text
+
+    def test_no_match_exit_code(self, flights_csv):
+        code, text = _run(["search", flights_csv, "zzzz"])
+        assert code == 1
+        assert "no charts match" in text
+
+
+class TestQuery:
+    def test_runs_inline_query(self, flights_csv):
+        query = (
+            "VISUALIZE bar\n"
+            "SELECT carrier, CNT(carrier)\n"
+            "FROM flights\n"
+            "GROUP BY carrier"
+        )
+        code, text = _run(["query", flights_csv, "--text", query])
+        assert code == 0
+        assert "bar" in text
+
+    def test_bad_query_is_an_error(self, flights_csv):
+        code, _ = _run(["query", flights_csv, "--text", "VISUALIZE donut"])
+        assert code == 2
+
+
+class TestDatasetsAndGenerate:
+    def test_datasets_lists_corpus(self):
+        code, text = _run(["datasets"])
+        assert code == 0
+        assert "FlyDelay" in text
+        assert "Monthly Sales" in text
+
+    def test_generate_writes_csv(self, tmp_path):
+        out_path = tmp_path / "gen.csv"
+        code, text = _run(
+            ["generate", "Monthly Sales", str(out_path), "--scale", "0.1"]
+        )
+        assert code == 0
+        assert out_path.exists()
+        header = out_path.read_text().splitlines()[0]
+        assert "revenue_usd" in header
+
+    def test_generate_unknown_dataset(self, tmp_path):
+        code, _ = _run(["generate", "Nope", str(tmp_path / "x.csv")])
+        assert code == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["visualize", "x.csv"])
+        assert args.k == 5
+        assert args.format == "ascii"
+        assert args.enumeration == "rules"

@@ -1,0 +1,115 @@
+"""Unit tests for correlation families and trend detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import correlation, correlation_strength, fit_trend, pearson, trend
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_short_input(self):
+        assert pearson([1], [2]) == 0.0
+
+
+class TestCorrelationFamilies:
+    def test_linear_family_wins_on_linear_data(self):
+        x = np.linspace(1, 10, 50)
+        result = correlation(x, 3 * x + 2)
+        assert result.family == "linear"
+        assert result.value == pytest.approx(1.0)
+
+    def test_power_family_detected(self):
+        x = np.linspace(1, 10, 80)
+        y = x**2.5
+        result = correlation(x, y)
+        assert result.per_family["power"] == pytest.approx(1.0)
+        assert result.strength == pytest.approx(1.0)
+
+    def test_log_family_detected(self):
+        x = np.linspace(1, 100, 80)
+        y = 5 * np.log(x) + 1
+        result = correlation(x, y)
+        assert result.per_family["log"] == pytest.approx(1.0)
+
+    def test_polynomial_family_catches_parabola(self):
+        x = np.linspace(-3, 3, 60)
+        y = x**2
+        result = correlation(x, y)
+        # Plain Pearson is ~0 on a symmetric parabola; the polynomial
+        # family must rescue it.
+        assert abs(result.per_family["linear"]) < 0.2
+        assert result.per_family["polynomial"] == pytest.approx(1.0)
+
+    def test_family_restriction(self):
+        x = np.linspace(-3, 3, 60)
+        result = correlation(x, x**2, families=("linear",))
+        assert result.strength < 0.2
+
+    def test_noise_is_weak(self):
+        rng = np.random.default_rng(0)
+        assert correlation_strength(rng.normal(size=200), rng.normal(size=200)) < 0.3
+
+    def test_non_finite_dropped(self):
+        x = [1.0, 2.0, np.nan, 4.0, 5.0]
+        y = [1.0, 2.0, 3.0, 4.0, np.inf]
+        result = correlation(x, y)
+        assert np.isfinite(result.value)
+
+    def test_too_few_points(self):
+        assert correlation([1, 2], [1, 2]).value == 0.0
+
+
+class TestTrend:
+    def test_linear_trend_detected(self):
+        y = np.linspace(0, 10, 30)
+        result = fit_trend(y)
+        assert result.has_trend
+        assert result.family == "linear"
+
+    def test_exponential_trend_detected(self):
+        y = np.exp(np.linspace(0, 3, 30))
+        result = fit_trend(y)
+        assert result.has_trend
+        assert result.per_family["exponential"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_power_trend_detected(self):
+        t = np.arange(1, 40, dtype=float)
+        result = fit_trend(t**1.7)
+        assert result.has_trend
+
+    def test_noise_has_no_trend(self):
+        rng = np.random.default_rng(1)
+        assert trend(rng.normal(size=60)) == 0.0
+
+    def test_seasonal_fluctuation_has_no_trend(self):
+        # The paper's Figure 1(d): daily delays fluctuate with no trend.
+        t = np.arange(200)
+        rng = np.random.default_rng(2)
+        y = 10 + 5 * rng.normal(size=200)
+        assert trend(y) == 0.0
+
+    def test_constant_series_counts_as_trend(self):
+        assert trend(np.full(20, 3.0)) == 1.0
+
+    def test_short_series(self):
+        result = fit_trend([1.0, 2.0])
+        assert not result.has_trend
+
+    def test_threshold_configurable(self):
+        rng = np.random.default_rng(3)
+        y = np.linspace(0, 5, 40) + rng.normal(0, 1.2, 40)
+        strict = fit_trend(y, r2_threshold=0.99)
+        lax = fit_trend(y, r2_threshold=0.3)
+        assert not strict.has_trend
+        assert lax.has_trend

@@ -1,0 +1,110 @@
+"""Tests for diversified dashboard composition."""
+
+import pytest
+
+from repro.core import compose_dashboard, diversified_top_k, enumerate_rule_based
+from repro.core.dashboard import similarity
+from repro.core.partial_order import matching_quality_raw
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.corpus import make_table
+
+    return make_table("FlyDelay", scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def valid_nodes(table):
+    return [
+        n for n in enumerate_rule_based(table) if matching_quality_raw(n) > 0
+    ]
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, valid_nodes):
+        node = valid_nodes[0]
+        assert similarity(node, node) == pytest.approx(1.0)
+
+    def test_disjoint_columns_low_similarity(self, valid_nodes):
+        pairs = [
+            (a, b)
+            for a in valid_nodes
+            for b in valid_nodes
+            if not set(a.columns) & set(b.columns)
+        ]
+        if not pairs:
+            pytest.skip("no disjoint pairs at this scale")
+        a, b = pairs[0]
+        assert similarity(a, b) <= 0.4
+
+    def test_symmetry(self, valid_nodes):
+        a, b = valid_nodes[0], valid_nodes[-1]
+        assert similarity(a, b) == pytest.approx(similarity(b, a))
+
+
+class TestDiversifiedTopK:
+    def test_zero_diversity_is_plain_top_k(self, valid_nodes):
+        relevance = [1.0 - i / len(valid_nodes) for i in range(len(valid_nodes))]
+        items = diversified_top_k(valid_nodes, relevance, k=4, diversity=0.0)
+        assert [i.chart for i in items] == valid_nodes[:4]
+
+    def test_diversity_reduces_redundancy(self, valid_nodes):
+        relevance = [1.0 - i / len(valid_nodes) for i in range(len(valid_nodes))]
+
+        def mean_pairwise(items):
+            charts = [i.chart for i in items]
+            pairs = [
+                similarity(a, b)
+                for x, a in enumerate(charts)
+                for b in charts[x + 1 :]
+            ]
+            return sum(pairs) / len(pairs) if pairs else 0.0
+
+        plain = diversified_top_k(valid_nodes, relevance, 5, diversity=0.0)
+        diverse = diversified_top_k(valid_nodes, relevance, 5, diversity=0.7)
+        assert mean_pairwise(diverse) <= mean_pairwise(plain) + 1e-9
+
+    def test_k_larger_than_pool(self, valid_nodes):
+        relevance = [0.5] * len(valid_nodes)
+        items = diversified_top_k(valid_nodes, relevance, k=10_000)
+        assert len(items) == len(valid_nodes)
+
+    def test_validation(self, valid_nodes):
+        with pytest.raises(ValueError):
+            diversified_top_k(valid_nodes, [0.5] * len(valid_nodes), 3, diversity=2.0)
+        with pytest.raises(ValueError):
+            diversified_top_k(valid_nodes, [0.5], 3)
+
+
+class TestComposeDashboard:
+    def test_dashboard_has_k_panels(self, table):
+        dashboard = compose_dashboard(table, k=5)
+        assert len(dashboard) == 5
+        assert dashboard.table_name == table.name
+
+    def test_panels_are_distinct(self, table):
+        dashboard = compose_dashboard(table, k=6)
+        described = [item.describe() for item in dashboard.items]
+        assert len(set(described)) == len(described)
+
+    def test_includes_multicolumn_panels_when_available(self, table):
+        dashboard = compose_dashboard(table, k=8, diversity=0.6)
+        # FlyDelay has grouped/multi-series candidates; a diverse board
+        # should surface at least one.
+        assert any(item.is_multi for item in dashboard.items)
+
+    def test_single_chart_only_mode(self, table):
+        dashboard = compose_dashboard(table, k=4, include_multicolumn=False)
+        assert all(not item.is_multi for item in dashboard.items)
+
+    def test_describe_readable(self, table):
+        text = compose_dashboard(table, k=3).describe()
+        assert "Dashboard for" in text
+        assert "relevance" in text
+
+    def test_first_panel_is_most_relevant(self, table):
+        dashboard = compose_dashboard(table, k=4, diversity=0.3)
+        assert dashboard.items[0].relevance == max(
+            item.relevance for item in dashboard.items
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for candidate enumeration (search space, modes, caching)."""
+
+import pytest
+
+from repro.core import (
+    EnumerationConfig,
+    EnumerationContext,
+    enumerate_candidates,
+    enumerate_exhaustive,
+    enumerate_rule_based,
+    make_node,
+    multi_column_space,
+    one_column_space,
+    two_column_space,
+)
+from repro.core.rules import complies
+from repro.language import AggregateOp, ChartType
+
+
+class TestSearchSpaceFormulas:
+    def test_two_column_space(self):
+        # Section II-B: 528 * m * (m - 1).
+        assert two_column_space(2) == 1056
+        assert two_column_space(6) == 528 * 30
+
+    def test_one_column_space(self):
+        assert one_column_space(3) == 264 * 3
+
+    def test_multi_column_space(self):
+        assert multi_column_space(2) == 704 * 8
+
+
+class TestExhaustiveEnumeration:
+    def test_all_four_chart_types_present(self, flights_table):
+        nodes = enumerate_exhaustive(flights_table, EnumerationConfig(orderings="none"))
+        assert {n.chart for n in nodes} == set(ChartType)
+
+    def test_orderings_multiply_candidates(self, flights_table):
+        config_none = EnumerationConfig(orderings="none")
+        config_all = EnumerationConfig(orderings="all")
+        n_none = len(enumerate_exhaustive(flights_table, config_none))
+        n_all = len(enumerate_exhaustive(flights_table, config_all))
+        assert n_all == 3 * n_none
+
+    def test_one_column_candidates_use_count(self, flights_table):
+        nodes = enumerate_exhaustive(flights_table, EnumerationConfig(orderings="none"))
+        single = [n for n in nodes if n.query.x == n.query.y]
+        assert single
+        assert all(n.query.aggregate is AggregateOp.CNT for n in single)
+
+    def test_exclude_one_column(self, flights_table):
+        config = EnumerationConfig(orderings="none", include_one_column=False)
+        nodes = enumerate_exhaustive(flights_table, config)
+        assert all(n.query.x != n.query.y for n in nodes)
+
+    def test_nodes_unique(self, flights_table):
+        nodes = enumerate_exhaustive(flights_table, EnumerationConfig(orderings="none"))
+        keys = [n.key() for n in nodes]
+        assert len(keys) == len(set(keys))
+
+
+class TestRuleBasedEnumeration:
+    def test_strict_subset_of_exhaustive_plus_canonical_order(self, flights_table):
+        rules = enumerate_rule_based(flights_table)
+        exhaustive = enumerate_exhaustive(flights_table)
+        assert len(rules) < len(exhaustive)
+
+    def test_all_rule_candidates_comply(self, flights_table):
+        for node in enumerate_rule_based(flights_table):
+            assert complies(node.query, flights_table, correlated=True), (
+                node.describe()
+            )
+
+    def test_no_degenerate_single_bucket_charts(self, flights_table):
+        for node in enumerate_rule_based(flights_table):
+            assert node.data.transformed_rows >= 2
+
+    def test_correlated_pair_yields_raw_scatter(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)
+        raw_scatters = [
+            n for n in nodes
+            if n.chart is ChartType.SCATTER and n.query.transform is None
+        ]
+        assert any(
+            {n.query.x, n.query.y} == {"departure_delay", "arrival_delay"}
+            for n in raw_scatters
+        )
+
+    def test_no_duplicate_count_charts(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)
+        cnt_pairs = [
+            n for n in nodes
+            if n.query.aggregate is AggregateOp.CNT and n.query.x != n.query.y
+        ]
+        assert cnt_pairs == []
+
+    def test_mode_dispatch(self, flights_table):
+        assert len(enumerate_candidates(flights_table, "R")) == len(
+            enumerate_candidates(flights_table, "rules")
+        )
+        with pytest.raises(ValueError):
+            enumerate_candidates(flights_table, "bogus")
+
+
+class TestContextCaching:
+    def test_cached_node_matches_direct_execution(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)
+        sample = [n for n in nodes if n.query.transform is not None][:10]
+        for node in sample:
+            direct = make_node(flights_table, node.query)
+            assert direct.data.x_labels == node.data.x_labels
+            assert direct.data.y_values == pytest.approx(node.data.y_values)
+            assert direct.features.transformed_rows == node.features.transformed_rows
+
+    def test_context_reuse_across_modes(self, flights_table):
+        ctx = EnumerationContext(flights_table)
+        enumerate_rule_based(flights_table, context=ctx)
+        transforms_after_rules = len(ctx._transforms)
+        enumerate_exhaustive(flights_table, context=ctx)
+        # Exhaustive reuses every transform the rules mode computed.
+        assert len(ctx._transforms) >= transforms_after_rules
+
+    def test_raw_continuous_data_elides_labels(self, flights_table):
+        ctx = EnumerationContext(flights_table)
+        data = ctx._base_data("departure_delay", "arrival_delay", None, None)
+        assert data.x_labels == ()
+        assert data.distinct_x > 0  # falls back to x_values

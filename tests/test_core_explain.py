@@ -1,0 +1,124 @@
+"""Tests for chart explanations and table profiling."""
+
+import pytest
+
+from repro.core import enumerate_rule_based, explain_ranking
+from repro.core.partial_order import matching_quality_raw
+from repro.dataset import ColumnType, profile_table
+from repro.language import AggregateOp, ChartType
+
+
+@pytest.fixture(scope="module")
+def valid_nodes():
+    from repro.corpus import make_table
+
+    table = make_table("FlyDelay", scale=0.01)
+    nodes = enumerate_rule_based(table)
+    return [n for n in nodes if matching_quality_raw(n) > 0]
+
+
+class TestExplainRanking:
+    def test_explanations_in_rank_order(self, valid_nodes):
+        explanations = explain_ranking(valid_nodes)
+        assert [e.rank for e in explanations] == list(
+            range(1, len(valid_nodes) + 1)
+        )
+        scores = [e.score for e in explanations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_limits_output(self, valid_nodes):
+        assert len(explain_ranking(valid_nodes, top=3)) == 3
+
+    def test_dominance_counts_consistent(self, valid_nodes):
+        explanations = explain_ranking(valid_nodes)
+        total_dominates = sum(e.dominates for e in explanations)
+        total_dominated = sum(e.dominated_by for e in explanations)
+        assert total_dominates == total_dominated  # every edge counted twice
+
+    def test_factors_in_unit_range(self, valid_nodes):
+        for explanation in explain_ranking(valid_nodes, top=10):
+            assert 0 <= explanation.factors.m <= 1
+            assert 0 <= explanation.factors.q <= 1
+            assert 0 <= explanation.factors.w <= 1
+
+    def test_notes_mention_transform(self, valid_nodes):
+        explanation = explain_ranking(valid_nodes, top=1)[0]
+        assert any(
+            "summarises" in note or "raw data" in note
+            for note in explanation.notes
+        )
+
+    def test_scatter_notes_mention_correlation(self, valid_nodes):
+        scatters = [n for n in valid_nodes if n.chart is ChartType.SCATTER]
+        if not scatters:
+            pytest.skip("no scatter among valid nodes at this scale")
+        explanations = explain_ranking(scatters)
+        assert any("correlation" in note for note in explanations[0].notes)
+
+    def test_summary_readable(self, valid_nodes):
+        text = explain_ranking(valid_nodes, top=1)[0].summary()
+        assert "factors:" in text
+        assert "dominance:" in text
+
+    def test_empty_input(self):
+        assert explain_ranking([]) == []
+
+
+class TestProfile:
+    def test_profile_structure(self, flights_table):
+        profile = profile_table(flights_table)
+        assert profile.num_rows == flights_table.num_rows
+        assert len(profile.columns) == flights_table.num_columns
+        assert profile.two_column_space == 528 * 6 * 5
+
+    def test_correlations_cover_numeric_pairs(self, flights_table):
+        profile = profile_table(flights_table)
+        numeric = flights_table.columns_of_type(ColumnType.NUMERICAL)
+        expected_pairs = len(numeric) * (len(numeric) - 1) // 2
+        assert len(profile.correlations) == expected_pairs
+
+    def test_strongest_pair_is_the_planted_one(self, flights_table):
+        profile = profile_table(flights_table)
+        a, b, value = profile.strongest_pairs(1)[0]
+        assert {a, b} == {"departure_delay", "arrival_delay"}
+        assert abs(value) > 0.7
+
+    def test_top_values_only_for_categorical(self, flights_table):
+        profile = profile_table(flights_table)
+        by_name = {c.name: c for c in profile.columns}
+        assert by_name["carrier"].top_values
+        assert not by_name["departure_delay"].top_values
+
+    def test_describe_is_readable(self, flights_table):
+        text = profile_table(flights_table).describe()
+        assert "search space" in text
+        assert "carrier" in text
+        assert "strongest correlations" in text
+
+
+class TestCliIntegration:
+    def test_explain_command(self, tmp_path):
+        import io
+
+        from repro.cli import main
+        from repro.corpus import make_table
+        from repro.dataset import write_csv
+
+        path = tmp_path / "t.csv"
+        write_csv(make_table("FlyDelay", scale=0.005), path)
+        out = io.StringIO()
+        assert main(["explain", str(path), "--k", "2"], out=out) == 0
+        assert "factors:" in out.getvalue()
+
+    def test_profile_command(self, tmp_path):
+        import io
+
+        from repro.cli import main
+        from repro.corpus import make_table
+        from repro.dataset import write_csv
+
+        path = tmp_path / "t.csv"
+        write_csv(make_table("FlyDelay", scale=0.005), path)
+        out = io.StringIO()
+        assert main(["profile", str(path)], out=out) == 0
+        assert "search space" in out.getvalue()

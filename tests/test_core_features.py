@@ -1,0 +1,98 @@
+"""Unit tests for the feature vector and its encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_features, make_node
+from repro.core.features import FEATURE_NAMES, encode_features, series_stats
+from repro.dataset import ColumnType
+from repro.language import AggregateOp, ChartType, GroupBy, VisQuery
+
+
+def _node(table, chart=ChartType.BAR):
+    query = VisQuery(
+        chart=chart, x="carrier", y="departure_delay",
+        transform=GroupBy("carrier"), aggregate=AggregateOp.AVG,
+    )
+    return make_node(table, query)
+
+
+class TestFeatureVector:
+    def test_fourteen_paper_features(self, flights_table):
+        node = _node(flights_table)
+        pairs = node.features.as_pairs()
+        assert len(pairs) == 14
+        assert [name for name, _ in pairs] == list(FEATURE_NAMES)
+
+    def test_column_features_match_table(self, flights_table):
+        node = _node(flights_table)
+        f = node.features
+        assert f.x.ctype is ColumnType.CATEGORICAL
+        assert f.y.ctype is ColumnType.NUMERICAL
+        assert f.x.num_tuples == flights_table.num_rows
+        assert f.x.num_distinct == 4  # UA/AA/MQ/OO
+        assert f.y.min_value == flights_table.column("departure_delay").min()
+
+    def test_correlation_zero_for_categorical_pair(self, flights_table):
+        node = _node(flights_table)
+        assert node.features.corr == 0.0
+
+    def test_correlation_for_numeric_pair(self, flights_table):
+        query = VisQuery(chart=ChartType.SCATTER, x="departure_delay", y="arrival_delay")
+        node = make_node(flights_table, query)
+        assert node.features.corr > 0.9  # generated with slope 0.85
+
+    def test_transformed_stats(self, flights_table):
+        node = _node(flights_table)
+        assert node.features.transformed_rows == 4
+        assert node.features.distinct_tx == 4
+
+
+class TestSeriesStats:
+    def test_uniform_series_max_entropy(self):
+        entropy, spread, _ = series_stats([1.0, 1.0, 1.0, 1.0])
+        assert entropy == pytest.approx(1.0)
+        assert spread == pytest.approx(0.0)
+
+    def test_skewed_series_lower_entropy(self):
+        entropy_skewed, spread, _ = series_stats([100.0, 1.0, 1.0, 1.0])
+        assert entropy_skewed < 0.7
+        assert spread > 0.5
+
+    def test_trend_component(self):
+        __, __, r2 = series_stats(list(np.linspace(1, 10, 20)))
+        assert r2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty(self):
+        assert series_stats([]) == (0.0, 0.0, 0.0)
+
+
+class TestEncoding:
+    def test_fixed_width(self, flights_table):
+        node = _node(flights_table)
+        base = encode_features([node.features], extended=False)
+        extended = encode_features([node.features], extended=True)
+        assert base.shape == (1, 21)
+        assert extended.shape == (1, 30)
+
+    def test_empty_batch(self):
+        assert encode_features([], extended=False).shape == (0, 21)
+        assert encode_features([], extended=True).shape == (0, 30)
+
+    def test_chart_onehot_differs(self, flights_table):
+        bar = _node(flights_table, ChartType.BAR).features
+        pie = _node(flights_table, ChartType.PIE).features
+        row_bar = encode_features([bar])[0]
+        row_pie = encode_features([pie])[0]
+        assert not np.allclose(row_bar, row_pie)
+
+    def test_encoding_is_finite(self, flights_table):
+        node = _node(flights_table)
+        row = encode_features([node.features])[0]
+        assert np.isfinite(row).all()
+
+    def test_deterministic(self, flights_table):
+        node = _node(flights_table)
+        a = encode_features([node.features])
+        b = encode_features([node.features])
+        assert np.array_equal(a, b)

@@ -1,0 +1,140 @@
+"""Unit tests for dominance-graph construction and node ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core import FactorScores, build_graph, rank_topological, rank_weight_aware, top_k, weight_aware_scores
+from repro.core.graph import GRAPH_STRATEGIES, DominanceGraph
+from repro.errors import SelectionError
+
+
+def _random_scores(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [FactorScores(*rng.random(3)) for _ in range(n)]
+
+
+class TestGraphStrategies:
+    @pytest.mark.parametrize("strategy", sorted(GRAPH_STRATEGIES))
+    def test_simple_chain(self, strategy):
+        scores = [
+            FactorScores(0.9, 0.9, 0.9),
+            FactorScores(0.5, 0.5, 0.5),
+            FactorScores(0.1, 0.1, 0.1),
+        ]
+        graph = build_graph(scores, strategy)
+        assert graph.edge_set() == {(0, 1), (0, 2), (1, 2)}
+
+    @pytest.mark.parametrize("strategy", sorted(GRAPH_STRATEGIES))
+    def test_incomparable_pair_has_no_edges(self, strategy):
+        scores = [FactorScores(0.9, 0.1, 0.5), FactorScores(0.1, 0.9, 0.5)]
+        graph = build_graph(scores, strategy)
+        assert graph.num_edges == 0
+
+    @pytest.mark.parametrize("strategy", sorted(GRAPH_STRATEGIES))
+    def test_exact_ties_produce_no_edges(self, strategy):
+        scores = [FactorScores(0.5, 0.5, 0.5)] * 3
+        graph = build_graph(scores, strategy)
+        assert graph.num_edges == 0
+
+    @pytest.mark.parametrize("n", [1, 2, 17, 60])
+    def test_all_strategies_agree(self, n):
+        scores = _random_scores(n, seed=n)
+        reference = build_graph(scores, "naive").edge_set()
+        for strategy in ("quicksort", "range_tree"):
+            assert build_graph(scores, strategy).edge_set() == reference
+
+    def test_strategies_agree_with_heavy_ties(self):
+        rng = np.random.default_rng(5)
+        # Quantised coordinates create many ties and equal triples.
+        scores = [
+            FactorScores(*(np.round(rng.random(3) * 3) / 3)) for _ in range(80)
+        ]
+        reference = build_graph(scores, "naive").edge_set()
+        for strategy in ("quicksort", "range_tree"):
+            assert build_graph(scores, strategy).edge_set() == reference
+
+    def test_empty_input(self):
+        graph = build_graph([], "range_tree")
+        assert graph.num_nodes == 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SelectionError):
+            build_graph([], "bogus")
+
+    def test_edge_weights_match_equation_nine(self):
+        scores = [FactorScores(0.9, 0.9, 0.9), FactorScores(0.3, 0.3, 0.3)]
+        graph = build_graph(scores, "naive")
+        (v, weight), = graph.out_edges[0]
+        assert v == 1
+        assert weight == pytest.approx(0.6)
+
+
+class TestWeightAwareRanking:
+    def test_paper_example_six(self):
+        # Figure 8: S(1c)=0.4578, S(5d)=0.1312, S(5c)=0.09, sinks 0.
+        # Nodes: 0=1(c), 1=1(d), 2=5(b), 3=5(c), 4=5(d).
+        scores = [FactorScores(0, 0, 0)] * 5
+        graph = DominanceGraph(
+            scores=list(scores),
+            out_edges=[
+                [(1, 0.4578)],  # 1(c) -> 1(d)
+                [],             # 1(d)
+                [],             # 5(b)
+                [(2, 0.09)],    # 5(c) -> 5(b)
+                [(1, 0.1312)],  # 5(d) -> 1(d)
+            ],
+        )
+        s = weight_aware_scores(graph)
+        assert s[0] == pytest.approx(0.4578)
+        assert s[4] == pytest.approx(0.1312)
+        assert s[3] == pytest.approx(0.09)
+        assert s[1] == s[2] == 0.0
+        assert top_k(graph, 3) == [0, 4, 3]  # 1(c), 5(d), 5(c)
+
+    def test_scores_accumulate_transitively(self):
+        scores = [
+            FactorScores(0.9, 0.9, 0.9),
+            FactorScores(0.5, 0.5, 0.5),
+            FactorScores(0.1, 0.1, 0.1),
+        ]
+        graph = build_graph(scores, "naive")
+        s = weight_aware_scores(graph)
+        # S(top) includes S(mid) through the chain.
+        assert s[0] > s[1] > s[2] == 0.0
+
+    def test_rank_is_permutation(self):
+        scores = _random_scores(40)
+        graph = build_graph(scores, "range_tree")
+        order = rank_weight_aware(graph)
+        assert sorted(order) == list(range(40))
+
+    def test_cycle_detected(self):
+        graph = DominanceGraph(
+            scores=[FactorScores(0, 0, 0)] * 2,
+            out_edges=[[(1, 0.1)], [(0, 0.1)]],
+        )
+        with pytest.raises(SelectionError):
+            weight_aware_scores(graph)
+
+
+class TestTopologicalRanking:
+    def test_source_first(self):
+        scores = [
+            FactorScores(0.1, 0.1, 0.1),
+            FactorScores(0.9, 0.9, 0.9),
+        ]
+        graph = build_graph(scores, "naive")
+        assert rank_topological(graph)[0] == 1
+
+    def test_permutation(self):
+        scores = _random_scores(25, seed=3)
+        graph = build_graph(scores, "naive")
+        assert sorted(rank_topological(graph)) == list(range(25))
+
+    def test_top_k_validates(self):
+        graph = build_graph(_random_scores(5), "naive")
+        with pytest.raises(SelectionError):
+            top_k(graph, -1)
+        with pytest.raises(SelectionError):
+            top_k(graph, 2, method="bogus")
+        assert len(top_k(graph, 2, method="topological")) == 2

@@ -1,0 +1,191 @@
+"""Unit tests for multi-column visualizations (Section II-B extensions)."""
+
+import pytest
+
+from repro.core import (
+    enumerate_grouped,
+    enumerate_multi_series,
+    execute_grouped,
+    execute_multi_series,
+    multi_series_quality,
+)
+from repro.errors import ValidationError
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    ChartType,
+    GroupBy,
+)
+
+
+class TestExecuteMultiSeries:
+    def test_two_series_share_x_buckets(self, flights_table):
+        data = execute_multi_series(
+            flights_table,
+            "scheduled",
+            ["departure_delay", "arrival_delay"],
+            BinByGranularity("scheduled", BinGranularity.HOUR),
+            AggregateOp.AVG,
+            ChartType.LINE,
+        )
+        assert data.num_series == 2
+        assert set(data.series) == {"departure_delay", "arrival_delay"}
+        for ys in data.series.values():
+            assert len(ys) == data.num_points
+
+    def test_correlated_series_move_together(self, flights_table):
+        from repro.core import correlation_strength
+
+        data = execute_multi_series(
+            flights_table,
+            "scheduled",
+            ["departure_delay", "arrival_delay"],
+            BinByGranularity("scheduled", BinGranularity.HOUR),
+            AggregateOp.AVG,
+        )
+        assert correlation_strength(
+            data.series["departure_delay"], data.series["arrival_delay"]
+        ) > 0.5
+
+    def test_single_y_rejected(self, flights_table):
+        with pytest.raises(ValidationError):
+            execute_multi_series(
+                flights_table, "scheduled", ["departure_delay"],
+                BinByGranularity("scheduled", BinGranularity.HOUR),
+                AggregateOp.AVG,
+            )
+
+    def test_avg_needs_numeric_ys(self, flights_table):
+        with pytest.raises(ValidationError):
+            execute_multi_series(
+                flights_table, "scheduled", ["carrier", "destination"],
+                BinByGranularity("scheduled", BinGranularity.HOUR),
+                AggregateOp.AVG,
+            )
+
+
+class TestExecuteGrouped:
+    def test_figure_1b_shape(self, flights_table):
+        """Monthly passengers stacked by destination — Figure 1(b)."""
+        data = execute_grouped(
+            flights_table, "destination", "scheduled", "passengers",
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.SUM, ChartType.BAR,
+        )
+        assert data.num_series == 5  # five destinations in the fixture
+        assert data.chart is ChartType.BAR
+        # Stacked sums per month equal the unconditional monthly sums.
+        from repro.language import VisQuery, execute
+
+        total = execute(
+            VisQuery(
+                chart=ChartType.BAR, x="scheduled", y="passengers",
+                transform=BinByGranularity("scheduled", BinGranularity.MONTH),
+                aggregate=AggregateOp.SUM,
+            ),
+            flights_table,
+        )
+        stacked = [
+            sum(data.series[s][i] for s in data.series)
+            for i in range(data.num_points)
+        ]
+        assert stacked == pytest.approx(list(total.y_values))
+
+    def test_max_groups_cap(self, flights_table):
+        data = execute_grouped(
+            flights_table, "destination", "scheduled", "passengers",
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.SUM, max_groups=3,
+        )
+        assert data.num_series == 3
+
+    def test_group_by_numeric_rejected(self, flights_table):
+        with pytest.raises(ValidationError):
+            execute_grouped(
+                flights_table, "passengers", "scheduled", "departure_delay",
+                BinByGranularity("scheduled", BinGranularity.MONTH),
+                AggregateOp.SUM,
+            )
+
+    def test_count_works_without_z_type(self, flights_table):
+        data = execute_grouped(
+            flights_table, "carrier", "scheduled", "destination",
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.CNT,
+        )
+        total_rows = sum(v for ys in data.series.values() for v in ys)
+        assert total_rows == flights_table.num_rows
+
+
+class TestEnumeration:
+    def test_multi_series_candidates_bounded(self, flights_table):
+        candidates = enumerate_multi_series(flights_table)
+        assert candidates
+        for data in candidates:
+            assert 2 <= data.num_points <= 60
+            assert data.num_series >= 2
+
+    def test_grouped_candidates_bounded(self, flights_table):
+        candidates = enumerate_grouped(flights_table)
+        assert candidates
+        for data in candidates:
+            assert 2 <= data.num_points <= 60
+            assert 2 <= data.num_series
+
+
+class TestQuality:
+    def test_contrasting_series_beat_identical(self, flights_table):
+        good = execute_multi_series(
+            flights_table, "scheduled",
+            ["departure_delay", "passengers"],
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.AVG,
+        )
+        same = execute_multi_series(
+            flights_table, "scheduled",
+            ["departure_delay", "departure_delay2"]
+            if "departure_delay2" in flights_table
+            else ["departure_delay", "arrival_delay"],
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.AVG,
+        )
+        assert multi_series_quality(good) >= multi_series_quality(same)
+
+    def test_degenerate_scores_zero(self, flights_table):
+        data = execute_multi_series(
+            flights_table, "scheduled",
+            ["departure_delay", "arrival_delay"],
+            BinByGranularity("scheduled", BinGranularity.YEAR),
+            AggregateOp.AVG,
+        )
+        if data.num_points < 2:
+            assert multi_series_quality(data) == 0.0
+
+
+class TestRendering:
+    def test_vega_spec(self, flights_table):
+        from repro.render import multi_to_vega_lite
+
+        data = execute_grouped(
+            flights_table, "carrier", "scheduled", "passengers",
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.SUM, ChartType.BAR,
+        )
+        spec = multi_to_vega_lite(data)
+        assert spec["encoding"]["color"]["field"] == "series"
+        assert spec["encoding"]["y"]["stack"] == "zero"
+        assert len(spec["data"]["values"]) == data.num_points * data.num_series
+
+    def test_ascii_legend(self, flights_table):
+        from repro.render import render_multi_ascii
+
+        data = execute_multi_series(
+            flights_table, "scheduled",
+            ["departure_delay", "arrival_delay"],
+            BinByGranularity("scheduled", BinGranularity.HOUR),
+            AggregateOp.AVG,
+        )
+        text = render_multi_ascii(data)
+        assert "legend:" in text
+        assert "departure_delay" in text

@@ -1,0 +1,146 @@
+"""Unit tests for the partial-order factors M, Q, W and dominance."""
+
+import pytest
+
+from repro.core import (
+    FactorScores,
+    PartialOrderScorer,
+    dominates,
+    edge_weight,
+    make_node,
+    matching_quality_raw,
+    strictly_dominates,
+    transformation_quality,
+)
+from repro.core.enumeration import enumerate_rule_based
+from repro.dataset import Table
+from repro.language import AggregateOp, BinIntoBuckets, ChartType, GroupBy, VisQuery
+
+
+def _grouped_node(table, chart, agg=AggregateOp.SUM, x="carrier", y="passengers"):
+    query = VisQuery(chart=chart, x=x, y=y, transform=GroupBy(x), aggregate=agg)
+    return make_node(table, query)
+
+
+class TestMatchingQuality:
+    def test_avg_pie_scores_zero(self, flights_table):
+        # Eq. (1): pies with AVG make no part-to-whole sense.
+        node = _grouped_node(flights_table, ChartType.PIE, AggregateOp.AVG)
+        assert matching_quality_raw(node) == 0.0
+
+    def test_sum_pie_scores_positive(self, flights_table):
+        node = _grouped_node(flights_table, ChartType.PIE, AggregateOp.SUM)
+        assert 0.0 < matching_quality_raw(node) <= 1.0
+
+    def test_pie_with_negative_slices_scores_zero(self):
+        table = Table.from_dict(
+            "t", {"c": ["a", "b"], "v": [5.0, -2.0]}
+        )
+        node = _grouped_node(table, ChartType.PIE, AggregateOp.SUM, "c", "v")
+        assert matching_quality_raw(node) == 0.0
+
+    def test_bar_in_sweet_spot_scores_one(self, flights_table):
+        node = _grouped_node(flights_table, ChartType.BAR)
+        assert matching_quality_raw(node) == 1.0  # 4 carriers, 2<=d<=20
+
+    def test_bar_beyond_twenty_decays(self):
+        table = Table.from_dict(
+            "t",
+            {"c": [f"cat{i}" for i in range(40)], "v": list(range(40))},
+        )
+        node = _grouped_node(table, ChartType.BAR, AggregateOp.SUM, "c", "v")
+        assert matching_quality_raw(node) == pytest.approx(0.5)  # 20/40
+
+    def test_scatter_uses_correlation_strength(self, flights_table):
+        node = make_node(
+            flights_table,
+            VisQuery(chart=ChartType.SCATTER, x="departure_delay", y="arrival_delay"),
+        )
+        assert matching_quality_raw(node) > 0.9
+
+    def test_line_binary_trend(self, flights_table):
+        # Monotone values: bin numbers -> SUM increases, trend = 1.
+        table = Table.from_dict(
+            "t", {"x": list(range(100)), "y": [v * 2.0 for v in range(100)]}
+        )
+        node = make_node(
+            table,
+            VisQuery(chart=ChartType.LINE, x="x", y="y",
+                     transform=BinIntoBuckets("x", 10), aggregate=AggregateOp.AVG),
+        )
+        assert matching_quality_raw(node) == 1.0
+
+
+class TestTransformationQuality:
+    def test_reduction_rewarded(self, flights_table):
+        node = _grouped_node(flights_table, ChartType.BAR)
+        # 240 rows -> 4 groups: Q = 1 - 4/240.
+        assert transformation_quality(node) == pytest.approx(1 - 4 / 240)
+
+    def test_raw_data_scores_zero(self, flights_table):
+        node = make_node(
+            flights_table,
+            VisQuery(chart=ChartType.SCATTER, x="departure_delay", y="arrival_delay"),
+        )
+        assert transformation_quality(node) == 0.0
+
+
+class TestScorer:
+    def test_scores_in_unit_range(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)
+        scores = PartialOrderScorer().score(nodes)
+        assert len(scores) == len(nodes)
+        for s in scores:
+            assert 0.0 <= s.m <= 1.0
+            assert 0.0 <= s.q <= 1.0
+            assert 0.0 <= s.w <= 1.0
+
+    def test_m_normalised_per_chart(self, flights_table):
+        # Eq. (5): at least one node of each chart type present hits 1.
+        nodes = enumerate_rule_based(flights_table)
+        scores = PartialOrderScorer().score(nodes)
+        by_chart = {}
+        for node, score in zip(nodes, scores):
+            by_chart.setdefault(node.chart, []).append(score.m)
+        for chart, values in by_chart.items():
+            if max(values) > 0:
+                assert max(values) == pytest.approx(1.0)
+
+    def test_column_importance_matches_paper_formula(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)
+        scorer = PartialOrderScorer()
+        importance = scorer.column_importance(nodes)
+        # W(X) = #-charts containing X / #-charts (Eq. 7).
+        count = sum(1 for n in nodes if "carrier" in n.columns)
+        assert importance["carrier"] == pytest.approx(count / len(nodes))
+
+    def test_empty_input(self):
+        assert PartialOrderScorer().score([]) == []
+
+
+class TestDominance:
+    def test_definition_two(self):
+        a = FactorScores(0.9, 0.8, 0.7)
+        b = FactorScores(0.5, 0.8, 0.1)
+        assert dominates(a, b)
+        assert strictly_dominates(a, b)
+        assert not strictly_dominates(b, a)
+
+    def test_ties_dominate_but_not_strictly(self):
+        a = FactorScores(0.5, 0.5, 0.5)
+        b = FactorScores(0.5, 0.5, 0.5)
+        assert dominates(a, b)
+        assert not strictly_dominates(a, b)
+
+    def test_incomparable(self):
+        a = FactorScores(0.9, 0.1, 0.5)
+        b = FactorScores(0.1, 0.9, 0.5)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_edge_weight_equation_nine(self):
+        # The paper's Example 5: ((1.00-0) + (0.99976-0.99633) +
+        # (0.89-0.52)) / 3 = 0.4578.
+        u = FactorScores(1.00, 0.99976, 0.89)
+        v = FactorScores(0.0, 0.99633, 0.52)
+        assert edge_weight(u, v) == pytest.approx(0.4578, abs=1e-4)

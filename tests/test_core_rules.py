@@ -1,0 +1,167 @@
+"""Unit tests for the Section V-A decision rules and their completeness."""
+
+import pytest
+
+from repro.core import (
+    aggregate_rules,
+    canonical_order,
+    complies,
+    sorting_rules,
+    transform_rules,
+    visualization_rules,
+)
+from repro.core.rules import RuleConfig
+from repro.dataset import Column, ColumnType, Table
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    VisQuery,
+)
+
+
+def _col(ctype, name="x"):
+    values = {
+        ColumnType.CATEGORICAL: ["a", "b"],
+        ColumnType.NUMERICAL: [1.0, 2.0],
+        ColumnType.TEMPORAL: [0, 86400],
+    }[ctype]
+    return Column(name, ctype, values)
+
+
+class TestTransformationRules:
+    def test_categorical_only_groups(self):
+        transforms = transform_rules(_col(ColumnType.CATEGORICAL))
+        assert all(isinstance(t, GroupBy) for t in transforms)
+
+    def test_numerical_only_bins(self):
+        transforms = transform_rules(_col(ColumnType.NUMERICAL))
+        assert all(isinstance(t, BinIntoBuckets) for t in transforms)
+
+    def test_temporal_groups_and_bins_every_granularity(self):
+        transforms = transform_rules(_col(ColumnType.TEMPORAL))
+        kinds = {type(t) for t in transforms}
+        assert kinds == {GroupBy, BinByGranularity}
+        granularities = {
+            t.granularity for t in transforms if isinstance(t, BinByGranularity)
+        }
+        assert granularities == set(BinGranularity)
+
+    def test_numeric_y_gets_full_agg(self):
+        assert set(aggregate_rules(_col(ColumnType.NUMERICAL))) == {
+            AggregateOp.AVG, AggregateOp.SUM, AggregateOp.CNT,
+        }
+
+    def test_non_numeric_y_gets_count_only(self):
+        assert aggregate_rules(_col(ColumnType.CATEGORICAL)) == [AggregateOp.CNT]
+        assert aggregate_rules(_col(ColumnType.TEMPORAL)) == [AggregateOp.CNT]
+
+
+class TestSortingRules:
+    def test_numeric_x_sortable(self):
+        options = sorting_rules(ColumnType.NUMERICAL, y_is_numeric=True)
+        targets = {o.target for o in options if o is not None}
+        assert targets == {OrderTarget.X, OrderTarget.Y}
+
+    def test_categorical_x_not_sortable(self):
+        options = sorting_rules(ColumnType.CATEGORICAL, y_is_numeric=True)
+        assert all(o is None or o.target is OrderTarget.Y for o in options)
+
+    def test_unsorted_always_an_option(self):
+        assert None in sorting_rules(ColumnType.TEMPORAL, False)
+
+
+class TestVisualizationRules:
+    def test_cat_num_gives_bar_pie(self):
+        assert set(visualization_rules(ColumnType.CATEGORICAL, True)) == {
+            ChartType.BAR, ChartType.PIE,
+        }
+
+    def test_num_num_gives_line_bar(self):
+        assert set(visualization_rules(ColumnType.NUMERICAL, True)) == {
+            ChartType.LINE, ChartType.BAR,
+        }
+
+    def test_correlated_num_num_adds_scatter(self):
+        charts = visualization_rules(ColumnType.NUMERICAL, True, correlated=True)
+        assert ChartType.SCATTER in charts
+
+    def test_tem_num_gives_line(self):
+        assert visualization_rules(ColumnType.TEMPORAL, True) == [ChartType.LINE]
+
+    def test_non_numeric_y_forbidden(self):
+        assert visualization_rules(ColumnType.CATEGORICAL, False) == []
+
+    def test_completeness_every_type_pair_has_a_decision(self):
+        # Section V-C: the rules cover every (T(X), numeric-Y) case.
+        for x_type in ColumnType:
+            charts = visualization_rules(x_type, True, correlated=True)
+            assert charts, f"no chart decision for T(X)={x_type}"
+
+
+class TestCanonicalOrder:
+    def test_line_orders_by_x_when_sortable(self):
+        order = canonical_order(ChartType.LINE, ColumnType.TEMPORAL)
+        assert order == OrderBy(OrderTarget.X)
+
+    def test_bar_over_categories_orders_by_value(self):
+        order = canonical_order(ChartType.BAR, ColumnType.CATEGORICAL)
+        assert order == OrderBy(OrderTarget.Y, descending=True)
+
+    def test_line_over_categories_falls_back_to_value(self):
+        order = canonical_order(ChartType.LINE, ColumnType.CATEGORICAL)
+        assert order.target is OrderTarget.Y
+
+
+class TestComplies:
+    @pytest.fixture
+    def table(self):
+        return Table.from_dict(
+            "t",
+            {
+                "cat": ["a", "b", "a", "c"],
+                "num": [1.0, 2.0, 3.0, 4.0],
+                "tem": [0, 86400, 172800, 259200],
+            },
+            types={"tem": ColumnType.TEMPORAL},
+        )
+
+    def test_good_grouped_bar(self, table):
+        q = VisQuery(chart=ChartType.BAR, x="cat", y="num",
+                     transform=GroupBy("cat"), aggregate=AggregateOp.AVG)
+        assert complies(q, table)
+
+    def test_binning_categorical_fails(self, table):
+        q = VisQuery(chart=ChartType.BAR, x="cat", y="num",
+                     transform=BinIntoBuckets("cat", 5), aggregate=AggregateOp.AVG)
+        assert not complies(q, table)
+
+    def test_grouping_numerical_fails(self, table):
+        q = VisQuery(chart=ChartType.BAR, x="num", y="num",
+                     transform=GroupBy("num"), aggregate=AggregateOp.CNT)
+        assert not complies(q, table)
+
+    def test_avg_non_numeric_y_fails(self, table):
+        q = VisQuery(chart=ChartType.BAR, x="cat", y="tem",
+                     transform=GroupBy("cat"), aggregate=AggregateOp.AVG)
+        assert not complies(q, table)
+
+    def test_pie_on_temporal_x_fails(self, table):
+        q = VisQuery(chart=ChartType.PIE, x="tem", y="num",
+                     transform=BinByGranularity("tem", BinGranularity.DAY),
+                     aggregate=AggregateOp.AVG)
+        assert not complies(q, table)
+
+    def test_raw_scatter_requires_correlation(self, table):
+        q = VisQuery(chart=ChartType.SCATTER, x="num", y="num")
+        assert complies(q, table, correlated=True)
+        assert not complies(q, table, correlated=False)
+
+    def test_raw_pie_never_complies(self, table):
+        q = VisQuery(chart=ChartType.PIE, x="num", y="num")
+        assert not complies(q, table, correlated=True)

@@ -1,0 +1,112 @@
+"""Unit tests for keyword-driven visualization search."""
+
+import pytest
+
+from repro.core import enumerate_rule_based, keyword_search, score_keywords
+from repro.language import AggregateOp, BinGranularity, ChartType
+
+
+class TestScoreKeywords:
+    @pytest.fixture(scope="class")
+    def nodes(self, ):
+        import datetime as dt
+        import random
+
+        from repro.dataset import Table
+
+        rng = random.Random(3)
+        n = 120
+        table = Table.from_dict(
+            "flights",
+            {
+                "scheduled": [dt.datetime(2015, 1 + i % 12, 1 + i % 28, i % 24) for i in range(n)],
+                "carrier": [rng.choice(["UA", "AA"]) for _ in range(n)],
+                "delay": [rng.gauss(10, 5) for _ in range(n)],
+                "passengers": [rng.randint(50, 200) for _ in range(n)],
+            },
+        )
+        self_nodes = enumerate_rule_based(table)
+        return table, self_nodes
+
+    def test_column_name_matches(self, nodes):
+        _, candidates = nodes
+        delay_node = next(n for n in candidates if n.y_name == "delay")
+        score, matched = score_keywords(delay_node, ["delay"])
+        assert score == 1.0
+        assert matched == ["delay"]
+
+    def test_chart_synonyms(self, nodes):
+        _, candidates = nodes
+        pie = next(n for n in candidates if n.chart is ChartType.PIE)
+        score, matched = score_keywords(pie, ["share"])
+        assert score == 1.0
+
+    def test_aggregate_synonyms(self, nodes):
+        _, candidates = nodes
+        avg = next(n for n in candidates if n.query.aggregate is AggregateOp.AVG)
+        score, _ = score_keywords(avg, ["average"])
+        assert score == 1.0
+
+    def test_granularity_words(self, nodes):
+        _, candidates = nodes
+        from repro.language import BinByGranularity
+
+        hourly = next(
+            n for n in candidates
+            if isinstance(n.query.transform, BinByGranularity)
+            and n.query.transform.granularity is BinGranularity.HOUR
+        )
+        score, _ = score_keywords(hourly, ["hourly"])
+        assert score == 1.0
+
+    def test_stop_words_ignored(self, nodes):
+        _, candidates = nodes
+        node = candidates[0]
+        with_stop, _ = score_keywords(node, ["by", "per", node.x_name.split("_")[0]])
+        without, _ = score_keywords(node, [node.x_name.split("_")[0]])
+        assert with_stop == without
+
+    def test_empty_keywords(self, nodes):
+        _, candidates = nodes
+        assert score_keywords(candidates[0], []) == (0.0, [])
+
+
+class TestKeywordSearch:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.corpus import make_table
+
+        return make_table("FlyDelay", scale=0.01)
+
+    def test_average_delay_by_hour(self, table):
+        hits = keyword_search(table, "average delay by hour", k=3)
+        assert hits
+        top = hits[0].node
+        assert top.query.aggregate is AggregateOp.AVG
+        assert "delay" in top.y_name
+        assert top.query.transform.granularity is BinGranularity.HOUR
+
+    def test_passengers_share_by_carrier(self, table):
+        hits = keyword_search(table, "share of passengers per carrier", k=3)
+        assert hits
+        top = hits[0].node
+        assert top.chart is ChartType.PIE
+        assert top.x_name == "carrier"
+        assert top.y_name == "passengers"
+
+    def test_no_match_returns_empty(self, table):
+        assert keyword_search(table, "zzzz qqqq", k=5) == []
+
+    def test_k_limits_results(self, table):
+        assert len(keyword_search(table, "delay", k=2)) == 2
+
+    def test_results_sorted_by_score(self, table):
+        hits = keyword_search(table, "total passengers by month", k=5)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_quality_breaks_keyword_ties(self, table):
+        hits = keyword_search(table, "delay", k=10)
+        tied = [h for h in hits if h.keyword_score == hits[0].keyword_score]
+        qualities = [h.quality_score for h in tied]
+        assert qualities == sorted(qualities, reverse=True)

@@ -1,0 +1,71 @@
+"""Tests for the opt-in "smooth" trend family (Figure 1(c) vs 1(d))."""
+
+import numpy as np
+import pytest
+
+from repro.core.trend import (
+    EXTENDED_TREND_FAMILIES,
+    TREND_FAMILIES,
+    fit_trend,
+    smoothness,
+)
+
+
+class TestSmoothness:
+    def test_seasonal_curve_is_smooth(self):
+        t = np.linspace(0, 4 * np.pi, 48)
+        assert smoothness(np.sin(t)) > 0.8
+
+    def test_white_noise_is_not_smooth(self):
+        rng = np.random.default_rng(0)
+        assert smoothness(rng.normal(size=200)) < 0.3
+
+    def test_constant_is_perfectly_smooth(self):
+        assert smoothness([3.0] * 10) == 1.0
+
+    def test_linear_ramp_is_smooth(self):
+        assert smoothness(np.linspace(0, 1, 30)) > 0.8
+
+    def test_short_series(self):
+        assert smoothness([1.0, 2.0]) == 0.0
+
+    def test_alternating_series_clipped_to_zero(self):
+        # Negative lag-1 autocorrelation clips to 0, never below.
+        assert smoothness([1.0, -1.0] * 20) == 0.0
+
+
+class TestExtendedFamilies:
+    def _hourly_delays(self):
+        """A Figure 1(c)-style seasonal curve: a clean midday peak that
+        rises and falls, so no monotone family can fit it."""
+        hours = np.arange(24, dtype=float)
+        return 6.0 + 10.0 * np.exp(-((hours - 12.0) ** 2) / 14.0)
+
+    def test_figure_1c_fails_monotone_families(self):
+        result = fit_trend(self._hourly_delays(), families=TREND_FAMILIES)
+        assert not result.has_trend  # no monotone family fits
+
+    def test_figure_1c_passes_with_smooth_family(self):
+        result = fit_trend(
+            self._hourly_delays(), families=EXTENDED_TREND_FAMILIES
+        )
+        assert result.has_trend
+        assert result.family == "smooth"
+
+    def test_figure_1d_fails_even_extended(self):
+        # Daily delays: fluctuation with no structure.
+        rng = np.random.default_rng(1)
+        noise = 10 + 5 * rng.normal(size=200)
+        result = fit_trend(noise, families=EXTENDED_TREND_FAMILIES)
+        assert not result.has_trend
+
+    def test_monotone_families_still_win_when_applicable(self):
+        y = np.exp(np.linspace(0, 3, 40))
+        result = fit_trend(y, families=EXTENDED_TREND_FAMILIES)
+        assert result.has_trend
+        # The exponential fit is exact (R^2 = 1) and beats smoothness.
+        assert result.per_family["exponential"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_default_families_exclude_smooth(self):
+        result = fit_trend(self._hourly_delays())
+        assert "smooth" not in result.per_family

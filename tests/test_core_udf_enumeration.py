@@ -1,0 +1,90 @@
+"""Tests for UDF binning in rule configs and enumeration."""
+
+import pytest
+
+from repro.core import EnumerationConfig, enumerate_exhaustive, enumerate_rule_based
+from repro.core.rules import RuleConfig, complies, transform_rules
+from repro.dataset import Column, ColumnType, Table
+from repro.language import AggregateOp, BinByUDF, ChartType, VisQuery, execute
+
+
+def _sign(value: float) -> str:
+    return "late" if value > 0 else "early"
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict(
+        "t",
+        {
+            "kind": ["a", "b"] * 20,
+            "delay": [(-1) ** i * (i + 1.0) for i in range(40)],
+            "size": [float(i % 7) for i in range(40)],
+        },
+    )
+
+
+class TestUdfRules:
+    def test_transform_rules_include_registered_udfs(self, table):
+        config = RuleConfig(udfs=(("sign", _sign),))
+        transforms = transform_rules(table.column("delay"), config)
+        udf_transforms = [t for t in transforms if isinstance(t, BinByUDF)]
+        assert len(udf_transforms) == 1
+        assert udf_transforms[0].udf_name == "sign"
+
+    def test_udf_not_offered_for_categorical(self, table):
+        config = RuleConfig(udfs=(("sign", _sign),))
+        transforms = transform_rules(table.column("kind"), config)
+        assert not any(isinstance(t, BinByUDF) for t in transforms)
+
+    def test_udf_query_complies(self, table):
+        query = VisQuery(
+            chart=ChartType.BAR, x="delay", y="size",
+            transform=BinByUDF("delay", "sign", _sign),
+            aggregate=AggregateOp.AVG,
+        )
+        assert complies(query, table)
+
+    def test_udf_on_categorical_does_not_comply(self, table):
+        query = VisQuery(
+            chart=ChartType.BAR, x="kind", y="size",
+            transform=BinByUDF("kind", "sign", _sign),
+            aggregate=AggregateOp.AVG,
+        )
+        assert not complies(query, table)
+
+
+class TestUdfEnumeration:
+    def test_rule_based_generates_udf_charts(self, table):
+        config = EnumerationConfig(udfs=(("sign", _sign),))
+        nodes = enumerate_rule_based(table, config)
+        udf_nodes = [
+            n for n in nodes if isinstance(n.query.transform, BinByUDF)
+        ]
+        assert udf_nodes
+        sample = udf_nodes[0]
+        assert set(sample.data.x_labels) <= {"early", "late"}
+
+    def test_exhaustive_also_includes_udfs(self, table):
+        with_udf = EnumerationConfig(orderings="none", udfs=(("sign", _sign),))
+        without = EnumerationConfig(orderings="none")
+        assert len(enumerate_exhaustive(table, with_udf)) > len(
+            enumerate_exhaustive(table, without)
+        )
+
+    def test_udf_chart_executes_consistently(self, table):
+        query = VisQuery(
+            chart=ChartType.BAR, x="delay", y="size",
+            transform=BinByUDF("delay", "sign", _sign),
+            aggregate=AggregateOp.CNT,
+        )
+        data = execute(query, table)
+        assert dict(zip(data.x_labels, data.y_values)) == {
+            "early": 20.0, "late": 20.0,
+        }
+
+    def test_same_named_udfs_compare_equal(self):
+        a = BinByUDF("delay", "sign", _sign)
+        b = BinByUDF("delay", "sign", lambda v: "x")  # name governs identity
+        assert a == b
+        assert hash(a) == hash(b)

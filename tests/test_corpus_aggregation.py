@@ -1,0 +1,124 @@
+"""Unit tests for crowd rank aggregation (Borda / Copeland / Bradley-Terry)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    aggregate_comparisons,
+    borda_scores,
+    bradley_terry_scores,
+    copeland_scores,
+    grades_from_scores,
+)
+from repro.errors import ReproError
+
+
+def _round_robin(strengths, games=8, seed=0):
+    """Simulate comparisons under Bradley-Terry with given strengths."""
+    rng = np.random.default_rng(seed)
+    comparisons = []
+    n = len(strengths)
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = strengths[i] / (strengths[i] + strengths[j])
+            for _ in range(games):
+                if rng.random() < p:
+                    comparisons.append((i, j))
+                else:
+                    comparisons.append((j, i))
+    return comparisons
+
+
+class TestBorda:
+    def test_clear_winner(self):
+        comparisons = [(0, 1), (0, 2), (1, 2)]
+        scores = borda_scores(comparisons, 3)
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_unseen_items_score_zero(self):
+        scores = borda_scores([(0, 1)], 4)
+        assert scores[2] == scores[3] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            borda_scores([(0, 5)], 3)
+        with pytest.raises(ReproError):
+            borda_scores([(1, 1)], 3)
+
+
+class TestCopeland:
+    def test_majority_rule(self):
+        # 1 beats 0 twice, 0 beats 1 once: 1 wins the pair.
+        comparisons = [(1, 0), (1, 0), (0, 1)]
+        scores = copeland_scores(comparisons, 2)
+        assert scores[1] > scores[0]
+
+    def test_tied_pair_contributes_nothing(self):
+        scores = copeland_scores([(0, 1), (1, 0)], 2)
+        assert scores[0] == scores[1]
+
+    def test_normalised_range(self):
+        comparisons = _round_robin([4.0, 2.0, 1.0], games=4)
+        scores = copeland_scores(comparisons, 3)
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+
+class TestBradleyTerry:
+    def test_recovers_strength_order(self):
+        true = [8.0, 4.0, 2.0, 1.0, 0.5]
+        comparisons = _round_robin(true, games=30)
+        theta = bradley_terry_scores(comparisons, 5)
+        assert list(np.argsort(-theta)) == [0, 1, 2, 3, 4]
+
+    def test_strengths_roughly_proportional(self):
+        true = [4.0, 1.0]
+        comparisons = _round_robin(true, games=400, seed=1)
+        theta = bradley_terry_scores(comparisons, 2)
+        ratio = theta[0] / theta[1]
+        assert 2.5 < ratio < 6.5  # true ratio 4, finite-sample noise
+
+    def test_never_loses_item_converges(self):
+        comparisons = [(0, 1)] * 10 + [(1, 2)] * 10
+        theta = bradley_terry_scores(comparisons, 3)
+        assert np.isfinite(theta).all()
+        assert theta[0] > theta[1] > theta[2]
+
+
+class TestDispatcherAndGrades:
+    def test_unknown_method(self):
+        with pytest.raises(ReproError):
+            aggregate_comparisons([(0, 1)], 2, method="elo")
+
+    @pytest.mark.parametrize("method", ["borda", "copeland", "bradley_terry"])
+    def test_all_methods_agree_on_strong_signal(self, method):
+        comparisons = _round_robin([10.0, 3.0, 1.0], games=40)
+        scores = aggregate_comparisons(comparisons, 3, method)
+        assert list(np.argsort(-scores)) == [0, 1, 2]
+
+    def test_grades_quantised(self):
+        scores = [0.9, 0.7, 0.5, 0.3, 0.1, 0.0]
+        grades = grades_from_scores(scores, participants=[0, 1, 2, 3, 4])
+        assert grades[0] == 4.0
+        assert grades[5] == 0.0  # not a participant
+        assert all(g in (0.0, 1.0, 2.0, 3.0, 4.0) for g in grades)
+
+    def test_grades_empty_participants(self):
+        assert grades_from_scores([0.5, 0.2], []) == [0.0, 0.0]
+
+
+class TestOracleComparisonPath:
+    def test_comparison_grades_correlate_with_direct_grades(self, flights_table):
+        from repro.core import enumerate_rule_based
+        from repro.corpus import PerceptionOracle
+
+        oracle = PerceptionOracle()
+        nodes = enumerate_rule_based(flights_table)
+        direct = oracle.annotate(nodes)
+        merged = oracle.annotate_via_comparisons(nodes)
+        assert merged.labels == direct.labels
+        good = [i for i, ok in enumerate(direct.labels) if ok]
+        if len(good) >= 4:
+            a = np.asarray([direct.relevance[i] for i in good])
+            b = np.asarray([merged.relevance[i] for i in good])
+            # Same grading scale, strongly correlated orders.
+            assert np.corrcoef(a, b)[0, 1] > 0.4

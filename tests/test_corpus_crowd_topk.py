@@ -1,0 +1,113 @@
+"""Tests for crowdsourced top-k under noisy comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import crowd_top_k, majority_vote, noisy_max, oracle_comparator
+from repro.errors import ReproError
+
+
+def _perfect(scores):
+    return lambda i, j: scores[i] > scores[j]
+
+
+class TestMajorityVote:
+    def test_deterministic_comparator_stops_early(self):
+        compare = _perfect([0.0, 1.0])
+        wins, asked = majority_vote(compare, 1, 0, rounds=5)
+        assert wins
+        assert asked == 3  # 3-0 decides a best-of-5 early
+
+    def test_noisy_majority_beats_single_question(self):
+        scores = [0.0, 0.1]
+        flips = 0
+        trials = 200
+        for seed in range(trials):
+            compare = oracle_comparator(scores, accuracy_scale=0.15, seed=seed)
+            wins, _ = majority_vote(compare, 1, 0, rounds=9)
+            flips += 0 if wins else 1
+        single_flips = 0
+        for seed in range(trials):
+            compare = oracle_comparator(scores, accuracy_scale=0.15, seed=seed)
+            single_flips += 0 if compare(1, 0) else 1
+        assert flips < single_flips
+
+    def test_rounds_validated(self):
+        with pytest.raises(ReproError):
+            majority_vote(_perfect([0, 1]), 0, 1, rounds=0)
+
+
+class TestNoisyMax:
+    def test_perfect_comparator_finds_max(self):
+        scores = [0.3, 0.9, 0.1, 0.5, 0.7]
+        winner, questions = noisy_max(range(5), _perfect(scores))
+        assert winner == 1
+        assert questions > 0
+
+    def test_single_item(self):
+        winner, questions = noisy_max([7], _perfect([0] * 8))
+        assert winner == 7
+        assert questions == 0
+
+    def test_odd_field_gets_a_bye(self):
+        scores = [0.1, 0.2, 0.9]
+        winner, _ = noisy_max(range(3), _perfect(scores))
+        assert winner == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            noisy_max([], _perfect([]))
+
+    def test_noisy_comparator_usually_right(self):
+        scores = list(np.linspace(0, 1, 16))
+        correct = 0
+        for seed in range(30):
+            compare = oracle_comparator(scores, accuracy_scale=0.08, seed=seed)
+            winner, _ = noisy_max(range(16), compare, rounds=7)
+            correct += winner == 15
+        assert correct >= 24  # >= 80% success
+
+
+class TestCrowdTopK:
+    def test_perfect_comparator_exact(self):
+        scores = [0.4, 0.9, 0.1, 0.7, 0.2, 0.6]
+        top, questions = crowd_top_k(range(6), _perfect(scores), k=3)
+        assert top == [1, 3, 5]
+        assert questions > 0
+
+    def test_k_zero(self):
+        top, questions = crowd_top_k(range(4), _perfect([1, 2, 3, 4]), k=0)
+        assert top == []
+        assert questions == 0
+
+    def test_k_exceeds_pool(self):
+        top, _ = crowd_top_k(range(3), _perfect([3, 2, 1]), k=99)
+        assert top == [0, 1, 2]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ReproError):
+            crowd_top_k(range(3), _perfect([1, 2, 3]), k=-1)
+
+    def test_more_rounds_spend_more_questions(self):
+        scores = list(np.linspace(0, 1, 12))
+        compare = oracle_comparator(scores, accuracy_scale=0.1, seed=1)
+        _, cheap = crowd_top_k(range(12), compare, k=2, rounds=1)
+        compare = oracle_comparator(scores, accuracy_scale=0.1, seed=1)
+        _, costly = crowd_top_k(range(12), compare, k=2, rounds=9)
+        assert costly > cheap
+
+    def test_recovers_oracle_top_charts(self, flights_table):
+        """End-to-end: crowd top-k over the perception oracle's latent
+        chart scores finds (mostly) the same charts as sorting them."""
+        from repro.core import enumerate_rule_based
+        from repro.corpus import PerceptionOracle
+
+        oracle = PerceptionOracle()
+        nodes = enumerate_rule_based(flights_table)
+        interest = oracle.column_interest(nodes)
+        scores = [oracle.consensus_score(n, interest) for n in nodes]
+        compare = oracle_comparator(scores, accuracy_scale=0.03, seed=5)
+        top, _ = crowd_top_k(range(len(nodes)), compare, k=5, rounds=7)
+        true_top = sorted(range(len(nodes)), key=lambda i: -scores[i])[:10]
+        overlap = len(set(top) & set(true_top))
+        assert overlap >= 3

@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic corpus generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import TESTING_SPECS, TRAINING_SPECS, corpus_tables, make_table
+from repro.corpus import testing_tables as make_testing_tables
+from repro.corpus import training_tables as make_training_tables
+from repro.dataset import ColumnType
+
+
+class TestSpecs:
+    def test_ten_testing_specs_match_table_four(self):
+        assert len(TESTING_SPECS) == 10
+        by_name = {s.name: s for s in TESTING_SPECS}
+        assert by_name["FlyDelay"].rows == 99527
+        assert by_name["Adult"].rows == 32561
+        assert by_name["McDonald's Menu"].rows == 263
+
+    def test_thirty_two_training_specs(self):
+        assert len(TRAINING_SPECS) == 32
+
+    def test_corpus_has_forty_two_tables(self):
+        tables = corpus_tables(scale=0.01)
+        assert len(tables) == 42
+
+    def test_unique_names(self):
+        names = [s.name for s in TESTING_SPECS + TRAINING_SPECS]
+        assert len(names) == len(set(names))
+
+
+class TestGeneratedTables:
+    def test_column_counts_match_table_four(self):
+        expected = {
+            "Hollywood's Stories": 8,
+            "Foreign Visitor Arrivals": 4,
+            "McDonald's Menu": 23,
+            "Happiness Rank": 12,
+            "ZHVI Summary": 13,
+            "NFL Player Statistics": 25,
+            "Airbnb Summary": 9,
+            "Top Baby Names in US": 6,
+            "Adult": 14,
+            "FlyDelay": 6,
+        }
+        for table in make_testing_tables(scale=0.01):
+            assert table.num_columns == expected[table.name], table.name
+
+    def test_scale_controls_row_count(self):
+        small = make_table("FlyDelay", scale=0.001)
+        large = make_table("FlyDelay", scale=0.01)
+        assert small.num_rows < large.num_rows
+        assert large.num_rows == pytest.approx(995, abs=2)
+
+    def test_deterministic_given_seed(self):
+        a = make_table("Adult", scale=0.01, seed=3)
+        b = make_table("Adult", scale=0.01, seed=3)
+        assert a.column_names == b.column_names
+        assert list(a.column(a.column_names[0]).values) == list(
+            b.column(b.column_names[0]).values
+        )
+
+    def test_seed_changes_values(self):
+        a = make_table("Adult", scale=0.01, seed=1)
+        b = make_table("Adult", scale=0.01, seed=2)
+        num = a.columns_of_type(ColumnType.NUMERICAL)[0].name
+        assert list(a.column(num).values) != list(b.column(num).values)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_table("No Such Dataset")
+
+    def test_every_table_has_numeric_and_nonnumeric_columns(self):
+        for table in corpus_tables(scale=0.01):
+            counts = table.type_counts()
+            assert counts[ColumnType.NUMERICAL] >= 1, table.name
+            assert (
+                counts[ColumnType.CATEGORICAL] + counts[ColumnType.TEMPORAL] >= 1
+            ), table.name
+
+
+class TestPlantedStructure:
+    def test_flydelay_delays_are_correlated(self):
+        from repro.core import correlation_strength
+
+        table = make_table("FlyDelay", scale=0.01)
+        dep = table.column("departure_delay").values
+        arr = table.column("arrival_delay").values
+        assert correlation_strength(dep, arr) > 0.7
+
+    def test_flydelay_hourly_seasonality(self):
+        # Late-afternoon peak (the paper's ~19:00 observation).
+        table = make_table("FlyDelay", scale=0.05)
+        hours = np.asarray([t.hour for t in table.column("scheduled").as_datetimes()])
+        delays = table.column("departure_delay").values
+        evening = delays[(hours >= 17) & (hours <= 21)].mean()
+        morning = delays[(hours >= 1) & (hours <= 5)].mean()
+        assert evening > morning + 3.0
+
+    def test_menu_calories_track_fat(self):
+        from repro.core import correlation_strength
+
+        table = make_table("McDonald's Menu", scale=0.5)
+        # calories_from_fat is 9 * fat by construction: near-perfect.
+        assert correlation_strength(
+            table.column("total_fat_g").values,
+            table.column("calories_from_fat").values,
+        ) > 0.95
+        # total calories are multi-factor, so only moderately correlated.
+        assert correlation_strength(
+            table.column("total_fat_g").values, table.column("calories").values
+        ) > 0.35
+
+    def test_training_variants_differ_in_size(self):
+        tables = make_training_tables(scale=0.05)
+        base = next(t for t in tables if t.name == "Monthly Sales")
+        variant = next(t for t in tables if t.name == "Monthly Sales #2")
+        assert base.num_rows != variant.num_rows

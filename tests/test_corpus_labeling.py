@@ -1,0 +1,137 @@
+"""Unit tests for the perception oracle and corpus assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core import enumerate_rule_based
+from repro.core.enumeration import EnumerationConfig, enumerate_candidates
+from repro.corpus import (
+    CorpusConfig,
+    PerceptionOracle,
+    annotate_table,
+    build_corpus,
+    build_training_examples,
+    corpus_statistics,
+    make_table,
+)
+from repro.language import AggregateOp, ChartType
+
+
+@pytest.fixture(scope="module")
+def fly_nodes():
+    table = make_table("FlyDelay", scale=0.003)
+    return enumerate_candidates(
+        table, "exhaustive", EnumerationConfig(orderings="none")
+    )
+
+
+class TestConsensusScore:
+    def test_scores_in_unit_interval(self, fly_nodes):
+        oracle = PerceptionOracle()
+        interest = oracle.column_interest(fly_nodes)
+        for node in fly_nodes[:200]:
+            assert 0.0 <= oracle.consensus_score(node, interest) <= 1.0
+
+    def test_rule_violations_score_low(self, fly_nodes):
+        oracle = PerceptionOracle()
+        # A pie over a temporal x violates the visualization rules.
+        bad = [
+            n for n in fly_nodes
+            if n.chart is ChartType.PIE and n.query.x == "scheduled"
+            and n.query.transform is not None
+        ]
+        assert bad
+        for node in bad[:10]:
+            assert oracle.consensus_score(node) < 0.2
+
+    def test_avg_pie_scores_lower_than_sum_pie(self, fly_nodes):
+        oracle = PerceptionOracle()
+        pies = {
+            (n.query.x, n.query.aggregate): n
+            for n in fly_nodes
+            if n.chart is ChartType.PIE and n.query.x == "carrier"
+        }
+        avg = pies.get(("carrier", AggregateOp.AVG))
+        s = pies.get(("carrier", AggregateOp.SUM))
+        assert avg is not None and s is not None
+        assert oracle.consensus_score(avg) < oracle.consensus_score(s)
+
+
+class TestAnnotation:
+    def test_deterministic(self, fly_nodes):
+        a = PerceptionOracle(seed=5).annotate(fly_nodes)
+        b = PerceptionOracle(seed=5).annotate(fly_nodes)
+        assert a.labels == b.labels
+        assert a.relevance == b.relevance
+
+    def test_seed_changes_borderline_labels(self, fly_nodes):
+        a = PerceptionOracle(seed=1).annotate(fly_nodes)
+        b = PerceptionOracle(seed=2).annotate(fly_nodes)
+        # Most labels agree (the oracle backbone is shared) ...
+        agreement = np.mean(np.asarray(a.labels) == np.asarray(b.labels))
+        assert agreement > 0.9
+
+    def test_good_rate_in_paper_ballpark(self, fly_nodes):
+        annotation = PerceptionOracle().annotate(fly_nodes)
+        rate = annotation.num_good / len(fly_nodes)
+        assert 0.02 < rate < 0.35  # paper: ~7.5% overall
+
+    def test_relevance_grades(self, fly_nodes):
+        annotation = PerceptionOracle().annotate(fly_nodes)
+        for label, grade in zip(annotation.labels, annotation.relevance):
+            if label:
+                assert grade in (1.0, 2.0, 3.0, 4.0)
+            else:
+                assert grade == 0.0
+
+    def test_empty_nodes(self):
+        annotation = PerceptionOracle().annotate([])
+        assert annotation.labels == []
+
+    def test_pairwise_comparisons_are_good_pairs(self, fly_nodes):
+        oracle = PerceptionOracle()
+        annotation = oracle.annotate(fly_nodes)
+        pairs = oracle.pairwise_comparisons(fly_nodes, max_pairs=50)
+        good = {i for i, l in enumerate(annotation.labels) if l}
+        assert len(pairs) <= 50
+        for i, j in pairs:
+            assert i in good and j in good
+
+
+class TestCorpusAssembly:
+    def test_annotate_table_caps_nodes(self):
+        table = make_table("FlyDelay", scale=0.003)
+        annotated = annotate_table(
+            table, PerceptionOracle(), CorpusConfig(max_nodes_per_table=50)
+        )
+        assert len(annotated.nodes) <= 50 or annotated.annotation.num_good > 50
+        assert len(annotated.annotation.labels) == len(annotated.nodes)
+
+    def test_cnt_dedup_removes_two_column_counts(self):
+        table = make_table("FlyDelay", scale=0.003)
+        annotated = annotate_table(
+            table, PerceptionOracle(), CorpusConfig(max_nodes_per_table=None)
+        )
+        for node in annotated.nodes:
+            if node.query.aggregate is AggregateOp.CNT:
+                assert node.query.x == node.query.y
+
+    def test_training_examples_aligned(self):
+        tables = [make_table("Monthly Sales", scale=0.1)]
+        corpus = build_corpus(tables, config=CorpusConfig(max_nodes_per_table=60))
+        examples = build_training_examples(corpus)
+        assert len(examples) == 1
+        example = examples[0]
+        assert len(example.nodes) == len(example.labels) == len(example.relevance)
+
+    def test_corpus_statistics_shape(self):
+        tables = [make_table("Monthly Sales", scale=0.1),
+                  make_table("City Weather", scale=0.05)]
+        corpus = build_corpus(tables, config=CorpusConfig(max_nodes_per_table=60))
+        stats = corpus_statistics(corpus)
+        assert stats["num_datasets"] == 2
+        assert stats["good_charts"] + stats["bad_charts"] == sum(
+            len(item.nodes) for item in corpus
+        )
+        assert stats["comparisons"] >= 0
+        assert len(stats["tables"]) == 2

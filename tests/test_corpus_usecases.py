@@ -1,0 +1,84 @@
+"""Unit tests for the D1-D9 use cases and coverage measurement."""
+
+import pytest
+
+from repro.corpus import USECASE_SPECS, PerceptionOracle, chart_key, coverage_k, use_cases
+from repro.corpus.usecases import UseCase
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return use_cases(scale=0.05)
+
+
+class TestUseCases:
+    def test_nine_cases(self, cases):
+        assert len(cases) == 9
+        assert [c.name for c in cases] == [spec[0] for spec in USECASE_SPECS]
+
+    def test_published_counts_match_specs(self, cases):
+        for case, spec in zip(cases, USECASE_SPECS):
+            assert case.num_published == spec[3]
+
+    def test_published_charts_are_distinct(self, cases):
+        for case in cases:
+            assert len(set(case.published)) == len(case.published)
+
+    def test_deterministic(self):
+        a = use_cases(scale=0.05, seed=3)
+        b = use_cases(scale=0.05, seed=3)
+        assert [c.published for c in a] == [c.published for c in b]
+
+    def test_published_charts_are_enumerable(self, cases):
+        """Every published chart must exist in the rule-based space of
+        its table — otherwise coverage could never reach it."""
+        from repro.core.enumeration import EnumerationConfig, enumerate_candidates
+
+        for case in cases[:3]:
+            nodes = enumerate_candidates(
+                case.table, "rules", EnumerationConfig(orderings="canonical")
+            )
+            keys = {chart_key(node) for node in nodes}
+            for published in case.published:
+                assert published in keys
+
+
+class TestCoverage:
+    def test_zero_published_covered_at_zero(self, cases):
+        empty = UseCase(name="x", table=cases[0].table, published=[])
+        assert coverage_k(empty, []) == 0
+
+    def test_coverage_found(self, cases):
+        from repro.core.enumeration import EnumerationConfig, enumerate_candidates
+
+        case = cases[0]
+        nodes = enumerate_candidates(
+            case.table, "rules", EnumerationConfig(orderings="canonical")
+        )
+        # A ranking that begins with exactly the published charts covers
+        # them at k = num_published.
+        by_key = {chart_key(n): n for n in nodes}
+        front = [by_key[k] for k in case.published]
+        rest = [n for n in nodes if chart_key(n) not in set(case.published)]
+        assert coverage_k(case, front + rest) == case.num_published
+
+    def test_uncovered_returns_none(self, cases):
+        case = cases[0]
+        assert coverage_k(case, []) is None
+
+    def test_order_irrelevant_fields_ignored(self, cases):
+        """chart_key ignores ORDER BY, so the same chart sorted
+        differently still covers."""
+        from repro.core.enumeration import EnumerationConfig, enumerate_candidates
+        import dataclasses
+
+        case = cases[0]
+        nodes = enumerate_candidates(
+            case.table, "rules", EnumerationConfig(orderings="canonical")
+        )
+        node = nodes[0]
+        reordered = dataclasses.replace(node.query, order=None)
+        assert chart_key(node) == (
+            reordered.chart, reordered.x, reordered.y,
+            reordered.transform, reordered.aggregate,
+        )

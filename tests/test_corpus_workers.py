@@ -1,0 +1,98 @@
+"""Tests for the heterogeneous worker pool and quality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    WorkerPool,
+    aggregate_comparisons,
+    estimate_worker_quality,
+    weighted_merge,
+)
+from repro.errors import ReproError
+
+
+def _all_pairs(n):
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+@pytest.fixture
+def setting():
+    scores = list(np.linspace(0.1, 0.9, 8))
+    # 6 diligent workers, 2 spammers.
+    accuracies = [0.92, 0.9, 0.88, 0.85, 0.9, 0.87, 0.5, 0.5]
+    pool = WorkerPool(accuracies, resolution=0.02, seed=3)
+    judgements = pool.collect(scores, _all_pairs(8) * 4, judgements_per_pair=5)
+    return scores, accuracies, pool, judgements
+
+
+class TestWorkerPool:
+    def test_judgement_count(self, setting):
+        _, _, _, judgements = setting
+        assert len(judgements) == len(_all_pairs(8)) * 4 * 5
+
+    def test_perfect_worker_always_right_on_clear_gaps(self):
+        pool = WorkerPool([1.0], resolution=0.001, seed=0)
+        assert all(pool.judge(0, 0.9, 0.1) for _ in range(50))
+
+    def test_spammer_near_coin_flip(self):
+        pool = WorkerPool([0.5], seed=1)
+        answers = [pool.judge(0, 0.9, 0.1) for _ in range(400)]
+        assert 0.35 < np.mean(answers) < 0.65
+
+    def test_near_ties_are_hard_for_everyone(self):
+        pool = WorkerPool([0.95], resolution=0.2, seed=2)
+        answers = [pool.judge(0, 0.51, 0.50) for _ in range(400)]
+        # Effective accuracy interpolates toward 0.5 on tiny gaps.
+        assert 0.35 < np.mean(answers) < 0.7
+
+    def test_accuracy_validated(self):
+        with pytest.raises(ReproError):
+            WorkerPool([1.2])
+
+
+class TestQualityEstimation:
+    def test_spammers_rank_below_diligent_workers(self, setting):
+        _, accuracies, _, judgements = setting
+        quality = estimate_worker_quality(judgements, len(accuracies))
+        diligent = quality[:6].mean()
+        spammers = quality[6:].mean()
+        assert diligent > spammers + 0.1
+
+    def test_quality_in_unit_interval(self, setting):
+        _, accuracies, _, judgements = setting
+        quality = estimate_worker_quality(judgements, len(accuracies))
+        assert ((0.0 <= quality) & (quality <= 1.0)).all()
+
+    def test_needs_workers(self):
+        with pytest.raises(ReproError):
+            estimate_worker_quality([], 0)
+
+
+class TestWeightedMerge:
+    def test_merged_order_recovers_truth(self, setting):
+        scores, accuracies, _, judgements = setting
+        winners = weighted_merge(judgements, len(accuracies))
+        merged = aggregate_comparisons(winners, len(scores), "borda")
+        recovered = list(np.argsort(-merged))
+        true_order = list(np.argsort(-np.asarray(scores)))
+        # The top and bottom items must be placed correctly.
+        assert recovered[0] == true_order[0]
+        assert recovered[-1] == true_order[-1]
+
+    def test_weighting_beats_unweighted_with_many_spammers(self):
+        scores = list(np.linspace(0, 1, 6))
+        accuracies = [0.95, 0.95, 0.5, 0.5, 0.5, 0.52, 0.48]
+        pool = WorkerPool(accuracies, resolution=0.02, seed=9)
+        judgements = pool.collect(scores, _all_pairs(6) * 10, judgements_per_pair=5)
+
+        quality = estimate_worker_quality(judgements, len(accuracies))
+        weighted = weighted_merge(judgements, len(accuracies), quality)
+        unweighted = weighted_merge(
+            judgements, len(accuracies), np.full(len(accuracies), 0.7)
+        )
+
+        def errors(winners):
+            return sum(1 for a, b in winners if scores[a] < scores[b])
+
+        assert errors(weighted) <= errors(unweighted)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.dataset.column."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.dataset import EPOCH, Column, ColumnType
+from repro.errors import DatasetError
+
+
+class TestColumnType:
+    def test_values_match_paper_abbreviations(self):
+        assert ColumnType.CATEGORICAL.value == "Cat"
+        assert ColumnType.NUMERICAL.value == "Num"
+        assert ColumnType.TEMPORAL.value == "Tem"
+
+    def test_groupable(self):
+        assert ColumnType.CATEGORICAL.is_groupable
+        assert ColumnType.TEMPORAL.is_groupable
+        assert not ColumnType.NUMERICAL.is_groupable
+
+    def test_binnable(self):
+        assert ColumnType.NUMERICAL.is_binnable
+        assert ColumnType.TEMPORAL.is_binnable
+        assert not ColumnType.CATEGORICAL.is_binnable
+
+    def test_sortable_on_x(self):
+        assert ColumnType.NUMERICAL.is_sortable_on_x
+        assert ColumnType.TEMPORAL.is_sortable_on_x
+        assert not ColumnType.CATEGORICAL.is_sortable_on_x
+
+
+class TestNumericalColumn:
+    def test_basic_stats(self):
+        col = Column("v", ColumnType.NUMERICAL, [3, 1, 2, 2, 3])
+        assert col.num_tuples == 5
+        assert col.num_distinct == 3
+        assert col.unique_ratio == pytest.approx(0.6)
+        assert col.min() == 1.0
+        assert col.max() == 3.0
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(DatasetError):
+            Column("v", ColumnType.NUMERICAL, ["x", "y"])
+
+    def test_empty_column(self):
+        col = Column("v", ColumnType.NUMERICAL, [])
+        assert col.num_tuples == 0
+        assert col.unique_ratio == 0.0
+        assert col.min() is None
+        assert col.max() is None
+
+    def test_take_selects_rows(self):
+        col = Column("v", ColumnType.NUMERICAL, [10, 20, 30])
+        sub = col.take([2, 0])
+        assert list(sub.values) == [30.0, 10.0]
+        assert sub.name == "v"
+
+    def test_renamed_shares_values(self):
+        col = Column("v", ColumnType.NUMERICAL, [1, 2])
+        other = col.renamed("w")
+        assert other.name == "w"
+        assert other.values is col.values
+
+
+class TestCategoricalColumn:
+    def test_values_coerced_to_str(self):
+        col = Column("c", ColumnType.CATEGORICAL, [1, "a", 2.5])
+        assert list(col.values) == ["1", "a", "2.5"]
+
+    def test_no_min_max(self):
+        col = Column("c", ColumnType.CATEGORICAL, ["a", "b"])
+        assert col.min() is None
+        assert col.max() is None
+
+    def test_distinct_preserves_first_appearance_order(self):
+        col = Column("c", ColumnType.CATEGORICAL, ["b", "a", "b", "c", "a"])
+        assert list(col.distinct_values()) == ["b", "a", "c"]
+
+
+class TestTemporalColumn:
+    def test_roundtrip_datetimes(self):
+        stamps = [dt.datetime(2015, 1, 1, 12, 30), dt.datetime(2016, 6, 2)]
+        col = Column("t", ColumnType.TEMPORAL, stamps)
+        assert col.as_datetimes() == stamps
+
+    def test_dates_accepted(self):
+        col = Column("t", ColumnType.TEMPORAL, [dt.date(2020, 3, 4)])
+        assert col.as_datetimes() == [dt.datetime(2020, 3, 4)]
+
+    def test_numeric_seconds_accepted(self):
+        col = Column("t", ColumnType.TEMPORAL, [0, 86400])
+        assert col.as_datetimes() == [EPOCH, EPOCH + dt.timedelta(days=1)]
+
+    def test_rejects_strings(self):
+        with pytest.raises(DatasetError):
+            Column("t", ColumnType.TEMPORAL, ["2015-01-01"])
+
+    def test_min_max_are_seconds(self):
+        col = Column("t", ColumnType.TEMPORAL, [dt.datetime(1970, 1, 2)])
+        assert col.min() == pytest.approx(86400.0)
+
+    def test_as_datetimes_requires_temporal(self):
+        col = Column("v", ColumnType.NUMERICAL, [1.0])
+        with pytest.raises(DatasetError):
+            col.as_datetimes()

@@ -1,0 +1,97 @@
+"""Unit tests for repro.dataset.inference (type detection)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dataset import ColumnType, build_column, infer_type, parse_temporal
+
+
+class TestParseTemporal:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "2015-01-03",
+            "2015-01-03 14:30:00",
+            "2015/01/03",
+            "01/03/2015",
+            "14:30",
+            "Jan 2015",
+        ],
+    )
+    def test_accepts_common_formats(self, text):
+        assert parse_temporal(text) is not None
+
+    def test_paper_table1_format(self):
+        # "01-Jan 00:05" from the paper's Table I excerpt.
+        parsed = parse_temporal("01-Jan 00:05")
+        assert parsed is not None
+        assert (parsed.day, parsed.month, parsed.hour, parsed.minute) == (1, 1, 0, 5)
+
+    def test_year_integers(self):
+        assert parse_temporal(2015) == dt.datetime(2015, 1, 1)
+        assert parse_temporal(1799) is None
+
+    def test_rejects_plain_numbers_and_words(self):
+        assert parse_temporal("123.45") is None
+        assert parse_temporal("carrier") is None
+        assert parse_temporal(None) is None
+
+
+class TestInferType:
+    def test_numeric_strings(self):
+        assert infer_type(["1", "2.5", "-3"]) is ColumnType.NUMERICAL
+
+    def test_thousands_separators(self):
+        assert infer_type(["1,234", "5,678"]) is ColumnType.NUMERICAL
+
+    def test_date_strings(self):
+        assert infer_type(["2015-01-01", "2015-02-01"]) is ColumnType.TEMPORAL
+
+    def test_year_column_is_temporal(self):
+        assert infer_type([2010, 2011, 2012]) is ColumnType.TEMPORAL
+
+    def test_measurements_not_temporal(self):
+        # Plain measurements that happen to fall in the year range but
+        # are floats with decimals must stay numerical.
+        assert infer_type([1850.5, 2010.2, 1999.9]) is ColumnType.NUMERICAL
+
+    def test_categorical_fallback(self):
+        assert infer_type(["UA", "AA", "MQ"]) is ColumnType.CATEGORICAL
+
+    def test_mixed_mostly_numeric_with_stray_cell(self):
+        values = ["1"] * 98 + ["n/a", ""]
+        assert infer_type(values) is ColumnType.NUMERICAL
+
+    def test_empty_defaults_categorical(self):
+        assert infer_type([]) is ColumnType.CATEGORICAL
+        assert infer_type([None, ""]) is ColumnType.CATEGORICAL
+
+    def test_datetimes(self):
+        assert infer_type([dt.datetime(2020, 1, 1)]) is ColumnType.TEMPORAL
+
+
+class TestBuildColumn:
+    def test_infers_when_type_omitted(self):
+        col = build_column("v", ["1", "2"])
+        assert col.ctype is ColumnType.NUMERICAL
+        assert list(col.values) == [1.0, 2.0]
+
+    def test_type_pin_overrides_inference(self):
+        col = build_column("v", ["1", "2"], ColumnType.CATEGORICAL)
+        assert col.ctype is ColumnType.CATEGORICAL
+        assert list(col.values) == ["1", "2"]
+
+    def test_unparseable_numeric_cells_fall_back_to_zero(self):
+        col = build_column("v", ["1", "oops"], ColumnType.NUMERICAL)
+        assert list(col.values) == [1.0, 0.0]
+
+    def test_temporal_strings_parsed(self):
+        col = build_column("t", ["2015-03-01", "2015-04-01"])
+        assert col.ctype is ColumnType.TEMPORAL
+        stamps = col.as_datetimes()
+        assert stamps[0].month == 3 and stamps[1].month == 4
+
+    def test_none_values_become_empty_strings(self):
+        col = build_column("c", ["a", None], ColumnType.CATEGORICAL)
+        assert list(col.values) == ["a", ""]

@@ -1,0 +1,131 @@
+"""Unit tests for repro.dataset.table and stats."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dataset import Column, ColumnType, Table, column_stats, entropy, table_stats
+from repro.errors import ColumnNotFoundError, DatasetError
+
+
+def _table():
+    return Table.from_dict(
+        "t",
+        {
+            "city": ["a", "b", "a"],
+            "value": [1, 2, 3],
+            "when": [dt.datetime(2020, 1, 1 + i) for i in range(3)],
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_dict_infers_types(self):
+        table = _table()
+        assert table.column("city").ctype is ColumnType.CATEGORICAL
+        assert table.column("value").ctype is ColumnType.NUMERICAL
+        assert table.column("when").ctype is ColumnType.TEMPORAL
+
+    def test_from_rows(self):
+        table = Table.from_rows("r", ["a", "b"], [[1, "x"], [2, "y"]])
+        assert table.num_rows == 2
+        assert list(table.column("b").values) == ["x", "y"]
+
+    def test_from_rows_ragged_raises(self):
+        with pytest.raises(DatasetError):
+            Table.from_rows("r", ["a", "b"], [[1]])
+
+    def test_mismatched_lengths_raise(self):
+        cols = [
+            Column("a", ColumnType.NUMERICAL, [1, 2]),
+            Column("b", ColumnType.NUMERICAL, [1]),
+        ]
+        with pytest.raises(DatasetError):
+            Table("bad", cols)
+
+    def test_duplicate_names_raise(self):
+        cols = [
+            Column("a", ColumnType.NUMERICAL, [1]),
+            Column("a", ColumnType.NUMERICAL, [2]),
+        ]
+        with pytest.raises(DatasetError):
+            Table("bad", cols)
+
+    def test_empty_table(self):
+        table = Table("empty", [])
+        assert table.num_rows == 0
+        assert table.num_columns == 0
+
+
+class TestAccess:
+    def test_column_lookup_error_lists_available(self):
+        with pytest.raises(ColumnNotFoundError) as err:
+            _table().column("nope")
+        assert "city" in str(err.value)
+
+    def test_contains(self):
+        table = _table()
+        assert "city" in table
+        assert "nope" not in table
+
+    def test_row(self):
+        table = _table()
+        row = table.row(1)
+        assert row[0] == "b"
+        assert row[1] == 2.0
+
+    def test_row_out_of_range(self):
+        with pytest.raises(DatasetError):
+            _table().row(99)
+
+    def test_select_rows(self):
+        sub = _table().select_rows([2, 0])
+        assert sub.num_rows == 2
+        assert list(sub.column("city").values) == ["a", "a"]
+
+    def test_head(self):
+        assert _table().head(2).num_rows == 2
+        assert _table().head(100).num_rows == 3
+
+    def test_project(self):
+        sub = _table().project(["value"])
+        assert sub.column_names == ("value",)
+
+    def test_columns_of_type(self):
+        assert [c.name for c in _table().columns_of_type(ColumnType.NUMERICAL)] == [
+            "value"
+        ]
+
+    def test_type_counts(self):
+        counts = _table().type_counts()
+        assert counts[ColumnType.CATEGORICAL] == 1
+        assert counts[ColumnType.NUMERICAL] == 1
+        assert counts[ColumnType.TEMPORAL] == 1
+
+
+class TestStats:
+    def test_table_stats_row(self):
+        stats = table_stats(_table())
+        row = stats.as_row()
+        assert row["#-tuples"] == 3
+        assert row["#-columns"] == 3
+        assert row["#-Cat"] == row["#-Num"] == row["#-Tem"] == 1
+
+    def test_column_stats_numeric(self):
+        stats = column_stats(_table().column("value"))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.min_value == 1.0
+
+    def test_column_stats_categorical_has_no_moments(self):
+        stats = column_stats(_table().column("city"))
+        assert stats.mean is None and stats.std is None
+
+    def test_entropy_uniform_is_log_n(self):
+        import math
+
+        assert entropy([1, 1, 1, 1]) == pytest.approx(math.log(4))
+
+    def test_entropy_degenerate(self):
+        assert entropy([5]) == 0.0
+        assert entropy([]) == 0.0
+        assert entropy([0, 0]) == 0.0

@@ -1,0 +1,167 @@
+"""Adversarial-input and failure-injection tests across the stack."""
+
+import datetime as dt
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartialOrderScorer,
+    enumerate_rule_based,
+    make_node,
+    select_top_k,
+)
+from repro.dataset import ColumnType, Table
+from repro.errors import ExecutionError, ValidationError
+from repro.language import (
+    AggregateOp,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    VisQuery,
+    execute,
+)
+
+
+class TestHostileValues:
+    def test_negative_values_throughout(self):
+        table = Table.from_dict(
+            "neg",
+            {
+                "kind": ["a", "b", "a", "b", "c", "c"],
+                "value": [-5.0, -3.0, -8.0, -1.0, -2.0, -9.0],
+            },
+        )
+        result = select_top_k(table, k=3)
+        # Negative values exclude pies (min(Y') < 0) but bars survive.
+        for node in result.nodes:
+            assert node.chart is not ChartType.PIE
+
+    def test_all_zero_numeric_column(self):
+        table = Table.from_dict(
+            "zero", {"kind": ["a", "b", "a", "b"], "value": [0.0, 0.0, 0.0, 0.0]}
+        )
+        result = select_top_k(table, k=2)
+        assert isinstance(result.nodes, list)  # no crash; may be few charts
+
+    def test_unicode_categories(self):
+        table = Table.from_dict(
+            "uni",
+            {
+                "城市": ["北京", "上海", "北京", "深圳"],
+                "值": [1.0, 2.0, 3.0, 4.0],
+            },
+        )
+        nodes = enumerate_rule_based(table)
+        assert nodes
+        q = VisQuery(
+            chart=ChartType.BAR, x="城市", y="值",
+            transform=GroupBy("城市"), aggregate=AggregateOp.SUM,
+        )
+        data = execute(q, table)
+        assert "北京" in data.x_labels
+
+    def test_extreme_magnitudes(self):
+        table = Table.from_dict(
+            "big",
+            {
+                "kind": ["a", "b", "a", "b"],
+                "value": [1e15, 2e15, 1e-15, 3e15],
+            },
+        )
+        result = select_top_k(table, k=2)
+        for node in result.nodes:
+            assert all(math.isfinite(v) for v in node.data.y_values)
+
+    def test_single_row_table(self):
+        table = Table.from_dict("one", {"kind": ["a"], "value": [1.0]})
+        result = select_top_k(table, k=3)
+        # One row can never produce a >=2-bucket chart via rules; the
+        # selector degrades gracefully to whatever exists (possibly none).
+        assert isinstance(result.nodes, list)
+
+    def test_two_identical_columns(self):
+        table = Table.from_dict(
+            "dup", {"a": [1.0, 2.0, 3.0, 4.0] * 5, "b": [1.0, 2.0, 3.0, 4.0] * 5}
+        )
+        nodes = enumerate_rule_based(table)
+        # Perfectly correlated pair: the raw scatter rule must fire.
+        assert any(
+            n.chart is ChartType.SCATTER and n.query.transform is None
+            for n in nodes
+        )
+
+    def test_high_cardinality_categorical(self):
+        table = Table.from_dict(
+            "wide",
+            {
+                "id": [f"row{i}" for i in range(300)],
+                "value": [float(i % 7) for i in range(300)],
+            },
+        )
+        result = select_top_k(table, k=3)
+        for node in result.nodes:
+            # 300 one-row groups is never a good chart; M should have
+            # filtered bar/pie over the id column into the tail.
+            if node.query.x == "id":
+                assert node.data.distinct_x <= 300
+
+
+class TestScorerDegenerateSets:
+    def test_single_node_set(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)[:1]
+        scores = PartialOrderScorer().score(nodes)
+        assert len(scores) == 1
+        assert scores[0].w == 1.0  # the only node is maximal by definition
+
+    def test_identical_nodes(self, flights_table):
+        nodes = enumerate_rule_based(flights_table)[:1] * 5
+        scores = PartialOrderScorer().score(nodes)
+        assert all(s == scores[0] for s in scores)
+
+
+class TestExecutorFailureModes:
+    def test_empty_table(self):
+        table = Table.from_dict("e", {"a": [], "b": []})
+        q = VisQuery(chart=ChartType.SCATTER, x="a", y="b")
+        with pytest.raises((ExecutionError, ValidationError)):
+            execute(q, table)
+
+    def test_bin_count_larger_than_rows(self):
+        table = Table.from_dict("t", {"x": [1.0, 2.0, 3.0], "y": [1.0, 2.0, 3.0]})
+        q = VisQuery(
+            chart=ChartType.BAR, x="x", y="y",
+            transform=BinIntoBuckets("x", 1000), aggregate=AggregateOp.SUM,
+        )
+        data = execute(q, table)
+        assert data.transformed_rows <= 3
+
+    def test_nan_in_generated_temporal_handled(self):
+        # Temporal columns are float seconds internally; ensure a table
+        # with clustered timestamps doesn't trip binning.
+        stamps = [dt.datetime(2020, 1, 1)] * 10
+        table = Table.from_dict("t", {"when": stamps, "v": list(range(10))})
+        nodes = enumerate_rule_based(table)
+        for node in nodes:
+            assert node.data.transformed_rows >= 2
+
+
+class TestRecognizerRobustness:
+    def test_predict_on_unseen_table_types(self, flights_table):
+        """A recognizer trained on one table must accept nodes from a
+        schema it has never seen (encoding is schema-independent)."""
+        from repro.core import VisualizationRecognizer
+        from repro.core.partial_order import matching_quality_raw
+
+        nodes = enumerate_rule_based(flights_table)
+        labels = [matching_quality_raw(n) > 0 for n in nodes]
+        recognizer = VisualizationRecognizer().fit(nodes, labels)
+
+        other = Table.from_dict(
+            "other",
+            {"k": ["x", "y", "z"] * 20, "v": [float(i) for i in range(60)]},
+        )
+        other_nodes = enumerate_rule_based(other)
+        predictions = recognizer.predict(other_nodes)
+        assert len(predictions) == len(other_nodes)

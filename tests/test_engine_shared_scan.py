@@ -1,0 +1,110 @@
+"""Tests for the shared-scan batch aggregation engine."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import ColumnType
+from repro.engine import AggregateRequest, SharedScanEngine
+from repro.errors import ValidationError
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    BinIntoBuckets,
+    GroupBy,
+)
+
+
+@pytest.fixture
+def requests(flights_table):
+    group = GroupBy("carrier")
+    by_hour = BinByGranularity("scheduled", BinGranularity.HOUR)
+    bins = BinIntoBuckets("departure_delay", 10)
+    return [
+        AggregateRequest(group, AggregateOp.SUM, "passengers"),
+        AggregateRequest(group, AggregateOp.AVG, "passengers"),
+        AggregateRequest(group, AggregateOp.AVG, "departure_delay"),
+        AggregateRequest(group, AggregateOp.CNT),
+        AggregateRequest(by_hour, AggregateOp.AVG, "departure_delay"),
+        AggregateRequest(by_hour, AggregateOp.SUM, "arrival_delay"),
+        AggregateRequest(bins, AggregateOp.CNT),
+    ]
+
+
+class TestCorrectness:
+    def test_shared_equals_naive(self, flights_table, requests):
+        engine = SharedScanEngine(flights_table)
+        shared = engine.execute_batch(requests)
+        naive = engine.execute_naive(requests)
+        assert set(shared) == set(naive)
+        for request in requests:
+            labels_s, values_s = shared[request]
+            labels_n, values_n = naive[request]
+            assert labels_s == labels_n
+            assert np.allclose(values_s, values_n)
+
+    def test_matches_executor(self, flights_table):
+        from repro.language import ChartType, VisQuery, execute
+
+        request = AggregateRequest(
+            GroupBy("carrier"), AggregateOp.SUM, "passengers"
+        )
+        engine = SharedScanEngine(flights_table)
+        labels, values = engine.execute_batch([request])[request]
+        reference = execute(
+            VisQuery(chart=ChartType.BAR, x="carrier", y="passengers",
+                     transform=GroupBy("carrier"), aggregate=AggregateOp.SUM),
+            flights_table,
+        )
+        assert labels == reference.x_labels
+        assert np.allclose(values, reference.y_values)
+
+    def test_avg_of_empty_bucket_is_zero(self, flights_table):
+        # CNT never divides; AVG guards empty buckets.
+        request = AggregateRequest(
+            BinIntoBuckets("departure_delay", 500), AggregateOp.AVG, "passengers"
+        )
+        engine = SharedScanEngine(flights_table)
+        __, values = engine.execute_batch([request])[request]
+        assert np.isfinite(values).all()
+
+
+class TestSharing:
+    def test_one_transform_pass_per_distinct_transform(self, flights_table, requests):
+        engine = SharedScanEngine(flights_table)
+        engine.execute_batch(requests)
+        # 3 distinct transforms in the fixture.
+        assert engine.stats.transforms_applied == 3
+
+    def test_column_pass_shared_between_sum_and_avg(self, flights_table):
+        group = GroupBy("carrier")
+        engine = SharedScanEngine(flights_table)
+        engine.execute_batch(
+            [
+                AggregateRequest(group, AggregateOp.SUM, "passengers"),
+                AggregateRequest(group, AggregateOp.AVG, "passengers"),
+            ]
+        )
+        assert engine.stats.column_passes == 1
+
+    def test_naive_does_more_work(self, flights_table, requests):
+        engine = SharedScanEngine(flights_table)
+        engine.execute_batch(requests)
+        shared_work = engine.stats.transforms_applied
+        engine.stats.reset()
+        engine.execute_naive(requests)
+        assert engine.stats.transforms_applied == len(requests) > shared_work
+
+
+class TestValidation:
+    def test_sum_requires_y(self):
+        with pytest.raises(ValidationError):
+            AggregateRequest(GroupBy("carrier"), AggregateOp.SUM)
+
+    def test_non_numeric_y_rejected(self, flights_table):
+        request = AggregateRequest(
+            GroupBy("carrier"), AggregateOp.SUM, "destination"
+        )
+        engine = SharedScanEngine(flights_table)
+        with pytest.raises(ValidationError):
+            engine.execute_batch([request])

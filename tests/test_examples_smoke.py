@@ -1,0 +1,53 @@
+"""Smoke tests: the fast examples run end-to-end without errors.
+
+The slow examples (flight_delays, reproduce_paper) are exercised by the
+benchmark suite's equivalent code paths; here we execute the quick ones
+exactly as a user would.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "VISUALIZE" in out
+        assert "candidate charts" in out
+
+    def test_query_language(self, capsys):
+        out = _run_example("query_language", capsys)
+        assert "Parsed query" in out
+        assert "Feature vector F" in out
+
+    def test_keyword_search(self, capsys):
+        out = _run_example("keyword_search", capsys)
+        assert "average delay by hour" in out
+        assert "score=" in out
+
+    def test_expert_rules(self, capsys):
+        out = _run_example("expert_rules", capsys)
+        assert "dominance graph" in out
+        assert "Progressive top-4" in out
+
+    def test_multi_column(self, capsys):
+        out = _run_example("multi_column", capsys)
+        assert "legend:" in out
+        assert "multi-series" in out

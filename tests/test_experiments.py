@@ -1,0 +1,118 @@
+"""Integration tests: the Section VI experiment protocols end-to-end.
+
+These use a miniature session-scoped ExperimentSetup (tiny scales) and
+assert the *shape* claims the paper makes, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CONFIGURATIONS,
+    figure9_top_results,
+    figure10,
+    figure11,
+    figure11_by_chart,
+    figure12,
+    table3,
+    table4,
+    table6,
+    table7,
+    table8,
+)
+
+
+class TestRecognitionExperiments:
+    def test_figure10_shape(self, experiment_setup):
+        result = figure10(experiment_setup)
+        assert set(result) == {"bayes", "svm", "decision_tree"}
+        for metrics in result.values():
+            assert set(metrics) == {"precision", "recall", "f1"}
+            assert all(0 <= v <= 1 for v in metrics.values())
+        # The paper's headline: the decision tree wins on F-measure.
+        assert result["decision_tree"]["f1"] >= result["bayes"]["f1"]
+        assert result["decision_tree"]["f1"] >= result["svm"]["f1"]
+        assert result["decision_tree"]["f1"] > 0.6
+
+    def test_table7_covers_chart_types(self, experiment_setup):
+        result = table7(experiment_setup)
+        assert set(result) == {"bar", "line", "pie", "scatter"}
+
+    def test_table8_rows_per_dataset(self, experiment_setup):
+        result = table8(experiment_setup)
+        assert len(result) == len(experiment_setup.test)
+        for by_chart in result.values():
+            for models in by_chart.values():
+                assert set(models) == {"bayes", "svm", "decision_tree"}
+
+
+class TestRankingExperiments:
+    def test_figure11_shape(self, experiment_setup):
+        result = figure11(experiment_setup)
+        assert set(result) == {"partial_order", "learning_to_rank", "hybrid"}
+        for values in result.values():
+            assert len(values) == len(experiment_setup.test)
+            assert all(0 <= v <= 1 + 1e-9 for v in values)
+        means = {m: float(np.mean(v)) for m, v in result.items()}
+        # The paper's claim: partial order beats learning to rank.
+        assert means["partial_order"] >= means["learning_to_rank"] - 0.02
+        # Hybrid is competitive with the best single method.
+        assert means["hybrid"] >= min(means["partial_order"], means["learning_to_rank"]) - 0.02
+
+    def test_figure11_by_chart_structure(self, experiment_setup):
+        result = figure11_by_chart(experiment_setup)
+        assert set(result) == {"bar", "line", "pie", "scatter"}
+        for per_method in result.values():
+            for values in per_method.values():
+                assert all(0 <= v <= 1 + 1e-9 for v in values)
+
+
+class TestEfficiencyExperiment:
+    def test_figure12_shape(self, experiment_setup):
+        tables = [a.table for a in experiment_setup.test[:2]]
+        rows = figure12(experiment_setup, tables=tables, k=5)
+        assert len(rows) == 2 * len(CONFIGURATIONS)
+        by_key = {(r.dataset, r.label): r for r in rows}
+        for table in tables:
+            # Rule-based enumeration prunes candidates vs exhaustive.
+            assert (
+                by_key[(table.name, "RP")].candidates
+                < by_key[(table.name, "EP")].candidates
+            )
+            for row in rows:
+                assert row.total_seconds > 0
+                assert 0 <= row.enumerate_fraction <= 1
+
+
+class TestCoverageExperiment:
+    def test_table6_rows(self, experiment_setup):
+        rows = table6(experiment_setup, scale=0.04)
+        assert len(rows) == 9
+        for row in rows:
+            assert row.num_published > 0
+            if row.covered_at_k is not None:
+                assert row.covered_at_k >= row.num_published
+
+    def test_most_usecases_covered(self, experiment_setup):
+        rows = table6(experiment_setup, scale=0.04)
+        covered = sum(1 for r in rows if r.covered)
+        assert covered >= 7  # the pipeline finds what publishers chart
+
+    def test_figure9_returns_descriptions(self, experiment_setup):
+        top = figure9_top_results(experiment_setup, scale=0.04, k=6)
+        assert len(top) == 6
+        assert all(isinstance(t, str) and ":" in t for t in top)
+
+
+class TestCorpusExperiments:
+    def test_table3_statistics(self, experiment_setup):
+        stats = table3(experiment_setup)
+        assert stats["num_datasets"] == 42
+        assert stats["good_charts"] > 0
+        assert stats["bad_charts"] > stats["good_charts"]  # bads dominate
+
+    def test_table4_rows(self, experiment_setup):
+        rows = table4(experiment_setup)
+        assert len(rows) == 10
+        assert rows[9]["name"] == "FlyDelay"
+        assert all(row["#-charts"] >= 0 for row in rows)

@@ -1,0 +1,64 @@
+"""Invariant tests for the Figure 11 full-list ranking protocols."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ndcg_with_exponential_gain
+
+
+class TestFullRankings:
+    @pytest.mark.parametrize(
+        "method",
+        ["partial_order_full_ranking", "ltr_full_ranking", "hybrid_full_ranking"],
+    )
+    def test_rankings_are_permutations(self, experiment_setup, method):
+        for annotated in experiment_setup.test[:4]:
+            order = getattr(experiment_setup, method)(annotated)
+            assert sorted(order) == list(range(len(annotated.nodes)))
+
+    def test_partial_order_puts_classifier_rejects_last(self, experiment_setup):
+        annotated = experiment_setup.test[0]
+        keep = experiment_setup.decision_tree.predict(annotated.nodes)
+        order = experiment_setup.partial_order_full_ranking(annotated)
+        n_valid = int(keep.sum())
+        # The first n_valid positions are exactly the classifier-valid nodes.
+        front = order[:n_valid]
+        assert all(keep[i] for i in front)
+
+    def test_hybrid_interpolates(self, experiment_setup):
+        """alpha = 0 reduces the hybrid to pure LTR ordering."""
+        annotated = experiment_setup.test[0]
+        saved = experiment_setup.hybrid_alpha
+        try:
+            experiment_setup.hybrid_alpha = 0.0
+            assert experiment_setup.hybrid_full_ranking(annotated) == list(
+                experiment_setup.ltr_full_ranking(annotated)
+            )
+        finally:
+            experiment_setup.hybrid_alpha = saved
+
+    def test_alpha_fit_on_holdout_is_from_grid(self, experiment_setup):
+        assert experiment_setup.hybrid_alpha in (
+            0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0,
+        )
+
+
+class TestNdcgHelper:
+    def test_perfect_order(self):
+        assert ndcg_with_exponential_gain([2, 1, 0], [1.0, 2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_worst_order_lower(self):
+        best = ndcg_with_exponential_gain([2, 1, 0], [1.0, 2.0, 4.0])
+        worst = ndcg_with_exponential_gain([0, 1, 2], [1.0, 2.0, 4.0])
+        assert worst < best
+
+    def test_exponential_gain_emphasises_top_grades(self):
+        # Swapping a grade-4 with a grade-3 at the front hurts more
+        # under exponential gains than linear positions suggest.
+        relevance = [4.0, 3.0, 0.0, 0.0]
+        good = ndcg_with_exponential_gain([0, 1, 2, 3], relevance)
+        swapped = ndcg_with_exponential_gain([1, 0, 2, 3], relevance)
+        assert good > swapped
+
+    def test_all_zero_relevance(self):
+        assert ndcg_with_exponential_gain([0, 1], [0.0, 0.0]) == 1.0

@@ -1,0 +1,53 @@
+"""Tests for the label-budget learning curve."""
+
+import pytest
+
+from repro.experiments import recognition_learning_curve
+
+
+class TestLearningCurve:
+    def test_points_sorted_and_nested(self, experiment_setup):
+        points = recognition_learning_curve(
+            experiment_setup.train,
+            experiment_setup.test,
+            fractions=(0.2, 0.5, 1.0),
+            models=("decision_tree",),
+        )
+        assert [p.fraction for p in points] == sorted(p.fraction for p in points)
+        budgets = [p.num_labels for p in points]
+        assert budgets == sorted(budgets)
+
+    def test_f1_in_unit_range(self, experiment_setup):
+        points = recognition_learning_curve(
+            experiment_setup.train,
+            experiment_setup.test,
+            fractions=(0.5, 1.0),
+            models=("decision_tree", "bayes"),
+        )
+        for point in points:
+            for value in point.f1_per_model.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_full_budget_uses_all_labels(self, experiment_setup):
+        points = recognition_learning_curve(
+            experiment_setup.train,
+            experiment_setup.test,
+            fractions=(1.0,),
+            models=("decision_tree",),
+        )
+        total = sum(len(a.nodes) for a in experiment_setup.train)
+        assert points[-1].num_labels == total
+
+    def test_deterministic_given_seed(self, experiment_setup):
+        kwargs = dict(fractions=(0.3,), models=("decision_tree",), seed=4)
+        a = recognition_learning_curve(
+            experiment_setup.train, experiment_setup.test, **kwargs
+        )
+        b = recognition_learning_curve(
+            experiment_setup.train, experiment_setup.test, **kwargs
+        )
+        assert a[0].f1_per_model == b[0].f1_per_model
+
+    def test_empty_corpora_rejected(self):
+        with pytest.raises(ValueError):
+            recognition_learning_curve([], [])

@@ -1,0 +1,62 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments import run_reproduction, write_markdown_report
+
+
+@pytest.fixture(scope="module")
+def result(experiment_setup):
+    # Reuse the session-scoped miniature setup to keep this fast.
+    return run_reproduction(setup=experiment_setup, usecase_scale=0.03)
+
+
+class TestRunReproduction:
+    def test_all_sections_populated(self, result):
+        assert result.corpus_stats["num_datasets"] == 42
+        assert len(result.testing_datasets) == 10
+        assert set(result.recognition) == {"bayes", "svm", "decision_tree"}
+        assert set(result.ranking_ndcg) == {
+            "partial_order", "learning_to_rank", "hybrid",
+        }
+        assert len(result.coverage) == 9
+        assert len(result.efficiency) == 40  # 10 tables x 4 configs
+        assert result.elapsed_seconds > 0
+
+    def test_shape_summary_keys(self, result):
+        summary = result.shape_summary()
+        assert len(summary) == 3
+        assert all(isinstance(v, bool) for v in summary.values())
+
+    def test_headline_shapes_hold_at_mini_scale(self, result):
+        # Even the miniature setup must reproduce the pruning claim;
+        # the learned-model claims are asserted at benchmark scale.
+        assert result.rules_beat_exhaustive()
+
+
+class TestMarkdownReport:
+    def test_report_contains_every_section(self, result):
+        text = write_markdown_report(result)
+        for heading in (
+            "# DeepEye reproduction report",
+            "## Headline shapes",
+            "## Corpus",
+            "## Recognition",
+            "## Ranking NDCG",
+            "## Use-case coverage",
+            "## Efficiency",
+        ):
+            assert heading in text
+
+    def test_report_written_to_file(self, result, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report(result, path)
+        assert path.exists()
+        assert path.read_text().startswith("# DeepEye reproduction report")
+
+    def test_report_is_valid_markdown_tables(self, result):
+        text = write_markdown_report(result)
+        for line in text.splitlines():
+            if line.startswith("|") and not line.startswith("|-"):
+                # Every table row has a consistent pipe structure.
+                assert line.endswith("|")

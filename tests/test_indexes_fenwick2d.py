@@ -1,0 +1,77 @@
+"""Unit tests for the 2-D Fenwick aggregate tree."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import Fenwick2D
+
+
+def _brute(points, qx, qy):
+    count = sum(1 for x, y, _ in points if x <= qx and y <= qy)
+    total = sum(v for x, y, v in points if x <= qx and y <= qy)
+    return count, total
+
+
+class TestFenwick2D:
+    def test_empty(self):
+        tree = Fenwick2D([0.5], [0.5])
+        assert tree.query(1.0, 1.0) == (0.0, 0.0)
+
+    def test_single_point(self):
+        tree = Fenwick2D([0.3], [0.7])
+        tree.add(0.3, 0.7, 1.0, 42.0)
+        assert tree.query(0.3, 0.7) == (1.0, 42.0)
+        assert tree.query(0.29, 1.0) == (0.0, 0.0)
+        assert tree.query(1.0, 0.69) == (0.0, 0.0)
+
+    def test_unknown_coordinates_rejected_on_add(self):
+        tree = Fenwick2D([0.1], [0.1])
+        with pytest.raises(KeyError):
+            tree.add(0.2, 0.1, 1.0, 0.0)
+        with pytest.raises(KeyError):
+            tree.add(0.1, 0.2, 1.0, 0.0)
+
+    def test_query_coordinates_unrestricted(self):
+        tree = Fenwick2D([0.5], [0.5])
+        tree.add(0.5, 0.5, 1.0, 3.0)
+        assert tree.query(0.75, 99.0) == (1.0, 3.0)
+        assert tree.query(-1.0, 0.5) == (0.0, 0.0)
+
+    def test_accumulates_duplicates(self):
+        tree = Fenwick2D([0.5], [0.5])
+        tree.add(0.5, 0.5, 1.0, 2.0)
+        tree.add(0.5, 0.5, 1.0, 3.0)
+        assert tree.query(0.5, 0.5) == (2.0, 5.0)
+
+    @pytest.mark.parametrize("n", [10, 100, 400])
+    def test_matches_brute_force(self, n):
+        rng = np.random.default_rng(n)
+        xs = np.round(rng.random(n), 2)  # duplicates likely
+        ys = np.round(rng.random(n), 2)
+        values = rng.normal(size=n)
+        tree = Fenwick2D(xs, ys)
+        points = []
+        for x, y, v in zip(xs, ys, values):
+            tree.add(x, y, 1.0, float(v))
+            points.append((x, y, float(v)))
+        for qx, qy in rng.random((25, 2)):
+            count, total = tree.query(qx, qy)
+            expected_count, expected_total = _brute(points, qx, qy)
+            assert count == expected_count
+            assert total == pytest.approx(expected_total, abs=1e-9)
+
+    def test_incremental_queries_interleaved(self):
+        rng = np.random.default_rng(7)
+        xs = rng.random(60)
+        ys = rng.random(60)
+        tree = Fenwick2D(xs, ys)
+        points = []
+        for i in range(60):
+            count, total = tree.query(xs[i], ys[i])
+            expected = _brute(points, xs[i], ys[i])
+            assert (count, pytest.approx(expected[1], abs=1e-9)) == (
+                expected[0],
+                total,
+            ) or (count == expected[0] and abs(total - expected[1]) < 1e-9)
+            tree.add(xs[i], ys[i], 1.0, float(i))
+            points.append((xs[i], ys[i], float(i)))

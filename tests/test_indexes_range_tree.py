@@ -1,0 +1,81 @@
+"""Unit tests for the dominance-reporting index structures."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import FenwickDominanceIndex, RangeTree2D
+
+
+def _brute_force(points, qx, qy):
+    return sorted(i for x, y, i in points if x <= qx and y <= qy)
+
+
+class TestRangeTree2D:
+    def test_empty(self):
+        tree = RangeTree2D([])
+        assert tree.report(1.0, 1.0) == []
+
+    def test_single_point(self):
+        tree = RangeTree2D([(0.5, 0.5, 7)])
+        assert tree.report(1.0, 1.0) == [7]
+        assert tree.report(0.4, 1.0) == []
+        assert tree.report(1.0, 0.4) == []
+
+    def test_boundary_inclusive(self):
+        tree = RangeTree2D([(0.5, 0.5, 1)])
+        assert tree.report(0.5, 0.5) == [1]
+
+    @pytest.mark.parametrize("n", [5, 50, 300])
+    def test_matches_brute_force(self, n):
+        rng = np.random.default_rng(n)
+        points = [(float(x), float(y), i) for i, (x, y) in enumerate(rng.random((n, 2)))]
+        tree = RangeTree2D(points)
+        for qx, qy in rng.random((20, 2)):
+            assert sorted(tree.report(qx, qy)) == _brute_force(points, qx, qy)
+
+    def test_duplicate_coordinates(self):
+        points = [(0.5, 0.5, i) for i in range(10)]
+        tree = RangeTree2D(points)
+        assert sorted(tree.report(0.5, 0.5)) == list(range(10))
+
+    def test_len(self):
+        assert len(RangeTree2D([(0, 0, 0), (1, 1, 1)])) == 2
+
+
+class TestFenwickDominanceIndex:
+    def test_insert_then_report(self):
+        index = FenwickDominanceIndex([0.1, 0.5, 0.9])
+        index.insert(0.1, 0.2, 0)
+        index.insert(0.5, 0.8, 1)
+        assert sorted(index.report(0.5, 0.9)) == [0, 1]
+        assert index.report(0.5, 0.5) == [0]
+        assert index.report(0.05, 1.0) == []
+
+    def test_unknown_x_rejected(self):
+        index = FenwickDominanceIndex([0.1])
+        with pytest.raises(KeyError):
+            index.insert(0.3, 0.0, 0)
+
+    def test_query_x_need_not_be_in_universe(self):
+        index = FenwickDominanceIndex([0.1, 0.9])
+        index.insert(0.1, 0.1, 0)
+        assert index.report(0.5, 1.0) == [0]
+
+    @pytest.mark.parametrize("n", [5, 80, 250])
+    def test_matches_brute_force_incrementally(self, n):
+        rng = np.random.default_rng(n + 1)
+        xs = rng.random(n)
+        ys = rng.random(n)
+        index = FenwickDominanceIndex(xs)
+        inserted = []
+        for i in range(n):
+            expected = _brute_force(inserted, xs[i], ys[i])
+            assert sorted(index.report(xs[i], ys[i])) == expected
+            index.insert(xs[i], ys[i], i)
+            inserted.append((xs[i], ys[i], i))
+
+    def test_duplicate_x_values(self):
+        index = FenwickDominanceIndex([0.5, 0.5, 0.5])
+        index.insert(0.5, 0.1, 0)
+        index.insert(0.5, 0.2, 1)
+        assert sorted(index.report(0.5, 0.15)) == [0]

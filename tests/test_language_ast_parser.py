@@ -1,0 +1,131 @@
+"""Unit tests for the visualization-language AST and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    VisQuery,
+    parse_query,
+)
+
+
+class TestVisQuery:
+    def test_transform_requires_aggregate(self):
+        with pytest.raises(ValueError):
+            VisQuery(chart=ChartType.BAR, x="a", y="b", transform=GroupBy("a"))
+
+    def test_aggregate_requires_transform(self):
+        with pytest.raises(ValueError):
+            VisQuery(chart=ChartType.BAR, x="a", y="b", aggregate=AggregateOp.SUM)
+
+    def test_columns_deduplicates(self):
+        q = VisQuery(
+            chart=ChartType.BAR, x="a", y="a",
+            transform=GroupBy("a"), aggregate=AggregateOp.CNT,
+        )
+        assert q.columns == ("a",)
+
+    def test_queries_are_hashable_and_comparable(self):
+        q1 = VisQuery(chart=ChartType.LINE, x="a", y="b",
+                      transform=BinIntoBuckets("a", 10), aggregate=AggregateOp.AVG)
+        q2 = VisQuery(chart=ChartType.LINE, x="a", y="b",
+                      transform=BinIntoBuckets("a", 10), aggregate=AggregateOp.AVG)
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+        assert len({q1, q2}) == 1
+
+    def test_to_text_renders_paper_syntax(self):
+        q = VisQuery(
+            chart=ChartType.LINE, x="scheduled", y="departure delay",
+            transform=BinByGranularity("scheduled", BinGranularity.HOUR),
+            aggregate=AggregateOp.AVG,
+            order=OrderBy(OrderTarget.X),
+        )
+        text = q.to_text("TABLE I")
+        assert "VISUALIZE line" in text
+        assert "SELECT scheduled, AVG(departure delay)" in text
+        assert "FROM TABLE I" in text
+        assert "BIN scheduled BY HOUR" in text
+        assert "ORDER BY X" in text
+
+
+class TestParser:
+    def test_parses_paper_q1(self):
+        parsed = parse_query(
+            """
+            VISUALIZE line
+            SELECT scheduled, AVG(departure delay)
+            FROM flights
+            BIN scheduled BY HOUR
+            ORDER BY scheduled
+            """
+        )
+        q = parsed.query
+        assert parsed.table_name == "flights"
+        assert q.chart is ChartType.LINE
+        assert q.x == "scheduled"
+        assert q.y == "departure delay"
+        assert q.aggregate is AggregateOp.AVG
+        assert q.transform == BinByGranularity("scheduled", BinGranularity.HOUR)
+        assert q.order == OrderBy(OrderTarget.X)
+
+    def test_group_by_and_count_alias(self):
+        parsed = parse_query(
+            "VISUALIZE pie\nSELECT carrier, COUNT(carrier)\nFROM f\nGROUP BY carrier"
+        )
+        assert parsed.query.aggregate is AggregateOp.CNT
+        assert parsed.query.transform == GroupBy("carrier")
+
+    def test_bin_into(self):
+        parsed = parse_query(
+            "VISUALIZE bar\nSELECT delay, SUM(passengers)\nFROM f\nBIN delay INTO 12"
+        )
+        assert parsed.query.transform == BinIntoBuckets("delay", 12)
+
+    def test_order_by_y_desc(self):
+        parsed = parse_query(
+            "VISUALIZE bar\nSELECT c, SUM(v)\nFROM f\nGROUP BY c\nORDER BY v DESC"
+        )
+        assert parsed.query.order == OrderBy(OrderTarget.Y, descending=True)
+
+    def test_raw_query_without_transform(self):
+        parsed = parse_query("VISUALIZE scatter\nSELECT a, b\nFROM f")
+        assert parsed.query.transform is None
+        assert parsed.query.aggregate is None
+
+    def test_transform_defaults_aggregate_to_count(self):
+        parsed = parse_query("VISUALIZE bar\nSELECT c, v\nFROM f\nGROUP BY c")
+        assert parsed.query.aggregate is AggregateOp.CNT
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("SELECT a, b\nFROM f", "VISUALIZE"),
+            ("VISUALIZE bar\nFROM f", "SELECT"),
+            ("VISUALIZE bar\nSELECT a, b", "FROM"),
+            ("VISUALIZE donut\nSELECT a, b\nFROM f", "chart type"),
+            ("VISUALIZE bar\nSELECT a\nFROM f", "two expressions"),
+            ("VISUALIZE bar\nSELECT a, b\nFROM f\nBIN a BY EON", "granularity"),
+            ("VISUALIZE bar\nSELECT a, b\nFROM f\nORDER BY zz", "neither"),
+            ("VISUALIZE bar\nSELECT a, SUM(b)\nFROM f", "TRANSFORM"),
+            ("VISUALIZE bar\nSELECT a, b\nFROM f\nWOBBLE", "unrecognised"),
+        ],
+    )
+    def test_errors(self, text, fragment):
+        with pytest.raises(ParseError) as err:
+            parse_query(text)
+        assert fragment.lower() in str(err.value).lower()
+
+    def test_comments_and_blank_lines_ignored(self):
+        parsed = parse_query(
+            "-- a comment\nVISUALIZE bar\n\nSELECT a, b\nFROM f\n"
+        )
+        assert parsed.query.chart is ChartType.BAR

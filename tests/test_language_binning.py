@@ -1,0 +1,146 @@
+"""Unit tests for binning, grouping, and aggregation."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.dataset import Column, ColumnType
+from repro.errors import ValidationError
+from repro.language import (
+    AggregateOp,
+    BinGranularity,
+    aggregate,
+    assign_buckets,
+    bin_numeric,
+    bin_temporal,
+    bin_udf,
+    group_categorical,
+)
+
+
+def _temporal(stamps):
+    return Column("t", ColumnType.TEMPORAL, stamps)
+
+
+class TestTemporalBinning:
+    def test_hour_bins_by_hour_of_day(self):
+        # The paper: "the rows with the same hour are in the same bucket".
+        stamps = [
+            dt.datetime(2015, 1, 1, 6, 0),
+            dt.datetime(2015, 5, 9, 6, 45),
+            dt.datetime(2015, 2, 2, 7, 0),
+        ]
+        buckets = bin_temporal(_temporal(stamps), BinGranularity.HOUR)
+        assert buckets[0] == buckets[1]
+        assert buckets[0] != buckets[2]
+        assert buckets[0].label == "06:00"
+
+    def test_month_bins_by_calendar_month(self):
+        stamps = [dt.datetime(2015, 1, 5), dt.datetime(2015, 1, 25), dt.datetime(2015, 2, 1)]
+        buckets = bin_temporal(_temporal(stamps), BinGranularity.MONTH)
+        assert buckets[0] == buckets[1] != buckets[2]
+        assert buckets[0].label == "2015-01"
+
+    def test_quarter_labels(self):
+        buckets = bin_temporal(
+            _temporal([dt.datetime(2015, 4, 1)]), BinGranularity.QUARTER
+        )
+        assert buckets[0].label == "2015-Q2"
+
+    def test_year_and_week(self):
+        stamps = [dt.datetime(2015, 6, 1)]
+        assert bin_temporal(_temporal(stamps), BinGranularity.YEAR)[0].label == "2015"
+        assert "W" in bin_temporal(_temporal(stamps), BinGranularity.WEEK)[0].label
+
+    def test_requires_temporal_column(self):
+        col = Column("v", ColumnType.NUMERICAL, [1.0])
+        with pytest.raises(ValidationError):
+            bin_temporal(col, BinGranularity.DAY)
+
+
+class TestNumericBinning:
+    def test_equal_width_intervals(self):
+        col = Column("v", ColumnType.NUMERICAL, [0, 5, 10, 15, 19.9])
+        buckets = bin_numeric(col, 2)
+        labels = {b.label for b in buckets}
+        assert len(labels) == 2
+        # Values below the midpoint share a bucket.
+        assert buckets[0] == buckets[1]
+
+    def test_max_value_lands_in_last_bucket(self):
+        col = Column("v", ColumnType.NUMERICAL, [0, 10])
+        buckets = bin_numeric(col, 10)
+        assert buckets[1].sort_key == 9.0
+
+    def test_constant_column_single_bucket(self):
+        col = Column("v", ColumnType.NUMERICAL, [7, 7, 7])
+        buckets = bin_numeric(col, 5)
+        assert len({b.label for b in buckets}) == 1
+
+    def test_invalid_n(self):
+        col = Column("v", ColumnType.NUMERICAL, [1.0])
+        with pytest.raises(ValidationError):
+            bin_numeric(col, 0)
+
+    def test_requires_numeric_column(self):
+        col = Column("c", ColumnType.CATEGORICAL, ["a"])
+        with pytest.raises(ValidationError):
+            bin_numeric(col, 3)
+
+
+class TestUDFAndGrouping:
+    def test_udf_buckets_by_sign(self):
+        col = Column("v", ColumnType.NUMERICAL, [-5, 3, -1, 8])
+        buckets = bin_udf(col, lambda v: "neg" if v < 0 else "pos")
+        assert buckets[0].label == "neg"
+        assert buckets[1].label == "pos"
+        assert buckets[0] == buckets[2]
+
+    def test_group_preserves_first_appearance_order(self):
+        col = Column("c", ColumnType.CATEGORICAL, ["b", "a", "b"])
+        buckets = group_categorical(col)
+        assert buckets[0].sort_key < buckets[1].sort_key
+
+    def test_group_rejects_numeric(self):
+        col = Column("v", ColumnType.NUMERICAL, [1.0])
+        with pytest.raises(ValidationError):
+            group_categorical(col)
+
+    def test_assign_buckets_sorted_and_dense(self):
+        col = Column("v", ColumnType.NUMERICAL, [30, 10, 20, 10])
+        distinct, assignment = assign_buckets(bin_numeric(col, 3))
+        assert [b.sort_key for b in distinct] == sorted(b.sort_key for b in distinct)
+        assert assignment.max() == len(distinct) - 1
+        assert assignment[1] == assignment[3]  # both 10s share a bucket
+
+
+class TestAggregation:
+    def test_count(self):
+        values = aggregate(AggregateOp.CNT, np.asarray([0, 0, 1]), 2)
+        assert list(values) == [2.0, 1.0]
+
+    def test_sum_and_avg(self):
+        y = Column("y", ColumnType.NUMERICAL, [1, 2, 3])
+        assignment = np.asarray([0, 0, 1])
+        assert list(aggregate(AggregateOp.SUM, assignment, 2, y)) == [3.0, 3.0]
+        assert list(aggregate(AggregateOp.AVG, assignment, 2, y)) == [1.5, 3.0]
+
+    def test_empty_bucket_aggregates_to_zero(self):
+        y = Column("y", ColumnType.NUMERICAL, [5.0])
+        values = aggregate(AggregateOp.AVG, np.asarray([1]), 2, y)
+        assert values[0] == 0.0
+
+    def test_sum_requires_numeric_y(self):
+        y = Column("y", ColumnType.CATEGORICAL, ["a"])
+        with pytest.raises(ValidationError):
+            aggregate(AggregateOp.SUM, np.asarray([0]), 1, y)
+
+    def test_sum_requires_y(self):
+        with pytest.raises(ValidationError):
+            aggregate(AggregateOp.SUM, np.asarray([0]), 1, None)
+
+    def test_misaligned_assignment(self):
+        y = Column("y", ColumnType.NUMERICAL, [1, 2])
+        with pytest.raises(ValidationError):
+            aggregate(AggregateOp.SUM, np.asarray([0]), 1, y)

@@ -1,0 +1,156 @@
+"""Unit tests for query execution (Q(D) -> ChartData)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dataset import Table
+from repro.errors import ExecutionError, ValidationError
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    VisQuery,
+    execute,
+)
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict(
+        "t",
+        {
+            "when": [dt.datetime(2015, 1, 1, h) for h in (6, 6, 7, 8, 8, 8)],
+            "carrier": ["UA", "AA", "UA", "OO", "AA", "UA"],
+            "delay": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+        },
+    )
+
+
+class TestTransformedExecution:
+    def test_bin_by_hour_with_avg(self, table):
+        q = VisQuery(
+            chart=ChartType.LINE, x="when", y="delay",
+            transform=BinByGranularity("when", BinGranularity.HOUR),
+            aggregate=AggregateOp.AVG,
+        )
+        data = execute(q, table)
+        assert data.x_labels == ("06:00", "07:00", "08:00")
+        assert data.y_values == (15.0, 30.0, 50.0)
+        assert data.transformed_rows == 3
+        assert data.source_rows == 6
+
+    def test_group_by_with_count(self, table):
+        q = VisQuery(
+            chart=ChartType.BAR, x="carrier", y="carrier",
+            transform=GroupBy("carrier"), aggregate=AggregateOp.CNT,
+        )
+        data = execute(q, table)
+        assert dict(zip(data.x_labels, data.y_values)) == {
+            "UA": 3.0, "AA": 2.0, "OO": 1.0,
+        }
+        assert data.x_is_discrete
+
+    def test_group_by_with_sum(self, table):
+        q = VisQuery(
+            chart=ChartType.PIE, x="carrier", y="delay",
+            transform=GroupBy("carrier"), aggregate=AggregateOp.SUM,
+        )
+        data = execute(q, table)
+        assert dict(zip(data.x_labels, data.y_values))["UA"] == 100.0
+
+    def test_transform_must_target_x(self, table):
+        q = VisQuery(
+            chart=ChartType.BAR, x="carrier", y="delay",
+            transform=GroupBy("delay"), aggregate=AggregateOp.SUM,
+        )
+        with pytest.raises(ValidationError):
+            execute(q, table)
+
+    def test_avg_of_categorical_y_rejected(self, table):
+        q = VisQuery(
+            chart=ChartType.BAR, x="when", y="carrier",
+            transform=BinByGranularity("when", BinGranularity.HOUR),
+            aggregate=AggregateOp.AVG,
+        )
+        with pytest.raises(ValidationError):
+            execute(q, table)
+
+
+class TestRawExecution:
+    def test_raw_numeric_pair(self, table):
+        q = VisQuery(chart=ChartType.SCATTER, x="delay", y="delay")
+        data = execute(q, table)
+        assert data.transformed_rows == 6
+        assert not data.x_is_discrete
+
+    def test_raw_categorical_x_is_discrete(self, table):
+        q = VisQuery(chart=ChartType.BAR, x="carrier", y="delay")
+        data = execute(q, table)
+        assert data.x_is_discrete
+        assert data.x_labels[0] == "UA"
+
+    def test_raw_requires_numeric_y(self, table):
+        q = VisQuery(chart=ChartType.BAR, x="delay", y="carrier")
+        with pytest.raises(ValidationError):
+            execute(q, table)
+
+
+class TestOrdering:
+    def test_order_by_x(self, table):
+        q = VisQuery(
+            chart=ChartType.BAR, x="carrier", y="delay",
+            transform=GroupBy("carrier"), aggregate=AggregateOp.SUM,
+            order=OrderBy(OrderTarget.X),
+        )
+        data = execute(q, table)
+        assert list(data.x_values) == sorted(data.x_values)
+
+    def test_order_by_y_desc(self, table):
+        q = VisQuery(
+            chart=ChartType.BAR, x="carrier", y="delay",
+            transform=GroupBy("carrier"), aggregate=AggregateOp.SUM,
+            order=OrderBy(OrderTarget.Y, descending=True),
+        )
+        data = execute(q, table)
+        assert list(data.y_values) == sorted(data.y_values, reverse=True)
+
+    def test_ordering_keeps_pairs_aligned(self, table):
+        base = VisQuery(
+            chart=ChartType.BAR, x="carrier", y="delay",
+            transform=GroupBy("carrier"), aggregate=AggregateOp.SUM,
+        )
+        unordered = execute(base, table)
+        ordered = execute(
+            VisQuery(**{**base.__dict__, "order": OrderBy(OrderTarget.Y)}), table
+        )
+        assert dict(zip(unordered.x_labels, unordered.y_values)) == dict(
+            zip(ordered.x_labels, ordered.y_values)
+        )
+
+
+class TestChartDataStats:
+    def test_distinct_counts(self, table):
+        q = VisQuery(
+            chart=ChartType.LINE, x="when", y="delay",
+            transform=BinByGranularity("when", BinGranularity.HOUR),
+            aggregate=AggregateOp.AVG,
+        )
+        data = execute(q, table)
+        assert data.distinct_x == 3
+        assert data.distinct_y == 3
+        assert data.y_min == 15.0
+        assert data.y_max == 50.0
+
+    def test_errors(self, table):
+        empty = Table.from_dict("e", {"a": [], "b": []})
+        q = VisQuery(chart=ChartType.BAR, x="a", y="b")
+        with pytest.raises(ExecutionError):
+            execute(q, empty)
+        with pytest.raises(ValidationError):
+            execute(VisQuery(chart=ChartType.BAR, x="zz", y="delay"), table)

@@ -1,0 +1,94 @@
+"""Property test: the query printer and parser are inverses.
+
+For any well-formed VisQuery, ``parse_query(q.to_text())`` must return
+an equal query — the language's core round-trip invariant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    OrderBy,
+    OrderTarget,
+    VisQuery,
+    parse_query,
+)
+
+# Column names restricted to the parser's unambiguous space: no commas,
+# no leading/trailing spaces, no clause keywords, distinct from each
+# other.  Interior spaces are allowed (the paper's "departure delay").
+_name_chars = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_",
+    min_size=1,
+    max_size=8,
+)
+#: Words the grammar itself uses; a column named "by" inside a BIN
+#: clause is genuinely ambiguous ("BIN a by BY HOUR"), so the language
+#: reserves them — mirrored here.
+_RESERVED = {"by", "into", "x", "y", "bin", "group", "order"}
+
+column_names = st.builds(
+    lambda a, b: f"{a} {b}" if b else a,
+    _name_chars,
+    st.one_of(st.just(""), _name_chars),
+).filter(lambda name: not set(name.split()) & _RESERVED)
+
+
+def _transforms(x_name: str):
+    return st.one_of(
+        st.none(),
+        st.just(GroupBy(x_name)),
+        st.builds(
+            BinByGranularity, st.just(x_name), st.sampled_from(list(BinGranularity))
+        ),
+        st.builds(
+            BinIntoBuckets, st.just(x_name), st.integers(min_value=1, max_value=99)
+        ),
+    )
+
+
+@st.composite
+def queries(draw):
+    x = draw(column_names)
+    y = draw(column_names.filter(lambda n: n != x))
+    transform = draw(_transforms(x))
+    if transform is None:
+        aggregate = None
+    else:
+        aggregate = draw(st.sampled_from(list(AggregateOp)))
+    order = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                OrderBy,
+                st.sampled_from(list(OrderTarget)),
+                st.booleans(),
+            ),
+        )
+    )
+    chart = draw(st.sampled_from(list(ChartType)))
+    return VisQuery(
+        chart=chart, x=x, y=y, transform=transform, aggregate=aggregate, order=order
+    )
+
+
+class TestRoundTrip:
+    @given(queries())
+    @settings(max_examples=300, deadline=None)
+    def test_parse_inverts_to_text(self, query):
+        parsed = parse_query(query.to_text("t"))
+        # ORDER BY prints as X/Y which parses back to the same target;
+        # ascending is the default so the flag round-trips too.
+        assert parsed.query == query
+        assert parsed.table_name == "t"
+
+    @given(queries())
+    @settings(max_examples=100, deadline=None)
+    def test_to_text_is_deterministic(self, query):
+        assert query.to_text("t") == query.to_text("t")

@@ -1,0 +1,127 @@
+"""Tests for pre-execution query validation."""
+
+import pytest
+
+from repro.dataset import Table
+from repro.errors import ValidationError
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinGranularity,
+    BinIntoBuckets,
+    ChartType,
+    GroupBy,
+    VisQuery,
+    execute,
+    validate_query,
+)
+
+
+@pytest.fixture
+def table(tiny_table):
+    return tiny_table  # city (Cat), value (Num), when (Tem)
+
+
+def _q(**kwargs):
+    defaults = dict(chart=ChartType.BAR, x="city", y="value")
+    defaults.update(kwargs)
+    return VisQuery(**defaults)
+
+
+class TestValidQueries:
+    def test_valid_grouped_query(self, table):
+        q = _q(transform=GroupBy("city"), aggregate=AggregateOp.SUM)
+        assert validate_query(q, table) == []
+
+    def test_valid_raw_query(self, table):
+        assert validate_query(_q(), table) == []
+
+    def test_valid_temporal_bin(self, table):
+        q = _q(
+            x="when",
+            transform=BinByGranularity("when", BinGranularity.DAY),
+            aggregate=AggregateOp.AVG,
+        )
+        assert validate_query(q, table) == []
+
+
+class TestProblemDetection:
+    def test_missing_column_lists_available(self, table):
+        problems = validate_query(_q(x="nope"), table)
+        assert len(problems) == 1
+        assert "nope" in problems[0] and "city" in problems[0]
+
+    def test_group_by_numeric(self, table):
+        q = _q(x="value", transform=GroupBy("value"), aggregate=AggregateOp.CNT)
+        problems = validate_query(q, table)
+        assert any("GROUP BY" in p for p in problems)
+
+    def test_bin_granularity_on_non_temporal(self, table):
+        q = _q(
+            x="value",
+            transform=BinByGranularity("value", BinGranularity.HOUR),
+            aggregate=AggregateOp.AVG,
+        )
+        assert any("temporal" in p for p in validate_query(q, table))
+
+    def test_bin_into_on_categorical(self, table):
+        q = _q(transform=BinIntoBuckets("city", 5), aggregate=AggregateOp.CNT)
+        assert any("numerical" in p for p in validate_query(q, table))
+
+    def test_avg_of_categorical(self, table):
+        q = _q(
+            x="when", y="city",
+            transform=BinByGranularity("when", BinGranularity.DAY),
+            aggregate=AggregateOp.AVG,
+        )
+        assert any("AVG" in p for p in validate_query(q, table))
+
+    def test_transform_target_mismatch(self, table):
+        q = _q(transform=GroupBy("value"), aggregate=AggregateOp.SUM)
+        assert any("TRANSFORM targets" in p for p in validate_query(q, table))
+
+    def test_raw_non_numeric_y(self, table):
+        q = _q(x="value", y="city")
+        assert any("numerical y" in p for p in validate_query(q, table))
+
+    def test_avg_pie_warned(self, table):
+        q = _q(
+            chart=ChartType.PIE, transform=GroupBy("city"),
+            aggregate=AggregateOp.AVG,
+        )
+        assert any("pie" in p for p in validate_query(q, table))
+
+    def test_udf_on_categorical(self, table):
+        q = _q(
+            transform=BinByUDF("city", "f", lambda v: v),
+            aggregate=AggregateOp.CNT,
+        )
+        assert any("UDF" in p for p in validate_query(q, table))
+
+    def test_empty_table(self):
+        empty = Table.from_dict("e", {"a": [], "b": []})
+        q = VisQuery(chart=ChartType.SCATTER, x="a", y="b")
+        assert any("no rows" in p for p in validate_query(q, empty))
+
+
+class TestConsistencyWithExecutor:
+    def test_clean_validation_implies_executable(self, table):
+        """Any query validate_query clears must execute (on this table)."""
+        candidates = [
+            _q(),
+            _q(transform=GroupBy("city"), aggregate=AggregateOp.AVG),
+            _q(x="when", transform=BinByGranularity("when", BinGranularity.DAY),
+               aggregate=AggregateOp.CNT),
+            _q(x="value", transform=BinIntoBuckets("value", 3),
+               aggregate=AggregateOp.SUM),
+        ]
+        for query in candidates:
+            if validate_query(query, table) == []:
+                execute(query, table)  # must not raise
+
+    def test_problem_implies_executor_rejects_or_flags(self, table):
+        q = _q(transform=BinIntoBuckets("city", 5), aggregate=AggregateOp.CNT)
+        assert validate_query(q, table)
+        with pytest.raises(ValidationError):
+            execute(q, table)

@@ -1,0 +1,100 @@
+"""Unit tests for classification and ranking metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import (
+    accuracy,
+    confusion_matrix,
+    dcg_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    ndcg_of_ranking,
+    precision_recall_f1,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        counts = confusion_matrix(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert counts == {"tp": 1, "fp": 1, "tn": 1, "fn": 1}
+
+    def test_precision_recall_f1(self):
+        metrics = precision_recall_f1(
+            [True, True, True, False], [True, True, False, True]
+        )
+        assert metrics["precision"] == pytest.approx(2 / 3)
+        assert metrics["recall"] == pytest.approx(2 / 3)
+        assert metrics["f1"] == pytest.approx(2 / 3)
+
+    def test_degenerate_cases_score_zero(self):
+        metrics = precision_recall_f1([False, False], [False, False])
+        assert metrics == {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ModelError):
+            accuracy([1], [1, 2])
+        with pytest.raises(ModelError):
+            accuracy([], [])
+
+
+class TestDCG:
+    def test_dcg_formula(self):
+        # DCG of [3, 2] = 3/log2(2) + 2/log2(3).
+        expected = 3.0 + 2.0 / math.log2(3)
+        assert dcg_at_k([3, 2]) == pytest.approx(expected)
+
+    def test_k_truncates(self):
+        assert dcg_at_k([3, 2, 1], k=1) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert dcg_at_k([]) == 0.0
+
+
+class TestNDCG:
+    def test_perfect_ranking_scores_one(self):
+        assert ndcg_at_k([3, 2, 1, 0]) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        assert ndcg_at_k([0, 1, 2, 3]) < 1.0
+
+    def test_all_zero_gains_convention(self):
+        assert ndcg_at_k([0, 0, 0]) == 1.0
+
+    def test_swap_adjacent_reduces(self):
+        assert ndcg_at_k([3, 1, 2]) < ndcg_at_k([3, 2, 1])
+
+    def test_ndcg_of_ranking_with_dropped_items(self):
+        # Ranker only returned items 0 and 1 of three; item 2 has the
+        # top gain, so NDCG must be penalised.
+        value = ndcg_of_ranking([0, 1], relevance=[1.0, 2.0, 3.0])
+        assert value < 1.0
+
+    def test_ndcg_of_ranking_perfect(self):
+        assert ndcg_of_ranking([2, 1, 0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+
+class TestKendallTau:
+    def test_identical_orders(self):
+        assert kendall_tau([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_reversed_orders(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_partial_agreement(self):
+        assert -1.0 < kendall_tau([1, 2, 3], [1, 3, 2]) < 1.0
+
+    def test_not_permutations(self):
+        with pytest.raises(ModelError):
+            kendall_tau([1, 2], [1, 3])
+
+    def test_single_item(self):
+        assert kendall_tau([5], [5]) == 1.0

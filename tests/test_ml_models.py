@@ -1,0 +1,138 @@
+"""Unit tests for naive Bayes, linear SVM, and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import (
+    GaussianNaiveBayes,
+    GradientBoostedRegressor,
+    LinearSVM,
+    StandardScaler,
+)
+
+
+def _gaussian_blobs(seed=0, n=200, gap=4.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, size=(n, 2))
+    X1 = rng.normal(gap, 1.0, size=(n, 2))
+    X = np.vstack([X0, X1])
+    y = np.asarray([0] * n + [1] * n)
+    return X, y
+
+
+class TestGaussianNaiveBayes:
+    def test_separates_gaussian_blobs(self):
+        X, y = _gaussian_blobs()
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.98
+
+    def test_predict_proba_normalised(self):
+        X, y = _gaussian_blobs(n=50)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_priors_respected(self):
+        # 90/10 prior with identical likelihoods: majority class wins.
+        X = np.zeros((100, 1))
+        y = np.asarray([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict([[0.0]])[0] == 0
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.asarray([[1.0, 5.0], [1.0, 6.0], [1.0, 1.0], [1.0, 2.0]])
+        y = np.asarray([1, 1, 0, 0])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert set(model.predict(X)) <= {0, 1}
+
+    def test_sample_weight_changes_prior(self):
+        X = np.asarray([[0.0], [0.0]])
+        y = np.asarray([0, 1])
+        model = GaussianNaiveBayes().fit(X, y, sample_weight=[1.0, 10.0])
+        assert model.predict([[0.0]])[0] == 1
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GaussianNaiveBayes().predict([[0.0]])
+
+
+class TestLinearSVM:
+    def test_separates_scaled_blobs(self):
+        X, y = _gaussian_blobs(gap=5.0)
+        X = StandardScaler().fit_transform(X)
+        model = LinearSVM(epochs=20).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_decision_function_sign_matches_prediction(self):
+        X, y = _gaussian_blobs(n=80)
+        model = LinearSVM(epochs=10).fit(X, y)
+        scores = model.decision_function(X)
+        predictions = model.predict(X)
+        assert ((scores > 0) == (predictions == model.classes_[1])).all()
+
+    def test_binary_only(self):
+        X = np.zeros((3, 1))
+        with pytest.raises(ModelError):
+            LinearSVM().fit(X, [0, 1, 2])
+
+    def test_string_labels(self):
+        X, y = _gaussian_blobs(n=50)
+        labels = np.where(y == 1, "good", "bad")
+        model = LinearSVM(epochs=10).fit(X, labels)
+        assert set(model.predict(X)) <= {"good", "bad"}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            LinearSVM(lam=0)
+        with pytest.raises(ModelError):
+            LinearSVM(epochs=0)
+
+    def test_weight_norm_bounded_by_projection(self):
+        X, y = _gaussian_blobs(n=60)
+        model = LinearSVM(lam=1e-2, epochs=5).fit(X, y)
+        assert np.linalg.norm(model.w_) <= 1.0 / np.sqrt(1e-2) + 1e-6
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(X[:, 0] * 2) + rng.normal(0, 0.05, 300)
+        model = GradientBoostedRegressor(n_estimators=80, max_depth=3).fit(X, y)
+        rmse = float(np.sqrt(np.mean((model.predict(X) - y) ** 2)))
+        assert rmse < 0.15
+
+    def test_staged_training_error_decreases(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(150, 2))
+        y = X[:, 0] * 2 - X[:, 1]
+        model = GradientBoostedRegressor(n_estimators=30).fit(X, y)
+        errors = [
+            float(np.mean((stage - y) ** 2)) for stage in model.staged_predict(X)
+        ]
+        assert errors[-1] < errors[0]
+        # Squared-error boosting decreases training loss monotonically.
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_subsample(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = GradientBoostedRegressor(
+            n_estimators=20, subsample=0.5, random_state=1
+        ).fit(X, y)
+        assert float(np.mean((model.predict(X) - y) ** 2)) < np.var(y)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            GradientBoostedRegressor(n_estimators=0)
+        with pytest.raises(ModelError):
+            GradientBoostedRegressor(learning_rate=0)
+        with pytest.raises(ModelError):
+            GradientBoostedRegressor(subsample=1.5)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostedRegressor().predict([[0.0]])

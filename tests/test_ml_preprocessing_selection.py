@@ -1,0 +1,113 @@
+"""Unit tests for preprocessing and model-selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import KFold, OneHotEncoder, StandardScaler, cross_val_score, train_test_split
+from repro.ml.preprocessing import polynomial_features
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_left_at_zero(self):
+        X = np.asarray([[1.0, 2.0], [1.0, 4.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        X = np.asarray([[1.0, 2.0], [3.0, 4.0]])
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+
+class TestOneHotEncoder:
+    def test_encodes_known_categories(self):
+        enc = OneHotEncoder().fit([["a", "b", "a"]])
+        out = enc.transform([["b", "a"]])
+        assert out.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_unknown_category_is_all_zero(self):
+        enc = OneHotEncoder().fit([["a", "b"]])
+        out = enc.transform([["z"]])
+        assert out.tolist() == [[0.0, 0.0]]
+
+    def test_multiple_columns_stack(self):
+        enc = OneHotEncoder().fit([["a", "b"], ["x", "y", "z"]])
+        out = enc.transform([["a"], ["z"]])
+        assert out.shape == (1, 5)
+
+    def test_column_count_checked(self):
+        enc = OneHotEncoder().fit([["a"]])
+        with pytest.raises(ModelError):
+            enc.transform([["a"], ["b"]])
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_width(self):
+        X = np.ones((3, 4))
+        out = polynomial_features(X)
+        assert out.shape == (3, 4 + 4 + 3 + 2 + 1)
+
+    def test_contains_squares_and_products(self):
+        X = np.asarray([[2.0, 3.0]])
+        out = polynomial_features(X)[0]
+        assert set(out) >= {2.0, 3.0, 4.0, 6.0, 9.0}
+
+    def test_only_degree_two(self):
+        with pytest.raises(ModelError):
+            polynomial_features(np.ones((1, 2)), degree=3)
+
+
+class TestSplits:
+    def test_train_test_split_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.2)
+        assert len(X_te) == 20
+        assert len(X_tr) == 80
+        assert set(y_tr) | set(y_te) == set(range(100))
+
+    def test_stratified_preserves_minority(self):
+        X = np.zeros((100, 1))
+        y = np.asarray([1] * 10 + [0] * 90)
+        __, __, y_tr, y_te = train_test_split(X, y, 0.3, stratify=True)
+        assert 0 < (y_te == 1).sum() < 10
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+
+    def test_kfold_covers_all_indices_once(self):
+        folds = list(KFold(4).split(20))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(20))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+
+    def test_kfold_too_few_samples(self):
+        with pytest.raises(ModelError):
+            list(KFold(5).split(3))
+
+    def test_cross_val_score_runs_model(self):
+        from repro.ml import DecisionTreeClassifier, accuracy
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0] > 0
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y, accuracy, n_splits=3
+        )
+        assert len(scores) == 3
+        assert all(s > 0.7 for s in scores)

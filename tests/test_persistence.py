@@ -1,0 +1,148 @@
+"""Round-trip tests for model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GaussianNaiveBayes,
+    LambdaMART,
+    LinearSVM,
+    RankingDataset,
+    StandardScaler,
+)
+from repro.persistence import (
+    from_dict,
+    load_model,
+    load_recognizer,
+    save_model,
+    save_recognizer,
+    to_dict,
+)
+
+
+@pytest.fixture
+def classification_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(150, 4))
+    y = (X[:, 0] + X[:, 1] ** 2 > 0.5).astype(int)
+    return X, y
+
+
+class TestModelRoundTrips:
+    def test_tree_classifier(self, classification_data):
+        X, y = classification_data
+        model = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        clone = from_dict(to_dict(model))
+        assert np.array_equal(clone.predict(X), model.predict(X))
+        assert np.allclose(clone.predict_proba(X), model.predict_proba(X))
+
+    def test_tree_regressor(self, classification_data):
+        X, y = classification_data
+        model = DecisionTreeRegressor(max_depth=5).fit(X, y.astype(float))
+        clone = from_dict(to_dict(model))
+        assert np.allclose(clone.predict(X), model.predict(X))
+
+    def test_bayes(self, classification_data):
+        X, y = classification_data
+        model = GaussianNaiveBayes().fit(X, y)
+        clone = from_dict(to_dict(model))
+        assert np.array_equal(clone.predict(X), model.predict(X))
+        assert np.allclose(clone.predict_proba(X), model.predict_proba(X))
+
+    def test_svm(self, classification_data):
+        X, y = classification_data
+        model = LinearSVM(epochs=5).fit(X, y)
+        clone = from_dict(to_dict(model))
+        assert np.array_equal(clone.predict(X), model.predict(X))
+        assert np.allclose(clone.decision_function(X), model.decision_function(X))
+
+    def test_lambdamart(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 3))
+        relevance = np.clip(np.round(2 + X[:, 0]), 0, 4)
+        data = RankingDataset(X, relevance, np.repeat(np.arange(6), 10))
+        model = LambdaMART(n_estimators=8).fit(data)
+        clone = from_dict(to_dict(model))
+        assert np.allclose(clone.predict(X), model.predict(X))
+
+    def test_scaler(self, classification_data):
+        X, _ = classification_data
+        model = StandardScaler().fit(X)
+        clone = from_dict(to_dict(model))
+        assert np.allclose(clone.transform(X), model.transform(X))
+
+    def test_json_file_roundtrip(self, classification_data, tmp_path):
+        X, y = classification_data
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        clone = load_model(path)
+        assert np.array_equal(clone.predict(X), model.predict(X))
+        # The file is actual JSON, not pickle.
+        assert path.read_text().startswith("{")
+
+    def test_string_labels_roundtrip(self, classification_data):
+        X, y = classification_data
+        labels = np.where(y == 1, "good", "bad")
+        model = DecisionTreeClassifier(max_depth=4).fit(X, labels)
+        clone = from_dict(to_dict(model))
+        assert np.array_equal(clone.predict(X), model.predict(X))
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(ReproError):
+            to_dict(object())
+        with pytest.raises(ReproError):
+            from_dict({"kind": "mystery"})
+
+
+class TestPipelinePersistence:
+    @pytest.fixture
+    def trained_recognizer(self, flights_table):
+        from repro.core import VisualizationRecognizer, enumerate_rule_based
+        from repro.core.partial_order import matching_quality_raw
+
+        nodes = enumerate_rule_based(flights_table)
+        labels = [matching_quality_raw(n) > 0 for n in nodes]
+        return VisualizationRecognizer().fit(nodes, labels), nodes
+
+    def test_recognizer_roundtrip(self, trained_recognizer, tmp_path):
+        recognizer, nodes = trained_recognizer
+        path = tmp_path / "recognizer.json"
+        save_recognizer(recognizer, path)
+        clone = load_recognizer(path)
+        assert np.array_equal(clone.predict(nodes), recognizer.predict(nodes))
+
+    def test_svm_recognizer_roundtrip_with_scaler(self, flights_table, tmp_path):
+        from repro.core import VisualizationRecognizer, enumerate_rule_based
+        from repro.core.partial_order import matching_quality_raw
+
+        nodes = enumerate_rule_based(flights_table)
+        labels = [matching_quality_raw(n) > 0 for n in nodes]
+        recognizer = VisualizationRecognizer(model="svm").fit(nodes, labels)
+        path = tmp_path / "svm.json"
+        save_recognizer(recognizer, path)
+        clone = load_recognizer(path)
+        assert np.array_equal(clone.predict(nodes), recognizer.predict(nodes))
+
+    def test_ltr_roundtrip(self, flights_table, tmp_path):
+        from repro.core import LearningToRankRanker, enumerate_rule_based
+        from repro.core.partial_order import matching_quality_raw
+        from repro.persistence import load_ltr, save_ltr
+
+        nodes = enumerate_rule_based(flights_table)
+        relevance = [4 * matching_quality_raw(n) for n in nodes]
+        ranker = LearningToRankRanker(n_estimators=5).fit([(nodes, relevance)])
+        path = tmp_path / "ltr.json"
+        save_ltr(ranker, path)
+        clone = load_ltr(path)
+        assert clone.rank(nodes) == ranker.rank(nodes)
+
+    def test_unfitted_rejected(self):
+        from repro.core import VisualizationRecognizer
+        from repro.persistence import recognizer_to_dict
+
+        with pytest.raises(ReproError):
+            recognizer_to_dict(VisualizationRecognizer())

@@ -1,0 +1,83 @@
+"""Integration tests for the DeepEye facade (train once, select anywhere)."""
+
+import pytest
+
+from repro.core import DeepEye, TrainingExample, enumerate_rule_based
+from repro.core.partial_order import matching_quality_raw
+from repro.corpus import CorpusConfig, PerceptionOracle, build_corpus, build_training_examples, make_table
+from repro.errors import ModelError, SelectionError
+
+
+@pytest.fixture(scope="module")
+def training_examples():
+    tables = [
+        make_table("Monthly Sales", scale=0.12),
+        make_table("City Weather", scale=0.06),
+        make_table("Exam Scores", scale=0.1),
+    ]
+    corpus = build_corpus(
+        tables, PerceptionOracle(), CorpusConfig(max_nodes_per_table=80)
+    )
+    return build_training_examples(corpus)
+
+
+@pytest.fixture(scope="module")
+def target_table():
+    return make_table("Taxi Trips", scale=0.02)
+
+
+class TestPartialOrderMode:
+    def test_works_without_training(self, target_table):
+        engine = DeepEye(ranking="partial_order", recognizer_model=None)
+        result = engine.top_k(target_table, k=4)
+        assert len(result.nodes) == 4
+        for node in result.nodes:
+            assert matching_quality_raw(node) > 0
+
+    def test_with_trained_recognizer(self, training_examples, target_table):
+        engine = DeepEye(ranking="partial_order").train(training_examples)
+        result = engine.top_k(target_table, k=4)
+        assert len(result.nodes) == 4
+
+
+class TestLearnedModes:
+    def test_ltr_requires_training(self, target_table):
+        engine = DeepEye(ranking="learning_to_rank")
+        with pytest.raises(ModelError):
+            engine.top_k(target_table)
+
+    def test_ltr_after_training(self, training_examples, target_table):
+        engine = DeepEye(ranking="learning_to_rank").train(training_examples)
+        result = engine.top_k(target_table, k=5)
+        assert len(result.nodes) == 5
+        assert result.candidates >= result.valid >= 5
+
+    def test_hybrid_after_training(self, training_examples, target_table):
+        engine = DeepEye(ranking="hybrid").train(training_examples)
+        result = engine.top_k(target_table, k=5)
+        assert len(result.nodes) == 5
+        assert set(result.timings) == {"enumerate", "recognize", "rank"}
+        assert engine.hybrid is not None
+        assert engine.hybrid.alpha >= 0
+
+    def test_train_empty_rejected(self):
+        with pytest.raises(ModelError):
+            DeepEye().train([])
+
+    def test_unknown_ranking_rejected(self):
+        with pytest.raises(SelectionError):
+            DeepEye(ranking="sorcery")
+
+
+class TestTrainingExample:
+    def test_alignment_validated(self, target_table):
+        nodes = enumerate_rule_based(target_table)[:3]
+        with pytest.raises(ModelError):
+            TrainingExample("t", nodes, [True], [1.0, 0.0, 0.0])
+
+    def test_good_nodes(self, target_table):
+        nodes = enumerate_rule_based(target_table)[:3]
+        example = TrainingExample(
+            "t", nodes, [True, False, True], [2.0, 0.0, 1.0]
+        )
+        assert example.good_nodes() == [nodes[0], nodes[2]]

@@ -1,0 +1,73 @@
+"""Integration tests: DeepEye engine save / load round trips."""
+
+import pytest
+
+from repro.core import DeepEye
+from repro.corpus import (
+    CorpusConfig,
+    PerceptionOracle,
+    build_corpus,
+    build_training_examples,
+    make_table,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def examples():
+    tables = [
+        make_table("Monthly Sales", scale=0.08),
+        make_table("City Weather", scale=0.04),
+        make_table("Exam Scores", scale=0.08),
+    ]
+    corpus = build_corpus(
+        tables, PerceptionOracle(), CorpusConfig(max_nodes_per_table=60)
+    )
+    return build_training_examples(corpus)
+
+
+@pytest.fixture(scope="module")
+def target():
+    return make_table("Taxi Trips", scale=0.015)
+
+
+class TestEngineSaveLoad:
+    @pytest.mark.parametrize("ranking", ["hybrid", "learning_to_rank", "partial_order"])
+    def test_roundtrip_preserves_top_k(self, examples, target, ranking, tmp_path):
+        engine = DeepEye(ranking=ranking).train(examples)
+        directory = tmp_path / ranking
+        engine.save(directory)
+        restored = DeepEye.load(directory)
+        original = [n.key() for n in engine.top_k(target, k=4).nodes]
+        reloaded = [n.key() for n in restored.top_k(target, k=4).nodes]
+        assert original == reloaded
+
+    def test_alpha_zero_survives_roundtrip(self, examples, target, tmp_path):
+        engine = DeepEye(ranking="hybrid").train(examples)
+        engine.hybrid.alpha = 0.0  # a legitimate learned value
+        engine.save(tmp_path / "zero")
+        restored = DeepEye.load(tmp_path / "zero")
+        assert restored.hybrid.alpha == 0.0
+
+    def test_saved_files_are_json(self, examples, tmp_path):
+        engine = DeepEye(ranking="hybrid").train(examples)
+        engine.save(tmp_path / "engine")
+        for name in ("engine.json", "recognizer.json", "ltr.json"):
+            path = tmp_path / "engine" / name
+            assert path.exists()
+            assert path.read_text().startswith("{")
+
+    def test_untrained_engine_cannot_save(self, tmp_path):
+        with pytest.raises(ModelError):
+            DeepEye().save(tmp_path / "nope")
+
+    def test_config_preserved(self, examples, tmp_path):
+        engine = DeepEye(
+            ranking="learning_to_rank", enumeration="exhaustive",
+            graph_strategy="naive",
+        ).train(examples)
+        engine.save(tmp_path / "cfg")
+        restored = DeepEye.load(tmp_path / "cfg")
+        assert restored.enumeration == "exhaustive"
+        assert restored.graph_strategy == "naive"
+        assert restored.ranking == "learning_to_rank"

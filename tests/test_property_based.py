@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FactorScores, build_graph, dominates, strictly_dominates
+from repro.core.graph import GRAPH_STRATEGIES
+from repro.core.ranking import rank_topological, rank_weight_aware, weight_aware_scores
+from repro.dataset import Column, ColumnType, entropy
+from repro.indexes import FenwickDominanceIndex, RangeTree2D
+from repro.language import AggregateOp, aggregate, assign_buckets, bin_numeric
+from repro.ml import dcg_at_k, kendall_tau, ndcg_at_k
+from repro.core.correlation import pearson
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+scores_strategy = st.lists(
+    st.builds(FactorScores, unit_floats, unit_floats, unit_floats),
+    min_size=0,
+    max_size=40,
+)
+# Quantised scores generate many ties and equal triples.
+quantised = st.integers(min_value=0, max_value=3).map(lambda v: v / 3.0)
+tied_scores_strategy = st.lists(
+    st.builds(FactorScores, quantised, quantised, quantised),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestDominanceProperties:
+    @given(scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_all_graph_strategies_agree(self, scores):
+        reference = build_graph(scores, "naive").edge_set()
+        for strategy in ("quicksort", "range_tree"):
+            assert build_graph(scores, strategy).edge_set() == reference
+
+    @given(tied_scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_strategies_agree_under_ties(self, scores):
+        reference = build_graph(scores, "naive").edge_set()
+        for strategy in ("quicksort", "range_tree"):
+            assert build_graph(scores, strategy).edge_set() == reference
+
+    @given(scores_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_strict_dominance_is_irreflexive_and_antisymmetric(self, scores):
+        for u in scores:
+            assert not strictly_dominates(u, u)
+        for u in scores:
+            for v in scores:
+                assert not (strictly_dominates(u, v) and strictly_dominates(v, u))
+
+    @given(
+        st.builds(FactorScores, unit_floats, unit_floats, unit_floats),
+        st.builds(FactorScores, unit_floats, unit_floats, unit_floats),
+        st.builds(FactorScores, unit_floats, unit_floats, unit_floats),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dominance_is_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(scores_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_rankings_are_permutations_and_scores_nonnegative(self, scores):
+        graph = build_graph(scores, "range_tree")
+        assert sorted(rank_weight_aware(graph)) == list(range(len(scores)))
+        assert sorted(rank_topological(graph)) == list(range(len(scores)))
+        assert all(s >= 0 for s in weight_aware_scores(graph))
+
+    @given(scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_edge_free_scores_equal_graph_scores(self, scores):
+        """The O(n log^2 n) Fenwick computation must match the graph
+        recursion exactly, on continuous inputs."""
+        from repro.core.ranking import weight_aware_scores_from_factors
+
+        graph = build_graph(scores, "naive")
+        expected = weight_aware_scores(graph)
+        actual = weight_aware_scores_from_factors(scores)
+        assert np.allclose(expected, actual, atol=1e-9)
+
+    @given(tied_scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_edge_free_scores_equal_graph_scores_under_ties(self, scores):
+        from repro.core.ranking import weight_aware_scores_from_factors
+
+        graph = build_graph(scores, "naive")
+        expected = weight_aware_scores(graph)
+        actual = weight_aware_scores_from_factors(scores)
+        assert np.allclose(expected, actual, atol=1e-9)
+
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestIndexProperties:
+    @given(points_strategy, unit_floats, unit_floats)
+    @settings(max_examples=80, deadline=None)
+    def test_range_tree_matches_brute_force(self, raw, qx, qy):
+        points = [(x, y, i) for i, (x, y) in enumerate(raw)]
+        tree = RangeTree2D(points)
+        expected = sorted(i for x, y, i in points if x <= qx and y <= qy)
+        assert sorted(tree.report(qx, qy)) == expected
+
+    @given(points_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_fenwick_incremental_matches_brute_force(self, raw):
+        if not raw:
+            return
+        xs = [x for x, _ in raw]
+        index = FenwickDominanceIndex(xs)
+        inserted = []
+        for i, (x, y) in enumerate(raw):
+            expected = sorted(
+                j for (px, py, j) in inserted if px <= x and py <= y
+            )
+            assert sorted(index.report(x, y)) == expected
+            index.insert(x, y, i)
+            inserted.append((x, y, i))
+
+
+class TestBinningProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_row_assigned_exactly_one_bucket(self, values, n):
+        column = Column("v", ColumnType.NUMERICAL, values)
+        distinct, assignment = assign_buckets(bin_numeric(column, n))
+        assert len(assignment) == len(values)
+        assert len(distinct) <= n
+        assert all(0 <= a < len(distinct) for a in assignment)
+        # Buckets are emitted sorted.
+        keys = [b.sort_key for b in distinct]
+        assert keys == sorted(keys)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aggregation_conservation(self, values, n):
+        """SUM over buckets equals the column total; CNT sums to n rows."""
+        column = Column("v", ColumnType.NUMERICAL, values)
+        distinct, assignment = assign_buckets(bin_numeric(column, n))
+        sums = aggregate(AggregateOp.SUM, assignment, len(distinct), column)
+        counts = aggregate(AggregateOp.CNT, assignment, len(distinct))
+        assert float(np.sum(sums)) == np.sum(np.asarray(values)) or math.isclose(
+            float(np.sum(sums)), float(np.sum(np.asarray(values))), rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+        assert int(np.sum(counts)) == len(values)
+
+
+class TestMetricProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_ndcg_bounded(self, gains):
+        value = ndcg_at_k(gains)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_ideal_order_is_optimal(self, gains):
+        ideal = sorted(gains, reverse=True)
+        assert ndcg_at_k(ideal) >= ndcg_at_k(gains) - 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=5, allow_nan=False), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_dcg_monotone_in_gains(self, gains):
+        bumped = [g + 1.0 for g in gains]
+        assert dcg_at_k(bumped) >= dcg_at_k(gains)
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=50, deadline=None)
+    def test_kendall_tau_symmetry(self, perm):
+        base = list(range(6))
+        assert kendall_tau(base, list(perm)) == kendall_tau(list(perm), base)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_bounded_and_symmetric(self, xs):
+        ys = xs[::-1]
+        value = pearson(xs, ys)
+        assert -1.0 <= value <= 1.0
+        assert pearson(ys, xs) == value
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_entropy_bounds(self, counts):
+        value = entropy(counts)
+        positive = [c for c in counts if c > 0]
+        assert value >= 0.0
+        if positive:
+            assert value <= math.log(len(positive)) + 1e-9

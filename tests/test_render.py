@@ -1,0 +1,92 @@
+"""Unit tests for Vega-Lite and ASCII rendering."""
+
+import json
+
+import pytest
+
+from repro.core import make_node
+from repro.language import AggregateOp, ChartType, GroupBy, VisQuery
+from repro.render import render_ascii, to_vega_lite, to_vega_lite_json
+
+
+def _node(table, chart=ChartType.BAR):
+    return make_node(
+        table,
+        VisQuery(chart=chart, x="carrier", y="passengers",
+                 transform=GroupBy("carrier"), aggregate=AggregateOp.SUM),
+    )
+
+
+def _scatter(table):
+    return make_node(
+        table,
+        VisQuery(chart=ChartType.SCATTER, x="departure_delay", y="arrival_delay"),
+    )
+
+
+class TestVegaLite:
+    def test_bar_spec_structure(self, flights_table):
+        spec = to_vega_lite(_node(flights_table))
+        assert spec["mark"] == "bar"
+        assert spec["encoding"]["x"]["field"] == "x"
+        assert spec["encoding"]["y"]["title"] == "SUM(passengers)"
+        assert len(spec["data"]["values"]) == 4
+
+    def test_pie_uses_theta_encoding(self, flights_table):
+        spec = to_vega_lite(_node(flights_table, ChartType.PIE))
+        assert spec["mark"] == "arc"
+        assert "theta" in spec["encoding"]
+        assert "color" in spec["encoding"]
+
+    def test_scatter_quantitative_axes(self, flights_table):
+        spec = to_vega_lite(_scatter(flights_table))
+        assert spec["mark"] == "point"
+        assert spec["encoding"]["x"]["type"] == "quantitative"
+
+    def test_discrete_axis_keeps_order(self, flights_table):
+        spec = to_vega_lite(_node(flights_table, ChartType.LINE))
+        assert spec["encoding"]["x"]["type"] == "nominal"
+        assert spec["encoding"]["x"]["sort"] is None
+
+    def test_json_serialisable(self, flights_table):
+        text = to_vega_lite_json(_node(flights_table))
+        parsed = json.loads(text)
+        assert parsed["$schema"].startswith("https://vega.github.io")
+
+    def test_custom_title(self, flights_table):
+        spec = to_vega_lite(_node(flights_table), title="My Chart")
+        assert spec["title"] == "My Chart"
+
+
+class TestAscii:
+    def test_bar_chart_renders_labels_and_bars(self, flights_table):
+        text = render_ascii(_node(flights_table))
+        assert "UA" in text
+        assert "#" in text
+
+    def test_pie_shows_total(self, flights_table):
+        text = render_ascii(_node(flights_table, ChartType.PIE))
+        assert "pie: shares of total" in text
+
+    def test_scatter_grid(self, flights_table):
+        text = render_ascii(_scatter(flights_table))
+        assert "*" in text
+        assert "y: [" in text
+
+    def test_many_bars_downsampled(self):
+        from repro.dataset import Table
+
+        table = Table.from_dict(
+            "wide", {"c": [f"k{i}" for i in range(60)], "v": list(range(60))}
+        )
+        node = make_node(
+            table,
+            VisQuery(chart=ChartType.BAR, x="c", y="v",
+                     transform=GroupBy("c"), aggregate=AggregateOp.SUM),
+        )
+        text = render_ascii(node)
+        assert "(+36)" in text
+
+    def test_header_is_description(self, flights_table):
+        node = _node(flights_table)
+        assert render_ascii(node).splitlines()[0] == node.describe()

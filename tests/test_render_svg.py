@@ -1,0 +1,113 @@
+"""Tests for the standalone SVG renderer."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import execute_multi_series, make_node
+from repro.language import (
+    AggregateOp,
+    BinByGranularity,
+    BinGranularity,
+    ChartType,
+    GroupBy,
+    VisQuery,
+)
+from repro.render import multi_to_svg, to_svg
+
+
+def _node(table, chart):
+    return make_node(
+        table,
+        VisQuery(chart=chart, x="carrier", y="passengers",
+                 transform=GroupBy("carrier"), aggregate=AggregateOp.SUM),
+    )
+
+
+def _parse(svg_text):
+    # Valid XML is the baseline requirement for an SVG document.
+    return ET.fromstring(svg_text)
+
+
+class TestSingleCharts:
+    def test_bar_chart_has_rects(self, flights_table):
+        svg = to_svg(_node(flights_table, ChartType.BAR))
+        root = _parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(rects) >= 4  # one bar per carrier
+
+    def test_line_chart_has_polyline(self, flights_table):
+        node = make_node(
+            flights_table,
+            VisQuery(chart=ChartType.LINE, x="scheduled", y="departure_delay",
+                     transform=BinByGranularity("scheduled", BinGranularity.HOUR),
+                     aggregate=AggregateOp.AVG),
+        )
+        svg = to_svg(node)
+        assert "<polyline" in svg
+        _parse(svg)
+
+    def test_scatter_has_circles_only(self, flights_table):
+        node = make_node(
+            flights_table,
+            VisQuery(chart=ChartType.SCATTER, x="departure_delay", y="arrival_delay"),
+        )
+        svg = to_svg(node)
+        assert "<polyline" not in svg
+        assert svg.count("<circle") >= flights_table.num_rows
+        _parse(svg)
+
+    def test_pie_chart_has_slices_and_legend(self, flights_table):
+        svg = to_svg(_node(flights_table, ChartType.PIE))
+        assert svg.count("<path") >= 3  # >= 3 visible slices
+        assert "%" in svg  # legend percentages
+        _parse(svg)
+
+    def test_title_escaped(self, flights_table):
+        svg = to_svg(_node(flights_table, ChartType.BAR), title='a<b & "c"')
+        assert "&lt;b" in svg and "&amp;" in svg
+        _parse(svg)
+
+    def test_negative_values_render(self):
+        from repro.dataset import Table
+
+        table = Table.from_dict(
+            "neg", {"k": ["a", "b", "c"], "v": [-5.0, 3.0, -1.0]}
+        )
+        node = make_node(
+            table,
+            VisQuery(chart=ChartType.BAR, x="k", y="v",
+                     transform=GroupBy("k"), aggregate=AggregateOp.SUM),
+        )
+        _parse(to_svg(node))
+
+    def test_axis_labels_present(self, flights_table):
+        svg = to_svg(_node(flights_table, ChartType.BAR))
+        assert "carrier" in svg
+        assert "SUM(passengers)" in svg
+
+
+class TestMultiSeries:
+    def test_multi_line_one_polyline_per_series(self, flights_table):
+        data = execute_multi_series(
+            flights_table, "scheduled",
+            ["departure_delay", "arrival_delay"],
+            BinByGranularity("scheduled", BinGranularity.HOUR),
+            AggregateOp.AVG, ChartType.LINE,
+        )
+        svg = multi_to_svg(data)
+        assert svg.count("<polyline") == 2
+        assert "departure_dela" in svg  # legend (possibly truncated)
+        _parse(svg)
+
+    def test_distinct_series_colors(self, flights_table):
+        data = execute_multi_series(
+            flights_table, "scheduled",
+            ["departure_delay", "arrival_delay", "passengers"],
+            BinByGranularity("scheduled", BinGranularity.MONTH),
+            AggregateOp.AVG, ChartType.LINE,
+        )
+        svg = multi_to_svg(data)
+        colors = set(re.findall(r'stroke="(#[0-9A-Fa-f]{6})"', svg))
+        assert len(colors) >= 3  # axes color + >=3 series? at least 3 strokes
