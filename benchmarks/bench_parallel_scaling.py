@@ -1,0 +1,155 @@
+"""Parallel-scaling + cache benchmark for the batch-serving engine.
+
+Measures two serving-engine claims on the exhaustive-enumeration
+workload (the heaviest online configuration):
+
+* **scaling** — wall-clock of ``select_top_k`` at ``n_jobs`` in
+  {1, 2, 4, 8} with the process backend, reported as speedup over
+  serial, plus a determinism check that every parallel run returns
+  exactly the serial answer;
+* **caching** — cold vs warm latency of a repeated call through the
+  multi-level cache, with the per-level hit/miss counters.
+
+Results land in ``BENCH_parallel.json`` (override with ``--out``) so
+the perf trajectory accumulates across PRs.  Machine caveat: speedup
+is bounded by the CPUs actually available — on a single-core container
+parallel runs only measure pool overhead; the JSON records ``cpus`` so
+readers can tell.
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.core import EnumerationConfig, select_top_k
+from repro.corpus.generators import make_table
+from repro.engine import MultiLevelCache
+
+DATASET = "Happiness Rank"  # numeric-heavy: a large exhaustive space
+
+
+def _run_once(table, n_jobs: int, backend: str, cache=None):
+    start = time.perf_counter()
+    result = select_top_k(
+        table,
+        k=10,
+        enumeration="exhaustive",
+        config=EnumerationConfig(n_jobs=n_jobs, backend=backend),
+        cache=cache,
+    )
+    return time.perf_counter() - start, result
+
+
+def _signature(result) -> List[tuple]:
+    return [node.key() for node in result.nodes]
+
+
+def bench(
+    scale: float, jobs: List[int], backend: str, repeats: int
+) -> Dict:
+    table = make_table(DATASET, scale=scale)
+    report: Dict = {
+        "benchmark": "parallel_scaling",
+        "dataset": DATASET,
+        "scale": scale,
+        "rows": table.num_rows,
+        "columns": table.num_columns,
+        "backend": backend,
+        "cpus": os.cpu_count(),
+        "scaling": [],
+        "cache": {},
+    }
+
+    serial_seconds = None
+    serial_signature = None
+    for n_jobs in jobs:
+        best = min(_run_once(table, n_jobs, backend)[0] for _ in range(repeats))
+        _, result = _run_once(table, n_jobs, backend)
+        if n_jobs == 1:
+            serial_seconds = best
+            serial_signature = _signature(result)
+        identical = _signature(result) == serial_signature
+        row = {
+            "n_jobs": n_jobs,
+            "seconds": round(best, 4),
+            "speedup": round(serial_seconds / best, 3) if best else None,
+            "candidates": result.candidates,
+            "identical_to_serial": identical,
+        }
+        report["scaling"].append(row)
+        print(
+            f"n_jobs={n_jobs:<2d} {best:8.3f}s  "
+            f"speedup={row['speedup']:.2f}x  identical={identical}"
+        )
+        if not identical:
+            raise AssertionError(
+                f"n_jobs={n_jobs} returned different top-k than serial"
+            )
+
+    cache = MultiLevelCache()
+    cold, cold_result = _run_once(table, 1, backend, cache=cache)
+    warm, warm_result = _run_once(table, 1, backend, cache=cache)
+    if _signature(warm_result) != _signature(cold_result):
+        raise AssertionError("warm-cache result differs from cold")
+    report["cache"] = {
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 6),
+        "speedup": round(cold / warm, 1) if warm else None,
+        "stats": warm_result.cache_stats,
+    }
+    print(
+        f"cache    cold={cold:.3f}s warm={warm * 1000:.3f}ms  "
+        f"speedup={report['cache']['speedup']:.0f}x"
+    )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: tiny table, jobs {1, 2}, one repeat",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument(
+        "--jobs", type=int, nargs="+", default=None, help="n_jobs values"
+    )
+    parser.add_argument("--backend", default="process")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args()
+
+    scale = args.scale if args.scale is not None else (0.05 if args.quick else 0.2)
+    jobs = args.jobs if args.jobs is not None else ([1, 2] if args.quick else [1, 2, 4, 8])
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    if jobs[0] != 1:
+        jobs = [1] + [j for j in jobs if j != 1]
+
+    report = bench(scale, jobs, args.backend, repeats)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    # Quality gates (skipped where the hardware cannot express them).
+    warm_speedup = report["cache"]["speedup"]
+    if warm_speedup is not None and warm_speedup < 5:
+        print(f"WARNING: warm-cache speedup {warm_speedup}x below the 5x target")
+        return 1
+    at4 = next((r for r in report["scaling"] if r["n_jobs"] == 4), None)
+    if at4 and (os.cpu_count() or 1) >= 4 and at4["speedup"] < 2:
+        print(f"WARNING: n_jobs=4 speedup {at4['speedup']}x below the 2x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

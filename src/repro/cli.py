@@ -62,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="rules",
         help="candidate generation mode",
     )
+    visualize.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel workers (1 = serial, -1 = all cores); results are "
+        "identical at any value",
+    )
+    visualize.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool flavour for --jobs > 1",
+    )
+    visualize.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the multi-level serving cache",
+    )
 
     search = commands.add_parser("search", help="keyword visualization search")
     search.add_argument("csv", help="input CSV path")
@@ -119,8 +137,16 @@ def _emit_nodes(nodes, fmt: str, out) -> None:
 
 
 def _cmd_visualize(args, out) -> int:
+    from .engine import MultiLevelCache
+
     table = read_csv(args.csv)
-    result = select_top_k(table, k=args.k, enumeration=args.enumeration)
+    result = select_top_k(
+        table,
+        k=args.k,
+        enumeration=args.enumeration,
+        config=EnumerationConfig(n_jobs=args.jobs, backend=args.backend),
+        cache=None if args.no_cache else MultiLevelCache(),
+    )
     print(
         f"# {table.name}: {result.candidates} candidates, "
         f"{result.valid} valid, top-{len(result.nodes)} "

@@ -7,6 +7,7 @@ from .enumeration import (
     enumerate_candidates,
     enumerate_exhaustive,
     enumerate_rule_based,
+    exhaustive_for_column,
     multi_column_space,
     one_column_space,
     rule_based_for_column,
@@ -64,6 +65,7 @@ __all__ = [
     "enumerate_candidates",
     "enumerate_exhaustive",
     "enumerate_rule_based",
+    "exhaustive_for_column",
     "rule_based_for_pair",
     "rule_based_for_column",
     "two_column_space",

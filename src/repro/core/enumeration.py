@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +60,7 @@ __all__ = [
     "EnumerationContext",
     "enumerate_exhaustive",
     "enumerate_rule_based",
+    "exhaustive_for_column",
     "rule_based_for_pair",
     "rule_based_for_column",
     "enumerate_candidates",
@@ -108,6 +109,15 @@ class EnumerationConfig:
     #: numeric x columns in both enumeration modes (the paper's
     #: ``BIN X BY UDF(X)`` case).
     udfs: Tuple = ()
+    #: Worker count for the parallel serving engine: 1 runs serially in
+    #: process, -1 uses every CPU, n > 1 fans candidate enumeration +
+    #: feature extraction + recognition out over x-columns.  Never
+    #: changes results — parallel output is identical to serial.
+    n_jobs: int = 1
+    #: Pool flavour for n_jobs > 1: ``"process"`` (true parallelism,
+    #: models shipped to workers once) or ``"thread"`` (zero setup cost,
+    #: useful when numpy dominates or pickling is unwanted).
+    backend: str = "process"
 
     def rule_config(self) -> RuleConfig:
         """The rule-system view of this configuration."""
@@ -127,11 +137,27 @@ class EnumerationContext:
 
     All caches key on hashable AST fragments, so a context can be reused
     across enumeration modes for the same table.
+
+    ``cache`` optionally plugs in a cross-call, cross-table store (a
+    :class:`repro.engine.cache.MultiLevelCache` by duck type: an object
+    with ``transforms`` / ``features`` LRU levels).  Entries are keyed
+    on the table's content fingerprint, so repeated or duplicated
+    tables reuse grouped/binned assignments and feature vectors across
+    independent contexts.
     """
 
-    def __init__(self, table: Table, config: EnumerationConfig = EnumerationConfig()) -> None:
+    def __init__(
+        self,
+        table: Table,
+        config: EnumerationConfig = EnumerationConfig(),
+        cache=None,
+    ) -> None:
         self.table = table
         self.config = config
+        self.cache = cache
+        self._cache_fp: Optional[str] = (
+            table.fingerprint() if cache is not None else None
+        )
         self._column_features: Dict[str, ColumnFeatures] = {}
         self._raw_corr: Dict[Tuple[str, str], float] = {}
         self._transforms: Dict[Transform, Tuple] = {}
@@ -161,7 +187,15 @@ class EnumerationContext:
     def transform_result(self, transform: Transform):
         """(distinct buckets, per-row assignment) for a TRANSFORM, cached."""
         if transform not in self._transforms:
-            self._transforms[transform] = apply_transform(transform, self.table)
+            if self.cache is not None:
+                key = (self._cache_fp, transform)
+                result = self.cache.transforms.get(key)
+                if result is None:
+                    result = apply_transform(transform, self.table)
+                    self.cache.transforms.put(key, result)
+            else:
+                result = apply_transform(transform, self.table)
+            self._transforms[transform] = result
         return self._transforms[transform]
 
     def aggregated(self, transform: Transform, y: str, op: AggregateOp) -> np.ndarray:
@@ -258,8 +292,35 @@ class EnumerationContext:
     def build_node(self, query: VisQuery, data: ChartData) -> VisualizationNode:
         """Assemble a node from cached parts (equivalent to make_node)."""
         chart_data = dataclasses.replace(data, query=query)
+        if self.cache is not None:
+            key = (
+                self._cache_fp,
+                query.chart,
+                query.x,
+                query.y,
+                query.transform,
+                query.aggregate,
+                query.order,
+            )
+            features = self.cache.features.get(key)
+            if features is None:
+                features = self._measure_features(query, chart_data)
+                self.cache.features.put(key, features)
+        else:
+            features = self._measure_features(query, chart_data)
+        return VisualizationNode(
+            query=query,
+            data=chart_data,
+            features=features,
+            table_name=self.table.name,
+        )
+
+    def _measure_features(
+        self, query: VisQuery, chart_data: ChartData
+    ) -> FeatureVector:
+        """Measure the feature vector **F** of one candidate chart."""
         y_entropy, y_spread, trend_r2 = series_stats(chart_data.y_values)
-        features = FeatureVector(
+        return FeatureVector(
             x=self.column_features(query.x),
             y=self.column_features(query.y),
             corr=self.raw_correlation(query.x, query.y),
@@ -274,12 +335,6 @@ class EnumerationContext:
             y_entropy=y_entropy,
             y_spread=y_spread,
             trend_r2=trend_r2,
-        )
-        return VisualizationNode(
-            query=query,
-            data=chart_data,
-            features=features,
-            table_name=self.table.name,
         )
 
 
@@ -319,20 +374,65 @@ def _order_options(
     return [None, OrderBy(OrderTarget.X), OrderBy(OrderTarget.Y)]
 
 
-def _column_pairs(table: Table, include_one_column: bool) -> Iterator[Tuple[str, str]]:
-    names = table.column_names
-    if include_one_column:
-        for name in names:
-            yield name, name
-    for x in names:
-        for y in names:
-            if x != y:
-                yield x, y
-
-
 # ----------------------------------------------------------------------
 # The two enumeration modes
 # ----------------------------------------------------------------------
+def _exhaustive_for_pair(
+    ctx: EnumerationContext, x_name: str, y_name: str
+) -> List[VisualizationNode]:
+    """Every executable exhaustive candidate for one ordered (X, Y) pair."""
+    table = ctx.table
+    config = ctx.config
+    x_col = table.column(x_name)
+    y_col = table.column(y_name)
+    one_column = x_name == y_name
+    nodes: List[VisualizationNode] = []
+    for transform in _exhaustive_transforms(x_col, config):
+        if one_column and transform is None:
+            continue  # a raw single column has no (X, Y) pairing
+        ops = (
+            [AggregateOp.CNT]
+            if one_column
+            else _aggregates_for(y_col, transform)
+        )
+        for op in ops:
+            data = ctx._base_data(x_name, y_name, transform, op)
+            if data is None or data.is_empty():
+                continue
+            for chart in ChartType:
+                for order in _order_options(config, chart, x_col.ctype):
+                    query = VisQuery(
+                        chart=chart,
+                        x=x_name,
+                        y=y_name,
+                        transform=transform,
+                        aggregate=op,
+                        order=order,
+                    )
+                    nodes.append(ctx.build_node(query, ctx._order_data(data, order)))
+    return nodes
+
+
+def exhaustive_for_column(
+    ctx: EnumerationContext, x_name: str
+) -> Tuple[List[VisualizationNode], List[VisualizationNode]]:
+    """Exhaustive candidates with ``x_name`` on the x-axis.
+
+    Returns ``(one_column_nodes, two_column_nodes)`` separately so that
+    per-column fan-out (the parallel executor's unit of work) can
+    reassemble the exact serial order of :func:`enumerate_exhaustive`,
+    which emits all one-column candidates before any two-column ones.
+    """
+    one_nodes: List[VisualizationNode] = []
+    if ctx.config.include_one_column:
+        one_nodes = _exhaustive_for_pair(ctx, x_name, x_name)
+    pair_nodes: List[VisualizationNode] = []
+    for y_name in ctx.table.column_names:
+        if y_name != x_name:
+            pair_nodes.extend(_exhaustive_for_pair(ctx, x_name, y_name))
+    return one_nodes, pair_nodes
+
+
 def enumerate_exhaustive(
     table: Table,
     config: EnumerationConfig = EnumerationConfig(),
@@ -340,36 +440,13 @@ def enumerate_exhaustive(
 ) -> List[VisualizationNode]:
     """Mode E: every executable candidate in the search space."""
     ctx = context or EnumerationContext(table, config)
-    nodes: List[VisualizationNode] = []
-    for x_name, y_name in _column_pairs(table, config.include_one_column):
-        x_col = table.column(x_name)
-        y_col = table.column(y_name)
-        one_column = x_name == y_name
-        transforms = _exhaustive_transforms(x_col, config)
-        for transform in transforms:
-            if one_column and transform is None:
-                continue  # a raw single column has no (X, Y) pairing
-            ops = (
-                [AggregateOp.CNT]
-                if one_column
-                else _aggregates_for(y_col, transform)
-            )
-            for op in ops:
-                data = ctx._base_data(x_name, y_name, transform, op)
-                if data is None or data.is_empty():
-                    continue
-                for chart in ChartType:
-                    for order in _order_options(config, chart, x_col.ctype):
-                        query = VisQuery(
-                            chart=chart,
-                            x=x_name,
-                            y=y_name,
-                            transform=transform,
-                            aggregate=op,
-                            order=order,
-                        )
-                        nodes.append(ctx.build_node(query, ctx._order_data(data, order)))
-    return nodes
+    one_nodes: List[VisualizationNode] = []
+    pair_nodes: List[VisualizationNode] = []
+    for x_name in table.column_names:
+        ones, pairs = exhaustive_for_column(ctx, x_name)
+        one_nodes.extend(ones)
+        pair_nodes.extend(pairs)
+    return one_nodes + pair_nodes
 
 
 def rule_based_for_pair(

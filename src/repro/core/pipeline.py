@@ -3,15 +3,22 @@
 Offline, the system learns from examples — good/bad chart labels train
 the recognition classifier, graded per-table rankings train LambdaMART,
 and a held-out slice tunes the hybrid preference weight alpha.  Online,
-a table comes in and the trained components produce its top-k charts.
+a table comes in and the trained components produce its top-k charts;
+:meth:`DeepEye.top_k_batch` serves whole batches of tables through a
+worker pool, and a per-engine multi-level cache reuses work across
+calls (see :mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..dataset.table import Table
+from ..engine.cache import MultiLevelCache
 from ..errors import ModelError, SelectionError
 from .enumeration import EnumerationConfig
 from .hybrid import HybridRanker
@@ -64,6 +71,18 @@ class DeepEye:
     enumeration:
         Candidate generation mode: ``"rules"`` (default) or
         ``"exhaustive"``.
+    n_jobs:
+        Worker count for the parallel serving engine (overrides
+        ``config.n_jobs`` when given): 1 = serial, -1 = all cores.
+        Results are identical to serial at any value.
+    backend:
+        Pool flavour for ``n_jobs > 1``: ``"process"`` or ``"thread"``
+        (overrides ``config.backend`` when given).
+    cache:
+        The serving cache: ``True`` (default) builds a private
+        :class:`~repro.engine.cache.MultiLevelCache`, ``False``/``None``
+        disables caching, or pass an existing instance to share one
+        cache between engines.  Cleared automatically on :meth:`train`.
     """
 
     def __init__(
@@ -73,13 +92,29 @@ class DeepEye:
         enumeration: str = "rules",
         config: EnumerationConfig = EnumerationConfig(),
         graph_strategy: str = "range_tree",
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        cache: Union[bool, MultiLevelCache, None] = True,
     ) -> None:
         if ranking not in ("partial_order", "learning_to_rank", "hybrid"):
             raise SelectionError(f"unknown ranking mode {ranking!r}")
         self.ranking = ranking
         self.enumeration = enumeration
-        self.config = config
+        overrides = {}
+        if n_jobs is not None:
+            overrides["n_jobs"] = n_jobs
+        if backend is not None:
+            overrides["backend"] = backend
+        self.config = (
+            dataclasses.replace(config, **overrides) if overrides else config
+        )
         self.graph_strategy = graph_strategy
+        if cache is True:
+            self.cache: Optional[MultiLevelCache] = MultiLevelCache()
+        elif cache:
+            self.cache = cache
+        else:
+            self.cache = None
         self.recognizer: Optional[VisualizationRecognizer] = (
             VisualizationRecognizer(model=recognizer_model)
             if recognizer_model
@@ -122,6 +157,10 @@ class DeepEye:
             )
             self.hybrid.fit_alpha(groups)
 
+        if self.cache is not None:
+            # New models make every cached feature-gated decision and
+            # ranked result stale.
+            self.cache.clear()
         self._trained = True
         return self
 
@@ -133,9 +172,6 @@ class DeepEye:
         JSON files; :meth:`load` restores an equivalent engine.  Only
         trained engines can be saved.
         """
-        import json
-        from pathlib import Path
-
         if not self._trained:
             raise ModelError("train() the engine before save()")
         from ..persistence import save_ltr, save_recognizer
@@ -159,9 +195,6 @@ class DeepEye:
     @classmethod
     def load(cls, directory) -> "DeepEye":
         """Restore an engine saved by :meth:`save`."""
-        import json
-        from pathlib import Path
-
         from ..persistence import load_ltr, load_recognizer
 
         directory = Path(directory)
@@ -189,59 +222,58 @@ class DeepEye:
 
     # ------------------------------------------------------------------
     def top_k(self, table: Table, k: int = 10) -> SelectionResult:
-        """Select the top-k visualizations for a table."""
+        """Select the top-k visualizations for a table.
+
+        All three ranking modes run through the same
+        :func:`~repro.core.selection.select_top_k` phases (enumerate ->
+        recognize -> rank), so timings and fallback semantics cannot
+        drift between them; they differ only in the ranker handed to
+        the rank phase.
+        """
         if self.ranking == "partial_order":
-            return select_top_k(
-                table,
-                k=k,
-                enumeration=self.enumeration,
-                ranker="partial_order",
-                recognizer=self.recognizer if self._trained else None,
-                config=self.config,
-                graph_strategy=self.graph_strategy,
-            )
-        if not self._trained:
+            ranker: Union[str, object] = "partial_order"
+            recognizer = self.recognizer if self._trained else None
+        elif not self._trained:
             raise ModelError(
                 f"ranking={self.ranking!r} requires train() before top_k()"
             )
-        if self.ranking == "learning_to_rank":
-            return select_top_k(
-                table,
-                k=k,
-                enumeration=self.enumeration,
-                ranker="learning_to_rank",
-                recognizer=self.recognizer,
-                ltr=self.ltr,
-                config=self.config,
-                graph_strategy=self.graph_strategy,
-            )
-        # Hybrid: reuse select_top_k's enumerate+recognize phases via the
-        # partial-order path, then re-rank with the hybrid combiner.
-        import time
+        elif self.ranking == "learning_to_rank":
+            ranker = "learning_to_rank"
+            recognizer = self.recognizer
+        else:  # hybrid: the paper's best configuration
+            ranker = self.hybrid
+            recognizer = self.recognizer
+        return select_top_k(
+            table,
+            k=k,
+            enumeration=self.enumeration,
+            ranker=ranker,
+            recognizer=recognizer,
+            ltr=self.ltr,
+            config=self.config,
+            graph_strategy=self.graph_strategy,
+            cache=self.cache,
+        )
 
-        timings = {}
-        start = time.perf_counter()
-        from .enumeration import enumerate_candidates
+    def top_k_batch(
+        self,
+        tables: Iterable[Table],
+        k: int = 10,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> Iterator[SelectionResult]:
+        """Serve a batch of tables, streaming results in input order.
 
-        candidates = enumerate_candidates(table, self.enumeration, self.config)
-        timings["enumerate"] = time.perf_counter() - start
+        The trained models are shared across the pool (pickled once per
+        process worker); ``n_jobs``/``backend`` default to this engine's
+        config.  Yields one :class:`SelectionResult` per table as soon
+        as it — and every earlier table — is done.
+        """
+        # Imported here, not at module level: repro.engine.parallel
+        # imports core enumeration modules, so importing it while this
+        # package is still initialising would be circular.
+        from ..engine.parallel import batch_select
 
-        start = time.perf_counter()
-        valid = (
-            self.recognizer.filter_valid(candidates)
-            if self.recognizer is not None
-            else list(candidates)
-        ) or list(candidates)
-        timings["recognize"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        order = self.hybrid.rank(valid)
-        timings["rank"] = time.perf_counter() - start
-
-        return SelectionResult(
-            nodes=[valid[i] for i in order[:k]],
-            order=order,
-            candidates=len(candidates),
-            valid=len(valid),
-            timings=timings,
+        return batch_select(
+            self, tables, k=k, n_jobs=n_jobs, backend=backend
         )

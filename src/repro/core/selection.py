@@ -10,17 +10,23 @@
    weight-aware S(v)) or learning-to-rank (**L**: LambdaMART scores);
 4. return the top-*k* with per-phase wall-clock timings, the raw
    material of Figure 12.
+
+Serving extensions on top of the paper's pipeline: ``config.n_jobs``
+fans phases 1–2 out over a worker pool with results identical to
+serial, and a multi-level ``cache`` reuses transforms, feature vectors
+and whole results across calls (see :mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dataset.table import Table
 from ..errors import SelectionError
-from .enumeration import EnumerationConfig, enumerate_candidates
+from .enumeration import EnumerationConfig, EnumerationContext, enumerate_candidates
 from .graph import DominanceGraph, build_graph
 from .ltr import LearningToRankRanker
 from .nodes import VisualizationNode
@@ -66,13 +72,19 @@ class PartialOrderRanker:
 
 @dataclass
 class SelectionResult:
-    """Top-k nodes plus the diagnostics Figure 12 reports."""
+    """Top-k nodes plus the diagnostics Figure 12 reports.
+
+    ``cache_stats`` carries the serving cache's hit/miss/eviction
+    counters (flattened per level) when selection ran with a
+    :class:`~repro.engine.cache.MultiLevelCache`; empty otherwise.
+    """
 
     nodes: List[VisualizationNode]
     order: List[int]
     candidates: int
     valid: int
     timings: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -85,33 +97,50 @@ class SelectionResult:
         return self.timings.get(phase, 0.0) / total if total > 0 else 0.0
 
 
-def select_top_k(
+# ----------------------------------------------------------------------
+# Shared pipeline phases (used by select_top_k and the DeepEye facade)
+# ----------------------------------------------------------------------
+def _enumerate_phase(
     table: Table,
-    k: int = 10,
-    enumeration: str = "rules",
-    ranker: str = "partial_order",
-    recognizer: Optional[VisualizationRecognizer] = None,
-    ltr: Optional[LearningToRankRanker] = None,
-    config: EnumerationConfig = EnumerationConfig(),
-    graph_strategy: str = "range_tree",
-) -> SelectionResult:
-    """Compute the top-k visualizations of a table.
+    enumeration: str,
+    config: EnumerationConfig,
+    recognizer: Optional[VisualizationRecognizer],
+    cache,
+    n_jobs: int,
+) -> Tuple[List[VisualizationNode], Optional[List[bool]]]:
+    """Candidates plus (for the parallel path) their validity mask."""
+    if n_jobs > 1:
+        # Imported here, not at module level: repro.engine.parallel
+        # imports this package's enumeration module, so a top-level
+        # import in either direction would be circular.
+        from ..engine.parallel import parallel_enumerate
 
-    Parameters mirror the four Figure 12 configurations: ``enumeration``
-    in {"exhaustive"/"E", "rules"/"R"} x ``ranker`` in
-    {"partial_order"/"P", "learning_to_rank"/"L"}.  A ``ltr`` ranker is
-    required for L mode; a ``recognizer`` is optional in both.
+        return parallel_enumerate(
+            table,
+            enumeration,
+            config,
+            n_jobs=n_jobs,
+            recognizer=recognizer,
+            cache=cache,
+        )
+    context = EnumerationContext(table, config, cache=cache)
+    return enumerate_candidates(table, enumeration, config, context), None
+
+
+def _recognize_phase(
+    candidates: List[VisualizationNode],
+    valid_mask: Optional[List[bool]],
+    recognizer: Optional[VisualizationRecognizer],
+) -> List[VisualizationNode]:
+    """Filter candidates to the valid charts, with the shared fallback.
+
+    A filter that rejects everything would return nothing; fall back to
+    the unfiltered candidates so selection still surfaces the least-bad
+    charts.
     """
-    if k < 0:
-        raise SelectionError(f"k must be non-negative, got {k}")
-
-    timings: Dict[str, float] = {}
-    start = time.perf_counter()
-    candidates = enumerate_candidates(table, enumeration, config)
-    timings["enumerate"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    if recognizer is not None and candidates:
+    if valid_mask is not None:
+        valid_nodes = [n for n, ok in zip(candidates, valid_mask) if ok]
+    elif recognizer is not None and candidates:
         valid_nodes = recognizer.filter_valid(candidates)
     else:
         # No trained recognizer: apply the expert validity criterion —
@@ -121,35 +150,142 @@ def select_top_k(
         valid_nodes = [
             node for node in candidates if matching_quality_raw(node) > 0
         ]
-    if not valid_nodes:
-        # A filter that rejects everything would return nothing; fall
-        # back to the unfiltered candidates so selection still surfaces
-        # the least-bad charts.
-        valid_nodes = list(candidates)
-    timings["recognize"] = time.perf_counter() - start
+    return valid_nodes or list(candidates)
 
-    start = time.perf_counter()
+
+def _rank_phase(
+    valid_nodes: List[VisualizationNode],
+    ranker: Union[str, object],
+    ltr: Optional[LearningToRankRanker],
+    graph_strategy: str,
+) -> List[int]:
+    """Resolve the ranker (name or object with ``.rank``) and apply it."""
+    if not isinstance(ranker, str):
+        if not hasattr(ranker, "rank"):
+            raise SelectionError(
+                f"ranker object {ranker!r} has no rank() method"
+            )
+        return ranker.rank(valid_nodes)
     if ranker in ("partial_order", "P"):
-        order = PartialOrderRanker(graph_strategy).rank(valid_nodes)
-    elif ranker in ("learning_to_rank", "L"):
+        return PartialOrderRanker(graph_strategy).rank(valid_nodes)
+    if ranker in ("learning_to_rank", "L"):
         if ltr is None:
             raise SelectionError(
                 "ranker='learning_to_rank' requires a fitted "
                 "LearningToRankRanker via the ltr parameter"
             )
-        order = ltr.rank(valid_nodes)
-    else:
-        raise SelectionError(
-            f"unknown ranker {ranker!r}; use 'partial_order' or "
-            f"'learning_to_rank'"
+        return ltr.rank(valid_nodes)
+    raise SelectionError(
+        f"unknown ranker {ranker!r}; use 'partial_order' or "
+        f"'learning_to_rank'"
+    )
+
+
+def _result_cache_key(
+    table: Table,
+    k: int,
+    enumeration: str,
+    ranker: Union[str, object],
+    recognizer: Optional[VisualizationRecognizer],
+    ltr: Optional[LearningToRankRanker],
+    config: EnumerationConfig,
+    graph_strategy: str,
+) -> tuple:
+    """Identity of one selection call, for the result-level cache.
+
+    Keys on the table's *content* fingerprint plus every knob that can
+    change the answer.  Execution knobs (``n_jobs``, ``backend``) are
+    deliberately excluded — parallel results are identical to serial, so
+    they share entries.  Model objects key by identity: a retrained or
+    reloaded model is a different object and misses, which is the safe
+    direction.
+    """
+    ranker_token = ranker if isinstance(ranker, str) else ("obj", id(ranker))
+    return (
+        table.fingerprint(),
+        k,
+        enumeration,
+        ranker_token,
+        None if recognizer is None else id(recognizer),
+        None if ltr is None else id(ltr),
+        graph_strategy,
+        config.include_one_column,
+        config.orderings,
+        config.numeric_bins,
+        config.granularities,
+        config.correlation_threshold,
+        tuple(name for name, _ in config.udfs),
+    )
+
+
+def select_top_k(
+    table: Table,
+    k: int = 10,
+    enumeration: str = "rules",
+    ranker: Union[str, object] = "partial_order",
+    recognizer: Optional[VisualizationRecognizer] = None,
+    ltr: Optional[LearningToRankRanker] = None,
+    config: EnumerationConfig = EnumerationConfig(),
+    graph_strategy: str = "range_tree",
+    cache=None,
+    n_jobs: Optional[int] = None,
+) -> SelectionResult:
+    """Compute the top-k visualizations of a table.
+
+    Parameters mirror the four Figure 12 configurations: ``enumeration``
+    in {"exhaustive"/"E", "rules"/"R"} x ``ranker`` in
+    {"partial_order"/"P", "learning_to_rank"/"L"}.  A ``ltr`` ranker is
+    required for L mode; a ``recognizer`` is optional in both.
+    ``ranker`` may also be any object with a ``rank(nodes) -> order``
+    method (e.g. a fitted :class:`~repro.core.hybrid.HybridRanker`).
+
+    ``cache`` is an optional :class:`~repro.engine.cache.MultiLevelCache`
+    reused across calls; ``n_jobs`` overrides ``config.n_jobs`` for this
+    call (1 = serial, -1 = all cores).
+    """
+    if k < 0:
+        raise SelectionError(f"k must be non-negative, got {k}")
+    jobs = config.n_jobs if n_jobs is None else n_jobs
+    if jobs != 1:
+        from ..engine.parallel import resolve_n_jobs
+
+        jobs = resolve_n_jobs(jobs)
+
+    if cache is not None:
+        key = _result_cache_key(
+            table, k, enumeration, ranker, recognizer, ltr, config,
+            graph_strategy,
         )
+        hit = cache.results.get(key)
+        if hit is not None:
+            return dataclasses.replace(
+                hit, timings=dict(hit.timings), cache_stats=cache.stats()
+            )
+
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    candidates, valid_mask = _enumerate_phase(
+        table, enumeration, config, recognizer, cache, jobs
+    )
+    timings["enumerate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    valid_nodes = _recognize_phase(candidates, valid_mask, recognizer)
+    timings["recognize"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    order = _rank_phase(valid_nodes, ranker, ltr, graph_strategy)
     timings["rank"] = time.perf_counter() - start
 
     top = [valid_nodes[i] for i in order[:k]]
-    return SelectionResult(
+    result = SelectionResult(
         nodes=top,
         order=order,
         candidates=len(candidates),
         valid=len(valid_nodes),
         timings=timings,
+        cache_stats=cache.stats() if cache is not None else {},
     )
+    if cache is not None:
+        cache.results.put(key, result)
+    return result

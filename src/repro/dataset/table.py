@@ -9,6 +9,7 @@ is per-column, so a column store keeps both cheap.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,6 +45,7 @@ class Table:
         if len(set(names)) != len(names):
             raise DatasetError(f"table {name!r}: duplicate column names in {names}")
         self._by_name: Dict[str, Column] = {c.name: c for c in self._columns}
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -109,6 +111,37 @@ class Table:
     @property
     def column_names(self) -> Tuple[str, ...]:
         return tuple(c.name for c in self._columns)
+
+    def fingerprint(self) -> str:
+        """A stable content hash over the schema and values.
+
+        Covers column names, column types, and every value — so it
+        changes when a column is renamed, retyped, reordered, or edited
+        — but *not* the table's display ``name``: two tables holding the
+        same data hash identically, which is what cache keys and corpus
+        dedup both want.  Computed once and memoised (tables are
+        immutable by convention).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for column in self._columns:
+                digest.update(column.name.encode("utf-8"))
+                digest.update(b"\x00")
+                digest.update(column.ctype.value.encode("ascii"))
+                digest.update(b"\x00")
+                if column.ctype is ColumnType.CATEGORICAL:
+                    for value in column.values:
+                        digest.update(str(value).encode("utf-8"))
+                        digest.update(b"\x1f")
+                else:
+                    digest.update(
+                        np.ascontiguousarray(
+                            column.values, dtype=np.float64
+                        ).tobytes()
+                    )
+                digest.update(b"\x01")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def column(self, name: str) -> Column:
         """Look up a column by name, raising :class:`ColumnNotFoundError`."""

@@ -1,5 +1,16 @@
-"""Query execution engine: shared-scan batch aggregation."""
+"""Query execution and serving engine: shared scans, caching, parallelism."""
 
 from .shared_scan import AggregateRequest, ScanStats, SharedScanEngine
+from .cache import LRUCache, MultiLevelCache
+from .parallel import batch_select, parallel_enumerate, resolve_n_jobs
 
-__all__ = ["AggregateRequest", "ScanStats", "SharedScanEngine"]
+__all__ = [
+    "AggregateRequest",
+    "ScanStats",
+    "SharedScanEngine",
+    "LRUCache",
+    "MultiLevelCache",
+    "batch_select",
+    "parallel_enumerate",
+    "resolve_n_jobs",
+]

@@ -1,0 +1,169 @@
+"""Multi-level serving cache for repeated top-k selection.
+
+Serving traffic is repetitive: the same table is re-visualized with
+different ``k``'s, re-ranked after retraining, or re-requested verbatim
+by many users.  This module provides the three cache levels the serving
+engine shares across those calls, all keyed on a stable *content*
+fingerprint of the table (:meth:`repro.dataset.table.Table.fingerprint`)
+so renames of the table object, re-parsed CSVs, and duplicated corpora
+all hit the same entries:
+
+* **transform level** — ``(fingerprint, transform)`` -> the grouped or
+  binned ``(buckets, assignment)`` pair, the most expensive part of
+  candidate enumeration;
+* **feature level** — ``(fingerprint, query signature)`` -> the measured
+  :class:`~repro.core.features.FeatureVector` of one candidate chart;
+* **result level** — ``(fingerprint, selection signature)`` -> the full
+  :class:`~repro.core.selection.SelectionResult`, so a verbatim repeat
+  of a ``top_k`` call is a single dictionary lookup.
+
+Every level is an :class:`LRUCache` with hit/miss/eviction counters;
+:meth:`MultiLevelCache.stats` flattens them into the
+``SelectionResult.timings``-style dict that selection attaches to its
+results.
+
+This module deliberately imports nothing from :mod:`repro.core` (the
+enumeration context takes a cache by duck type), so it can be loaded
+from either side of the engine/core boundary without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache", "MultiLevelCache"]
+
+
+class LRUCache:
+    """A thread-safe least-recently-used cache with usage counters.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries; inserting beyond it evicts the least
+        recently used entry.  ``maxsize <= 0`` disables storage (every
+        lookup misses), which keeps call sites branch-free when a level
+        is turned off.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- mapping protocol ----------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or a miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``, evicting the LRU entry when full."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(list(self._data))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """``{hits, misses, evictions, size}`` of this level."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+        }
+
+    # -- pickling (locks cannot cross process boundaries) ---------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(maxsize={self.maxsize}, size={len(self._data)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class MultiLevelCache:
+    """The three serving-cache levels bundled behind one handle.
+
+    Attributes
+    ----------
+    transforms:
+        ``(fingerprint, transform)`` -> grouped/binned assignment.
+    features:
+        ``(fingerprint, query signature)`` -> feature vector.
+    results:
+        ``(fingerprint, selection signature)`` -> full selection result.
+    """
+
+    def __init__(
+        self,
+        transform_size: int = 1024,
+        feature_size: int = 16384,
+        result_size: int = 256,
+    ) -> None:
+        self.transforms = LRUCache(transform_size)
+        self.features = LRUCache(feature_size)
+        self.results = LRUCache(result_size)
+
+    def clear(self) -> None:
+        """Invalidate every level (e.g. after retraining the models)."""
+        self.transforms.clear()
+        self.features.clear()
+        self.results.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Flat ``{level_counter: value}`` dict across all three levels."""
+        merged: Dict[str, int] = {}
+        for level_name in ("transforms", "features", "results"):
+            level: LRUCache = getattr(self, level_name)
+            for counter, value in level.stats().items():
+                merged[f"{level_name}_{counter}"] = value
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiLevelCache(transforms={len(self.transforms)}, "
+            f"features={len(self.features)}, results={len(self.results)})"
+        )

@@ -1,0 +1,259 @@
+"""Parallel batch-serving executor for top-k selection.
+
+The online phase is embarrassingly parallel along two axes, and this
+module exploits both with deterministic results:
+
+* **within one table** — :func:`parallel_enumerate` fans candidate
+  enumeration + feature extraction + recognition out over x-columns
+  (each worker owns every candidate whose x-axis is one column), then
+  reassembles the per-column slices into *exactly* the order serial
+  enumeration produces, so ``n_jobs > 1`` output is identical to
+  ``n_jobs = 1``;
+* **across tables** — :func:`batch_select` distributes whole tables of
+  a batch over a pool that shares the trained engine (pickled once per
+  process worker), streaming :class:`SelectionResult`s back in input
+  order.
+
+Both take a ``backend``: ``"process"`` (true parallelism; the table,
+config and models ship to each worker once via the pool initializer)
+or ``"thread"`` (no pickling, shared memory; useful when numpy releases
+the GIL or on platforms without cheap fork).  ``n_jobs = 1`` always
+short-circuits to the plain serial code path — no pool, no copies.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.enumeration import (
+    EnumerationConfig,
+    EnumerationContext,
+    exhaustive_for_column,
+    rule_based_for_column,
+)
+from ..core.nodes import VisualizationNode
+from ..core.partial_order import matching_quality_raw
+from ..dataset.table import Table
+from ..errors import SelectionError
+
+__all__ = [
+    "resolve_n_jobs",
+    "parallel_enumerate",
+    "batch_select",
+]
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` and ``0`` mean serial (1); negative values count back from
+    the machine's CPUs in the scikit-learn convention (``-1`` = all
+    cores, ``-2`` = all but one, ...).
+    """
+    if n_jobs is None or n_jobs == 0:
+        return 1
+    if n_jobs < 0:
+        cpus = os.cpu_count() or 1
+        return max(1, cpus + 1 + n_jobs)
+    return int(n_jobs)
+
+
+def _normalise_mode(mode: str) -> str:
+    if mode in ("rules", "R"):
+        return "rules"
+    if mode in ("exhaustive", "E"):
+        return "exhaustive"
+    raise ValueError(
+        f"unknown enumeration mode {mode!r}; use 'rules' or 'exhaustive'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-column enumeration + recognition (the unit of intra-table fan-out)
+# ----------------------------------------------------------------------
+def _valid_mask(nodes: Sequence[VisualizationNode], recognizer) -> List[bool]:
+    """Good/bad verdict per node: trained classifier, or expert M(v) > 0.
+
+    Both predicates are per-node, so computing them over a per-column
+    slice gives the same mask the serial pipeline computes over the full
+    candidate list.
+    """
+    if not nodes:
+        return []
+    if recognizer is not None:
+        return [bool(v) for v in recognizer.predict(nodes)]
+    return [matching_quality_raw(node) > 0 for node in nodes]
+
+
+def _column_slice(
+    ctx: EnumerationContext, recognizer, mode: str, x_name: str
+) -> Tuple[Tuple[List[VisualizationNode], ...], Tuple[List[bool], ...]]:
+    """All candidates (and their validity mask) with ``x_name`` on x."""
+    if mode == "rules":
+        parts: Tuple[List[VisualizationNode], ...] = (
+            rule_based_for_column(ctx, x_name),
+        )
+    else:
+        parts = exhaustive_for_column(ctx, x_name)
+    return parts, tuple(_valid_mask(part, recognizer) for part in parts)
+
+
+# Per-process worker state, populated by the pool initializer so the
+# table, config and recognizer are pickled once per worker instead of
+# once per task.
+_WORKER_STATE: dict = {}
+
+
+def _init_enum_worker(table: Table, config: EnumerationConfig, recognizer) -> None:
+    _WORKER_STATE["context"] = EnumerationContext(table, config)
+    _WORKER_STATE["recognizer"] = recognizer
+
+
+def _enum_worker(mode: str, x_name: str):
+    return _column_slice(
+        _WORKER_STATE["context"], _WORKER_STATE["recognizer"], mode, x_name
+    )
+
+
+def _reassemble(
+    slices: Sequence[Tuple[Tuple[List[VisualizationNode], ...], Tuple[List[bool], ...]]],
+) -> Tuple[List[VisualizationNode], List[bool]]:
+    """Stitch per-column slices back into the serial enumeration order.
+
+    Serial order emits part 0 of every column (rule-based candidates, or
+    exhaustive one-column candidates), then part 1 of every column (the
+    exhaustive two-column candidates) — concatenation part-major,
+    column-minor reproduces it exactly.
+    """
+    num_parts = max((len(parts) for parts, _ in slices), default=0)
+    nodes: List[VisualizationNode] = []
+    mask: List[bool] = []
+    for part in range(num_parts):
+        for parts, masks in slices:
+            nodes.extend(parts[part])
+            mask.extend(masks[part])
+    return nodes, mask
+
+
+def parallel_enumerate(
+    table: Table,
+    mode: str = "rules",
+    config: EnumerationConfig = EnumerationConfig(),
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    recognizer=None,
+    cache=None,
+) -> Tuple[List[VisualizationNode], List[bool]]:
+    """Enumerate, featurise and recognise candidates with a worker pool.
+
+    Returns ``(nodes, valid_mask)`` where ``nodes`` is byte-identical to
+    the serial enumeration order and ``valid_mask[i]`` is the
+    recognition verdict for ``nodes[i]`` (trained classifier when
+    ``recognizer`` is given, otherwise the expert ``M(v) > 0``
+    criterion).
+
+    The multi-level ``cache`` is consulted only on the serial path —
+    worker processes cannot share the parent's in-memory LRU, and
+    shipping entries back would cost more than recomputing.
+    """
+    mode = _normalise_mode(mode)
+    jobs = resolve_n_jobs(n_jobs if n_jobs is not None else config.n_jobs)
+    backend = backend or config.backend
+    columns = table.column_names
+    jobs = min(jobs, max(1, len(columns)))
+
+    if jobs <= 1:
+        ctx = EnumerationContext(table, config, cache=cache)
+        slices = [_column_slice(ctx, recognizer, mode, x) for x in columns]
+        return _reassemble(slices)
+
+    if backend == "thread":
+        # One shared context: its memo dicts are only ever written with
+        # values that are identical regardless of which thread computes
+        # them first, so races cost duplicate work, never wrong answers.
+        ctx = EnumerationContext(table, config)
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_column_slice, ctx, recognizer, mode, x)
+                for x in columns
+            ]
+            slices = [future.result() for future in futures]
+    elif backend == "process":
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_enum_worker,
+            initargs=(table, config, recognizer),
+        ) as pool:
+            futures = [pool.submit(_enum_worker, mode, x) for x in columns]
+            slices = [future.result() for future in futures]
+    else:
+        raise SelectionError(
+            f"unknown parallel backend {backend!r}; use 'process' or 'thread'"
+        )
+    return _reassemble(slices)
+
+
+# ----------------------------------------------------------------------
+# Cross-table batch serving
+# ----------------------------------------------------------------------
+def _init_batch_worker(engine, k: int) -> None:
+    import dataclasses
+
+    # Workers run one table each; nested pools would only thrash a
+    # machine that is already fully subscribed at the table level.
+    engine.config = dataclasses.replace(engine.config, n_jobs=1)
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["k"] = k
+
+
+def _batch_worker(table: Table):
+    return _WORKER_STATE["engine"].top_k(table, k=_WORKER_STATE["k"])
+
+
+def batch_select(
+    engine,
+    tables: Iterable[Table],
+    k: int = 10,
+    n_jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Iterator:
+    """Serve a batch of tables through one trained engine, streaming
+    :class:`~repro.core.selection.SelectionResult`s in input order.
+
+    With the process backend the engine (models included) is pickled to
+    each worker exactly once via the pool initializer; the thread
+    backend shares it directly.  ``n_jobs`` defaults to the engine
+    config's value; 1 degrades to a plain serial loop.
+    """
+    tables = list(tables)
+    jobs = resolve_n_jobs(
+        n_jobs if n_jobs is not None else engine.config.n_jobs
+    )
+    backend = backend or engine.config.backend
+    jobs = min(jobs, max(1, len(tables)))
+
+    if jobs <= 1:
+        for table in tables:
+            yield engine.top_k(table, k=k)
+        return
+
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(engine.top_k, t, k=k) for t in tables]
+            for future in futures:
+                yield future.result()
+    elif backend == "process":
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_batch_worker,
+            initargs=(engine, k),
+        ) as pool:
+            futures = [pool.submit(_batch_worker, t) for t in tables]
+            for future in futures:
+                yield future.result()
+    else:
+        raise SelectionError(
+            f"unknown parallel backend {backend!r}; use 'process' or 'thread'"
+        )

@@ -129,3 +129,42 @@ class TestStats:
         assert entropy([5]) == 0.0
         assert entropy([]) == 0.0
         assert entropy([0, 0]) == 0.0
+
+
+class TestFingerprint:
+    def test_stable_across_calls_and_instances(self):
+        assert _table().fingerprint() == _table().fingerprint()
+
+    def test_table_name_excluded(self):
+        # Content-based: renaming the *table* (re-read CSV, corpus dup)
+        # must hit the same cache entries.
+        a = Table.from_dict("a", {"x": [1, 2, 3]})
+        b = Table.from_dict("b", {"x": [1, 2, 3]})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_renamed_column_changes_fingerprint(self):
+        # Cache keys embed column names via query signatures, so
+        # renamed-but-identical columns must NOT collide.
+        a = Table.from_dict("t", {"x": [1, 2, 3], "y": [4, 5, 6]})
+        b = Table.from_dict("t", {"x": [1, 2, 3], "z": [4, 5, 6]})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_value_change_changes_fingerprint(self):
+        a = Table.from_dict("t", {"x": [1, 2, 3]})
+        b = Table.from_dict("t", {"x": [1, 2, 4]})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_column_order_matters(self):
+        a = Table.from_dict("t", {"x": [1, 2], "y": [3, 4]})
+        b = Table.from_dict("t", {"y": [3, 4], "x": [1, 2]})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_type_matters(self):
+        num = Table("t", [Column("x", ColumnType.NUMERICAL, [2020, 2021])])
+        tem = Table("t", [Column("x", ColumnType.TEMPORAL, [2020, 2021])])
+        assert num.fingerprint() != tem.fingerprint()
+
+    def test_categorical_values_hashed(self):
+        a = Table.from_dict("t", {"c": ["x", "y"]})
+        b = Table.from_dict("t", {"c": ["x", "z"]})
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,140 @@
+"""Unit tests for the multi-level serving cache (repro.engine.cache)."""
+
+import pickle
+
+import pytest
+
+from repro.core import EnumerationConfig, select_top_k
+from repro.core.enumeration import EnumerationContext, enumerate_rule_based
+from repro.dataset import Table
+from repro.engine import LRUCache, MultiLevelCache
+
+
+def _table(name="t"):
+    return Table.from_dict(
+        name,
+        {
+            "city": ["a", "b", "a", "c", "b", "a"],
+            "value": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            "size": [9.0, 8.0, 7.0, 6.0, 5.0, 4.0],
+        },
+    )
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1,
+        }
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # touch: b becomes least recently used
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_zero_maxsize_disables_storage(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
+        }
+
+    def test_picklable_across_processes(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get("a") == 1
+        clone.put("b", 2)  # the restored lock works
+        assert len(clone) == 2
+
+
+class TestMultiLevelCache:
+    def test_stats_flattens_all_levels(self):
+        cache = MultiLevelCache()
+        cache.transforms.put("t", 1)
+        cache.features.get("missing")
+        stats = cache.stats()
+        assert stats["transforms_size"] == 1
+        assert stats["features_misses"] == 1
+        assert stats["results_hits"] == 0
+
+    def test_clear_empties_every_level(self):
+        cache = MultiLevelCache()
+        cache.transforms.put("t", 1)
+        cache.results.put("r", 2)
+        cache.clear()
+        assert len(cache.transforms) == len(cache.results) == 0
+
+
+class TestSelectionCaching:
+    def test_warm_repeat_hits_result_cache(self):
+        cache = MultiLevelCache()
+        table = _table()
+        cold = select_top_k(table, k=3, cache=cache)
+        warm = select_top_k(table, k=3, cache=cache)
+        assert warm.cache_stats["results_hits"] == 1
+        assert [n.key() for n in cold.nodes] == [n.key() for n in warm.nodes]
+        assert cold.order == warm.order
+
+    def test_cached_result_matches_uncached(self):
+        result_plain = select_top_k(_table(), k=3)
+        result_cached = select_top_k(_table(), k=3, cache=MultiLevelCache())
+        assert [n.key() for n in result_plain.nodes] == [
+            n.key() for n in result_cached.nodes
+        ]
+        assert result_plain.cache_stats == {}
+        assert result_cached.cache_stats["results_misses"] == 1
+
+    def test_different_k_reuses_lower_levels(self):
+        cache = MultiLevelCache()
+        select_top_k(_table(), k=2, cache=cache)
+        result = select_top_k(_table(), k=3, cache=cache)
+        # A different k misses the result level but the transform and
+        # feature levels carry over wholesale.
+        assert result.cache_stats["results_hits"] == 0
+        assert result.cache_stats["transforms_hits"] > 0
+        assert result.cache_stats["features_hits"] > 0
+
+    def test_fingerprint_keying_shares_across_equal_tables(self):
+        cache = MultiLevelCache()
+        ctx_a = EnumerationContext(_table("a"), cache=cache)
+        enumerate_rule_based(ctx_a.table, context=ctx_a)
+        misses_after_first = cache.transforms.misses
+        ctx_b = EnumerationContext(_table("b"), cache=cache)
+        enumerate_rule_based(ctx_b.table, context=ctx_b)
+        # Same content, different table name: every transform hits.
+        assert cache.transforms.misses == misses_after_first
+        assert cache.transforms.hits > 0
+
+    def test_result_cache_respects_k(self):
+        cache = MultiLevelCache()
+        r2 = select_top_k(_table(), k=2, cache=cache)
+        r3 = select_top_k(_table(), k=3, cache=cache)
+        assert len(r2.nodes) == 2
+        assert len(r3.nodes) == 3

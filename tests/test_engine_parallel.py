@@ -1,0 +1,152 @@
+"""Tests for the parallel batch-serving executor (repro.engine.parallel)."""
+
+import os
+
+import pytest
+
+from repro.core import DeepEye, EnumerationConfig, select_top_k
+from repro.core.enumeration import enumerate_candidates
+from repro.engine import parallel_enumerate, resolve_n_jobs
+from repro.errors import SelectionError
+
+
+def _keys(result):
+    return [node.key() for node in result.nodes]
+
+
+class TestResolveNJobs:
+    def test_serial_values(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(0) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(4) == 4
+
+    def test_negative_counts_from_cpus(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_n_jobs(-1) == cpus
+        assert resolve_n_jobs(-cpus) == 1
+
+
+class TestParallelEnumerate:
+    @pytest.mark.parametrize("mode", ["rules", "exhaustive"])
+    def test_serial_fallback_matches_enumerate_candidates(self, tiny_table, mode):
+        serial = enumerate_candidates(tiny_table, mode)
+        nodes, mask = parallel_enumerate(tiny_table, mode, n_jobs=1)
+        assert [n.key() for n in nodes] == [n.key() for n in serial]
+        assert len(mask) == len(nodes)
+
+    @pytest.mark.parametrize("mode", ["rules", "exhaustive"])
+    def test_thread_pool_order_identical_to_serial(self, tiny_table, mode):
+        serial, _ = parallel_enumerate(tiny_table, mode, n_jobs=1)
+        nodes, mask = parallel_enumerate(
+            tiny_table, mode, n_jobs=4, backend="thread"
+        )
+        assert [n.key() for n in nodes] == [n.key() for n in serial]
+        assert len(mask) == len(nodes)
+
+    def test_process_pool_order_identical_to_serial(self, tiny_table):
+        serial, serial_mask = parallel_enumerate(tiny_table, "rules", n_jobs=1)
+        nodes, mask = parallel_enumerate(
+            tiny_table, "rules", n_jobs=2, backend="process"
+        )
+        assert [n.key() for n in nodes] == [n.key() for n in serial]
+        assert mask == serial_mask
+
+    def test_unknown_backend_rejected(self, tiny_table):
+        with pytest.raises(SelectionError):
+            parallel_enumerate(tiny_table, "rules", n_jobs=2, backend="gpu")
+
+    def test_unknown_mode_rejected(self, tiny_table):
+        with pytest.raises(ValueError):
+            parallel_enumerate(tiny_table, "everything", n_jobs=2)
+
+
+class TestParallelSelection:
+    def test_n_jobs_4_output_equals_serial(self, flights_table):
+        serial = select_top_k(flights_table, k=5)
+        parallel = select_top_k(
+            flights_table,
+            k=5,
+            config=EnumerationConfig(n_jobs=4, backend="thread"),
+        )
+        assert _keys(parallel) == _keys(serial)
+        assert parallel.order == serial.order
+        assert parallel.candidates == serial.candidates
+        assert parallel.valid == serial.valid
+
+    def test_exhaustive_parallel_equals_serial(self, tiny_table):
+        serial = select_top_k(tiny_table, k=4, enumeration="exhaustive")
+        parallel = select_top_k(
+            tiny_table,
+            k=4,
+            enumeration="exhaustive",
+            config=EnumerationConfig(n_jobs=3, backend="thread"),
+        )
+        assert _keys(parallel) == _keys(serial)
+        assert parallel.order == serial.order
+
+    def test_n_jobs_override_param(self, tiny_table):
+        serial = select_top_k(tiny_table, k=3)
+        parallel = select_top_k(tiny_table, k=3, n_jobs=2)
+        assert _keys(parallel) == _keys(serial)
+
+
+class TestDeepEyeServing:
+    def test_engine_n_jobs_identical_results(self, flights_table):
+        serial = DeepEye(
+            ranking="partial_order", recognizer_model=None, cache=False
+        ).top_k(flights_table, k=4)
+        parallel = DeepEye(
+            ranking="partial_order",
+            recognizer_model=None,
+            n_jobs=4,
+            backend="thread",
+            cache=False,
+        ).top_k(flights_table, k=4)
+        assert _keys(parallel) == _keys(serial)
+
+    def test_repeated_top_k_hits_engine_cache(self, flights_table):
+        engine = DeepEye(ranking="partial_order", recognizer_model=None)
+        first = engine.top_k(flights_table, k=3)
+        assert first.cache_stats["results_hits"] == 0
+        second = engine.top_k(flights_table, k=3)
+        assert second.cache_stats["results_hits"] == 1
+        assert _keys(second) == _keys(first)
+
+    def test_top_k_batch_streams_in_input_order(self, flights_table, tiny_table):
+        engine = DeepEye(
+            ranking="partial_order", recognizer_model=None, cache=False
+        )
+        tables = [flights_table, tiny_table]
+        results = list(engine.top_k_batch(tables, k=3))
+        assert len(results) == 2
+        for table, result in zip(tables, results):
+            assert _keys(result) == _keys(engine.top_k(table, k=3))
+
+    def test_top_k_batch_thread_pool_matches_serial(
+        self, flights_table, tiny_table
+    ):
+        engine = DeepEye(
+            ranking="partial_order", recognizer_model=None, cache=False
+        )
+        tables = [flights_table, tiny_table, flights_table]
+        serial = list(engine.top_k_batch(tables, k=3, n_jobs=1))
+        pooled = list(
+            engine.top_k_batch(tables, k=3, n_jobs=2, backend="thread")
+        )
+        assert [_keys(r) for r in pooled] == [_keys(r) for r in serial]
+
+    def test_top_k_batch_over_example_datasets(self):
+        from repro.corpus.generators import make_table
+
+        tables = [
+            make_table("Monthly Sales", scale=0.05),
+            make_table("Exam Scores", scale=0.05),
+        ]
+        engine = DeepEye(ranking="partial_order", recognizer_model=None)
+        results = list(engine.top_k_batch(tables, k=3))
+        assert len(results) == 2
+        for result in results:
+            assert 0 < len(result.nodes) <= 3
