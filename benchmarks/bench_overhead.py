@@ -1,0 +1,142 @@
+"""Observability-overhead benchmark: tracing + metrics must stay cheap.
+
+Measures the wall-clock cost that the :mod:`repro.obs` layer adds to
+``select_top_k`` by interleaving instrumented and uninstrumented runs
+of the same workload (interleaving cancels thermal / cache-warmup
+drift that back-to-back blocks would fold into one side).  Three
+configurations are timed per repeat:
+
+* **off**       — no tracer, no metrics (the baseline);
+* **metrics**   — a private :class:`~repro.obs.MetricsRegistry`;
+* **full**      — metrics plus a :class:`~repro.obs.Tracer` recording
+  the nested per-phase span tree.
+
+The headline number is ``overhead = full / off`` (median of repeats);
+the run **fails (exit 1) when it exceeds ``--max-ratio``** (default
+1.10, i.e. >10% overhead), and the paper-facing target recorded in the
+JSON is 5%.  Results land in ``BENCH_overhead.json`` (override with
+``--out``); ``--trace-out`` additionally writes one Chrome trace-event
+JSON from the last instrumented run, which CI uploads as an artifact.
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from typing import Dict, List
+
+from repro.core import EnumerationConfig, select_top_k
+from repro.corpus.generators import make_table
+from repro.obs import MetricsRegistry, Tracer
+
+DATASET = "Happiness Rank"  # numeric-heavy: a large candidate space
+TARGET_RATIO = 1.05  # the paper-facing goal: <5% overhead
+
+
+def _run_once(table, tracer=None, metrics=None) -> float:
+    start = time.perf_counter()
+    select_top_k(
+        table,
+        k=10,
+        enumeration="rules",
+        config=EnumerationConfig(),
+        cache=None,  # caching would let later runs skip the work entirely
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return time.perf_counter() - start
+
+
+def bench(scale: float, repeats: int, trace_out: str) -> Dict:
+    table = make_table(DATASET, scale=scale)
+    timings: Dict[str, List[float]] = {"off": [], "metrics": [], "full": []}
+    tracer = Tracer()
+
+    _run_once(table)  # one warmup, discarded (first-touch interning etc.)
+    for _ in range(repeats):
+        # Interleave so drift hits every configuration equally.
+        timings["off"].append(_run_once(table))
+        timings["metrics"].append(_run_once(table, metrics=MetricsRegistry()))
+        tracer.clear()
+        timings["full"].append(
+            _run_once(table, tracer=tracer, metrics=MetricsRegistry())
+        )
+
+    if trace_out:
+        tracer.write_chrome_trace(trace_out)
+        print(f"wrote {trace_out}")
+
+    medians = {name: statistics.median(times) for name, times in timings.items()}
+    report = {
+        "benchmark": "observability_overhead",
+        "dataset": DATASET,
+        "scale": scale,
+        "rows": table.num_rows,
+        "columns": table.num_columns,
+        "repeats": repeats,
+        "cpus": os.cpu_count(),
+        "target_ratio": TARGET_RATIO,
+        "median_seconds": {k: round(v, 4) for k, v in medians.items()},
+        "overhead_metrics": round(medians["metrics"] / medians["off"], 4),
+        "overhead_full": round(medians["full"] / medians["off"], 4),
+    }
+    for name in ("off", "metrics", "full"):
+        print(f"{name:<8} median={medians[name]:.3f}s over {repeats} repeats")
+    print(
+        f"overhead: metrics-only {report['overhead_metrics']:.3f}x, "
+        f"trace+metrics {report['overhead_full']:.3f}x"
+    )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: smaller table, fewer repeats",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.10,
+        help="fail when full/off exceeds this (CI gate; paper target 1.05)",
+    )
+    parser.add_argument("--out", default="BENCH_overhead.json")
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        help="also write a Chrome trace of the last instrumented run",
+    )
+    args = parser.parse_args()
+
+    scale = args.scale if args.scale is not None else (0.1 if args.quick else 0.3)
+    repeats = args.repeats if args.repeats is not None else (5 if args.quick else 11)
+
+    report = bench(scale, repeats, args.trace_out)
+    report["max_ratio"] = args.max_ratio
+    report["passed"] = report["overhead_full"] <= args.max_ratio
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    if not report["passed"]:
+        print(
+            f"FAIL: instrumented/uninstrumented ratio "
+            f"{report['overhead_full']:.3f} exceeds {args.max_ratio}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ from .core import (
 )
 from .dataset import Column, ColumnType, Table, read_csv, write_csv
 from .language import ChartType, VisQuery, execute, parse_query
+from .obs import MetricsRegistry, Tracer, global_registry
 
 __version__ = "1.0.0"
 
@@ -60,5 +61,8 @@ __all__ = [
     "VisQuery",
     "execute",
     "parse_query",
+    "MetricsRegistry",
+    "Tracer",
+    "global_registry",
     "__version__",
 ]

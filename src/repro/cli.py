@@ -24,6 +24,7 @@ one of them to CSV for experimentation.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -33,9 +34,54 @@ from .corpus.generators import TESTING_SPECS, TRAINING_SPECS, make_table
 from .dataset import read_csv, write_csv
 from .errors import ReproError
 from .language import parse_query
+from .obs import MetricsRegistry, Tracer, maybe_span
 from .render import render_ascii, to_vega_lite_json
 
 __all__ = ["main", "build_parser"]
+
+
+def _serving_parent() -> argparse.ArgumentParser:
+    """Serving + observability flags shared by every pipeline command.
+
+    One parent parser instead of per-command copies, so ``--trace`` /
+    ``--metrics`` (and ``--jobs`` / ``--backend`` / ``--no-cache``)
+    behave identically under ``visualize``, ``search``, ``query``,
+    ``explain``, and ``profile``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    serving = parent.add_argument_group("serving")
+    serving.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel workers (1 = serial, -1 = all cores); results are "
+        "identical at any value",
+    )
+    serving.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool flavour for --jobs > 1",
+    )
+    serving.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the multi-level serving cache",
+    )
+    obs = parent.add_argument_group("observability")
+    obs.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of this run to PATH "
+        "('-' = stdout); open via chrome://tracing",
+    )
+    obs.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write Prometheus-text metrics of this run to PATH "
+        "('-' = stdout)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,9 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="DeepEye reproduction: automatic data visualization",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    serving = _serving_parent()
 
     visualize = commands.add_parser(
-        "visualize", help="top-k visualizations of a CSV file"
+        "visualize",
+        help="top-k visualizations of a CSV file",
+        parents=[serving],
     )
     visualize.add_argument("csv", help="input CSV path")
     visualize.add_argument("--k", type=int, default=5, help="number of charts")
@@ -62,26 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="rules",
         help="candidate generation mode",
     )
-    visualize.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="parallel workers (1 = serial, -1 = all cores); results are "
-        "identical at any value",
-    )
-    visualize.add_argument(
-        "--backend",
-        choices=("process", "thread"),
-        default="process",
-        help="worker pool flavour for --jobs > 1",
-    )
-    visualize.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the multi-level serving cache",
-    )
 
-    search = commands.add_parser("search", help="keyword visualization search")
+    search = commands.add_parser(
+        "search", help="keyword visualization search", parents=[serving]
+    )
     search.add_argument("csv", help="input CSV path")
     search.add_argument("keywords", help="query, e.g. 'average delay by hour'")
     search.add_argument("--k", type=int, default=3)
@@ -90,7 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     query = commands.add_parser(
-        "query", help="run a visualization-language query"
+        "query",
+        help="run a visualization-language query",
+        parents=[serving],
     )
     query.add_argument("csv", help="input CSV path")
     query.add_argument(
@@ -102,13 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     explain = commands.add_parser(
-        "explain", help="rank a CSV's charts and explain each position"
+        "explain",
+        help="rank a CSV's charts and explain each position",
+        parents=[serving],
     )
     explain.add_argument("csv", help="input CSV path")
     explain.add_argument("--k", type=int, default=3)
 
     profile = commands.add_parser(
-        "profile", help="profile a CSV: types, cardinalities, correlations"
+        "profile",
+        help="profile a CSV: types, cardinalities, correlations",
+        parents=[serving],
     )
     profile.add_argument("csv", help="input CSV path")
 
@@ -123,6 +162,35 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+# ----------------------------------------------------------------------
+# Observability plumbing
+# ----------------------------------------------------------------------
+def _obs_from_args(args):
+    """(tracer, registry) per the --trace/--metrics flags (None = off)."""
+    tracer = Tracer() if getattr(args, "trace", None) else None
+    registry = MetricsRegistry() if getattr(args, "metrics", None) else None
+    return tracer, registry
+
+
+def _emit_obs(args, tracer: Optional[Tracer], registry, out) -> None:
+    """Write the trace / metrics outputs the flags asked for."""
+    if tracer is not None:
+        if args.trace == "-":
+            json.dump(tracer.to_chrome_trace(), out, indent=2)
+            out.write("\n")
+        else:
+            tracer.write_chrome_trace(args.trace)
+            print(f"# wrote trace to {args.trace}", file=out)
+    if registry is not None:
+        text = registry.to_prometheus_text()
+        if args.metrics == "-":
+            out.write(text)
+        else:
+            with open(args.metrics, "w") as handle:
+                handle.write(text)
+            print(f"# wrote metrics to {args.metrics}", file=out)
 
 
 def _emit_nodes(nodes, fmt: str, out) -> None:
@@ -146,6 +214,8 @@ def _cmd_visualize(args, out) -> int:
         enumeration=args.enumeration,
         config=EnumerationConfig(n_jobs=args.jobs, backend=args.backend),
         cache=None if args.no_cache else MultiLevelCache(),
+        tracer=args.obs_tracer,
+        metrics=args.obs_registry,
     )
     print(
         f"# {table.name}: {result.candidates} candidates, "
@@ -153,6 +223,13 @@ def _cmd_visualize(args, out) -> int:
         f"({result.total_seconds:.2f}s)",
         file=out,
     )
+    if args.format != "vega":  # vega readers expect pure JSON after line 1
+        phase_report = "  ".join(
+            f"{name}={seconds:.3f}s ({fraction:.0%})"
+            for name, seconds, fraction in result.phases()
+        )
+        if phase_report:
+            print(f"# phases: {phase_report}", file=out)
     _emit_nodes(result.nodes, args.format, out)
     return 0
 
@@ -249,8 +326,16 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracer, registry = _obs_from_args(args)
+    # Commands read these instead of re-parsing the flags; datasets /
+    # generate (no serving parent) get the disabled defaults.
+    args.obs_tracer = tracer
+    args.obs_registry = registry
     try:
-        return _COMMANDS[args.command](args, out)
+        with maybe_span(tracer, args.command, argv=" ".join(argv or sys.argv[1:])):
+            code = _COMMANDS[args.command](args, out)
     except (ReproError, FileNotFoundError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    _emit_obs(args, tracer, registry, out)
+    return code

@@ -47,6 +47,7 @@ from .correlation import correlation
 from .features import ColumnFeatures, FeatureVector, series_stats
 from .nodes import VisualizationNode
 from .rules import (
+    PruningCounters,
     RuleConfig,
     aggregate_rules,
     canonical_order,
@@ -67,6 +68,7 @@ __all__ = [
     "two_column_space",
     "one_column_space",
     "multi_column_space",
+    "search_space_size",
 ]
 
 
@@ -86,6 +88,17 @@ def one_column_space(m: int) -> int:
 def multi_column_space(m: int) -> int:
     """|search space| for the X/Y/Z three-column case: 704 * m^3."""
     return 704 * m**3
+
+
+def search_space_size(m: int, include_one_column: bool = True) -> int:
+    """The full candidate space selection enumerates over for m columns.
+
+    528·m(m−1) two-column queries plus (optionally) the 264·m
+    one-column ones — the denominator of the paper's pruning-ratio
+    claims, which the observability layer reports alongside the
+    per-rule pruning counters.
+    """
+    return two_column_space(m) + (one_column_space(m) if include_one_column else 0)
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +157,11 @@ class EnumerationContext:
     on the table's content fingerprint, so repeated or duplicated
     tables reuse grouped/binned assignments and feature vectors across
     independent contexts.
+
+    ``pruning`` accumulates per-decision-rule candidate accounting
+    (:class:`~repro.core.rules.PruningCounters`) across every
+    enumeration run through this context; always on — incrementing a
+    dict counter is far cheaper than the work it measures.
     """
 
     def __init__(
@@ -155,6 +173,7 @@ class EnumerationContext:
         self.table = table
         self.config = config
         self.cache = cache
+        self.pruning = PruningCounters()
         self._cache_fp: Optional[str] = (
             table.fingerprint() if cache is not None else None
         )
@@ -378,11 +397,15 @@ def _order_options(
 # The two enumeration modes
 # ----------------------------------------------------------------------
 def _exhaustive_for_pair(
-    ctx: EnumerationContext, x_name: str, y_name: str
+    ctx: EnumerationContext,
+    x_name: str,
+    y_name: str,
+    counters: Optional[PruningCounters] = None,
 ) -> List[VisualizationNode]:
     """Every executable exhaustive candidate for one ordered (X, Y) pair."""
     table = ctx.table
     config = ctx.config
+    counters = ctx.pruning if counters is None else counters
     x_col = table.column(x_name)
     y_col = table.column(y_name)
     one_column = x_name == y_name
@@ -398,6 +421,7 @@ def _exhaustive_for_pair(
         for op in ops:
             data = ctx._base_data(x_name, y_name, transform, op)
             if data is None or data.is_empty():
+                counters.prune("variant_inexecutable")
                 continue
             for chart in ChartType:
                 for order in _order_options(config, chart, x_col.ctype):
@@ -409,12 +433,15 @@ def _exhaustive_for_pair(
                         aggregate=op,
                         order=order,
                     )
+                    counters.emit()
                     nodes.append(ctx.build_node(query, ctx._order_data(data, order)))
     return nodes
 
 
 def exhaustive_for_column(
-    ctx: EnumerationContext, x_name: str
+    ctx: EnumerationContext,
+    x_name: str,
+    counters: Optional[PruningCounters] = None,
 ) -> Tuple[List[VisualizationNode], List[VisualizationNode]]:
     """Exhaustive candidates with ``x_name`` on the x-axis.
 
@@ -422,14 +449,18 @@ def exhaustive_for_column(
     per-column fan-out (the parallel executor's unit of work) can
     reassemble the exact serial order of :func:`enumerate_exhaustive`,
     which emits all one-column candidates before any two-column ones.
+
+    ``counters`` overrides where pruning accounting accumulates
+    (defaults to ``ctx.pruning``); the parallel executor passes a
+    per-task accumulator so worker counts merge back race-free.
     """
     one_nodes: List[VisualizationNode] = []
     if ctx.config.include_one_column:
-        one_nodes = _exhaustive_for_pair(ctx, x_name, x_name)
+        one_nodes = _exhaustive_for_pair(ctx, x_name, x_name, counters)
     pair_nodes: List[VisualizationNode] = []
     for y_name in ctx.table.column_names:
         if y_name != x_name:
-            pair_nodes.extend(_exhaustive_for_pair(ctx, x_name, y_name))
+            pair_nodes.extend(_exhaustive_for_pair(ctx, x_name, y_name, counters))
     return one_nodes, pair_nodes
 
 
@@ -450,25 +481,37 @@ def enumerate_exhaustive(
 
 
 def rule_based_for_pair(
-    ctx: EnumerationContext, x_name: str, y_name: str
+    ctx: EnumerationContext,
+    x_name: str,
+    y_name: str,
+    counters: Optional[PruningCounters] = None,
 ) -> List[VisualizationNode]:
     """Rule-compliant candidates for one ordered (X, Y) pair.
 
     The building block of both full rule-based enumeration and the
     progressive method's per-column leaves.
+
+    ``counters`` (default ``ctx.pruning``) records, per decision rule,
+    how many candidate variants the rules eliminated, maintaining the
+    invariant ``considered == emitted + pruned`` — see
+    :class:`~repro.core.rules.PruningCounters`.
     """
     table = ctx.table
     rule_config = ctx.config.rule_config()
+    counters = ctx.pruning if counters is None else counters
     x_col = table.column(x_name)
     y_col = table.column(y_name)
     one_column = x_name == y_name
     nodes: List[VisualizationNode] = []
 
     # Raw (untransformed) candidates: scatter for correlated Num/Num pairs.
-    if not one_column and y_col.ctype is ColumnType.NUMERICAL:
+    if (
+        not one_column
+        and y_col.ctype is ColumnType.NUMERICAL
+        and x_col.ctype is ColumnType.NUMERICAL
+    ):
         if (
-            x_col.ctype is ColumnType.NUMERICAL
-            and abs(ctx.raw_correlation(x_name, y_name))
+            abs(ctx.raw_correlation(x_name, y_name))
             >= rule_config.correlation_threshold
         ):
             query = VisQuery(
@@ -479,9 +522,16 @@ def rule_based_for_pair(
             )
             data = ctx._base_data(x_name, y_name, None, None)
             if data is not None and not data.is_empty():
+                counters.emit()
                 nodes.append(
                     ctx.build_node(query, ctx._order_data(data, query.order))
                 )
+            else:
+                counters.prune("scatter_degenerate_data")
+        else:
+            # The Num/Num scatter rule: below-threshold |c(X, Y)| means
+            # the raw point cloud carries no relationship worth showing.
+            counters.prune("scatter_low_correlation")
 
     # Transformed candidates per the transformation rules.  CNT(Y) counts
     # rows per bucket regardless of Y, so the chart it produces is
@@ -494,12 +544,17 @@ def rule_based_for_pair(
         else:
             ops = [op for op in aggregate_rules(y_col) if op is not AggregateOp.CNT]
             if not ops:
+                counters.prune("aggregate_count_dedup")
                 continue
         for op in ops:
             data = ctx._base_data(x_name, y_name, transform, op)
             # A transform that leaves fewer than two buckets can never
             # be a meaningful chart; rules prune it outright.
-            if data is None or data.transformed_rows < 2:
+            if data is None:
+                counters.prune("variant_inexecutable")
+                continue
+            if data.transformed_rows < 2:
+                counters.prune("variant_min_buckets")
                 continue
             correlated = (
                 abs(
@@ -507,6 +562,10 @@ def rule_based_for_pair(
                 )
                 >= rule_config.correlation_threshold
             )
+            if x_col.ctype is ColumnType.NUMERICAL and not correlated:
+                # visualization_rules withholds SCATTER for Num X when
+                # the transformed series is uncorrelated.
+                counters.prune("scatter_uncorrelated_transformed")
             for chart in visualization_rules(x_col.ctype, True, correlated):
                 order = canonical_order(chart, x_col.ctype)
                 query = VisQuery(
@@ -517,20 +576,26 @@ def rule_based_for_pair(
                     aggregate=op,
                     order=order,
                 )
+                counters.emit()
+                # The sorting rule fixes one canonical ordering where the
+                # exhaustive space tries all three (none / X / Y).
+                counters.prune("ordering_canonicalised", 2)
                 nodes.append(ctx.build_node(query, ctx._order_data(data, order)))
     return nodes
 
 
 def rule_based_for_column(
-    ctx: EnumerationContext, x_name: str
+    ctx: EnumerationContext,
+    x_name: str,
+    counters: Optional[PruningCounters] = None,
 ) -> List[VisualizationNode]:
     """All rule-compliant candidates with ``x_name`` on the x-axis."""
     nodes: List[VisualizationNode] = []
     if ctx.config.include_one_column:
-        nodes.extend(rule_based_for_pair(ctx, x_name, x_name))
+        nodes.extend(rule_based_for_pair(ctx, x_name, x_name, counters))
     for y_name in ctx.table.column_names:
         if y_name != x_name:
-            nodes.extend(rule_based_for_pair(ctx, x_name, y_name))
+            nodes.extend(rule_based_for_pair(ctx, x_name, y_name, counters))
     return nodes
 
 

@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Union
 from ..dataset.table import Table
 from ..engine.cache import MultiLevelCache
 from ..errors import ModelError, SelectionError
+from ..obs import MetricsRegistry, Tracer, global_registry
 from .enumeration import EnumerationConfig
 from .hybrid import HybridRanker
 from .ltr import LearningToRankRanker
@@ -83,6 +84,20 @@ class DeepEye:
         :class:`~repro.engine.cache.MultiLevelCache`, ``False``/``None``
         disables caching, or pass an existing instance to share one
         cache between engines.  Cleared automatically on :meth:`train`.
+    trace:
+        Tracing: ``True`` builds a private :class:`~repro.obs.Tracer`,
+        or pass an existing tracer to share one across engines;
+        ``False``/``None`` (default) disables span recording.  Every
+        :meth:`top_k` call then appends a nested ``select_top_k`` span
+        tree to ``self.tracer`` — export with
+        ``engine.tracer.to_chrome_trace()``.
+    metrics:
+        Metrics: ``True`` publishes into the process-global
+        :func:`~repro.obs.global_registry`, or pass a private
+        :class:`~repro.obs.MetricsRegistry`; ``False``/``None``
+        (default) disables.  Batch serving additionally feeds
+        per-worker task latency histograms and the
+        :attr:`slow_tables` log (threshold ``slow_threshold`` seconds).
     """
 
     def __init__(
@@ -95,6 +110,9 @@ class DeepEye:
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
         cache: Union[bool, MultiLevelCache, None] = True,
+        trace: Union[bool, Tracer, None] = False,
+        metrics: Union[bool, MetricsRegistry, None] = False,
+        slow_threshold: float = 1.0,
     ) -> None:
         if ranking not in ("partial_order", "learning_to_rank", "hybrid"):
             raise SelectionError(f"unknown ranking mode {ranking!r}")
@@ -115,6 +133,23 @@ class DeepEye:
             self.cache = cache
         else:
             self.cache = None
+        if trace is True:
+            self.tracer: Optional[Tracer] = Tracer()
+        elif trace:
+            self.tracer = trace
+        else:
+            self.tracer = None
+        if metrics is True:
+            self.metrics: Optional[MetricsRegistry] = global_registry()
+        elif metrics:
+            self.metrics = metrics
+        else:
+            self.metrics = None
+        self.slow_threshold = slow_threshold
+        #: Batch tables that exceeded ``slow_threshold`` seconds, newest
+        #: last: ``{table, rows, columns, seconds, worker}`` dicts
+        #: (populated by :meth:`top_k_batch` when metrics are enabled).
+        self.slow_tables: List[dict] = []
         self.recognizer: Optional[VisualizationRecognizer] = (
             VisualizationRecognizer(model=recognizer_model)
             if recognizer_model
@@ -123,6 +158,18 @@ class DeepEye:
         self.ltr: Optional[LearningToRankRanker] = None
         self.hybrid: Optional[HybridRanker] = None
         self._trained = False
+
+    # -- pickling (observability state stays in the parent) -------------
+    def __getstate__(self) -> dict:
+        # Tracer and MetricsRegistry hold locks/thread-locals, which
+        # cannot cross process boundaries; batch workers therefore run
+        # uninstrumented and the parent records their task latency from
+        # the timings each worker ships back with its result.
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        state["metrics"] = None
+        state["slow_tables"] = []
+        return state
 
     # ------------------------------------------------------------------
     def train(self, examples: Sequence[TrainingExample]) -> "DeepEye":
@@ -253,6 +300,8 @@ class DeepEye:
             config=self.config,
             graph_strategy=self.graph_strategy,
             cache=self.cache,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     def top_k_batch(
@@ -268,6 +317,11 @@ class DeepEye:
         process worker); ``n_jobs``/``backend`` default to this engine's
         config.  Yields one :class:`SelectionResult` per table as soon
         as it — and every earlier table — is done.
+
+        When the engine has metrics enabled, each table records a
+        per-worker ``batch_task_seconds`` latency sample and tables
+        slower than ``self.slow_threshold`` seconds are appended to
+        :attr:`slow_tables`.
         """
         # Imported here, not at module level: repro.engine.parallel
         # imports core enumeration modules, so importing it while this
@@ -275,5 +329,12 @@ class DeepEye:
         from ..engine.parallel import batch_select
 
         return batch_select(
-            self, tables, k=k, n_jobs=n_jobs, backend=backend
+            self,
+            tables,
+            k=k,
+            n_jobs=n_jobs,
+            backend=backend,
+            metrics=self.metrics,
+            slow_log=self.slow_tables,
+            slow_threshold=self.slow_threshold,
         )

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataset.column import ColumnType
 from ..dataset.table import Table
+from ..obs import MetricsRegistry, Tracer, maybe_span
 from .enumeration import (
     EnumerationConfig,
     EnumerationContext,
@@ -97,6 +98,8 @@ def progressive_top_k(
     k: int = 10,
     config: EnumerationConfig = EnumerationConfig(),
     context: Optional[EnumerationContext] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ProgressiveResult:
     """Emit the top-k charts without materialising every candidate.
 
@@ -105,7 +108,49 @@ def progressive_top_k(
     for generated candidates.  Popping a bound opens that leaf; popping
     a chart emits it.  Correctness: a chart is only emitted when its
     actual score beats every unopened leaf's upper bound.
+
+    ``tracer`` records a ``progressive_top_k`` span with one child
+    ``open_leaf`` span per materialised column; ``metrics`` accumulates
+    emitted-vs-materialised counters, making the paper's second V-B
+    optimisation ("never group a column k better charts dominate")
+    observable.
     """
+    with maybe_span(
+        tracer, "progressive_top_k", table=table.name, k=k
+    ) as root:
+        result = _progressive_top_k(table, k, config, context, tracer, root)
+    if metrics is not None:
+        metrics.counter(
+            "progressive_runs_total",
+            help="progressive_top_k invocations",
+        ).inc()
+        metrics.counter(
+            "progressive_columns_opened_total",
+            help="Column leaves actually grouped/binned",
+        ).inc(result.columns_opened)
+        metrics.counter(
+            "progressive_columns_skipped_total",
+            help="Column leaves pruned by their schema upper bound",
+        ).inc(result.columns_skipped)
+        metrics.counter(
+            "progressive_candidates_materialised_total",
+            help="Candidate nodes generated by opened leaves",
+        ).inc(result.candidates_generated)
+        metrics.counter(
+            "progressive_nodes_emitted_total",
+            help="Charts emitted into the top-k",
+        ).inc(len(result.nodes))
+    return result
+
+
+def _progressive_top_k(
+    table: Table,
+    k: int,
+    config: EnumerationConfig,
+    context: Optional[EnumerationContext],
+    tracer: Optional[Tracer],
+    root,
+) -> ProgressiveResult:
     ctx = context or EnumerationContext(table, config)
     importance = estimate_column_importance(table, config)
 
@@ -137,7 +182,10 @@ def progressive_top_k(
         if kind == "bound":
             # Open the leaf: generate, score, and enqueue its charts.
             opened += 1
-            leaf_nodes = rule_based_for_column(ctx, payload)
+            with maybe_span(tracer, "open_leaf", column=payload) as leaf_span:
+                leaf_nodes = rule_based_for_column(ctx, payload)
+                if leaf_span is not None:
+                    leaf_span.add("materialised", len(leaf_nodes))
             generated += len(leaf_nodes)
             for node in leaf_nodes:
                 if matching_quality_raw(node) <= 0:
@@ -149,6 +197,11 @@ def progressive_top_k(
             top_nodes.append(payload)
             top_scores.append(-negative_score)
 
+    if root is not None:
+        root.set("columns_opened", opened)
+        root.set("columns_total", table.num_columns)
+        root.set("candidates_materialised", generated)
+        root.set("nodes_emitted", len(top_nodes))
     return ProgressiveResult(
         nodes=top_nodes,
         scores=top_scores,

@@ -20,7 +20,7 @@ test suite checks that completeness claim mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..dataset.column import Column, ColumnType
 from ..dataset.table import Table
@@ -41,6 +41,7 @@ from ..language.binning import DEFAULT_NUM_BUCKETS
 
 __all__ = [
     "RuleConfig",
+    "PruningCounters",
     "CORRELATION_RULE_THRESHOLD",
     "transform_rules",
     "aggregate_rules",
@@ -52,6 +53,62 @@ __all__ = [
 
 #: |c(X, Y)| above which the Num/Num scatter rule fires.
 CORRELATION_RULE_THRESHOLD = 0.5
+
+
+@dataclass
+class PruningCounters:
+    """Per-rule accounting of what enumeration considered vs. kept.
+
+    Every candidate variant enumeration examines either *emits* a node
+    or is *pruned* by exactly one named decision rule, so the invariant
+
+        ``considered == emitted + sum(pruned.values())``
+
+    holds by construction — which makes the paper's Section V-A pruning
+    claims measurable: ``pruned`` says how many candidates each rule
+    family eliminated, per rule name (e.g. ``scatter_low_correlation``,
+    ``variant_min_buckets``, ``ordering_canonicalised``).
+
+    Instances are cheap dict counters; :class:`EnumerationContext`
+    always carries one, and the parallel executor merges per-column
+    counters back into the caller's accumulator.
+    """
+
+    considered: int = 0
+    emitted: int = 0
+    pruned: Dict[str, int] = field(default_factory=dict)
+
+    def emit(self, n: int = 1) -> None:
+        """Count ``n`` variants that became actual candidate nodes."""
+        self.considered += n
+        self.emitted += n
+
+    def prune(self, rule: str, n: int = 1) -> None:
+        """Count ``n`` variants eliminated by decision rule ``rule``."""
+        self.considered += n
+        self.pruned[rule] = self.pruned.get(rule, 0) + n
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(self.pruned.values())
+
+    def merge(self, other: "PruningCounters") -> None:
+        """Fold another accumulator (e.g. a worker's) into this one."""
+        self.considered += other.considered
+        self.emitted += other.emitted
+        for rule, count in other.pruned.items():
+            self.pruned[rule] = self.pruned.get(rule, 0) + count
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat summary: considered/emitted/pruned totals + per rule."""
+        flat = {
+            "considered": self.considered,
+            "emitted": self.emitted,
+            "pruned_total": self.total_pruned,
+        }
+        for rule, count in sorted(self.pruned.items()):
+            flat[f"pruned_{rule}"] = count
+        return flat
 
 
 @dataclass(frozen=True)

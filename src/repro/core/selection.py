@@ -21,20 +21,31 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..dataset.table import Table
 from ..errors import SelectionError
-from .enumeration import EnumerationConfig, EnumerationContext, enumerate_candidates
+from ..obs import MetricsRegistry, Tracer, maybe_span
+from .enumeration import (
+    EnumerationConfig,
+    EnumerationContext,
+    enumerate_candidates,
+    search_space_size,
+)
 from .graph import DominanceGraph, build_graph
 from .ltr import LearningToRankRanker
 from .nodes import VisualizationNode
 from .partial_order import FactorScores, PartialOrderScorer, matching_quality_raw
 from .ranking import rank_weight_aware, rank_weight_aware_factors
 from .recognition import VisualizationRecognizer
+from .rules import PruningCounters
 
-__all__ = ["SelectionResult", "PartialOrderRanker", "select_top_k"]
+__all__ = ["SelectionResult", "PartialOrderRanker", "select_top_k", "PHASE_ORDER"]
+
+#: Pipeline phases in execution order (the Figure 12 x-axis).
+PHASE_ORDER: Tuple[str, ...] = ("enumerate", "recognize", "rank")
 
 
 class PartialOrderRanker:
@@ -74,6 +85,12 @@ class PartialOrderRanker:
 class SelectionResult:
     """Top-k nodes plus the diagnostics Figure 12 reports.
 
+    ``timings`` maps phase name to seconds; when selection ran under a
+    :class:`~repro.obs.Tracer` it is a *derived view* of the phase
+    spans (each value is that span's duration), kept as a plain dict
+    for backward compatibility — the span tree on the tracer is the
+    richer primary record.
+
     ``cache_stats`` carries the serving cache's hit/miss/eviction
     counters (flattened per level) when selection ran with a
     :class:`~repro.engine.cache.MultiLevelCache`; empty otherwise.
@@ -92,9 +109,32 @@ class SelectionResult:
 
     def phase_fraction(self, phase: str) -> float:
         """Share of end-to-end time spent in one phase (the % annotations
-        on the paper's Figure 12 bars)."""
+        on the paper's Figure 12 bars).
+
+        When ``total_seconds`` is zero — an empty ``timings`` dict (e.g.
+        a result-cache hit before timings were re-derived) or phases too
+        fast for the clock's resolution — every fraction is defined as
+        0.0 rather than raising ``ZeroDivisionError``; callers can test
+        ``total_seconds > 0`` to distinguish "no time recorded" from a
+        genuinely instant phase.
+        """
         total = self.total_seconds
         return self.timings.get(phase, 0.0) / total if total > 0 else 0.0
+
+    def phases(self) -> List[Tuple[str, float, float]]:
+        """Ordered ``(name, seconds, fraction)`` per recorded phase.
+
+        Phases appear in pipeline order (:data:`PHASE_ORDER`) first,
+        then any extra recorded timings in insertion order; fractions
+        follow the :meth:`phase_fraction` zero-total convention.  This
+        is the view the CLI pretty-printer renders.
+        """
+        ordered = [name for name in PHASE_ORDER if name in self.timings]
+        ordered += [name for name in self.timings if name not in PHASE_ORDER]
+        return [
+            (name, self.timings[name], self.phase_fraction(name))
+            for name in ordered
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -107,24 +147,31 @@ def _enumerate_phase(
     recognizer: Optional[VisualizationRecognizer],
     cache,
     n_jobs: int,
-) -> Tuple[List[VisualizationNode], Optional[List[bool]]]:
-    """Candidates plus (for the parallel path) their validity mask."""
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[List[VisualizationNode], Optional[List[bool]], PruningCounters]:
+    """Candidates, (for the parallel path) their validity mask, and the
+    per-rule pruning accounting of the run."""
     if n_jobs > 1:
         # Imported here, not at module level: repro.engine.parallel
         # imports this package's enumeration module, so a top-level
         # import in either direction would be circular.
         from ..engine.parallel import parallel_enumerate
 
-        return parallel_enumerate(
+        pruning = PruningCounters()
+        nodes, mask = parallel_enumerate(
             table,
             enumeration,
             config,
             n_jobs=n_jobs,
             recognizer=recognizer,
             cache=cache,
+            pruning=pruning,
+            metrics=metrics,
         )
+        return nodes, mask, pruning
     context = EnumerationContext(table, config, cache=cache)
-    return enumerate_candidates(table, enumeration, config, context), None
+    nodes = enumerate_candidates(table, enumeration, config, context)
+    return nodes, None, context.pruning
 
 
 def _recognize_phase(
@@ -218,6 +265,78 @@ def _result_cache_key(
     )
 
 
+@contextmanager
+def _timed_phase(
+    tracer: Optional[Tracer], timings: Dict[str, float], name: str
+) -> Iterator[Optional[object]]:
+    """Run one pipeline phase under a span (when tracing) and record its
+    wall-clock into ``timings``.
+
+    With a tracer the timing *is* the span's duration — the ``timings``
+    dict is a derived view of the trace, not a second clock; without
+    one, a bare ``perf_counter`` pair keeps the fast path free of span
+    bookkeeping.
+    """
+    if tracer is not None:
+        with tracer.span(name) as span:
+            yield span
+        timings[name] = span.duration
+    else:
+        start = time.perf_counter()
+        yield None
+        timings[name] = time.perf_counter() - start
+
+
+def _record_selection_metrics(
+    metrics: MetricsRegistry,
+    enumeration: str,
+    timings: Dict[str, float],
+    candidates: int,
+    valid: int,
+    pruning: PruningCounters,
+    cache,
+) -> None:
+    """Publish one run's accounting into the metrics registry."""
+    mode = {"E": "exhaustive", "R": "rules"}.get(enumeration, enumeration)
+    metrics.counter(
+        "selection_runs_total",
+        labels={"enumeration": mode},
+        help="select_top_k calls that executed the pipeline",
+    ).inc()
+    for phase, seconds in timings.items():
+        metrics.histogram(
+            "selection_phase_seconds",
+            labels={"phase": phase},
+            help="Wall-clock per pipeline phase",
+        ).observe(seconds)
+    metrics.histogram(
+        "selection_total_seconds",
+        help="End-to-end select_top_k wall-clock",
+    ).observe(sum(timings.values()))
+    metrics.counter(
+        "enumeration_candidates_total",
+        labels={"mode": mode},
+        help="Candidate nodes materialised by enumeration",
+    ).inc(candidates)
+    metrics.counter(
+        "selection_valid_total",
+        help="Candidates surviving the recognition phase",
+    ).inc(valid)
+    metrics.counter(
+        "enumeration_considered_total",
+        help="Candidate variants examined by enumeration "
+        "(emitted + pruned)",
+    ).inc(pruning.considered)
+    for rule, count in pruning.pruned.items():
+        metrics.counter(
+            "enumeration_pruned_total",
+            labels={"rule": rule},
+            help="Candidates eliminated, per decision rule",
+        ).inc(count)
+    if cache is not None:
+        cache.record_metrics(metrics)
+
+
 def select_top_k(
     table: Table,
     k: int = 10,
@@ -229,6 +348,8 @@ def select_top_k(
     graph_strategy: str = "range_tree",
     cache=None,
     n_jobs: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SelectionResult:
     """Compute the top-k visualizations of a table.
 
@@ -242,6 +363,13 @@ def select_top_k(
     ``cache`` is an optional :class:`~repro.engine.cache.MultiLevelCache`
     reused across calls; ``n_jobs`` overrides ``config.n_jobs`` for this
     call (1 = serial, -1 = all cores).
+
+    ``tracer`` (an :class:`~repro.obs.Tracer`) records a nested
+    ``select_top_k`` > ``enumerate`` / ``recognize`` / ``rank`` span
+    tree — ``SelectionResult.timings`` is then derived from those spans;
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) accumulates
+    phase latency histograms, per-rule pruning counters, and per-level
+    cache counters.  Both default to ``None`` = uninstrumented.
     """
     if k < 0:
         raise SelectionError(f"k must be non-negative, got {k}")
@@ -258,24 +386,62 @@ def select_top_k(
         )
         hit = cache.results.get(key)
         if hit is not None:
+            with maybe_span(
+                tracer, "select_top_k", table=table.name, k=k,
+                result_cache_hit=True,
+            ):
+                pass
+            if metrics is not None:
+                metrics.counter(
+                    "selection_result_cache_hits_total",
+                    help="select_top_k calls answered from the result cache",
+                ).inc()
+                cache.record_metrics(metrics)
             return dataclasses.replace(
                 hit, timings=dict(hit.timings), cache_stats=cache.stats()
             )
 
     timings: Dict[str, float] = {}
-    start = time.perf_counter()
-    candidates, valid_mask = _enumerate_phase(
-        table, enumeration, config, recognizer, cache, jobs
-    )
-    timings["enumerate"] = time.perf_counter() - start
+    with maybe_span(
+        tracer,
+        "select_top_k",
+        table=table.name,
+        k=k,
+        enumeration=enumeration,
+        n_jobs=jobs,
+        search_space=search_space_size(
+            table.num_columns, config.include_one_column
+        ),
+    ) as root:
+        with _timed_phase(tracer, timings, "enumerate") as span:
+            candidates, valid_mask, pruning = _enumerate_phase(
+                table, enumeration, config, recognizer, cache, jobs, metrics
+            )
+            if span is not None:
+                span.add("candidates", len(candidates))
+                span.add("considered", pruning.considered)
+                for rule, count in pruning.pruned.items():
+                    span.add(f"pruned.{rule}", count)
 
-    start = time.perf_counter()
-    valid_nodes = _recognize_phase(candidates, valid_mask, recognizer)
-    timings["recognize"] = time.perf_counter() - start
+        with _timed_phase(tracer, timings, "recognize") as span:
+            valid_nodes = _recognize_phase(candidates, valid_mask, recognizer)
+            if span is not None:
+                span.add("valid", len(valid_nodes))
 
-    start = time.perf_counter()
-    order = _rank_phase(valid_nodes, ranker, ltr, graph_strategy)
-    timings["rank"] = time.perf_counter() - start
+        with _timed_phase(tracer, timings, "rank") as span:
+            order = _rank_phase(valid_nodes, ranker, ltr, graph_strategy)
+            if span is not None:
+                span.add("ranked", len(order))
+
+        if root is not None:
+            root.set("candidates", len(candidates))
+            root.set("valid", len(valid_nodes))
+
+    if metrics is not None:
+        _record_selection_metrics(
+            metrics, enumeration, timings, len(candidates),
+            len(valid_nodes), pruning, cache,
+        )
 
     top = [valid_nodes[i] for i in order[:k]]
     result = SelectionResult(

@@ -153,14 +153,71 @@ class MultiLevelCache:
         self.features.clear()
         self.results.clear()
 
+    #: The level names in lookup-cost order (cheapest reuse last).
+    LEVELS = ("transforms", "features", "results")
+
     def stats(self) -> Dict[str, int]:
-        """Flat ``{level_counter: value}`` dict across all three levels."""
+        """Flat ``{level_counter: value}`` dict across all three levels.
+
+        .. deprecated::
+            The flat form survives for backward compatibility (it is the
+            shape ``SelectionResult.cache_stats`` has always carried),
+            but it buries which level served a lookup in string-prefixed
+            keys — prefer :meth:`stats_by_level`, which returns the same
+            counters structured per level plus an ``aggregate`` rollup.
+        """
         merged: Dict[str, int] = {}
-        for level_name in ("transforms", "features", "results"):
+        for level_name in self.LEVELS:
             level: LRUCache = getattr(self, level_name)
             for counter, value in level.stats().items():
                 merged[f"{level_name}_{counter}"] = value
         return merged
+
+    def stats_by_level(self) -> Dict[str, Dict[str, int]]:
+        """Per-level counters plus an ``aggregate`` rollup.
+
+        ``{"transforms": {hits, misses, evictions, size}, "features":
+        {...}, "results": {...}, "aggregate": {...}}`` — the structured
+        successor of the flat :meth:`stats` dict.
+        """
+        per_level: Dict[str, Dict[str, int]] = {
+            name: getattr(self, name).stats() for name in self.LEVELS
+        }
+        aggregate: Dict[str, int] = {}
+        for level_stats in per_level.values():
+            for counter, value in level_stats.items():
+                aggregate[counter] = aggregate.get(counter, 0) + value
+        per_level["aggregate"] = aggregate
+        return per_level
+
+    def record_metrics(self, registry) -> None:
+        """Publish the per-level counters into an
+        :class:`~repro.obs.MetricsRegistry` as labelled metrics.
+
+        Hit/miss/eviction counts bridge into monotone counters
+        (``cache_hits_total{level="results"}`` etc.); current entry
+        counts land in the ``cache_entries`` gauge.  Safe to call
+        repeatedly — counters only move forward.
+        """
+        for level_name in self.LEVELS:
+            level: LRUCache = getattr(self, level_name)
+            labels = {"level": level_name}
+            registry.counter(
+                "cache_hits_total", labels=labels,
+                help="Serving-cache lookups served from this level",
+            ).set_cumulative(level.hits)
+            registry.counter(
+                "cache_misses_total", labels=labels,
+                help="Serving-cache lookups this level could not answer",
+            ).set_cumulative(level.misses)
+            registry.counter(
+                "cache_evictions_total", labels=labels,
+                help="LRU evictions from this level",
+            ).set_cumulative(level.evictions)
+            registry.gauge(
+                "cache_entries", labels=labels,
+                help="Entries currently resident in this level",
+            ).set(len(level))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

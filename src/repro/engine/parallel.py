@@ -24,6 +24,8 @@ short-circuits to the plain serial code path — no pool, no copies.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -35,14 +37,29 @@ from ..core.enumeration import (
 )
 from ..core.nodes import VisualizationNode
 from ..core.partial_order import matching_quality_raw
+from ..core.rules import PruningCounters
 from ..dataset.table import Table
 from ..errors import SelectionError
+from ..obs import MetricsRegistry
 
 __all__ = [
     "resolve_n_jobs",
     "parallel_enumerate",
     "batch_select",
 ]
+
+#: Wall-clock (seconds) above which a batch table lands in the slow log
+#: when the caller does not pick a threshold.
+DEFAULT_SLOW_TABLE_SECONDS = 1.0
+
+
+def _worker_label() -> str:
+    """Stable-ish identity of the executing worker for metric labels:
+    the process id plus (for thread pools) the pool thread's name."""
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -87,17 +104,35 @@ def _valid_mask(nodes: Sequence[VisualizationNode], recognizer) -> List[bool]:
     return [matching_quality_raw(node) > 0 for node in nodes]
 
 
+_ColumnSlice = Tuple[
+    Tuple[List[VisualizationNode], ...],
+    Tuple[List[bool], ...],
+    PruningCounters,
+    float,
+    str,
+]
+
+
 def _column_slice(
     ctx: EnumerationContext, recognizer, mode: str, x_name: str
-) -> Tuple[Tuple[List[VisualizationNode], ...], Tuple[List[bool], ...]]:
-    """All candidates (and their validity mask) with ``x_name`` on x."""
+) -> _ColumnSlice:
+    """All candidates (and their validity mask) with ``x_name`` on x.
+
+    Also returns the task's own pruning accounting (a fresh per-task
+    accumulator, so concurrent tasks sharing one context never race on
+    counters), its wall-clock seconds, and the worker label — the raw
+    material for the per-worker task latency histograms.
+    """
+    start = time.perf_counter()
+    counters = PruningCounters()
     if mode == "rules":
         parts: Tuple[List[VisualizationNode], ...] = (
-            rule_based_for_column(ctx, x_name),
+            rule_based_for_column(ctx, x_name, counters),
         )
     else:
-        parts = exhaustive_for_column(ctx, x_name)
-    return parts, tuple(_valid_mask(part, recognizer) for part in parts)
+        parts = exhaustive_for_column(ctx, x_name, counters)
+    masks = tuple(_valid_mask(part, recognizer) for part in parts)
+    return parts, masks, counters, time.perf_counter() - start, _worker_label()
 
 
 # Per-process worker state, populated by the pool initializer so the
@@ -118,7 +153,7 @@ def _enum_worker(mode: str, x_name: str):
 
 
 def _reassemble(
-    slices: Sequence[Tuple[Tuple[List[VisualizationNode], ...], Tuple[List[bool], ...]]],
+    slices: Sequence[_ColumnSlice],
 ) -> Tuple[List[VisualizationNode], List[bool]]:
     """Stitch per-column slices back into the serial enumeration order.
 
@@ -127,14 +162,32 @@ def _reassemble(
     exhaustive two-column candidates) — concatenation part-major,
     column-minor reproduces it exactly.
     """
-    num_parts = max((len(parts) for parts, _ in slices), default=0)
+    num_parts = max((len(parts) for parts, *_ in slices), default=0)
     nodes: List[VisualizationNode] = []
     mask: List[bool] = []
     for part in range(num_parts):
-        for parts, masks in slices:
+        for parts, masks, *_ in slices:
             nodes.extend(parts[part])
             mask.extend(masks[part])
     return nodes, mask
+
+
+def _absorb_task_stats(
+    slices: Sequence[_ColumnSlice],
+    pruning: Optional[PruningCounters],
+    metrics: Optional[MetricsRegistry],
+) -> None:
+    """Merge per-task pruning counters and latency samples upstream."""
+    for _, _, task_counters, seconds, worker in slices:
+        if pruning is not None:
+            pruning.merge(task_counters)
+        if metrics is not None:
+            metrics.histogram(
+                "enumeration_task_seconds",
+                labels={"worker": worker},
+                help="Per-column enumerate+featurise+recognise task "
+                "latency, per worker",
+            ).observe(seconds)
 
 
 def parallel_enumerate(
@@ -145,6 +198,8 @@ def parallel_enumerate(
     backend: Optional[str] = None,
     recognizer=None,
     cache=None,
+    pruning: Optional[PruningCounters] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[List[VisualizationNode], List[bool]]:
     """Enumerate, featurise and recognise candidates with a worker pool.
 
@@ -153,6 +208,14 @@ def parallel_enumerate(
     recognition verdict for ``nodes[i]`` (trained classifier when
     ``recognizer`` is given, otherwise the expert ``M(v) > 0``
     criterion).
+
+    ``pruning`` is an optional caller-owned
+    :class:`~repro.core.rules.PruningCounters` accumulator: every
+    worker's per-rule accounting merges into it (process workers ship
+    their counters back with the result), so the pruning report is
+    identical to a serial run.  ``metrics`` additionally records one
+    ``enumeration_task_seconds{worker=...}`` latency sample per
+    per-column task.
 
     The multi-level ``cache`` is consulted only on the serial path —
     worker processes cannot share the parent's in-memory LRU, and
@@ -167,12 +230,14 @@ def parallel_enumerate(
     if jobs <= 1:
         ctx = EnumerationContext(table, config, cache=cache)
         slices = [_column_slice(ctx, recognizer, mode, x) for x in columns]
+        _absorb_task_stats(slices, pruning, metrics)
         return _reassemble(slices)
 
     if backend == "thread":
         # One shared context: its memo dicts are only ever written with
         # values that are identical regardless of which thread computes
         # them first, so races cost duplicate work, never wrong answers.
+        # (Pruning counters are per-task objects, so they never race.)
         ctx = EnumerationContext(table, config)
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [
@@ -192,6 +257,7 @@ def parallel_enumerate(
         raise SelectionError(
             f"unknown parallel backend {backend!r}; use 'process' or 'thread'"
         )
+    _absorb_task_stats(slices, pruning, metrics)
     return _reassemble(slices)
 
 
@@ -208,8 +274,48 @@ def _init_batch_worker(engine, k: int) -> None:
     _WORKER_STATE["k"] = k
 
 
+def _timed_top_k(engine, table: Table, k: int):
+    """One table through the engine, with worker-side latency capture —
+    queue wait is excluded, so the histogram measures true task time."""
+    start = time.perf_counter()
+    result = engine.top_k(table, k=k)
+    return result, time.perf_counter() - start, _worker_label()
+
+
 def _batch_worker(table: Table):
-    return _WORKER_STATE["engine"].top_k(table, k=_WORKER_STATE["k"])
+    return _timed_top_k(_WORKER_STATE["engine"], table, _WORKER_STATE["k"])
+
+
+def _record_batch_task(
+    table: Table,
+    seconds: float,
+    worker: str,
+    metrics: Optional[MetricsRegistry],
+    slow_log: Optional[List[dict]],
+    slow_threshold: float,
+) -> None:
+    if metrics is not None:
+        metrics.histogram(
+            "batch_task_seconds",
+            labels={"worker": worker},
+            help="Per-table top_k latency inside the batch pool, per worker",
+        ).observe(seconds)
+    if seconds >= slow_threshold:
+        if slow_log is not None:
+            slow_log.append(
+                {
+                    "table": table.name,
+                    "rows": table.num_rows,
+                    "columns": table.num_columns,
+                    "seconds": seconds,
+                    "worker": worker,
+                }
+            )
+        if metrics is not None:
+            metrics.counter(
+                "batch_slow_tables_total",
+                help="Batch tables slower than the slow-table threshold",
+            ).inc()
 
 
 def batch_select(
@@ -218,6 +324,9 @@ def batch_select(
     k: int = 10,
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    slow_log: Optional[List[dict]] = None,
+    slow_threshold: float = DEFAULT_SLOW_TABLE_SECONDS,
 ) -> Iterator:
     """Serve a batch of tables through one trained engine, streaming
     :class:`~repro.core.selection.SelectionResult`s in input order.
@@ -226,6 +335,15 @@ def batch_select(
     each worker exactly once via the pool initializer; the thread
     backend shares it directly.  ``n_jobs`` defaults to the engine
     config's value; 1 degrades to a plain serial loop.
+
+    Observability: with a ``metrics`` registry every table contributes a
+    ``batch_task_seconds{worker=...}`` latency sample measured *inside*
+    its worker (queue wait excluded); tables at or above
+    ``slow_threshold`` seconds are appended to the caller-owned
+    ``slow_log`` list as ``{table, rows, columns, seconds, worker}``
+    dicts and counted in ``batch_slow_tables_total`` — the slow-table
+    log every serving stack wants when one pathological upload drags a
+    batch.
     """
     tables = list(tables)
     jobs = resolve_n_jobs(
@@ -236,14 +354,24 @@ def batch_select(
 
     if jobs <= 1:
         for table in tables:
-            yield engine.top_k(table, k=k)
+            result, seconds, worker = _timed_top_k(engine, table, k)
+            _record_batch_task(
+                table, seconds, worker, metrics, slow_log, slow_threshold
+            )
+            yield result
         return
 
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(engine.top_k, t, k=k) for t in tables]
-            for future in futures:
-                yield future.result()
+            futures = [
+                pool.submit(_timed_top_k, engine, t, k) for t in tables
+            ]
+            for table, future in zip(tables, futures):
+                result, seconds, worker = future.result()
+                _record_batch_task(
+                    table, seconds, worker, metrics, slow_log, slow_threshold
+                )
+                yield result
     elif backend == "process":
         with ProcessPoolExecutor(
             max_workers=jobs,
@@ -251,8 +379,12 @@ def batch_select(
             initargs=(engine, k),
         ) as pool:
             futures = [pool.submit(_batch_worker, t) for t in tables]
-            for future in futures:
-                yield future.result()
+            for table, future in zip(tables, futures):
+                result, seconds, worker = future.result()
+                _record_batch_task(
+                    table, seconds, worker, metrics, slow_log, slow_threshold
+                )
+                yield result
     else:
         raise SelectionError(
             f"unknown parallel backend {backend!r}; use 'process' or 'thread'"

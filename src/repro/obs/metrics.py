@@ -1,0 +1,416 @@
+"""Process-global metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a thread-safe collection of named
+instruments, optionally labelled (Prometheus-style)::
+
+    registry = MetricsRegistry()
+    registry.counter("cache_hits_total", labels={"level": "results"}).inc()
+    registry.histogram("selection_phase_seconds",
+                       labels={"phase": "enumerate"}).observe(0.012)
+    print(registry.to_prometheus_text())
+
+Histograms use fixed upper-bound buckets (cumulative, with an implicit
+``+Inf`` overflow) and derive p50/p90/p99 summaries by linear
+interpolation inside the covering bucket, clamped to the exact observed
+min/max.  Exporters: :meth:`MetricsRegistry.to_prometheus_text` (the
+text exposition format) and :meth:`MetricsRegistry.to_json`;
+:func:`parse_prometheus_text` round-trips the former for tests and
+scrapers.
+
+``global_registry()`` returns the shared process-wide registry used
+when instrumentation is enabled without an explicit registry.  Pure
+stdlib; no Prometheus client dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "parse_prometheus_text",
+]
+
+#: Upper bounds (seconds) tuned for the selection pipeline's latency
+#: range: sub-millisecond cache hits up to multi-second exhaustive runs.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def set_cumulative(self, value: float) -> None:
+        """Bridge an externally maintained cumulative total into this
+        counter (e.g. an LRU cache's lifetime hit count).  The counter
+        only ever moves forward: values below the current one are
+        ignored, so repeated syncs stay monotone."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max tracking.
+
+    ``buckets`` are ascending finite upper bounds; observations land in
+    the first bucket whose bound is >= the value, or the implicit
+    ``+Inf`` overflow bucket.  Percentiles interpolate linearly within
+    the covering bucket and clamp to the observed min/max, so they are
+    exact at the bucket boundaries and never invent values outside the
+    observed range.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ) or any(not math.isfinite(b) for b in bounds):
+            raise ValueError(
+                f"histogram buckets must be ascending finite bounds, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        NaN when empty.  Within the covering bucket the estimate
+        interpolates linearly; observations in the overflow bucket are
+        represented by the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            rank = q * self.count
+            cumulative = 0
+            for i, bucket_count in enumerate(self.counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    if i == len(self.buckets):
+                        return self.max
+                    lower = self.buckets[i - 1] if i > 0 else min(self.min, self.buckets[i])
+                    upper = self.buckets[i]
+                    fraction = (rank - cumulative) / bucket_count
+                    estimate = lower + (upper - lower) * fraction
+                    return min(max(estimate, self.min), self.max)
+                cumulative += bucket_count
+            return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, sum, min, max, p50, p90, p99}`` of the distribution."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class _Family:
+    """All instruments sharing one metric name (one per label set)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "instruments")
+
+    def __init__(self, name: str, kind: str, help_text: str, buckets) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.instruments: Dict[LabelItems, Any] = {}
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _label_items(labels: Optional[Dict[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(items: LabelItems, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(items)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """A named, labelled collection of counters, gauges, and histograms.
+
+    Instruments are get-or-create: calling :meth:`counter` twice with
+    the same name and labels returns the same object, so call sites can
+    stay stateless.  A name is permanently bound to its first kind —
+    registering it again as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+    def _family(self, name: str, kind: str, help_text: str, buckets=None) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {kind}"
+                )
+            return family
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        help: str = "",
+    ) -> Counter:
+        """Get or create the counter ``name`` for this label set."""
+        family = self._family(name, "counter", help)
+        key = _label_items(labels)
+        with self._lock:
+            if key not in family.instruments:
+                family.instruments[key] = Counter()
+            return family.instruments[key]
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        help: str = "",
+    ) -> Gauge:
+        """Get or create the gauge ``name`` for this label set."""
+        family = self._family(name, "gauge", help)
+        key = _label_items(labels)
+        with self._lock:
+            if key not in family.instruments:
+                family.instruments[key] = Gauge()
+            return family.instruments[key]
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram ``name`` for this label set.
+
+        ``buckets`` only takes effect on first registration of the name;
+        later calls reuse the family's buckets.
+        """
+        family = self._family(name, "histogram", help, tuple(buckets))
+        key = _label_items(labels)
+        with self._lock:
+            if key not in family.instruments:
+                family.instruments[key] = Histogram(family.buckets)
+            return family.instruments[key]
+
+    # -- export ---------------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """The text exposition format (the ``/metrics`` page body)."""
+        lines: List[str] = []
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.instruments):
+                instrument = family.instruments[key]
+                if family.kind in ("counter", "gauge"):
+                    lines.append(
+                        f"{family.name}{_format_labels(key)} "
+                        f"{_format_value(instrument.value)}"
+                    )
+                else:
+                    cumulative = 0
+                    for bound, count in zip(
+                        instrument.buckets, instrument.counts
+                    ):
+                        cumulative += count
+                        labels = _format_labels(
+                            key, ("le", _format_value(bound))
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{labels} {cumulative}"
+                        )
+                    labels = _format_labels(key, ("le", "+Inf"))
+                    lines.append(
+                        f"{family.name}_bucket{labels} {instrument.count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(key)} "
+                        f"{_format_value(instrument.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(key)} "
+                        f"{instrument.count}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-friendly dump: per family, per label set, the value or
+        histogram summary."""
+        payload: Dict[str, Any] = {}
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            series = []
+            for key, instrument in sorted(family.instruments.items()):
+                entry: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind in ("counter", "gauge"):
+                    entry["value"] = instrument.value
+                else:
+                    entry.update(instrument.summary())
+                series.append(entry)
+            payload[family.name] = {"type": family.kind, "series": series}
+        return payload
+
+    def reset(self) -> None:
+        """Drop every registered family (mainly for tests)."""
+        with self._lock:
+            self._families.clear()
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The shared process-wide registry."""
+    return _GLOBAL_REGISTRY
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[Tuple[str, LabelItems], float]:
+    """Parse the exposition format back into ``{(name, labels): value}``.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus_text` for the
+    subset this module emits (used by the round-trip tests and simple
+    scrapers).  ``+Inf``/``-Inf``/``NaN`` parse to their float values.
+    """
+    samples: Dict[Tuple[str, LabelItems], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable metrics line: {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            (k, v.encode().decode("unicode_escape"))
+            for k, v in _LABEL_RE.findall(labels_text)
+        )
+        samples[(match.group("name"), tuple(sorted(labels)))] = float(
+            match.group("value")
+        )
+    return samples

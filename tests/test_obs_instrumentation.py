@@ -1,0 +1,315 @@
+"""Tests for observability wired through the pipeline and serving engine."""
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.core import DeepEye, progressive_top_k, select_top_k
+from repro.core.enumeration import EnumerationConfig
+from repro.core.selection import PHASE_ORDER, SelectionResult
+from repro.dataset import write_csv
+from repro.engine import MultiLevelCache
+from repro.obs import MetricsRegistry, Tracer, parse_prometheus_text
+
+
+class TestSelectionTracing:
+    def test_span_tree_has_the_three_phases(self, flights_table):
+        tracer = Tracer()
+        select_top_k(flights_table, k=3, tracer=tracer)
+        (root,) = tracer.spans
+        assert root.name == "select_top_k"
+        assert [c.name for c in root.children] == list(PHASE_ORDER)
+        assert root.attributes["table"] == "flights"
+        assert root.attributes["search_space"] > 0
+        assert root.attributes["candidates"] > 0
+
+    def test_timings_are_the_span_durations(self, flights_table):
+        tracer = Tracer()
+        result = select_top_k(flights_table, k=3, tracer=tracer)
+        root = tracer.spans[0]
+        for child in root.children:
+            assert result.timings[child.name] == child.duration
+        assert set(result.timings) == set(PHASE_ORDER)
+
+    def test_enumerate_span_counters_match_result(self, flights_table):
+        tracer = Tracer()
+        result = select_top_k(flights_table, k=3, tracer=tracer)
+        enumerate_span = tracer.find("enumerate")
+        assert enumerate_span.counters["candidates"] == result.candidates
+        assert tracer.find("recognize").counters["valid"] == result.valid
+
+    def test_result_cache_hit_emits_marker_span(self, flights_table):
+        cache = MultiLevelCache()
+        select_top_k(flights_table, k=3, cache=cache)
+        tracer = Tracer()
+        select_top_k(flights_table, k=3, cache=cache, tracer=tracer)
+        (root,) = tracer.spans
+        assert root.attributes.get("result_cache_hit") is True
+        assert root.children == []
+
+
+class TestPruningAccounting:
+    def test_considered_equals_emitted_plus_pruned(self, flights_table):
+        registry = MetricsRegistry()
+        result = select_top_k(flights_table, k=3, metrics=registry)
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        considered = samples[("enumeration_considered_total", ())]
+        emitted = samples[("enumeration_candidates_total", (("mode", "rules"),))]
+        pruned = sum(
+            value
+            for (name, _), value in samples.items()
+            if name == "enumeration_pruned_total"
+        )
+        assert emitted == result.candidates
+        assert considered == emitted + pruned
+        assert pruned > 0  # the rules always canonicalise orderings
+
+    def test_exhaustive_mode_counts_inexecutable_variants(self, flights_table):
+        registry = MetricsRegistry()
+        result = select_top_k(
+            flights_table, k=3, enumeration="exhaustive", metrics=registry
+        )
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        considered = samples[("enumeration_considered_total", ())]
+        emitted = samples[
+            ("enumeration_candidates_total", (("mode", "exhaustive"),))
+        ]
+        pruned = sum(
+            value
+            for (name, _), value in samples.items()
+            if name == "enumeration_pruned_total"
+        )
+        assert emitted == result.candidates
+        assert considered == emitted + pruned
+
+    def test_parallel_pruning_counters_match_serial(self, flights_table):
+        serial = MetricsRegistry()
+        select_top_k(flights_table, k=3, metrics=serial)
+        parallel = MetricsRegistry()
+        select_top_k(
+            flights_table,
+            k=3,
+            metrics=parallel,
+            config=EnumerationConfig(n_jobs=2, backend="thread"),
+        )
+        serial_samples = parse_prometheus_text(serial.to_prometheus_text())
+        parallel_samples = parse_prometheus_text(parallel.to_prometheus_text())
+        keys = [
+            key
+            for key in serial_samples
+            if key[0]
+            in ("enumeration_considered_total", "enumeration_pruned_total")
+        ]
+        assert keys
+        for key in keys:
+            assert parallel_samples[key] == serial_samples[key]
+        # The thread pool also recorded per-worker task latency.
+        assert any(
+            name == "enumeration_task_seconds_count"
+            for name, _ in parallel_samples
+        )
+
+
+class TestSelectionMetrics:
+    def test_run_and_phase_metrics(self, flights_table):
+        registry = MetricsRegistry()
+        select_top_k(flights_table, k=3, metrics=registry)
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        assert samples[("selection_runs_total", (("enumeration", "rules"),))] == 1
+        for phase in PHASE_ORDER:
+            key = ("selection_phase_seconds_count", (("phase", phase),))
+            assert samples[key] == 1
+        assert samples[("selection_total_seconds_count", ())] == 1
+
+    def test_cache_metrics_per_level(self, flights_table):
+        registry = MetricsRegistry()
+        cache = MultiLevelCache()
+        select_top_k(flights_table, k=3, cache=cache, metrics=registry)
+        select_top_k(flights_table, k=3, cache=cache, metrics=registry)
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        assert samples[("selection_result_cache_hits_total", ())] == 1
+        assert samples[("cache_hits_total", (("level", "results"),))] == 1
+        for level in ("transforms", "features", "results"):
+            assert (
+                samples[("cache_misses_total", (("level", level),))]
+                == cache.stats()[f"{level}_misses"]
+            )
+
+
+class TestCacheStats:
+    def test_stats_by_level_matches_flat_stats(self, flights_table):
+        cache = MultiLevelCache()
+        select_top_k(flights_table, k=3, cache=cache)
+        flat = cache.stats()
+        levels = cache.stats_by_level()
+        assert set(levels) == {"transforms", "features", "results", "aggregate"}
+        for level in ("transforms", "features", "results"):
+            for counter in ("hits", "misses", "evictions", "size"):
+                assert levels[level][counter] == flat[f"{level}_{counter}"]
+        for counter in ("hits", "misses", "evictions", "size"):
+            assert levels["aggregate"][counter] == sum(
+                levels[level][counter]
+                for level in ("transforms", "features", "results")
+            )
+
+
+class TestProgressive:
+    def test_progressive_trace_and_metrics(self, flights_table):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        result = progressive_top_k(
+            flights_table, k=3, tracer=tracer, metrics=registry
+        )
+        (root,) = tracer.spans
+        assert root.name == "progressive_top_k"
+        leaf_spans = [c for c in root.children if c.name == "open_leaf"]
+        assert len(leaf_spans) == result.columns_opened
+        assert sum(
+            s.counters.get("materialised", 0) for s in leaf_spans
+        ) == result.candidates_generated
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        assert samples[("progressive_runs_total", ())] == 1
+        assert (
+            samples[("progressive_columns_opened_total", ())]
+            + samples[("progressive_columns_skipped_total", ())]
+            == flights_table.num_columns
+        )
+        assert samples[("progressive_nodes_emitted_total", ())] == len(
+            result.nodes
+        )
+
+
+class TestDeepEyeIntegration:
+    def test_trace_true_builds_private_tracer(self, flights_table):
+        engine = DeepEye(ranking="partial_order", trace=True, metrics=MetricsRegistry())
+        engine.top_k(flights_table, k=2)
+        assert engine.tracer.find("select_top_k") is not None
+
+    def test_instrumented_engine_survives_pickling(self, flights_table):
+        engine = DeepEye(
+            ranking="partial_order", trace=True, metrics=MetricsRegistry()
+        )
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.tracer is None
+        assert clone.metrics is None
+        # The clone still serves (uninstrumented).
+        assert len(clone.top_k(flights_table, k=2).nodes) == 2
+
+    def test_batch_slow_log_and_latency_metrics(self, flights_table):
+        registry = MetricsRegistry()
+        engine = DeepEye(
+            ranking="partial_order",
+            metrics=registry,
+            slow_threshold=0.0,  # every table counts as slow
+        )
+        results = list(engine.top_k_batch([flights_table, flights_table], k=2))
+        assert len(results) == 2
+        assert len(engine.slow_tables) >= 1  # cached repeat may be instant
+        entry = engine.slow_tables[0]
+        assert set(entry) == {"table", "rows", "columns", "seconds", "worker"}
+        assert entry["table"] == "flights"
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        batch_counts = [
+            value
+            for (name, _), value in samples.items()
+            if name == "batch_task_seconds_count"
+        ]
+        assert sum(batch_counts) == 2
+        assert samples[("batch_slow_tables_total", ())] >= 1
+
+
+class TestPhases:
+    def test_phases_ordered_and_fractions(self, flights_table):
+        result = select_top_k(flights_table, k=2)
+        phases = result.phases()
+        assert [name for name, _, _ in phases] == list(PHASE_ORDER)
+        assert sum(fraction for _, _, fraction in phases) == pytest.approx(1.0)
+
+    def test_phases_zero_total_yields_zero_fractions(self):
+        result = SelectionResult(
+            nodes=[], order=[], candidates=0, valid=0,
+            timings={"enumerate": 0.0, "custom": 0.0},
+        )
+        assert result.phase_fraction("enumerate") == 0.0
+        assert result.phases() == [
+            ("enumerate", 0.0, 0.0),
+            ("custom", 0.0, 0.0),
+        ]
+
+
+class TestCliObservability:
+    @pytest.fixture
+    def csv_path(self, tmp_path, flights_table):
+        path = tmp_path / "flights.csv"
+        write_csv(flights_table, path)
+        return str(path)
+
+    def test_trace_and_metrics_end_to_end(self, csv_path, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "visualize", csv_path, "--k", "2", "--format", "list",
+                "--trace", str(trace_path), "--metrics", "-",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        # The pretty-printer rendered the phase breakdown.
+        assert "# phases: enumerate=" in text
+        # (a) valid Chrome trace-event JSON with the nested phase spans.
+        trace = json.loads(trace_path.read_text())
+        names = [event["name"] for event in trace["traceEvents"]]
+        assert names[0] == "visualize"
+        for phase in ("select_top_k",) + PHASE_ORDER:
+            assert phase in names
+        assert all(event["ph"] == "X" for event in trace["traceEvents"])
+        # (b) Prometheus text with pruning + per-level cache counters.
+        metrics_text = text[text.index("# HELP"):]
+        samples = parse_prometheus_text(metrics_text)
+        assert any(
+            name == "enumeration_pruned_total" for name, _ in samples
+        )
+        assert ("cache_hits_total", (("level", "results"),)) in samples
+
+    def test_metrics_to_file(self, csv_path, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        out = io.StringIO()
+        code = main(
+            [
+                "visualize", csv_path, "--k", "1", "--format", "list",
+                "--metrics", str(metrics_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        samples = parse_prometheus_text(metrics_path.read_text())
+        assert samples[
+            ("selection_runs_total", (("enumeration", "rules"),))
+        ] == 1
+
+    def test_flags_present_on_all_pipeline_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("visualize", "search", "query", "explain", "profile"):
+            args = parser.parse_args(
+                [command, "x.csv"]
+                + (["kw"] if command == "search" else [])
+            )
+            assert args.trace is None
+            assert args.metrics is None
+            assert args.jobs == 1
+            assert args.backend == "process"
+            assert args.no_cache is False
+
+    def test_uninstrumented_run_emits_no_obs_output(self, csv_path):
+        out = io.StringIO()
+        code = main(["visualize", csv_path, "--k", "1", "--format", "list"], out=out)
+        assert code == 0
+        assert "# HELP" not in out.getvalue()
+        assert "wrote trace" not in out.getvalue()

@@ -1,0 +1,183 @@
+"""Tests for the metrics half of the observability layer."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_set_cumulative_only_moves_forward(self):
+        counter = Counter()
+        counter.set_cumulative(10)
+        counter.set_cumulative(4)  # stale sync: ignored
+        assert counter.value == 10
+        counter.set_cumulative(12)
+        assert counter.value == 12
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_bounds(self):
+        hist = Histogram(buckets=(10.0, 20.0, 30.0))
+        hist.observe(10.0)  # exactly on a bound -> that bucket
+        hist.observe(10.0001)  # just above -> next bucket
+        hist.observe(31.0)  # beyond the last bound -> overflow slot
+        assert hist.counts == [1, 1, 0, 1]
+        assert hist.count == 3
+        assert hist.min == 10.0
+        assert hist.max == 31.0
+
+    def test_invalid_buckets_rejected(self):
+        for bad in ((), (2.0, 1.0), (1.0, 1.0), (1.0, math.inf)):
+            with pytest.raises(ValueError):
+                Histogram(buckets=bad)
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram(buckets=(10.0, 20.0, 30.0))
+        for value in (5.0, 15.0, 25.0):
+            hist.observe(value)
+        # rank(p50) = 1.5 -> second bucket (10, 20], halfway in: 15.0.
+        assert hist.percentile(0.50) == pytest.approx(15.0)
+        # rank(p99) = 2.97 -> third bucket interpolates to 29.7, then
+        # clamps to the observed max.
+        assert hist.percentile(0.99) == pytest.approx(25.0)
+
+    def test_percentile_single_observation_clamps_to_value(self):
+        hist = Histogram(buckets=(10.0,))
+        hist.observe(5.0)
+        assert hist.percentile(0.5) == pytest.approx(5.0)
+        assert hist.percentile(0.99) == pytest.approx(5.0)
+
+    def test_percentile_overflow_uses_observed_max(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(100.0)
+        assert hist.percentile(0.9) == pytest.approx(100.0)
+
+    def test_percentile_empty_is_nan_and_bad_q_raises(self):
+        hist = Histogram(buckets=(1.0,))
+        assert math.isnan(hist.percentile(0.5))
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_summary_keys(self):
+        hist = Histogram(buckets=(1.0,))
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        hist.observe(0.5)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["sum"] == 0.5
+        assert set(summary) == {"count", "sum", "min", "max", "p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"level": "results"})
+        b = registry.counter("hits_total", labels={"level": "results"})
+        c = registry.counter("hits_total", labels={"level": "features"})
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"a": "1", "b": "2"})
+        b = registry.counter("x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_name_bound_to_first_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError):
+            registry.gauge("thing_total")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name")
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+    def test_reset_drops_families(self):
+        registry = MetricsRegistry()
+        registry.counter("gone_total").inc()
+        registry.reset()
+        assert registry.to_prometheus_text() == ""
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", labels={"mode": "rules"}, help="Requests"
+        ).inc(7)
+        registry.gauge("queue_depth").set(3.5)
+        text = registry.to_prometheus_text()
+        assert "# HELP requests_total Requests" in text
+        assert "# TYPE requests_total counter" in text
+        samples = parse_prometheus_text(text)
+        assert samples[("requests_total", (("mode", "rules"),))] == 7
+        assert samples[("queue_depth", ())] == 3.5
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        assert samples[("lat_seconds_bucket", (("le", "0.1"),))] == 1
+        assert samples[("lat_seconds_bucket", (("le", "1"),))] == 2
+        assert samples[("lat_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("lat_seconds_count", ())] == 3
+        assert samples[("lat_seconds_sum", ())] == pytest.approx(5.55)
+
+    def test_label_values_escape_and_round_trip(self):
+        registry = MetricsRegistry()
+        tricky = 'a"b\\c\nd'
+        registry.counter("esc_total", labels={"v": tricky}).inc()
+        text = registry.to_prometheus_text()
+        assert "\n" not in text.split("esc_total", 2)[2].split("\n")[0]
+        samples = parse_prometheus_text(text)
+        assert samples[("esc_total", (("v", tricky),))] == 1
+
+    def test_to_json_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"k": "v"}).inc(2)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        payload = registry.to_json()
+        assert payload["c_total"]["type"] == "counter"
+        assert payload["c_total"]["series"][0] == {
+            "labels": {"k": "v"},
+            "value": 2.0,
+        }
+        assert payload["h_seconds"]["series"][0]["count"] == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("{not metrics}")
