@@ -1,0 +1,274 @@
+"""Columnar-kernel benchmark: vectorized transforms vs. row-wise oracles.
+
+Two measurements back the kernel rewrite:
+
+* **micro** — each transform kernel (temporal binning per granularity,
+  numeric binning, categorical grouping, UDF bucketing) timed against
+  its ``_reference_*`` row-at-a-time oracle on the same columns, with
+  the outputs asserted identical before any timing is trusted;
+* **end-to-end** — ``select_top_k`` over the benchmark corpus with the
+  vectorized kernels vs. under
+  :func:`repro.language.binning.use_reference_kernels`, reporting the
+  *enumerate*-phase span timings (where all kernel work lives) and
+  asserting the top-k output is byte-identical either way.
+
+The run **fails (exit 1)** when the temporal-binning micro speedup
+falls below ``--min-speedup`` (default 5; CI passes 3 to absorb shared
+runners).  Results land in ``BENCH_kernels.json`` (override ``--out``).
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core import select_top_k
+from repro.corpus.generators import make_table
+from repro.dataset import Column, ColumnType
+from repro.language import BinGranularity, use_reference_kernels
+from repro.language.binning import (
+    _reference_bin_numeric,
+    _reference_bin_temporal,
+    _reference_bin_udf,
+    _reference_group_categorical,
+    assign_buckets,
+    bin_numeric,
+    bin_temporal,
+    bin_udf,
+    group_categorical,
+)
+
+#: Temporal-heavy corpus table for the end-to-end run (flight delays).
+E2E_DATASET = "FlyDelay"
+#: Numeric-heavy corpus table, the same workload bench_overhead uses.
+E2E_DATASET_NUMERIC = "Happiness Rank"
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _columns(rows: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    temporal = Column(
+        "t",
+        ColumnType.TEMPORAL,
+        rng.uniform(0, 4 * 365 * 86400, size=rows) + 1.4e9,
+    )
+    numeric = Column("v", ColumnType.NUMERICAL, rng.normal(50, 20, size=rows))
+    categorical = Column(
+        "c",
+        ColumnType.CATEGORICAL,
+        np.asarray(
+            [f"cat{int(i)}" for i in rng.integers(0, 24, size=rows)],
+            dtype=object,
+        ),
+    )
+    return temporal, numeric, categorical
+
+
+def bench_micro(rows: int, repeats: int) -> List[Dict]:
+    temporal, numeric, categorical = _columns(rows)
+    udf = lambda v: f"band{int(abs(v)) // 10}"  # noqa: E731
+
+    cases = [
+        (
+            f"bin_temporal[{g.value}]",
+            lambda g=g: bin_temporal(temporal, g),
+            lambda g=g: assign_buckets(_reference_bin_temporal(temporal, g)),
+        )
+        for g in BinGranularity
+    ]
+    cases += [
+        (
+            "bin_numeric[n=10]",
+            lambda: bin_numeric(numeric, 10),
+            lambda: assign_buckets(_reference_bin_numeric(numeric, 10)),
+        ),
+        (
+            "group_categorical",
+            lambda: group_categorical(categorical),
+            lambda: assign_buckets(_reference_group_categorical(categorical)),
+        ),
+        (
+            "bin_udf",
+            lambda: bin_udf(numeric, udf),
+            lambda: assign_buckets(_reference_bin_udf(numeric, udf)),
+        ),
+    ]
+
+    results = []
+    for name, vectorized, reference in cases:
+        fast, slow = vectorized(), reference()
+        if fast != slow:
+            raise AssertionError(
+                f"{name}: vectorized output differs from the reference oracle"
+            )
+        fast_s = _median_seconds(vectorized, repeats)
+        slow_s = _median_seconds(reference, max(3, repeats // 2))
+        results.append(
+            {
+                "kernel": name,
+                "rows": rows,
+                "buckets": fast.num_buckets,
+                "vectorized_seconds": round(fast_s, 6),
+                "reference_seconds": round(slow_s, 6),
+                "speedup": round(slow_s / fast_s, 2) if fast_s > 0 else None,
+            }
+        )
+        print(
+            f"{name:<28} vectorized={fast_s * 1e3:8.3f}ms "
+            f"reference={slow_s * 1e3:9.3f}ms "
+            f"speedup={results[-1]['speedup']:>8}x"
+        )
+    return results
+
+
+def _top_k_signature(result) -> list:
+    return [
+        (
+            node.key(),
+            node.data.x_labels,
+            node.data.x_values,
+            node.data.y_values,
+        )
+        for node in result.nodes
+    ]
+
+
+def bench_end_to_end(dataset: str, scale: float, repeats: int) -> Dict:
+    table = make_table(dataset, scale=scale)
+
+    def run():
+        return select_top_k(table, k=10, enumeration="rules", cache=None)
+
+    vec_result = run()  # warmup + output capture
+    vectorized = [run() for _ in range(repeats)]
+    with use_reference_kernels():
+        ref_result = run()
+        rowwise = [run() for _ in range(repeats)]
+
+    if _top_k_signature(vec_result) != _top_k_signature(ref_result):
+        raise AssertionError(
+            f"{dataset}: top-k differs between vectorized and reference kernels"
+        )
+
+    def phase(results, name):
+        return statistics.median(r.timings[name] for r in results)
+
+    report = {
+        "dataset": dataset,
+        "scale": scale,
+        "rows": table.num_rows,
+        "columns": table.num_columns,
+        "repeats": repeats,
+        "top_k_identical": True,
+        "enumerate_seconds": {
+            "vectorized": round(phase(vectorized, "enumerate"), 4),
+            "reference": round(phase(rowwise, "enumerate"), 4),
+        },
+        "total_seconds": {
+            "vectorized": round(
+                statistics.median(r.total_seconds for r in vectorized), 4
+            ),
+            "reference": round(
+                statistics.median(r.total_seconds for r in rowwise), 4
+            ),
+        },
+    }
+    enum = report["enumerate_seconds"]
+    report["enumerate_speedup"] = (
+        round(enum["reference"] / enum["vectorized"], 2)
+        if enum["vectorized"] > 0
+        else None
+    )
+    print(
+        f"{dataset:<16} ({table.num_rows} rows) enumerate: "
+        f"vectorized={enum['vectorized']:.3f}s "
+        f"reference={enum['reference']:.3f}s "
+        f"speedup={report['enumerate_speedup']}x (top-k identical)"
+    )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: smaller columns/corpus, fewer repeats",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail when the worst temporal micro speedup is below this "
+        "(CI passes 3 to absorb shared-runner noise)",
+    )
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    args = parser.parse_args()
+
+    rows = args.rows if args.rows is not None else (20_000 if args.quick else 100_000)
+    scale = args.scale if args.scale is not None else (0.05 if args.quick else 0.2)
+    repeats = args.repeats if args.repeats is not None else (5 if args.quick else 9)
+
+    micro = bench_micro(rows, repeats)
+    end_to_end = [
+        bench_end_to_end(E2E_DATASET, scale, max(3, repeats // 2)),
+        # The numeric corpus table is tiny; run it at full scale so the
+        # kernel share of the enumerate phase is above timer noise.
+        bench_end_to_end(E2E_DATASET_NUMERIC, min(1.0, scale * 5), max(3, repeats // 2)),
+    ]
+
+    temporal_speedups = [
+        entry["speedup"]
+        for entry in micro
+        if entry["kernel"].startswith("bin_temporal") and entry["speedup"]
+    ]
+    worst_temporal = min(temporal_speedups)
+    report = {
+        "benchmark": "columnar_kernels",
+        "cpus": os.cpu_count(),
+        "min_speedup": args.min_speedup,
+        "worst_temporal_speedup": worst_temporal,
+        "micro": micro,
+        "end_to_end": end_to_end,
+        "passed": worst_temporal >= args.min_speedup,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    if not report["passed"]:
+        print(
+            f"FAIL: worst temporal-binning speedup {worst_temporal:.1f}x "
+            f"below the {args.min_speedup:.1f}x gate"
+        )
+        return 1
+    print(
+        f"PASS: worst temporal-binning speedup {worst_temporal:.1f}x "
+        f">= {args.min_speedup:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

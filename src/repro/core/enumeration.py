@@ -41,8 +41,13 @@ from ..language.ast import (
     Transform,
     VisQuery,
 )
-from ..language.binning import DEFAULT_NUM_BUCKETS
-from ..language.executor import ChartData, apply_transform
+from ..language.binning import DEFAULT_NUM_BUCKETS, TransformResult
+from ..language.executor import (
+    ChartData,
+    apply_transform,
+    as_float_tuple,
+    as_str_tuple,
+)
 from .correlation import correlation
 from .features import ColumnFeatures, FeatureVector, series_stats
 from .nodes import VisualizationNode
@@ -179,7 +184,7 @@ class EnumerationContext:
         )
         self._column_features: Dict[str, ColumnFeatures] = {}
         self._raw_corr: Dict[Tuple[str, str], float] = {}
-        self._transforms: Dict[Transform, Tuple] = {}
+        self._transforms: Dict[Transform, TransformResult] = {}
         self._aggregates: Dict[Tuple[Transform, str, AggregateOp], np.ndarray] = {}
         self._transformed_corr: Dict[Tuple, float] = {}
 
@@ -203,8 +208,14 @@ class EnumerationContext:
             self._raw_corr[key] = value
         return self._raw_corr[key]
 
-    def transform_result(self, transform: Transform):
-        """(distinct buckets, per-row assignment) for a TRANSFORM, cached."""
+    def transform_result(self, transform: Transform) -> TransformResult:
+        """Compact columnar result of a TRANSFORM, cached.
+
+        Both the per-context dict and the shared ``cache.transforms``
+        level store the :class:`~repro.language.binning.TransformResult`
+        itself — a few label strings plus three small arrays and the
+        row assignment, never per-row ``Bucket`` objects.
+        """
         if transform not in self._transforms:
             if self.cache is not None:
                 key = (self._cache_fp, transform)
@@ -221,9 +232,11 @@ class EnumerationContext:
         """Cached per-bucket aggregate of Y under a TRANSFORM."""
         key = (transform, y, op)
         if key not in self._aggregates:
-            buckets, assignment = self.transform_result(transform)
+            result = self.transform_result(transform)
             y_col = self.table.column(y) if op is not AggregateOp.CNT else None
-            self._aggregates[key] = aggregate(op, assignment, len(buckets), y_col)
+            self._aggregates[key] = aggregate(
+                op, result.assignment, result.num_buckets, y_col
+            )
         return self._aggregates[key]
 
     # -- data-variant construction ---------------------------------------
@@ -244,31 +257,31 @@ class EnumerationContext:
                 return None
             x_col = self.table.column(x)
             if x_col.ctype is ColumnType.CATEGORICAL:
-                labels = tuple(str(v) for v in x_col.values)
-                x_values = tuple(float(i) for i in range(len(labels)))
+                labels = as_str_tuple(x_col.values)
+                x_values = as_float_tuple(np.arange(len(labels)))
                 discrete = True
             else:
-                x_values = tuple(float(v) for v in x_col.values)
+                x_values = as_float_tuple(x_col.values)
                 labels = ()  # elided for continuous raw series (fast path)
                 discrete = False
             return ChartData(
                 query=placeholder,
                 x_labels=labels,
                 x_values=x_values,
-                y_values=tuple(float(v) for v in y_col.values),
+                y_values=as_float_tuple(y_col.values),
                 x_is_discrete=discrete,
                 source_rows=self.table.num_rows,
             )
         try:
-            buckets, _ = self.transform_result(transform)
+            result = self.transform_result(transform)
             y_values = self.aggregated(transform, y, op)
         except ValidationError:
             return None
         return ChartData(
             query=placeholder,
-            x_labels=tuple(b.label for b in buckets),
-            x_values=tuple(b.value for b in buckets),
-            y_values=tuple(float(v) for v in y_values),
+            x_labels=result.labels,
+            x_values=result.values_tuple,
+            y_values=as_float_tuple(y_values),
             x_is_discrete=isinstance(transform, GroupBy),
             source_rows=self.table.num_rows,
         )

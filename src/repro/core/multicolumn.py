@@ -28,7 +28,7 @@ from ..dataset.table import Table
 from ..errors import ValidationError
 from ..language.aggregation import aggregate
 from ..language.ast import AggregateOp, ChartType, Transform
-from ..language.executor import apply_transform
+from ..language.executor import apply_transform, as_float_tuple
 from .rules import RuleConfig, transform_rules
 
 __all__ = [
@@ -95,16 +95,16 @@ def execute_multi_series(
                 f"{op.value} requires numerical Y columns; {y!r} is "
                 f"{table.column(y).ctype.value}"
             )
-    buckets, assignment = apply_transform(transform, table)
+    result = apply_transform(transform, table)
     series: Dict[str, Tuple[float, ...]] = {}
     for y in ys:
         y_col = table.column(y) if op is not AggregateOp.CNT else None
-        values = aggregate(op, assignment, len(buckets), y_col)
-        series[y] = tuple(float(v) for v in values)
+        values = aggregate(op, result.assignment, result.num_buckets, y_col)
+        series[y] = as_float_tuple(values)
     return MultiSeriesData(
         chart=chart,
         x_name=x,
-        x_labels=tuple(b.label for b in buckets),
+        x_labels=result.labels,
         series=series,
         aggregate_op=op,
         transform=transform,
@@ -138,7 +138,7 @@ def execute_grouped(
         raise ValidationError(
             f"cannot group by {group_by!r} ({group_col.ctype.value})"
         )
-    buckets, assignment = apply_transform(transform, table)
+    result = apply_transform(transform, table)
     z_col = table.column(z) if op is not AggregateOp.CNT else None
     if z_col is not None and z_col.ctype is not ColumnType.NUMERICAL:
         raise ValidationError(f"{op.value} requires a numerical Z column")
@@ -154,18 +154,18 @@ def execute_grouped(
     group_values = np.asarray([str(v) for v in group_col.values], dtype=object)
     for group in keep:
         mask = group_values == group
-        sub_assignment = assignment[mask]
+        sub_assignment = result.assignment[mask]
         if z_col is not None:
             sub_z = z_col.take(np.flatnonzero(mask))
         else:
             sub_z = None
-        values_g = aggregate(op, sub_assignment, len(buckets), sub_z)
-        series[group] = tuple(float(v) for v in values_g)
+        values_g = aggregate(op, sub_assignment, result.num_buckets, sub_z)
+        series[group] = as_float_tuple(values_g)
 
     return MultiSeriesData(
         chart=chart,
         x_name=x,
-        x_labels=tuple(b.label for b in buckets),
+        x_labels=result.labels,
         series=series,
         aggregate_op=op,
         transform=transform,

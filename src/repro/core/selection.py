@@ -28,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..dataset.table import Table
 from ..errors import SelectionError
 from ..obs import MetricsRegistry, Tracer, maybe_span
+from ..obs.kernels import KERNEL_STATS
 from .enumeration import (
     EnumerationConfig,
     EnumerationContext,
@@ -333,6 +334,7 @@ def _record_selection_metrics(
             labels={"rule": rule},
             help="Candidates eliminated, per decision rule",
         ).inc(count)
+    KERNEL_STATS.record_metrics(metrics)
     if cache is not None:
         cache.record_metrics(metrics)
 
@@ -402,40 +404,62 @@ def select_top_k(
             )
 
     timings: Dict[str, float] = {}
-    with maybe_span(
-        tracer,
-        "select_top_k",
-        table=table.name,
-        k=k,
-        enumeration=enumeration,
-        n_jobs=jobs,
-        search_space=search_space_size(
-            table.num_columns, config.include_one_column
-        ),
-    ) as root:
-        with _timed_phase(tracer, timings, "enumerate") as span:
-            candidates, valid_mask, pruning = _enumerate_phase(
-                table, enumeration, config, recognizer, cache, jobs, metrics
+    if metrics is not None:
+        # Stream per-call kernel_seconds histogram samples into the
+        # caller's registry for the duration of this run.
+        KERNEL_STATS.attach(metrics)
+    try:
+        with maybe_span(
+            tracer,
+            "select_top_k",
+            table=table.name,
+            k=k,
+            enumeration=enumeration,
+            n_jobs=jobs,
+            search_space=search_space_size(
+                table.num_columns, config.include_one_column
+            ),
+        ) as root:
+            kernels_before = (
+                KERNEL_STATS.snapshot() if tracer is not None else None
             )
-            if span is not None:
-                span.add("candidates", len(candidates))
-                span.add("considered", pruning.considered)
-                for rule, count in pruning.pruned.items():
-                    span.add(f"pruned.{rule}", count)
+            with _timed_phase(tracer, timings, "enumerate") as span:
+                candidates, valid_mask, pruning = _enumerate_phase(
+                    table, enumeration, config, recognizer, cache, jobs,
+                    metrics,
+                )
+                if span is not None:
+                    span.add("candidates", len(candidates))
+                    span.add("considered", pruning.considered)
+                    for rule, count in pruning.pruned.items():
+                        span.add(f"pruned.{rule}", count)
+                    # Split the phase wall-clock into kernel vs. the
+                    # rest (aggregation dispatch, feature extraction,
+                    # node assembly): one attribute pair per kernel
+                    # that did work during this phase.
+                    kernel_delta = KERNEL_STATS.delta_since(kernels_before)
+                    for name, delta in sorted(kernel_delta.items()):
+                        span.set(f"kernel.{name}.calls", int(delta["calls"]))
+                        span.set(f"kernel.{name}.seconds", delta["seconds"])
 
-        with _timed_phase(tracer, timings, "recognize") as span:
-            valid_nodes = _recognize_phase(candidates, valid_mask, recognizer)
-            if span is not None:
-                span.add("valid", len(valid_nodes))
+            with _timed_phase(tracer, timings, "recognize") as span:
+                valid_nodes = _recognize_phase(
+                    candidates, valid_mask, recognizer
+                )
+                if span is not None:
+                    span.add("valid", len(valid_nodes))
 
-        with _timed_phase(tracer, timings, "rank") as span:
-            order = _rank_phase(valid_nodes, ranker, ltr, graph_strategy)
-            if span is not None:
-                span.add("ranked", len(order))
+            with _timed_phase(tracer, timings, "rank") as span:
+                order = _rank_phase(valid_nodes, ranker, ltr, graph_strategy)
+                if span is not None:
+                    span.add("ranked", len(order))
 
-        if root is not None:
-            root.set("candidates", len(candidates))
-            root.set("valid", len(valid_nodes))
+            if root is not None:
+                root.set("candidates", len(candidates))
+                root.set("valid", len(valid_nodes))
+    finally:
+        if metrics is not None:
+            KERNEL_STATS.detach(metrics)
 
     if metrics is not None:
         _record_selection_metrics(

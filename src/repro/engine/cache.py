@@ -8,8 +8,10 @@ fingerprint of the table (:meth:`repro.dataset.table.Table.fingerprint`)
 so renames of the table object, re-parsed CSVs, and duplicated corpora
 all hit the same entries:
 
-* **transform level** — ``(fingerprint, transform)`` -> the grouped or
-  binned ``(buckets, assignment)`` pair, the most expensive part of
+* **transform level** — ``(fingerprint, transform)`` -> the compact
+  :class:`~repro.language.binning.TransformResult` (distinct-bucket
+  labels/keys/values arrays + per-row assignment; its lazily-built
+  ``Bucket`` views are dropped on pickling), the most expensive part of
   candidate enumeration;
 * **feature level** — ``(fingerprint, query signature)`` -> the measured
   :class:`~repro.core.features.FeatureVector` of one candidate chart;
@@ -130,7 +132,8 @@ class MultiLevelCache:
     Attributes
     ----------
     transforms:
-        ``(fingerprint, transform)`` -> grouped/binned assignment.
+        ``(fingerprint, transform)`` -> compact
+        :class:`~repro.language.binning.TransformResult`.
     features:
         ``(fingerprint, query signature)`` -> feature vector.
     results:

@@ -15,6 +15,7 @@ same batch one-query-at-a-time for the ablation benchmark.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,7 @@ from ..errors import ValidationError
 from ..language.aggregation import aggregate
 from ..language.ast import AggregateOp, Transform
 from ..language.executor import apply_transform
+from ..obs.kernels import KERNEL_STATS
 
 __all__ = ["AggregateRequest", "ScanStats", "SharedScanEngine"]
 
@@ -48,7 +50,14 @@ class AggregateRequest:
 
 @dataclass
 class ScanStats:
-    """Work counters for the shared-vs-naive comparison."""
+    """Work counters for the shared-vs-naive comparison.
+
+    The engine increments these alongside the kernel-level accounting in
+    :data:`~repro.obs.kernels.KERNEL_STATS`: each ``transforms_applied``
+    corresponds to one transform-kernel invocation and each
+    ``column_passes`` to one ``y_scan`` invocation, so the two ledgers
+    agree by construction.
+    """
 
     transforms_applied: int = 0
     column_passes: int = 0
@@ -57,6 +66,19 @@ class ScanStats:
         """Zero the counters before a new measurement."""
         self.transforms_applied = 0
         self.column_passes = 0
+
+    def record_metrics(self, registry) -> None:
+        """Publish the counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (monotone
+        ``set_cumulative``, safe to call repeatedly)."""
+        registry.counter(
+            "shared_scan_transforms_total",
+            help="Distinct transforms the shared-scan engine applied",
+        ).set_cumulative(self.transforms_applied)
+        registry.counter(
+            "shared_scan_column_passes_total",
+            help="Weighted column scans (one per distinct Y per transform)",
+        ).set_cumulative(self.column_passes)
 
 
 class SharedScanEngine:
@@ -83,13 +105,19 @@ class SharedScanEngine:
 
         results: Dict[AggregateRequest, Tuple[Tuple[str, ...], np.ndarray]] = {}
         for transform, group in by_transform.items():
-            buckets, assignment = apply_transform(transform, self.table)
+            result = apply_transform(transform, self.table)
             self.stats.transforms_applied += 1
-            labels = tuple(b.label for b in buckets)
-            n_buckets = len(buckets)
+            labels = result.labels
+            n_buckets = result.num_buckets
+            assignment = result.assignment
 
+            start = _time.perf_counter()
             counts = np.bincount(assignment, minlength=n_buckets).astype(
                 np.float64
+            )
+            KERNEL_STATS.record(
+                "count_scan", len(assignment), n_buckets,
+                _time.perf_counter() - start,
             )
             # One pass per distinct Y column serves SUM and AVG together.
             sums: Dict[str, np.ndarray] = {}
@@ -103,10 +131,15 @@ class SharedScanEngine:
                             f"{request.op.value} over non-numerical column "
                             f"{request.y!r}"
                         )
+                    start = _time.perf_counter()
                     sums[request.y] = np.bincount(
                         assignment,
                         weights=y_col.values.astype(np.float64),
                         minlength=n_buckets,
+                    )
+                    KERNEL_STATS.record(
+                        "y_scan", len(assignment), n_buckets,
+                        _time.perf_counter() - start,
                     )
                     self.stats.column_passes += 1
 
@@ -130,7 +163,7 @@ class SharedScanEngine:
         """The unshared baseline: re-transform and re-scan per request."""
         results: Dict[AggregateRequest, Tuple[Tuple[str, ...], np.ndarray]] = {}
         for request in requests:
-            buckets, assignment = apply_transform(request.transform, self.table)
+            result = apply_transform(request.transform, self.table)
             self.stats.transforms_applied += 1
             y_col = (
                 self.table.column(request.y)
@@ -139,6 +172,8 @@ class SharedScanEngine:
             )
             if y_col is not None:
                 self.stats.column_passes += 1
-            values = aggregate(request.op, assignment, len(buckets), y_col)
-            results[request] = (tuple(b.label for b in buckets), values)
+            values = aggregate(
+                request.op, result.assignment, result.num_buckets, y_col
+            )
+            results[request] = (result.labels, values)
         return results

@@ -17,13 +17,21 @@ from .ast import (
 from .binning import (
     DEFAULT_NUM_BUCKETS,
     Bucket,
+    TransformResult,
     assign_buckets,
     bin_numeric,
     bin_temporal,
     bin_udf,
     group_categorical,
+    use_reference_kernels,
 )
-from .executor import ChartData, apply_transform, execute
+from .executor import (
+    ChartData,
+    apply_transform,
+    as_float_tuple,
+    as_str_tuple,
+    execute,
+)
 from .parser import ParsedQuery, parse_query
 from .validate import validate_query
 
@@ -41,15 +49,19 @@ __all__ = [
     "VisQuery",
     "Bucket",
     "DEFAULT_NUM_BUCKETS",
+    "TransformResult",
     "assign_buckets",
     "bin_numeric",
     "bin_temporal",
     "bin_udf",
     "group_categorical",
+    "use_reference_kernels",
     "aggregate",
     "allowed_aggregates",
     "ChartData",
     "apply_transform",
+    "as_float_tuple",
+    "as_str_tuple",
     "execute",
     "ParsedQuery",
     "parse_query",

@@ -6,12 +6,14 @@ category by summarising the Y values that fall into it.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Optional
 
 import numpy as np
 
 from ..dataset.column import Column, ColumnType
 from ..errors import ValidationError
+from ..obs.kernels import KERNEL_STATS
 from .ast import AggregateOp
 
 __all__ = ["aggregate", "allowed_aggregates"]
@@ -56,9 +58,14 @@ def aggregate(
         aggregate to 0.
     """
     assignment = np.asarray(assignment, dtype=np.intp)
+    start = _time.perf_counter()
     counts = np.bincount(assignment, minlength=num_buckets).astype(np.float64)
 
     if op is AggregateOp.CNT:
+        KERNEL_STATS.record(
+            "count_scan", len(assignment), num_buckets,
+            _time.perf_counter() - start,
+        )
         return counts
 
     if y is None:
@@ -78,8 +85,15 @@ def aggregate(
         assignment, weights=y.values.astype(np.float64), minlength=num_buckets
     )
     if op is AggregateOp.SUM:
+        KERNEL_STATS.record(
+            "y_scan", len(assignment), num_buckets,
+            _time.perf_counter() - start,
+        )
         return sums
     # AVG: guard empty buckets against division by zero.
     with np.errstate(invalid="ignore", divide="ignore"):
         means = np.where(counts > 0, sums / counts, 0.0)
+    KERNEL_STATS.record(
+        "y_scan", len(assignment), num_buckets, _time.perf_counter() - start
+    )
     return means

@@ -1,36 +1,76 @@
 """Binning and grouping: the TRANSFORM operators of Section II-A.
 
-Binning maps every row of a column to a *bucket key*; grouping maps it to
+Binning maps every row of a column to a *bucket*; grouping maps it to
 its categorical value.  The executor then aggregates Y over rows sharing
-a key.  Bucket keys carry a sortable ``sort_key`` and a human-readable
+a bucket.  Buckets carry a sortable ``sort_key`` and a human-readable
 ``label`` so charts render meaningfully.
+
+The kernels here are **vectorized and columnar**: each transform is a
+handful of NumPy passes that produce a compact :class:`TransformResult`
+— the distinct buckets (labels / sort keys / numeric representatives as
+parallel arrays, formatted once per *distinct* bucket) plus one
+``intp`` assignment array mapping every row to its bucket.  Nothing on
+the hot path allocates a per-row Python object: temporal binning runs
+on ``datetime64`` arithmetic, numeric binning builds only ``n`` bucket
+descriptors from exact ``np.linspace`` edges, and categorical grouping
+and UDF dedup go through ``np.unique(..., return_inverse=True)`` with
+first-appearance order preserved.
+
+The original row-at-a-time implementations survive as the
+``_reference_*`` functions — the oracles the differential tests and
+``benchmarks/bench_kernels.py`` compare the vectorized kernels against
+(outputs are identical bucket-for-bucket) — and
+:func:`use_reference_kernels` temporarily routes the executor through
+them for A/B measurement.
+
+Every kernel invocation is accounted in
+:data:`repro.obs.kernels.KERNEL_STATS` (calls / rows / buckets /
+seconds per kernel) so traces and metrics can split transform time from
+aggregation time.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import math as _math
+import time as _time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from ..dataset.column import EPOCH, Column, ColumnType
 from ..errors import ValidationError
+from ..obs.kernels import KERNEL_STATS
 from .ast import BinGranularity
 
 __all__ = [
     "Bucket",
+    "TransformResult",
+    "TRANSFORM_KERNELS",
     "DEFAULT_NUM_BUCKETS",
     "bin_temporal",
     "bin_numeric",
     "bin_udf",
     "group_categorical",
     "assign_buckets",
+    "use_reference_kernels",
 ]
 
 #: Default bucket count for ``BIN X`` with no explicit target (the paper's
 #: "default buckets" case in the 9 binning options).
 DEFAULT_NUM_BUCKETS = 10
+
+#: The kernel names the transform layer reports into
+#: :data:`~repro.obs.kernels.KERNEL_STATS` (the aggregation layer adds
+#: ``count_scan`` / ``y_scan``).
+TRANSFORM_KERNELS: Tuple[str, ...] = (
+    "bin_temporal",
+    "bin_numeric",
+    "bin_udf",
+    "group_categorical",
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +88,121 @@ class Bucket:
     value: float
 
 
+class TransformResult:
+    """Compact columnar result of one TRANSFORM kernel.
+
+    Holds the *distinct* buckets as three parallel arrays plus the
+    per-row assignment — the representation the whole serving stack
+    (executor, enumeration context, shared-scan engine, transform-level
+    cache) threads around, so a transform over a million rows costs a
+    million ``intp`` entries and a few dozen bucket descriptors rather
+    than a million ``Bucket`` objects.
+
+    Attributes
+    ----------
+    labels:
+        Tick label per distinct bucket, in ``sort_key`` order.
+    sort_keys:
+        ``float64`` sort key per distinct bucket (ascending).
+    values:
+        ``float64`` numeric representative per distinct bucket.
+    assignment:
+        ``intp`` array, one entry per source row, indexing into the
+        distinct buckets.
+
+    Unpacking compatibility: ``buckets, assignment = result`` yields the
+    materialised :class:`Bucket` tuple and the assignment array, the
+    shape :func:`repro.language.executor.apply_transform` has always
+    returned.  ``buckets`` and :attr:`values_tuple` are built lazily and
+    cached (and dropped on pickling, so cache entries and cross-process
+    shipments carry only the compact arrays).
+    """
+
+    __slots__ = (
+        "labels", "sort_keys", "values", "assignment",
+        "_buckets", "_values_tuple",
+    )
+
+    def __init__(self, labels, sort_keys, values, assignment) -> None:
+        self.labels: Tuple[str, ...] = tuple(labels)
+        self.sort_keys = np.asarray(sort_keys, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.assignment = np.asarray(assignment, dtype=np.intp)
+        self._buckets = None
+        self._values_tuple = None
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        """Number of distinct buckets (``len(labels)``)."""
+        return len(self.labels)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of source rows (``len(assignment)``)."""
+        return len(self.assignment)
+
+    # -- lazy views -----------------------------------------------------
+    @property
+    def buckets(self) -> Tuple[Bucket, ...]:
+        """The distinct buckets as :class:`Bucket` objects (lazy, cached)."""
+        if self._buckets is None:
+            self._buckets = tuple(
+                Bucket(sort_key=key, label=label, value=value)
+                for key, label, value in zip(
+                    self.sort_keys.tolist(), self.labels, self.values.tolist()
+                )
+            )
+        return self._buckets
+
+    @property
+    def values_tuple(self) -> Tuple[float, ...]:
+        """The numeric representatives as a tuple of Python floats —
+        the ready-made ``ChartData.x_values`` (lazy, cached, shared by
+        every chart built over this transform)."""
+        if self._values_tuple is None:
+            self._values_tuple = tuple(self.values.tolist())
+        return self._values_tuple
+
+    # -- protocol -------------------------------------------------------
+    def __iter__(self) -> Iterator:
+        return iter((self.buckets, self.assignment))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TransformResult):
+            return NotImplemented
+        return (
+            self.labels == other.labels
+            and np.array_equal(self.sort_keys, other.sort_keys, equal_nan=True)
+            and np.array_equal(self.values, other.values, equal_nan=True)
+            and np.array_equal(self.assignment, other.assignment)
+        )
+
+    __hash__ = None  # mutable ndarray payload
+
+    def __getstate__(self):
+        return (self.labels, self.sort_keys, self.values, self.assignment)
+
+    def __setstate__(self, state) -> None:
+        self.labels, self.sort_keys, self.values, self.assignment = state
+        self._buckets = None
+        self._values_tuple = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransformResult(buckets={self.num_buckets}, "
+            f"rows={self.num_rows})"
+        )
+
+    @classmethod
+    def empty(cls) -> "TransformResult":
+        """The zero-bucket, zero-row result (empty column)."""
+        return cls((), (), (), np.empty(0, dtype=np.intp))
+
+
+# ----------------------------------------------------------------------
+# Shared helpers (one formatting point per label family)
+# ----------------------------------------------------------------------
 def _quarter(month: int) -> int:
     return (month - 1) // 3 + 1
 
@@ -55,7 +210,9 @@ def _quarter(month: int) -> int:
 #: For each granularity: (key function over datetime, label function).
 #: Binning by HOUR puts all rows with the same hour-of-day in one bucket
 #: (the paper's Figure 1(c): "the rows with the same hour are in the same
-#: bucket"); DAY bins by calendar date; WEEK by ISO week; etc.
+#: bucket"); DAY bins by calendar date; WEEK by ISO week; etc.  The
+#: vectorized kernel reproduces the key functions in ``datetime64``
+#: arithmetic and calls the label function once per *distinct* bucket.
 _TEMPORAL_KEYS: Dict[BinGranularity, Tuple[Callable, Callable]] = {
     BinGranularity.MINUTE: (lambda d: d.minute, lambda d: f"{d.minute:02d}"),
     BinGranularity.HOUR: (lambda d: d.hour, lambda d: f"{d.hour:02d}:00"),
@@ -79,33 +236,15 @@ _TEMPORAL_KEYS: Dict[BinGranularity, Tuple[Callable, Callable]] = {
 }
 
 
-def bin_temporal(column: Column, granularity: BinGranularity) -> List[Bucket]:
-    """Assign each row of a temporal column to a granularity bucket.
-
-    Returns one :class:`Bucket` per row (row order preserved); equal
-    buckets compare equal so the executor can group on them.
-    """
+def _require_temporal(column: Column, granularity: BinGranularity) -> None:
     if column.ctype is not ColumnType.TEMPORAL:
         raise ValidationError(
             f"BIN BY {granularity.value} requires a temporal column, "
             f"got {column.ctype.value} column {column.name!r}"
         )
-    key_fn, label_fn = _TEMPORAL_KEYS[granularity]
-    buckets = []
-    for seconds in column.values:
-        moment = EPOCH + _dt.timedelta(seconds=float(seconds))
-        key = float(key_fn(moment))
-        buckets.append(Bucket(sort_key=key, label=label_fn(moment), value=key))
-    return buckets
 
 
-def bin_numeric(column: Column, n: int = DEFAULT_NUM_BUCKETS) -> List[Bucket]:
-    """Assign each row of a numeric column to one of ``n`` equal-width bins.
-
-    Uses consecutive intervals ``[lo, lo+w), [lo+w, lo+2w), ...`` as in the
-    paper's "bin1 [0, 10), bin2 [10, 20)" example.  A constant column
-    collapses into a single bucket.
-    """
+def _require_numeric(column: Column, n: int) -> None:
     if column.ctype is not ColumnType.NUMERICAL:
         raise ValidationError(
             f"BIN INTO requires a numerical column, got "
@@ -113,33 +252,341 @@ def bin_numeric(column: Column, n: int = DEFAULT_NUM_BUCKETS) -> List[Bucket]:
         )
     if n < 1:
         raise ValidationError(f"BIN INTO requires n >= 1, got {n}")
+
+
+def _require_finite(column: Column, operation: str) -> None:
+    """Binning needs a totally ordered domain; NaN/inf rows have no bin."""
+    if len(column.values) and not np.isfinite(column.values).all():
+        raise ValidationError(
+            f"{operation} requires finite values, but column "
+            f"{column.name!r} contains NaN or infinite rows"
+        )
+
+
+def _numeric_edges(lo: float, hi: float, n: int) -> np.ndarray:
+    """The ``n + 1`` shared bin edges of ``BIN INTO n`` over ``[lo, hi]``.
+
+    ``np.linspace`` is the single source of edge values: adjacent labels
+    share the *same* float (no ``lo + idx * width`` re-accumulation, so
+    no ``[0.2, 0.30000000000000004)`` next to ``[0.3, 0.4)``) and the
+    last right edge is exactly ``hi``.
+    """
+    return np.linspace(lo, hi, n + 1)
+
+
+def _interval_label(left: float, right: float) -> str:
+    """``[left, right)`` formatted the one way every caller shares."""
+    return f"[{left:g}, {right:g})"
+
+
+def _point_label(value: float) -> str:
+    """The degenerate single-point interval of a constant column."""
+    return f"[{value:g}, {value:g}]"
+
+
+def _moment(seconds: float) -> _dt.datetime:
+    """Decode one epoch-seconds value (the per-distinct-bucket path)."""
+    return EPOCH + _dt.timedelta(seconds=float(seconds))
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels
+# ----------------------------------------------------------------------
+def _temporal_keys_columnar(
+    values: np.ndarray, granularity: BinGranularity
+) -> np.ndarray:
+    """Per-row integer bucket keys via ``datetime64`` arithmetic.
+
+    Reproduces the ``_TEMPORAL_KEYS`` key functions exactly: fractional
+    seconds round to microseconds half-to-even (``timedelta``'s
+    convention) and unit downcasts floor toward -inf, so pre-epoch
+    timestamps land in the same calendar buckets as the row-wise path.
+    """
+    micros = np.rint(values * 1e6).astype(np.int64)
+    seconds = micros // 1_000_000
+    dt64 = seconds.astype("datetime64[s]")
+    if granularity is BinGranularity.MINUTE:
+        minutes = dt64.astype("datetime64[m]")
+        return (minutes - dt64.astype("datetime64[h]")).astype(np.int64)
+    if granularity is BinGranularity.HOUR:
+        hours = dt64.astype("datetime64[h]")
+        return (hours - dt64.astype("datetime64[D]")).astype(np.int64)
+    days = dt64.astype("datetime64[D]")
+    if granularity is BinGranularity.DAY:
+        years = days.astype("datetime64[Y]")
+        yday = (days - years.astype("datetime64[D]")).astype(np.int64) + 1
+        return yday + (years.astype(np.int64) + 1970) * 1000
+    if granularity is BinGranularity.WEEK:
+        # ISO week/year of a date = week/year of the Thursday of its
+        # Monday-based week (1970-01-01 was a Thursday, hence the +3).
+        day_numbers = days.astype(np.int64)
+        thursdays = (
+            day_numbers - (day_numbers + 3) % 7 + 3
+        ).astype("datetime64[D]")
+        iso_years = thursdays.astype("datetime64[Y]")
+        thu_yday = (
+            thursdays - iso_years.astype("datetime64[D]")
+        ).astype(np.int64) + 1
+        weeks = (thu_yday - 1) // 7 + 1
+        return weeks + (iso_years.astype(np.int64) + 1970) * 100
+    months_since_epoch = dt64.astype("datetime64[M]").astype(np.int64)
+    year = months_since_epoch // 12 + 1970
+    month = months_since_epoch % 12 + 1
+    if granularity is BinGranularity.MONTH:
+        return month + year * 100
+    if granularity is BinGranularity.QUARTER:
+        return (month - 1) // 3 + 1 + year * 10
+    return year  # BinGranularity.YEAR
+
+
+def bin_temporal(
+    column: Column, granularity: BinGranularity
+) -> TransformResult:
+    """Bin a temporal column by calendar granularity, columnar.
+
+    One ``datetime64`` key pass over the rows, one ``np.unique`` to
+    dedupe, and one label formatting per *distinct* bucket (via a
+    representative row, so labels match the row-wise oracle
+    byte-for-byte).  Buckets come out sorted by key.
+    """
+    _require_temporal(column, granularity)
+    start = _time.perf_counter()
+    values = column.values
+    if len(values) == 0:
+        result = TransformResult.empty()
+    else:
+        _require_finite(column, f"BIN BY {granularity.value}")
+        keys = _temporal_keys_columnar(values, granularity)
+        distinct, first_rows, assignment = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        label_fn = _TEMPORAL_KEYS[granularity][1]
+        labels = tuple(
+            label_fn(_moment(values[row])) for row in first_rows
+        )
+        sort_keys = distinct.astype(np.float64)
+        result = TransformResult(labels, sort_keys, sort_keys, assignment)
+    KERNEL_STATS.record(
+        "bin_temporal", len(values), result.num_buckets,
+        _time.perf_counter() - start,
+    )
+    return result
+
+
+def bin_numeric(
+    column: Column, n: int = DEFAULT_NUM_BUCKETS
+) -> TransformResult:
+    """Bin a numeric column into ``n`` equal-width intervals, columnar.
+
+    Uses consecutive intervals ``[lo, lo+w), [lo+w, lo+2w), ...`` as in
+    the paper's "bin1 [0, 10), bin2 [10, 20)" example; a constant column
+    collapses into a single bucket.  Only the (at most ``n``) occupied
+    buckets are materialised, with labels derived from the shared
+    :func:`np.linspace` edges.
+    """
+    _require_numeric(column, n)
+    start = _time.perf_counter()
+    values = column.values
+    if len(values) == 0:
+        result = TransformResult.empty()
+    else:
+        _require_finite(column, "BIN INTO")
+        lo, hi = float(np.min(values)), float(np.max(values))
+        if hi <= lo:
+            result = TransformResult(
+                (_point_label(lo),), (0.0,), (lo,),
+                np.zeros(len(values), dtype=np.intp),
+            )
+        else:
+            width = (hi - lo) / n
+            indices = np.clip(
+                ((values - lo) / width).astype(np.int64), 0, n - 1
+            )
+            occupied, assignment = np.unique(indices, return_inverse=True)
+            edges = _numeric_edges(lo, hi, n)
+            lefts = edges[occupied]
+            rights = edges[occupied + 1]
+            labels = tuple(
+                _interval_label(left, right)
+                for left, right in zip(lefts.tolist(), rights.tolist())
+            )
+            result = TransformResult(
+                labels, occupied.astype(np.float64),
+                (lefts + rights) / 2.0, assignment,
+            )
+    KERNEL_STATS.record(
+        "bin_numeric", len(values), result.num_buckets,
+        _time.perf_counter() - start,
+    )
+    return result
+
+
+def bin_udf(column: Column, udf: Callable[[float], object]) -> TransformResult:
+    """Bucket rows through a user-defined function, columnar dedup.
+
+    The UDF itself runs once per row (it is an opaque Python callable),
+    but everything after — dedup, representative selection, ordering,
+    assignment — is array work.  Labels are ordered by the minimum input
+    value mapping to them (first-appearance index for categorical
+    columns), so a monotone UDF yields a sensibly ordered axis; ties
+    keep first-appearance order.
+    """
+    start = _time.perf_counter()
+    raw = column.values
+    if len(raw) == 0:
+        result = TransformResult.empty()
+    else:
+        labels_per_row = np.asarray(
+            [str(udf(value)) for value in raw], dtype=object
+        )
+        distinct, first_rows, inverse = np.unique(
+            labels_per_row, return_index=True, return_inverse=True
+        )
+        if column.ctype is ColumnType.CATEGORICAL:
+            representatives = first_rows.astype(np.float64)
+        else:
+            numeric = np.asarray(raw, dtype=np.float64)
+            representatives = np.full(len(distinct), np.inf)
+            np.fmin.at(representatives, inverse, numeric)
+            # A label whose first row is NaN keeps NaN (the row-wise
+            # oracle never replaces it: no value compares below NaN).
+            first_is_nan = np.isnan(numeric[first_rows])
+            if first_is_nan.any():
+                representatives[first_is_nan] = np.nan
+        order = np.lexsort((first_rows, representatives))
+        rank = np.empty(len(order), dtype=np.intp)
+        rank[order] = np.arange(len(order), dtype=np.intp)
+        sort_keys = representatives[order]
+        result = TransformResult(
+            tuple(distinct[order].tolist()), sort_keys, sort_keys,
+            rank[inverse],
+        )
+    KERNEL_STATS.record(
+        "bin_udf", len(raw), result.num_buckets, _time.perf_counter() - start
+    )
+    return result
+
+
+def group_categorical(column: Column) -> TransformResult:
+    """``GROUP BY X`` — one bucket per distinct value, first-appearance
+    order, columnar."""
+    if not column.ctype.is_groupable:
+        raise ValidationError(
+            f"GROUP BY requires a categorical or temporal column, got "
+            f"{column.ctype.value} column {column.name!r}"
+        )
+    if column.ctype is ColumnType.TEMPORAL:
+        # NaN values neither equal nor hash like themselves; a NaN row
+        # has no well-defined group.
+        _require_finite(column, "GROUP BY")
+    start = _time.perf_counter()
+    values = column.values
+    if len(values) == 0:
+        result = TransformResult.empty()
+    else:
+        distinct, first_rows, inverse = np.unique(
+            values, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_rows, kind="stable")
+        rank = np.empty(len(order), dtype=np.intp)
+        rank[order] = np.arange(len(order), dtype=np.intp)
+        labels = tuple(str(distinct[j]) for j in order)
+        sort_keys = np.arange(len(order), dtype=np.float64)
+        result = TransformResult(labels, sort_keys, sort_keys, rank[inverse])
+    KERNEL_STATS.record(
+        "group_categorical", len(values), result.num_buckets,
+        _time.perf_counter() - start,
+    )
+    return result
+
+
+def assign_buckets(buckets: Sequence[Bucket]) -> TransformResult:
+    """Deduplicate a per-row :class:`Bucket` sequence into the compact form.
+
+    The row-wise combiner behind the ``_reference_*`` oracles (and any
+    external caller still producing per-row buckets): distinct buckets
+    come out sorted by ``sort_key`` with first-appearance order among
+    ties and NaN keys last, exactly as the vectorized kernels emit them.
+    (Plain ``sorted`` on keys containing NaN depends on comparison
+    order; the explicit NaN-last rule makes it deterministic.)
+    """
+    seen: Dict[Tuple[float, str], int] = {}
+    ordered: List[Bucket] = []
+    assignment = np.empty(len(buckets), dtype=np.intp)
+    for i, bucket in enumerate(buckets):
+        key = (bucket.sort_key, bucket.label)
+        if key not in seen:
+            seen[key] = len(ordered)
+            ordered.append(bucket)
+        assignment[i] = seen[key]
+    order = sorted(
+        range(len(ordered)),
+        key=lambda j: (_math.isnan(ordered[j].sort_key), ordered[j].sort_key),
+    )
+    remap = np.empty(len(ordered), dtype=np.intp)
+    for new_pos, old_pos in enumerate(order):
+        remap[old_pos] = new_pos
+    sorted_buckets = [ordered[j] for j in order]
+    return TransformResult(
+        [b.label for b in sorted_buckets],
+        [b.sort_key for b in sorted_buckets],
+        [b.value for b in sorted_buckets],
+        remap[assignment] if len(buckets) else assignment,
+    )
+
+
+# ----------------------------------------------------------------------
+# Row-wise reference oracles (the pre-vectorization implementations)
+# ----------------------------------------------------------------------
+def _reference_bin_temporal(
+    column: Column, granularity: BinGranularity
+) -> List[Bucket]:
+    """Row-at-a-time temporal binning: one ``datetime`` + one
+    :class:`Bucket` per row.  Oracle for the differential tests."""
+    _require_temporal(column, granularity)
+    _require_finite(column, f"BIN BY {granularity.value}")
+    key_fn, label_fn = _TEMPORAL_KEYS[granularity]
+    buckets = []
+    for seconds in column.values:
+        moment = _moment(seconds)
+        key = float(key_fn(moment))
+        buckets.append(Bucket(sort_key=key, label=label_fn(moment), value=key))
+    return buckets
+
+
+def _reference_bin_numeric(
+    column: Column, n: int = DEFAULT_NUM_BUCKETS
+) -> List[Bucket]:
+    """Row-at-a-time numeric binning (same shared edges and labels)."""
+    _require_numeric(column, n)
     values = column.values
     if len(values) == 0:
         return []
+    _require_finite(column, "BIN INTO")
     lo, hi = float(np.min(values)), float(np.max(values))
     if hi <= lo:
-        label = f"[{lo:g}, {lo:g}]"
-        return [Bucket(0.0, label, lo) for _ in values]
+        return [Bucket(0.0, _point_label(lo), lo) for _ in values]
     width = (hi - lo) / n
-    indices = np.clip(((values - lo) / width).astype(int), 0, n - 1)
+    indices = np.clip(((values - lo) / width).astype(np.int64), 0, n - 1)
+    edges = _numeric_edges(lo, hi, n)
     buckets = []
     for idx in indices:
-        left = lo + idx * width
-        right = left + width
-        mid = (left + right) / 2.0
+        left = float(edges[idx])
+        right = float(edges[idx + 1])
         buckets.append(
-            Bucket(sort_key=float(idx), label=f"[{left:g}, {right:g})", value=mid)
+            Bucket(
+                sort_key=float(idx),
+                label=_interval_label(left, right),
+                value=(left + right) / 2.0,
+            )
         )
     return buckets
 
 
-def bin_udf(column: Column, udf: Callable[[float], object]) -> List[Bucket]:
-    """Assign rows to buckets through a user-defined function.
-
-    The UDF receives the raw value and returns a bucket label; labels are
-    ordered by first appearance of their minimum input value so that a
-    monotone UDF (e.g. sign splits) yields a sensibly ordered axis.
-    """
+def _reference_bin_udf(
+    column: Column, udf: Callable[[float], object]
+) -> List[Bucket]:
+    """Row-at-a-time UDF bucketing with dict-based representatives."""
     labels = [str(udf(v)) for v in column.values]
     representative: Dict[str, float] = {}
     if column.ctype is ColumnType.CATEGORICAL:
@@ -156,13 +603,15 @@ def bin_udf(column: Column, udf: Callable[[float], object]) -> List[Bucket]:
     ]
 
 
-def group_categorical(column: Column) -> List[Bucket]:
-    """``GROUP BY X`` — one bucket per distinct value, first-appearance order."""
+def _reference_group_categorical(column: Column) -> List[Bucket]:
+    """Row-at-a-time grouping with a first-appearance dict."""
     if not column.ctype.is_groupable:
         raise ValidationError(
             f"GROUP BY requires a categorical or temporal column, got "
             f"{column.ctype.value} column {column.name!r}"
         )
+    if column.ctype is ColumnType.TEMPORAL:
+        _require_finite(column, "GROUP BY")
     order: Dict[object, int] = {}
     for value in column.values:
         if value not in order:
@@ -173,24 +622,54 @@ def group_categorical(column: Column) -> List[Bucket]:
     ]
 
 
-def assign_buckets(buckets: Sequence[Bucket]) -> Tuple[List[Bucket], np.ndarray]:
-    """Deduplicate per-row buckets into distinct buckets + row assignment.
+def _timed_reference(name: str, kernel: Callable) -> Callable:
+    """Wrap a row-wise oracle to emit the compact form + kernel stats."""
 
-    Returns ``(distinct, assignment)`` where ``distinct`` is sorted by
-    ``sort_key`` and ``assignment[i]`` is the index into ``distinct`` of
-    row ``i``'s bucket.
+    def runner(column: Column, *args) -> TransformResult:
+        start = _time.perf_counter()
+        result = assign_buckets(kernel(column, *args))
+        KERNEL_STATS.record(
+            f"reference_{name}", len(column.values), result.num_buckets,
+            _time.perf_counter() - start,
+        )
+        return result
+
+    runner.__name__ = name
+    return runner
+
+
+#: name -> vectorized kernel, the executor's dispatch surface.
+_VECTORIZED_KERNELS: Dict[str, Callable] = {
+    "bin_temporal": bin_temporal,
+    "bin_numeric": bin_numeric,
+    "bin_udf": bin_udf,
+    "group_categorical": group_categorical,
+}
+
+_REFERENCE_COMPACT: Dict[str, Callable] = {
+    "bin_temporal": _timed_reference("bin_temporal", _reference_bin_temporal),
+    "bin_numeric": _timed_reference("bin_numeric", _reference_bin_numeric),
+    "bin_udf": _timed_reference("bin_udf", _reference_bin_udf),
+    "group_categorical": _timed_reference(
+        "group_categorical", _reference_group_categorical
+    ),
+}
+
+
+@contextmanager
+def use_reference_kernels() -> Iterator[None]:
+    """Route :func:`repro.language.executor.apply_transform` through the
+    row-wise reference oracles while the context is active.
+
+    For differential tests and the ``bench_kernels`` A/B measurement
+    only — the oracles produce identical results, orders of magnitude
+    slower.  Swaps this module's public kernel names, which the executor
+    resolves per call; direct ``from ... import bin_temporal`` bindings
+    held elsewhere keep pointing at the vectorized kernels.
     """
-    distinct: Dict[Tuple[float, str], int] = {}
-    ordered: List[Bucket] = []
-    assignment = np.empty(len(buckets), dtype=np.intp)
-    for i, bucket in enumerate(buckets):
-        key = (bucket.sort_key, bucket.label)
-        if key not in distinct:
-            distinct[key] = len(ordered)
-            ordered.append(bucket)
-        assignment[i] = distinct[key]
-    order = sorted(range(len(ordered)), key=lambda j: ordered[j].sort_key)
-    remap = np.empty(len(ordered), dtype=np.intp)
-    for new_pos, old_pos in enumerate(order):
-        remap[old_pos] = new_pos
-    return [ordered[j] for j in order], remap[assignment]
+    previous = {name: globals()[name] for name in _VECTORIZED_KERNELS}
+    globals().update(_REFERENCE_COMPACT)
+    try:
+        yield
+    finally:
+        globals().update(previous)

@@ -9,7 +9,7 @@ statistics (``|X'|``, ``d(X')``, ``d(Y')``) the ranking factors need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,16 +29,31 @@ from .ast import (
     Transform,
     VisQuery,
 )
-from .binning import (
-    Bucket,
-    assign_buckets,
-    bin_numeric,
-    bin_temporal,
-    bin_udf,
-    group_categorical,
-)
+from . import binning as _binning
+from .binning import TransformResult
 
-__all__ = ["ChartData", "execute", "apply_transform"]
+__all__ = [
+    "ChartData",
+    "execute",
+    "apply_transform",
+    "as_float_tuple",
+    "as_str_tuple",
+]
+
+
+def as_float_tuple(values) -> Tuple[float, ...]:
+    """The one array→``Tuple[float, ...]`` conversion point.
+
+    ``ndarray.tolist()`` converts in C, so building a series from a
+    kernel's array costs one pass instead of a per-row
+    ``tuple(float(v) for ...)`` comprehension.
+    """
+    return tuple(np.asarray(values, dtype=np.float64).tolist())
+
+
+def as_str_tuple(values) -> Tuple[str, ...]:
+    """The one array→``Tuple[str, ...]`` conversion point (labels)."""
+    return tuple(str(v) for v in values)
 
 
 @dataclass(frozen=True)
@@ -105,21 +120,27 @@ class ChartData:
         return len(self.y_values) == 0
 
 
-def apply_transform(
-    transform: Transform, table: Table
-) -> Tuple[List[Bucket], np.ndarray]:
-    """Evaluate a TRANSFORM clause; returns (distinct buckets, assignment)."""
+def apply_transform(transform: Transform, table: Table) -> TransformResult:
+    """Evaluate a TRANSFORM clause into the compact columnar form.
+
+    Returns a :class:`~repro.language.binning.TransformResult` (distinct
+    buckets as parallel arrays + per-row assignment); unpacking it as
+    ``buckets, assignment = apply_transform(...)`` still works.  Kernels
+    are resolved through the :mod:`~repro.language.binning` module per
+    call so :func:`~repro.language.binning.use_reference_kernels` can
+    swap in the row-wise oracles.
+    """
     if isinstance(transform, GroupBy):
-        per_row = group_categorical(table.column(transform.column))
-    elif isinstance(transform, BinByGranularity):
-        per_row = bin_temporal(table.column(transform.column), transform.granularity)
-    elif isinstance(transform, BinIntoBuckets):
-        per_row = bin_numeric(table.column(transform.column), transform.n)
-    elif isinstance(transform, BinByUDF):
-        per_row = bin_udf(table.column(transform.column), transform.udf)
-    else:
-        raise ValidationError(f"unknown transform {transform!r}")
-    return assign_buckets(per_row)
+        return _binning.group_categorical(table.column(transform.column))
+    if isinstance(transform, BinByGranularity):
+        return _binning.bin_temporal(
+            table.column(transform.column), transform.granularity
+        )
+    if isinstance(transform, BinIntoBuckets):
+        return _binning.bin_numeric(table.column(transform.column), transform.n)
+    if isinstance(transform, BinByUDF):
+        return _binning.bin_udf(table.column(transform.column), transform.udf)
+    raise ValidationError(f"unknown transform {transform!r}")
 
 
 def _raw_series(query: VisQuery, table: Table) -> ChartData:
@@ -132,18 +153,18 @@ def _raw_series(query: VisQuery, table: Table) -> ChartData:
             f"aggregation is applied"
         )
     if x_col.ctype is ColumnType.CATEGORICAL:
-        labels = tuple(str(v) for v in x_col.values)
-        x_values = tuple(float(i) for i in range(len(labels)))
+        labels = as_str_tuple(x_col.values)
+        x_values = as_float_tuple(np.arange(len(labels)))
         discrete = True
     else:
-        x_values = tuple(float(v) for v in x_col.values)
+        x_values = as_float_tuple(x_col.values)
         labels = tuple(f"{v:g}" for v in x_values)
         discrete = False
     return ChartData(
         query=query,
         x_labels=labels,
         x_values=x_values,
-        y_values=tuple(float(v) for v in y_col.values),
+        y_values=as_float_tuple(y_col.values),
         x_is_discrete=discrete,
         source_rows=table.num_rows,
     )
@@ -199,16 +220,18 @@ def execute(query: VisQuery, table: Table) -> ChartData:
             f"TRANSFORM targets {transform_col!r} but SELECT's x is {query.x!r}"
         )
 
-    buckets, assignment = apply_transform(query.transform, table)
+    result = apply_transform(query.transform, table)
     y_col = table.column(query.y) if query.aggregate is not AggregateOp.CNT else None
-    y_values = aggregate(query.aggregate, assignment, len(buckets), y_col)
+    y_values = aggregate(
+        query.aggregate, result.assignment, result.num_buckets, y_col
+    )
 
     discrete = isinstance(query.transform, (GroupBy, BinByUDF))
     data = ChartData(
         query=query,
-        x_labels=tuple(b.label for b in buckets),
-        x_values=tuple(b.value for b in buckets),
-        y_values=tuple(float(v) for v in y_values),
+        x_labels=result.labels,
+        x_values=result.values_tuple,
+        y_values=as_float_tuple(y_values),
         x_is_discrete=discrete,
         source_rows=table.num_rows,
     )

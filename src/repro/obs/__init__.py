@@ -10,6 +10,10 @@ with.  Three pillars:
 * **metrics** (:mod:`repro.obs.metrics`) — :class:`MetricsRegistry`
   holds counters, gauges, and fixed-bucket histograms (p50/p90/p99
   summaries) with Prometheus-text and JSON exporters;
+* **kernel accounting** (:mod:`repro.obs.kernels`) — the process-global
+  :data:`KERNEL_STATS` ledger the columnar transform/aggregation
+  kernels report calls / rows / buckets / seconds into, so traces and
+  metrics can split kernel time from the rest of the enumerate phase;
 * **instrumentation** — the selection pipeline
   (:func:`repro.core.selection.select_top_k`), the enumeration rules
   (per-rule pruning counters), the progressive method, and the serving
@@ -21,6 +25,7 @@ This package imports nothing from the rest of :mod:`repro`, so it can
 be loaded from any layer without cycles.
 """
 
+from .kernels import KERNEL_SECONDS_BUCKETS, KERNEL_STATS, KernelStats
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -37,6 +42,9 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "KERNEL_SECONDS_BUCKETS",
+    "KERNEL_STATS",
+    "KernelStats",
     "MetricsRegistry",
     "Span",
     "Tracer",

@@ -1,0 +1,397 @@
+"""Differential tests: vectorized kernels == row-wise reference oracles.
+
+The columnar kernels in :mod:`repro.language.binning` must reproduce the
+original row-at-a-time implementations bucket-for-bucket — same labels,
+sort keys, representatives, bucket order, and per-row assignment — over
+every column type, NaN edge rows, constant columns, and empty tables.
+The ``_reference_*`` functions are those originals, kept as oracles;
+end-to-end, ``select_top_k`` must return identical results whether the
+kernels run vectorized or via the oracles, serially, in a pool, or from
+a warm cache.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import select_top_k
+from repro.dataset import Column, ColumnType, Table
+from repro.engine import AggregateRequest, MultiLevelCache, SharedScanEngine
+from repro.errors import ValidationError
+from repro.language import (
+    AggregateOp,
+    BinGranularity,
+    bin_numeric,
+    bin_temporal,
+    bin_udf,
+    group_categorical,
+    use_reference_kernels,
+)
+from repro.language.ast import BinByGranularity, GroupBy
+from repro.language.binning import (
+    _reference_bin_numeric,
+    _reference_bin_temporal,
+    _reference_bin_udf,
+    _reference_group_categorical,
+    assign_buckets,
+)
+from repro.obs.kernels import KERNEL_STATS
+
+
+def _assert_identical(vectorized, reference_buckets):
+    """Vectorized TransformResult == compacted row-wise oracle output."""
+    reference = assign_buckets(reference_buckets)
+    assert vectorized.labels == reference.labels
+    assert np.array_equal(
+        vectorized.sort_keys, reference.sort_keys, equal_nan=True
+    )
+    assert np.array_equal(vectorized.values, reference.values, equal_nan=True)
+    assert np.array_equal(vectorized.assignment, reference.assignment)
+
+
+# Epoch-seconds range covering ~1875..2065, i.e. pre- and post-epoch.
+_seconds = st.floats(min_value=-3e9, max_value=3e9, allow_nan=False)
+
+
+class TestTemporalDifferential:
+    @given(
+        st.lists(_seconds, min_size=1, max_size=150),
+        st.sampled_from(list(BinGranularity)),
+        st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference(self, seconds, granularity, integral):
+        values = np.asarray(seconds)
+        if integral:
+            values = np.round(values)
+        column = Column("t", ColumnType.TEMPORAL, values)
+        _assert_identical(
+            bin_temporal(column, granularity),
+            _reference_bin_temporal(column, granularity),
+        )
+
+    @pytest.mark.parametrize("granularity", list(BinGranularity))
+    def test_empty_column(self, granularity):
+        column = Column("t", ColumnType.TEMPORAL, np.empty(0))
+        result = bin_temporal(column, granularity)
+        assert result.num_buckets == 0 and result.num_rows == 0
+        _assert_identical(result, _reference_bin_temporal(column, granularity))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_rejected_by_both(self, bad):
+        column = Column("t", ColumnType.TEMPORAL, np.array([0.0, bad]))
+        with pytest.raises(ValidationError):
+            bin_temporal(column, BinGranularity.DAY)
+        with pytest.raises(ValidationError):
+            _reference_bin_temporal(column, BinGranularity.DAY)
+
+    def test_iso_week_year_boundary(self):
+        # 2015-12-31 and 2016-01-01 are both ISO week 2015-W53; the
+        # classic datetime64-vs-isocalendar trap.
+        stamps = [
+            dt.datetime(2015, 12, 31),
+            dt.datetime(2016, 1, 1),
+            dt.datetime(2016, 1, 4),
+        ]
+        column = Column("t", ColumnType.TEMPORAL, stamps)
+        result = bin_temporal(column, BinGranularity.WEEK)
+        assert result.labels == ("2015-W53", "2016-W01")
+        _assert_identical(
+            result, _reference_bin_temporal(column, BinGranularity.WEEK)
+        )
+
+    def test_fractional_seconds_round_like_timedelta(self):
+        # 59.9999995 s rounds up to the next minute at microsecond
+        # precision, exactly as datetime.timedelta does.
+        column = Column(
+            "t", ColumnType.TEMPORAL, np.array([59.9999995, 59.4, 60.2])
+        )
+        _assert_identical(
+            bin_temporal(column, BinGranularity.MINUTE),
+            _reference_bin_temporal(column, BinGranularity.MINUTE),
+        )
+
+
+class TestNumericDifferential:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference(self, values, n):
+        column = Column("v", ColumnType.NUMERICAL, values)
+        _assert_identical(
+            bin_numeric(column, n), _reference_bin_numeric(column, n)
+        )
+
+    @given(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_constant_column(self, value, rows, n):
+        column = Column("v", ColumnType.NUMERICAL, np.full(rows, value))
+        result = bin_numeric(column, n)
+        assert result.num_buckets == 1
+        _assert_identical(result, _reference_bin_numeric(column, n))
+
+    def test_empty_column(self):
+        column = Column("v", ColumnType.NUMERICAL, np.empty(0))
+        _assert_identical(
+            bin_numeric(column, 5), _reference_bin_numeric(column, 5)
+        )
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_rejected_by_both(self, bad):
+        column = Column("v", ColumnType.NUMERICAL, np.array([1.0, bad]))
+        with pytest.raises(ValidationError):
+            bin_numeric(column, 5)
+        with pytest.raises(ValidationError):
+            _reference_bin_numeric(column, 5)
+
+
+class TestGroupAndUDFDifferential:
+    @given(
+        st.lists(
+            st.sampled_from(["ORD", "LAX", "SFO", "NYC", "ATL", ""]),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_group_categorical_matches_reference(self, labels):
+        column = Column("c", ColumnType.CATEGORICAL, labels)
+        _assert_identical(
+            group_categorical(column), _reference_group_categorical(column)
+        )
+
+    @given(
+        st.lists(
+            st.sampled_from([0.0, 1.0, 2.5, -3.0, 86400.0]),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_group_temporal_matches_reference(self, seconds):
+        column = Column("t", ColumnType.TEMPORAL, np.asarray(seconds))
+        _assert_identical(
+            group_categorical(column), _reference_group_categorical(column)
+        )
+
+    def test_group_temporal_nan_rejected_by_both(self):
+        column = Column("t", ColumnType.TEMPORAL, np.array([1.0, np.nan]))
+        with pytest.raises(ValidationError):
+            group_categorical(column)
+        with pytest.raises(ValidationError):
+            _reference_group_categorical(column)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=150,
+        ),
+        st.integers(min_value=2, max_value=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_udf_numeric_matches_reference(self, values, modulus):
+        column = Column("v", ColumnType.NUMERICAL, values)
+        udf = lambda v: f"m{int(abs(v)) % modulus}"  # noqa: E731
+        _assert_identical(
+            bin_udf(column, udf), _reference_bin_udf(column, udf)
+        )
+
+    def test_udf_categorical_orders_by_first_appearance(self):
+        column = Column(
+            "c", ColumnType.CATEGORICAL, ["z", "a", "z", "m", "a"]
+        )
+        udf = lambda v: v.upper()  # noqa: E731
+        result = bin_udf(column, udf)
+        assert result.labels == ("Z", "A", "M")
+        _assert_identical(result, _reference_bin_udf(column, udf))
+
+    def test_udf_nan_rows_keep_reference_semantics(self):
+        # A label whose first row is NaN keeps a NaN representative (no
+        # value ever compares below NaN in the row-wise loop) and sorts
+        # after every finite-keyed bucket.
+        column = Column(
+            "v",
+            ColumnType.NUMERICAL,
+            np.array([np.nan, 1.0, np.nan, 2.0, 1.0]),
+        )
+        udf = lambda v: "odd" if (np.isnan(v) or int(v) % 2) else "even"  # noqa: E731
+        result = bin_udf(column, udf)
+        assert result.labels == ("even", "odd")
+        assert np.isnan(result.sort_keys[1])
+        _assert_identical(result, _reference_bin_udf(column, udf))
+
+    def test_udf_empty_column(self):
+        column = Column("v", ColumnType.NUMERICAL, np.empty(0))
+        udf = str
+        _assert_identical(
+            bin_udf(column, udf), _reference_bin_udf(column, udf)
+        )
+
+
+def _random_table(seed: int, rows: int) -> Table:
+    rng = np.random.default_rng(seed)
+    stamps = [
+        dt.datetime(2014, 1, 1)
+        + dt.timedelta(seconds=float(s))
+        for s in rng.uniform(0, 2 * 365 * 86400, size=rows)
+    ]
+    return Table.from_dict(
+        f"random-{seed}",
+        {
+            "when": stamps,
+            "city": [f"c{int(v)}" for v in rng.integers(0, 6, size=rows)],
+            "amount": rng.normal(50, 20, size=rows),
+            "count": rng.integers(1, 400, size=rows).astype(float),
+        },
+    )
+
+
+class TestEndToEndIdentity:
+    """`select_top_k` output is invariant to kernel implementation and
+    execution mode — the ISSUE's byte-identical acceptance bar."""
+
+    def _signature(self, result):
+        return [
+            (
+                node.key(),
+                node.data.x_labels,
+                node.data.x_values,
+                node.data.y_values,
+            )
+            for node in result.nodes
+        ]
+
+    @pytest.mark.parametrize("mode", ["rules", "exhaustive"])
+    def test_vectorized_matches_reference_kernels(self, mode):
+        table = _random_table(11, 90)
+        vectorized = select_top_k(table, k=8, enumeration=mode)
+        with use_reference_kernels():
+            rowwise = select_top_k(table, k=8, enumeration=mode)
+        assert self._signature(vectorized) == self._signature(rowwise)
+        assert vectorized.order == rowwise.order
+        assert vectorized.candidates == rowwise.candidates
+
+    def test_serial_parallel_and_warm_cache_identical(self):
+        table = _random_table(23, 80)
+        serial = select_top_k(table, k=6)
+        pooled = select_top_k(table, k=6, n_jobs=2)
+        cache = MultiLevelCache()
+        cold = select_top_k(table, k=6, cache=cache)
+        warm = select_top_k(table, k=6, cache=cache)
+        assert warm.cache_stats["results_hits"] >= 1
+        for other in (pooled, cold, warm):
+            assert self._signature(other) == self._signature(serial)
+            assert other.order == serial.order
+
+
+class TestSharedScanAgreement:
+    """ScanStats and the kernel ledger count the same work (satellite:
+    the engine's accounting is wired into the obs counters)."""
+
+    def test_column_passes_equal_y_scan_calls(self, flights_table):
+        engine = SharedScanEngine(flights_table)
+        requests = [
+            AggregateRequest(
+                BinByGranularity("scheduled", BinGranularity.MONTH),
+                AggregateOp.AVG,
+                "arrival_delay",
+            ),
+            AggregateRequest(
+                BinByGranularity("scheduled", BinGranularity.MONTH),
+                AggregateOp.SUM,
+                "arrival_delay",
+            ),
+            AggregateRequest(
+                BinByGranularity("scheduled", BinGranularity.MONTH),
+                AggregateOp.SUM,
+                "departure_delay",
+            ),
+            AggregateRequest(GroupBy("carrier"), AggregateOp.CNT),
+        ]
+        before = KERNEL_STATS.snapshot()
+        engine.stats.reset()
+        engine.execute_batch(requests)
+        delta = KERNEL_STATS.delta_since(before)
+        assert engine.stats.transforms_applied == 2
+        # AVG+SUM share one arrival_delay pass; departure_delay adds one.
+        assert engine.stats.column_passes == 2
+        assert delta["y_scan"]["calls"] == engine.stats.column_passes
+        transform_calls = sum(
+            delta[k]["calls"]
+            for k in ("bin_temporal", "group_categorical")
+            if k in delta
+        )
+        assert transform_calls == engine.stats.transforms_applied
+        # One counts bincount per distinct transform.
+        assert delta["count_scan"]["calls"] == engine.stats.transforms_applied
+
+    def test_scan_stats_metrics_bridge(self, flights_table):
+        from repro.obs import MetricsRegistry
+
+        engine = SharedScanEngine(flights_table)
+        engine.execute_batch(
+            [AggregateRequest(GroupBy("carrier"), AggregateOp.CNT)]
+        )
+        registry = MetricsRegistry()
+        engine.stats.record_metrics(registry)
+        dump = registry.to_json()
+        assert dump["shared_scan_transforms_total"]["series"][0]["value"] == 1
+        assert dump["shared_scan_column_passes_total"]["series"][0]["value"] == 0
+
+
+class TestKernelObservability:
+    def test_kernels_record_calls_rows_buckets(self):
+        column = Column("v", ColumnType.NUMERICAL, np.arange(50.0))
+        before = KERNEL_STATS.snapshot()
+        bin_numeric(column, 5)
+        delta = KERNEL_STATS.delta_since(before)
+        assert delta["bin_numeric"]["calls"] == 1
+        assert delta["bin_numeric"]["rows"] == 50
+        assert delta["bin_numeric"]["buckets"] == 5
+        assert delta["bin_numeric"]["seconds"] >= 0.0
+
+    def test_selection_publishes_kernel_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        table = _random_table(5, 40)
+        registry = MetricsRegistry()
+        select_top_k(table, k=3, metrics=registry)
+        dump = registry.to_json()
+        assert dump["kernel_calls_total"]["type"] == "counter"
+        assert dump["kernel_seconds_total"]["type"] == "counter"
+        assert dump["kernel_seconds"]["type"] == "histogram"
+        # Live histogram samples were streamed during the run.
+        assert sum(
+            entry["count"] for entry in dump["kernel_seconds"]["series"]
+        ) >= 1
+
+    def test_enumerate_span_reports_kernel_split(self):
+        from repro.obs import Tracer
+
+        table = _random_table(9, 40)
+        tracer = Tracer()
+        select_top_k(table, k=3, tracer=tracer)
+        root = next(s for s in tracer.spans if s.name == "select_top_k")
+        enumerate_span = next(
+            s for s in root.children if s.name == "enumerate"
+        )
+        kernel_attrs = [
+            key
+            for key in enumerate_span.attributes
+            if key.startswith("kernel.") and key.endswith(".seconds")
+        ]
+        assert kernel_attrs, "enumerate span carries no kernel timings"

@@ -1,6 +1,7 @@
 """Unit tests for binning, grouping, and aggregation."""
 
 import datetime as dt
+import pickle
 
 import numpy as np
 import pytest
@@ -10,6 +11,8 @@ from repro.errors import ValidationError
 from repro.language import (
     AggregateOp,
     BinGranularity,
+    Bucket,
+    TransformResult,
     aggregate,
     assign_buckets,
     bin_numeric,
@@ -31,30 +34,41 @@ class TestTemporalBinning:
             dt.datetime(2015, 5, 9, 6, 45),
             dt.datetime(2015, 2, 2, 7, 0),
         ]
-        buckets = bin_temporal(_temporal(stamps), BinGranularity.HOUR)
-        assert buckets[0] == buckets[1]
-        assert buckets[0] != buckets[2]
-        assert buckets[0].label == "06:00"
+        result = bin_temporal(_temporal(stamps), BinGranularity.HOUR)
+        assert result.assignment[0] == result.assignment[1]
+        assert result.assignment[0] != result.assignment[2]
+        assert result.labels[result.assignment[0]] == "06:00"
 
     def test_month_bins_by_calendar_month(self):
         stamps = [dt.datetime(2015, 1, 5), dt.datetime(2015, 1, 25), dt.datetime(2015, 2, 1)]
-        buckets = bin_temporal(_temporal(stamps), BinGranularity.MONTH)
-        assert buckets[0] == buckets[1] != buckets[2]
-        assert buckets[0].label == "2015-01"
+        result = bin_temporal(_temporal(stamps), BinGranularity.MONTH)
+        assert result.assignment[0] == result.assignment[1] != result.assignment[2]
+        assert result.labels[result.assignment[0]] == "2015-01"
 
     def test_quarter_labels(self):
-        buckets = bin_temporal(
+        result = bin_temporal(
             _temporal([dt.datetime(2015, 4, 1)]), BinGranularity.QUARTER
         )
-        assert buckets[0].label == "2015-Q2"
+        assert result.labels == ("2015-Q2",)
 
     def test_year_and_week(self):
         stamps = [dt.datetime(2015, 6, 1)]
-        assert bin_temporal(_temporal(stamps), BinGranularity.YEAR)[0].label == "2015"
-        assert "W" in bin_temporal(_temporal(stamps), BinGranularity.WEEK)[0].label
+        assert bin_temporal(_temporal(stamps), BinGranularity.YEAR).labels == ("2015",)
+        assert "W" in bin_temporal(_temporal(stamps), BinGranularity.WEEK).labels[0]
+
+    def test_buckets_sorted_by_key(self):
+        stamps = [dt.datetime(2016, 3, 1), dt.datetime(2014, 7, 1), dt.datetime(2015, 1, 1)]
+        result = bin_temporal(_temporal(stamps), BinGranularity.YEAR)
+        assert result.labels == ("2014", "2015", "2016")
+        assert list(result.assignment) == [2, 0, 1]
 
     def test_requires_temporal_column(self):
         col = Column("v", ColumnType.NUMERICAL, [1.0])
+        with pytest.raises(ValidationError):
+            bin_temporal(col, BinGranularity.DAY)
+
+    def test_rejects_nan_rows(self):
+        col = Column("t", ColumnType.TEMPORAL, np.array([0.0, np.nan]))
         with pytest.raises(ValidationError):
             bin_temporal(col, BinGranularity.DAY)
 
@@ -62,21 +76,31 @@ class TestTemporalBinning:
 class TestNumericBinning:
     def test_equal_width_intervals(self):
         col = Column("v", ColumnType.NUMERICAL, [0, 5, 10, 15, 19.9])
-        buckets = bin_numeric(col, 2)
-        labels = {b.label for b in buckets}
-        assert len(labels) == 2
+        result = bin_numeric(col, 2)
+        assert result.num_buckets == 2
         # Values below the midpoint share a bucket.
-        assert buckets[0] == buckets[1]
+        assert result.assignment[0] == result.assignment[1]
 
     def test_max_value_lands_in_last_bucket(self):
         col = Column("v", ColumnType.NUMERICAL, [0, 10])
-        buckets = bin_numeric(col, 10)
-        assert buckets[1].sort_key == 9.0
+        result = bin_numeric(col, 10)
+        assert result.sort_keys[result.assignment[1]] == 9.0
+
+    def test_labels_share_exact_edges(self):
+        # linspace-derived edges: the right edge of one interval is the
+        # *same* float as the next interval's left edge, so no
+        # "[0.30000000000000004, 0.4)" style labels.
+        col = Column("v", ColumnType.NUMERICAL, np.linspace(0.0, 1.0, 11))
+        result = bin_numeric(col, 10)
+        for left_label, right_label in zip(result.labels, result.labels[1:]):
+            assert left_label.split(", ")[1].rstrip(")") == \
+                right_label.split(", ")[0].lstrip("[")
 
     def test_constant_column_single_bucket(self):
         col = Column("v", ColumnType.NUMERICAL, [7, 7, 7])
-        buckets = bin_numeric(col, 5)
-        assert len({b.label for b in buckets}) == 1
+        result = bin_numeric(col, 5)
+        assert result.labels == ("[7, 7]",)
+        assert list(result.assignment) == [0, 0, 0]
 
     def test_invalid_n(self):
         col = Column("v", ColumnType.NUMERICAL, [1.0])
@@ -88,19 +112,24 @@ class TestNumericBinning:
         with pytest.raises(ValidationError):
             bin_numeric(col, 3)
 
+    def test_rejects_nan_rows(self):
+        col = Column("v", ColumnType.NUMERICAL, np.array([1.0, np.nan]))
+        with pytest.raises(ValidationError):
+            bin_numeric(col, 3)
+
 
 class TestUDFAndGrouping:
     def test_udf_buckets_by_sign(self):
         col = Column("v", ColumnType.NUMERICAL, [-5, 3, -1, 8])
-        buckets = bin_udf(col, lambda v: "neg" if v < 0 else "pos")
-        assert buckets[0].label == "neg"
-        assert buckets[1].label == "pos"
-        assert buckets[0] == buckets[2]
+        result = bin_udf(col, lambda v: "neg" if v < 0 else "pos")
+        assert result.labels == ("neg", "pos")
+        assert result.assignment[0] == result.assignment[2]
 
     def test_group_preserves_first_appearance_order(self):
         col = Column("c", ColumnType.CATEGORICAL, ["b", "a", "b"])
-        buckets = group_categorical(col)
-        assert buckets[0].sort_key < buckets[1].sort_key
+        result = group_categorical(col)
+        assert result.labels == ("b", "a")
+        assert list(result.assignment) == [0, 1, 0]
 
     def test_group_rejects_numeric(self):
         col = Column("v", ColumnType.NUMERICAL, [1.0])
@@ -108,11 +137,39 @@ class TestUDFAndGrouping:
             group_categorical(col)
 
     def test_assign_buckets_sorted_and_dense(self):
+        per_row = [
+            Bucket(2.0, "c", 2.0),
+            Bucket(0.0, "a", 0.0),
+            Bucket(1.0, "b", 1.0),
+            Bucket(0.0, "a", 0.0),
+        ]
+        result = assign_buckets(per_row)
+        assert list(result.sort_keys) == sorted(result.sort_keys)
+        assert result.assignment.max() == result.num_buckets - 1
+        assert result.assignment[1] == result.assignment[3]
+
+
+class TestTransformResult:
+    def test_unpacks_to_buckets_and_assignment(self):
         col = Column("v", ColumnType.NUMERICAL, [30, 10, 20, 10])
-        distinct, assignment = assign_buckets(bin_numeric(col, 3))
-        assert [b.sort_key for b in distinct] == sorted(b.sort_key for b in distinct)
-        assert assignment.max() == len(distinct) - 1
-        assert assignment[1] == assignment[3]  # both 10s share a bucket
+        buckets, assignment = bin_numeric(col, 3)
+        assert all(isinstance(b, Bucket) for b in buckets)
+        assert assignment[1] == assignment[3]
+        assert [b.label for b in buckets] == list(bin_numeric(col, 3).labels)
+
+    def test_empty(self):
+        result = TransformResult.empty()
+        assert result.num_buckets == 0 and result.num_rows == 0
+        assert result.buckets == () and result.values_tuple == ()
+
+    def test_pickle_drops_lazy_views_and_round_trips(self):
+        col = Column("v", ColumnType.NUMERICAL, np.arange(20.0))
+        result = bin_numeric(col, 4)
+        _ = result.buckets, result.values_tuple  # populate the caches
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone._buckets is None and clone._values_tuple is None
+        assert clone.buckets == result.buckets
 
 
 class TestAggregation:

@@ -11,7 +11,7 @@ from repro.core.graph import GRAPH_STRATEGIES
 from repro.core.ranking import rank_topological, rank_weight_aware, weight_aware_scores
 from repro.dataset import Column, ColumnType, entropy
 from repro.indexes import FenwickDominanceIndex, RangeTree2D
-from repro.language import AggregateOp, aggregate, assign_buckets, bin_numeric
+from repro.language import AggregateOp, aggregate, bin_numeric
 from repro.ml import dcg_at_k, kendall_tau, ndcg_at_k
 from repro.core.correlation import pearson
 
@@ -143,7 +143,7 @@ class TestBinningProperties:
     @settings(max_examples=80, deadline=None)
     def test_every_row_assigned_exactly_one_bucket(self, values, n):
         column = Column("v", ColumnType.NUMERICAL, values)
-        distinct, assignment = assign_buckets(bin_numeric(column, n))
+        distinct, assignment = bin_numeric(column, n)
         assert len(assignment) == len(values)
         assert len(distinct) <= n
         assert all(0 <= a < len(distinct) for a in assignment)
@@ -163,7 +163,7 @@ class TestBinningProperties:
     def test_aggregation_conservation(self, values, n):
         """SUM over buckets equals the column total; CNT sums to n rows."""
         column = Column("v", ColumnType.NUMERICAL, values)
-        distinct, assignment = assign_buckets(bin_numeric(column, n))
+        distinct, assignment = bin_numeric(column, n)
         sums = aggregate(AggregateOp.SUM, assignment, len(distinct), column)
         counts = aggregate(AggregateOp.CNT, assignment, len(distinct))
         assert float(np.sum(sums)) == np.sum(np.asarray(values)) or math.isclose(
