@@ -19,6 +19,14 @@ Commands
 
 ``datasets``   list the built-in synthetic corpus; ``generate`` writes
 one of them to CSV for experimentation.
+
+``obs``        observability tooling: ``obs report`` aggregates a JSONL
+decision-event log, ``obs snapshot`` writes a golden top-k snapshot
+over the bundled example tables, and ``obs diff`` replays the current
+code against a stored snapshot and classifies per-table quality drift::
+
+    python -m repro obs snapshot --out golden.json
+    python -m repro obs diff golden.json
 """
 
 from __future__ import annotations
@@ -26,15 +34,29 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .core import keyword_search, make_node, select_top_k
 from .core.enumeration import EnumerationConfig
 from .corpus.generators import TESTING_SPECS, TRAINING_SPECS, make_table
 from .dataset import read_csv, write_csv
 from .errors import ReproError
+from .obs import (
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    aggregate_events,
+    build_snapshot,
+    diff_snapshots,
+    entry_from_result,
+    format_drift_report,
+    format_event_report,
+    load_snapshot,
+    maybe_span,
+    read_event_log,
+    save_snapshot,
+)
 from .language import parse_query
-from .obs import MetricsRegistry, Tracer, maybe_span
 from .render import render_ascii, to_vega_lite_json
 
 __all__ = ["main", "build_parser"]
@@ -81,6 +103,12 @@ def _serving_parent() -> argparse.ArgumentParser:
         help="write Prometheus-text metrics of this run to PATH "
         "('-' = stdout)",
     )
+    obs.add_argument(
+        "--events",
+        metavar="PATH",
+        help="append structured decision events (JSONL) of this run to "
+        "PATH; inspect with `repro obs report PATH`",
+    )
     return parent
 
 
@@ -110,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("rules", "exhaustive"),
         default="rules",
         help="candidate generation mode",
+    )
+    visualize.add_argument(
+        "--provenance",
+        action="store_true",
+        help="print a per-chart 'why this rank' provenance report "
+        "(ignored with --format vega, which must stay pure JSON)",
     )
 
     search = commands.add_parser(
@@ -161,6 +195,57 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--seed", type=int, default=0)
 
+    obs = commands.add_parser(
+        "obs",
+        help="observability tools: event-log reports and drift snapshots",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_commands.add_parser(
+        "report", help="aggregate a JSONL decision-event log"
+    )
+    report.add_argument(
+        "log", help="event-log path (rotated .1/.2/... backups included)"
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    snapshot = obs_commands.add_parser(
+        "snapshot",
+        help="write a golden top-k snapshot over the bundled example "
+        "tables (the `repro datasets` testing corpus)",
+    )
+    snapshot.add_argument(
+        "--out", default="golden_topk.json", help="snapshot output path"
+    )
+    snapshot.add_argument("--k", type=int, default=5)
+    snapshot.add_argument(
+        "--scale", type=float, default=0.05,
+        help="size multiplier for the generated example tables",
+    )
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument(
+        "--tables",
+        help="comma-separated subset of table names (default: all)",
+    )
+
+    diff = obs_commands.add_parser(
+        "diff",
+        help="replay the current code against a golden snapshot and "
+        "classify per-table drift",
+    )
+    diff.add_argument("snapshot", help="golden snapshot path")
+    diff.add_argument(
+        "--out", help="also write the full JSON drift report to PATH"
+    )
+    diff.add_argument(
+        "--fail-on",
+        default="score_shifted,reordered,churned,missing,added",
+        help="comma-separated drift kinds that make the command exit 1 "
+        "(default: everything except 'identical')",
+    )
+
     return parser
 
 
@@ -168,14 +253,18 @@ def build_parser() -> argparse.ArgumentParser:
 # Observability plumbing
 # ----------------------------------------------------------------------
 def _obs_from_args(args):
-    """(tracer, registry) per the --trace/--metrics flags (None = off)."""
+    """(tracer, registry, events) per the --trace/--metrics/--events
+    flags (None = off)."""
     tracer = Tracer() if getattr(args, "trace", None) else None
     registry = MetricsRegistry() if getattr(args, "metrics", None) else None
-    return tracer, registry
+    events = (
+        EventLog(path=args.events) if getattr(args, "events", None) else None
+    )
+    return tracer, registry, events
 
 
-def _emit_obs(args, tracer: Optional[Tracer], registry, out) -> None:
-    """Write the trace / metrics outputs the flags asked for."""
+def _emit_obs(args, tracer: Optional[Tracer], registry, events, out) -> None:
+    """Write the trace / metrics / events outputs the flags asked for."""
     if tracer is not None:
         if args.trace == "-":
             json.dump(tracer.to_chrome_trace(), out, indent=2)
@@ -191,6 +280,11 @@ def _emit_obs(args, tracer: Optional[Tracer], registry, out) -> None:
             with open(args.metrics, "w") as handle:
                 handle.write(text)
             print(f"# wrote metrics to {args.metrics}", file=out)
+    if events is not None:
+        events.close()
+        print(
+            f"# wrote {len(events)} events to {args.events}", file=out
+        )
 
 
 def _emit_nodes(nodes, fmt: str, out) -> None:
@@ -204,7 +298,35 @@ def _emit_nodes(nodes, fmt: str, out) -> None:
             print(f"{rank}. {node.describe()}", file=out)
 
 
+def _phase_report(result) -> str:
+    """The ``# phases:`` line body; explicit ``n/a`` when a run recorded
+    no timings (e.g. a result-cache hit) instead of a blank line."""
+    report = "  ".join(
+        f"{name}={seconds:.3f}s ({fraction:.0%})"
+        for name, seconds, fraction in result.phases()
+    )
+    return report or "n/a (no phase timings recorded)"
+
+
+def _cache_report(result) -> str:
+    """The ``# cache:`` line body; explicit ``n/a`` when the run had no
+    serving cache rather than omitting the line."""
+    stats = result.cache_stats
+    if not stats:
+        return "n/a (caching disabled)"
+    levels: Dict[str, Dict[str, int]] = {}
+    for key, value in stats.items():
+        level, _, counter = key.rpartition("_")
+        levels.setdefault(level, {})[counter] = value
+    return "  ".join(
+        f"{level}={counters.get('hits', 0)}h/{counters.get('misses', 0)}m"
+        f"/{counters.get('size', 0)} entries"
+        for level, counters in sorted(levels.items())
+    )
+
+
 def _cmd_visualize(args, out) -> int:
+    from .core.explain import provenance_report
     from .engine import MultiLevelCache
 
     table = read_csv(args.csv)
@@ -216,6 +338,8 @@ def _cmd_visualize(args, out) -> int:
         cache=None if args.no_cache else MultiLevelCache(),
         tracer=args.obs_tracer,
         metrics=args.obs_registry,
+        events=args.obs_events,
+        provenance=args.provenance,
     )
     print(
         f"# {table.name}: {result.candidates} candidates, "
@@ -224,13 +348,14 @@ def _cmd_visualize(args, out) -> int:
         file=out,
     )
     if args.format != "vega":  # vega readers expect pure JSON after line 1
-        phase_report = "  ".join(
-            f"{name}={seconds:.3f}s ({fraction:.0%})"
-            for name, seconds, fraction in result.phases()
-        )
-        if phase_report:
-            print(f"# phases: {phase_report}", file=out)
+        print(f"# phases: {_phase_report(result)}", file=out)
+        print(f"# cache: {_cache_report(result)}", file=out)
     _emit_nodes(result.nodes, args.format, out)
+    if args.provenance and args.format != "vega":
+        report = provenance_report(result)
+        if report:
+            print("# provenance", file=out)
+            print(report, file=out, end="")
     return 0
 
 
@@ -310,6 +435,78 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _snapshot_entries(
+    k: int, scale: float, seed: int, names: Optional[Sequence[str]]
+) -> List[dict]:
+    """One snapshot entry per bundled example table (deterministic:
+    `make_table` is seeded, selection runs serial partial-order)."""
+    wanted = list(names) if names else [s.name for s in TESTING_SPECS]
+    entries = []
+    for name in wanted:
+        table = make_table(name, scale=scale, seed=seed)
+        result = select_top_k(table, k=k, provenance=True)
+        entries.append(
+            entry_from_result(table.name, table.fingerprint(), result)
+        )
+    return entries
+
+
+def _cmd_obs(args, out) -> int:
+    if args.obs_command == "report":
+        summary = aggregate_events(read_event_log(args.log))
+        if args.json:
+            json.dump(summary, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            out.write(format_event_report(summary))
+        return 0
+
+    if args.obs_command == "snapshot":
+        names = (
+            [n.strip() for n in args.tables.split(",") if n.strip()]
+            if args.tables
+            else None
+        )
+        entries = _snapshot_entries(args.k, args.scale, args.seed, names)
+        config = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "tables": [entry["table"] for entry in entries],
+        }
+        save_snapshot(build_snapshot(entries, args.k, config), args.out)
+        print(
+            f"# wrote golden snapshot of {len(entries)} tables to "
+            f"{args.out}",
+            file=out,
+        )
+        return 0
+
+    # diff: replay with the snapshot's own recorded configuration, so a
+    # diff against the same code is identical by construction.
+    old = load_snapshot(args.snapshot)
+    config = old.get("config", {})
+    k = int(old.get("k", 5))
+    entries = _snapshot_entries(
+        k,
+        float(config.get("scale", 0.05)),
+        int(config.get("seed", 0)),
+        config.get("tables"),
+    )
+    report = diff_snapshots(old, build_snapshot(entries, k, config))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    out.write(format_drift_report(report))
+    fail_on = {
+        kind.strip() for kind in args.fail_on.split(",") if kind.strip()
+    }
+    failures = sum(
+        count for kind, count in report["counts"].items() if kind in fail_on
+    )
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "visualize": _cmd_visualize,
     "search": _cmd_search,
@@ -318,6 +515,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
+    "obs": _cmd_obs,
 }
 
 
@@ -326,16 +524,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    tracer, registry = _obs_from_args(args)
+    tracer, registry, events = _obs_from_args(args)
     # Commands read these instead of re-parsing the flags; datasets /
-    # generate (no serving parent) get the disabled defaults.
+    # generate / obs (no serving parent) get the disabled defaults.
     args.obs_tracer = tracer
     args.obs_registry = registry
+    args.obs_events = events
     try:
         with maybe_span(tracer, args.command, argv=" ".join(argv or sys.argv[1:])):
             code = _COMMANDS[args.command](args, out)
     except (ReproError, FileNotFoundError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    _emit_obs(args, tracer, registry, out)
+    _emit_obs(args, tracer, registry, events, out)
     return code

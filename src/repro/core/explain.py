@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..language.ast import AggregateOp, ChartType
+from ..obs.provenance import render_provenance
 from .nodes import VisualizationNode
 from .partial_order import (
     FactorScores,
@@ -26,7 +27,12 @@ from .partial_order import (
 from .ranking import weight_aware_scores_from_factors
 from .trend import fit_trend
 
-__all__ = ["ChartExplanation", "explain_ranking", "explain_node"]
+__all__ = [
+    "ChartExplanation",
+    "explain_ranking",
+    "explain_node",
+    "provenance_report",
+]
 
 
 @dataclass
@@ -121,6 +127,24 @@ def explain_node(
         dominated_by=dominated_by,
         notes=_notes_for(node),
     )
+
+
+def provenance_report(result) -> str:
+    """The "why this rank" report of a provenance-carrying result.
+
+    ``result`` is any object with a ``provenance`` dict of
+    :class:`~repro.obs.ChartProvenance` records (a
+    :class:`~repro.core.selection.SelectionResult` from a
+    ``provenance=True`` run).  Unlike :func:`explain_ranking`, which
+    re-scores candidates under the expert partial order, this renders
+    what the selection run *actually* recorded — including LTR scores,
+    hybrid blend arithmetic and recognizer verdicts when those decided
+    the rank.  Empty string when the result carries no records.
+    """
+    records = getattr(result, "provenance", None) or {}
+    if not records:
+        return ""
+    return render_provenance(list(records.values()))
 
 
 def explain_ranking(

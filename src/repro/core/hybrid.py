@@ -47,13 +47,42 @@ class HybridRanker:
 
     def rank(self, nodes: Sequence[VisualizationNode]) -> List[int]:
         """Indices into ``nodes``, best first, by ``l_v + alpha * p_v``."""
+        order, _ = self.rank_with_trace(nodes)
+        return order
+
+    def rank_with_trace(
+        self, nodes: Sequence[VisualizationNode]
+    ) -> Tuple[List[int], dict]:
+        """The ranking plus the decision internals behind it.
+
+        The trace dict carries everything provenance needs to explain a
+        hybrid rank: per-node LTR scores and 1-based positions, the
+        partial-order factor triples / S(v) values / positions, alpha,
+        and the combined blend values.  The order is exactly what
+        :meth:`rank` returns — tracing never changes the answer.
+        """
         n = len(nodes)
         if n == 0:
-            return []
-        ltr_positions = _positions(self.ltr.rank(nodes), n)
-        po_positions = _positions(self.partial_order.rank(nodes), n)
+            return [], {"alpha": self.alpha}
+        ltr_scores = self.ltr.scores(nodes)
+        ltr_order = sorted(range(n), key=lambda i: (-ltr_scores[i], i))
+        po_order, factors, po_values = self.partial_order.rank_with_trace(
+            nodes
+        )
+        ltr_positions = _positions(ltr_order, n)
+        po_positions = _positions(po_order, n)
         combined = ltr_positions + self.alpha * po_positions
-        return sorted(range(n), key=lambda i: (combined[i], i))
+        order = sorted(range(n), key=lambda i: (combined[i], i))
+        trace = {
+            "alpha": self.alpha,
+            "ltr_scores": [float(s) for s in ltr_scores],
+            "ltr_positions": [int(p) for p in ltr_positions],
+            "factors": factors,
+            "po_scores": po_values,
+            "po_positions": [int(p) for p in po_positions],
+            "combined": [float(c) for c in combined],
+        }
+        return order, trace
 
     def fit_alpha(
         self,

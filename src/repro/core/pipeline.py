@@ -21,6 +21,7 @@ from ..dataset.table import Table
 from ..engine.cache import MultiLevelCache
 from ..errors import ModelError, SelectionError
 from ..obs import MetricsRegistry, Tracer, global_registry
+from ..obs.events import EventLog
 from .enumeration import EnumerationConfig
 from .hybrid import HybridRanker
 from .ltr import LearningToRankRanker
@@ -98,6 +99,19 @@ class DeepEye:
         (default) disables.  Batch serving additionally feeds
         per-worker task latency histograms and the
         :attr:`slow_tables` log (threshold ``slow_threshold`` seconds).
+    events:
+        Decision-event logging: pass an :class:`~repro.obs.EventLog`
+        and every :meth:`top_k` / :meth:`top_k_batch` call appends its
+        request / phase / prune / score / rank / cache events to it;
+        ``None`` (default) disables.  Implies provenance capture.
+    provenance:
+        ``True`` attaches one :class:`~repro.obs.ChartProvenance`
+        record per emitted chart to each result's ``provenance`` dict
+        (implied whenever ``events`` is given).  The top-k is
+        byte-identical with it on or off.
+    max_slow_tables:
+        Bound on the :attr:`slow_tables` log (newest first; oldest
+        entries drop beyond the cap).
     """
 
     def __init__(
@@ -113,6 +127,9 @@ class DeepEye:
         trace: Union[bool, Tracer, None] = False,
         metrics: Union[bool, MetricsRegistry, None] = False,
         slow_threshold: float = 1.0,
+        events: Optional[EventLog] = None,
+        provenance: bool = False,
+        max_slow_tables: int = 256,
     ) -> None:
         if ranking not in ("partial_order", "learning_to_rank", "hybrid"):
             raise SelectionError(f"unknown ranking mode {ranking!r}")
@@ -145,11 +162,19 @@ class DeepEye:
             self.metrics = metrics
         else:
             self.metrics = None
+        self.events = events
+        self.provenance = bool(provenance)
         self.slow_threshold = slow_threshold
+        self.max_slow_tables = int(max_slow_tables)
+        # Imported here, not at module level: repro.engine.parallel
+        # imports core enumeration modules (circular at init time).
+        from ..engine.parallel import SlowTableLog
+
         #: Batch tables that exceeded ``slow_threshold`` seconds, newest
-        #: last: ``{table, rows, columns, seconds, worker}`` dicts
-        #: (populated by :meth:`top_k_batch` when metrics are enabled).
-        self.slow_tables: List[dict] = []
+        #: first: ``{table, rows, columns, seconds, worker}`` dicts
+        #: (populated by :meth:`top_k_batch`), bounded at
+        #: ``max_slow_tables`` entries (oldest drop).
+        self.slow_tables: "SlowTableLog" = SlowTableLog(self.max_slow_tables)
         self.recognizer: Optional[VisualizationRecognizer] = (
             VisualizationRecognizer(model=recognizer_model)
             if recognizer_model
@@ -161,14 +186,19 @@ class DeepEye:
 
     # -- pickling (observability state stays in the parent) -------------
     def __getstate__(self) -> dict:
-        # Tracer and MetricsRegistry hold locks/thread-locals, which
-        # cannot cross process boundaries; batch workers therefore run
-        # uninstrumented and the parent records their task latency from
-        # the timings each worker ships back with its result.
+        # Tracer and MetricsRegistry hold locks/thread-locals, and the
+        # EventLog may hold a file handle, none of which can cross
+        # process boundaries; batch workers therefore run uninstrumented
+        # (the batch driver captures their events into private per-task
+        # logs) and the parent records their task latency from the
+        # timings each worker ships back with its result.
+        from ..engine.parallel import SlowTableLog
+
         state = dict(self.__dict__)
         state["tracer"] = None
         state["metrics"] = None
-        state["slow_tables"] = []
+        state["events"] = None
+        state["slow_tables"] = SlowTableLog(self.max_slow_tables)
         return state
 
     # ------------------------------------------------------------------
@@ -268,7 +298,13 @@ class DeepEye:
         return engine
 
     # ------------------------------------------------------------------
-    def top_k(self, table: Table, k: int = 10) -> SelectionResult:
+    def top_k(
+        self,
+        table: Table,
+        k: int = 10,
+        events: Optional[EventLog] = None,
+        provenance: Optional[bool] = None,
+    ) -> SelectionResult:
         """Select the top-k visualizations for a table.
 
         All three ranking modes run through the same
@@ -276,6 +312,10 @@ class DeepEye:
         recognize -> rank), so timings and fallback semantics cannot
         drift between them; they differ only in the ranker handed to
         the rank phase.
+
+        ``events`` / ``provenance`` override the engine-level settings
+        for this call (the batch driver uses the ``events`` override to
+        capture per-table worker logs it merges in input order).
         """
         if self.ranking == "partial_order":
             ranker: Union[str, object] = "partial_order"
@@ -302,6 +342,8 @@ class DeepEye:
             cache=self.cache,
             tracer=self.tracer,
             metrics=self.metrics,
+            events=self.events if events is None else events,
+            provenance=self.provenance if provenance is None else provenance,
         )
 
     def top_k_batch(
@@ -320,8 +362,10 @@ class DeepEye:
 
         When the engine has metrics enabled, each table records a
         per-worker ``batch_task_seconds`` latency sample and tables
-        slower than ``self.slow_threshold`` seconds are appended to
-        :attr:`slow_tables`.
+        slower than ``self.slow_threshold`` seconds are prepended to
+        the bounded :attr:`slow_tables` log (newest first).  With an
+        engine-level event log, each table's full event stream is
+        captured worker-side and merged back in input order.
         """
         # Imported here, not at module level: repro.engine.parallel
         # imports core enumeration modules, so importing it while this
@@ -337,4 +381,5 @@ class DeepEye:
             metrics=self.metrics,
             slow_log=self.slow_tables,
             slow_threshold=self.slow_threshold,
+            events=self.events,
         )

@@ -17,7 +17,7 @@ Two rankers:
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..errors import SelectionError
 from ..indexes.fenwick2d import Fenwick2D
@@ -29,6 +29,8 @@ __all__ = [
     "rank_weight_aware",
     "weight_aware_scores_from_factors",
     "rank_weight_aware_factors",
+    "rank_weight_aware_factors_with_scores",
+    "dominance_counts_from_factors",
     "rank_topological",
     "top_k",
 ]
@@ -135,6 +137,79 @@ def weight_aware_scores_from_factors(
     return result
 
 
+def _dominated_counts_sweep(
+    triples: Sequence[Tuple[float, float, float]]
+) -> List[int]:
+    """Per node, how many other nodes it strictly dominates.
+
+    The same ascending-(M, Q, W) Fenwick sweep as
+    :func:`weight_aware_scores_from_factors`, keeping only the dominance
+    *count*: every node already swept with q' <= q and w' <= w is
+    strictly dominated (equal triples are batched so they never count
+    each other).  O(n log^2 n).
+    """
+    n = len(triples)
+    result = [0] * n
+    if n == 0:
+        return result
+    order = sorted(range(n), key=lambda i: triples[i])
+    index = Fenwick2D(
+        [triples[i][1] for i in range(n)], [triples[i][2] for i in range(n)]
+    )
+    position = 0
+    while position < n:
+        batch = [order[position]]
+        triple = triples[order[position]]
+        position += 1
+        while position < n and triples[order[position]] == triple:
+            batch.append(order[position])
+            position += 1
+        for v in batch:
+            _, q, w = triples[v]
+            count, _ = index.query(q, w)
+            result[v] = int(count)
+        for v in batch:
+            _, q, w = triples[v]
+            index.add(q, w, 1.0, 0.0)
+    return result
+
+
+def dominance_counts_from_factors(
+    scores: Sequence[FactorScores],
+) -> Tuple[List[int], List[int]]:
+    """Per node ``(dominates, dominated_by)`` edge counts, edge-free.
+
+    ``dominates[i]`` is node i's out-degree in the full dominance graph
+    (how many charts it strictly beats) and ``dominated_by[i]`` its
+    in-degree — the provenance layer's "better than X, beaten by Y"
+    counts, identical to materialising the graph but O(n log^2 n): one
+    ascending sweep for out-degrees and one over the negated factors
+    (dominance reverses under negation) for in-degrees.
+    """
+    triples = [s.as_tuple() for s in scores]
+    dominates = _dominated_counts_sweep(triples)
+    negated = [(-m, -q, -w) for m, q, w in triples]
+    dominated_by = _dominated_counts_sweep(negated)
+    return dominates, dominated_by
+
+
+def rank_weight_aware_factors_with_scores(
+    scores: Sequence[FactorScores],
+) -> Tuple[List[int], List[float]]:
+    """The weight-aware ranking plus the S(v) values behind it.
+
+    One code path for both the plain ranking and provenance capture —
+    the order is exactly :func:`rank_weight_aware_factors`'s (which
+    delegates here), so tracing can never change the answer.
+    """
+    values = weight_aware_scores_from_factors(scores)
+    composite = [(s.m + s.q + s.w) / 3.0 for s in scores]
+    order = sorted(
+        range(len(scores)), key=lambda i: (-values[i], -composite[i], i)
+    )
+    return order, values
+
+
 def rank_weight_aware_factors(scores: Sequence[FactorScores]) -> List[int]:
     """Node indices best-first by the edge-free S(v) computation.
 
@@ -142,11 +217,8 @@ def rank_weight_aware_factors(scores: Sequence[FactorScores]) -> List[int]:
     factor score, then the node index, so the ranking stays total and
     deterministic.
     """
-    values = weight_aware_scores_from_factors(scores)
-    composite = [(s.m + s.q + s.w) / 3.0 for s in scores]
-    return sorted(
-        range(len(scores)), key=lambda i: (-values[i], -composite[i], i)
-    )
+    order, _ = rank_weight_aware_factors_with_scores(scores)
+    return order
 
 
 def rank_topological(graph: DominanceGraph) -> List[int]:

@@ -119,6 +119,33 @@ class VisualizationRecognizer:
             return np.zeros(0, dtype=bool)
         return self._model.predict(self._encode(nodes)).astype(bool)
 
+    def probabilities(
+        self, nodes: Sequence[VisualizationNode]
+    ) -> Optional[np.ndarray]:
+        """P(good) per node, when the underlying model can express one.
+
+        Decision trees and naive Bayes expose ``predict_proba``; the
+        SVM's signed margin maps through a logistic squash.  Returns
+        ``None`` if no probability-like quantity exists (future models),
+        so provenance callers can degrade gracefully.
+        """
+        if not self._fitted:
+            raise NotFittedError(type(self).__name__)
+        if len(nodes) == 0:
+            return np.zeros(0)
+        matrix = self._encode(nodes)
+        if hasattr(self._model, "predict_proba"):
+            probabilities = self._model.predict_proba(matrix)
+            # Both from-scratch classifiers return (n, 2) class columns
+            # ordered [False, True]; be tolerant of a 1-D P(good) shape.
+            if probabilities.ndim == 2:
+                return probabilities[:, -1]
+            return probabilities
+        if hasattr(self._model, "decision_function"):
+            margin = self._model.decision_function(matrix)
+            return 1.0 / (1.0 + np.exp(-margin))
+        return None
+
     def filter_valid(
         self, nodes: Sequence[VisualizationNode]
     ) -> List[VisualizationNode]:

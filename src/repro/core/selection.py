@@ -26,9 +26,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..dataset.table import Table
-from ..errors import SelectionError
+from ..errors import NotFittedError, SelectionError
 from ..obs import MetricsRegistry, Tracer, maybe_span
+from ..obs.drift import node_id
+from ..obs.events import EventLog
 from ..obs.kernels import KERNEL_STATS
+from ..obs.provenance import ChartProvenance
 from .enumeration import (
     EnumerationConfig,
     EnumerationContext,
@@ -39,7 +42,12 @@ from .graph import DominanceGraph, build_graph
 from .ltr import LearningToRankRanker
 from .nodes import VisualizationNode
 from .partial_order import FactorScores, PartialOrderScorer, matching_quality_raw
-from .ranking import rank_weight_aware, rank_weight_aware_factors
+from .ranking import (
+    dominance_counts_from_factors,
+    rank_weight_aware,
+    rank_weight_aware_factors,
+    rank_weight_aware_factors_with_scores,
+)
 from .recognition import VisualizationRecognizer
 from .rules import PruningCounters
 
@@ -77,9 +85,25 @@ class PartialOrderRanker:
         dominance graph; ``self.graph(...)`` remains available when the
         explicit Hasse diagram itself is wanted.
         """
+        order, _, _ = self.rank_with_trace(nodes)
+        return order
+
+    def rank_with_trace(
+        self, nodes: Sequence[VisualizationNode]
+    ) -> Tuple[List[int], List[FactorScores], List[float]]:
+        """The ranking plus the factor triples and S(v) values behind it.
+
+        Returns ``(order, factors, scores)`` where ``order`` is exactly
+        what :meth:`rank` returns (which delegates here — capturing
+        provenance can never change the answer), ``factors`` the
+        normalised (M, Q, W) triples, and ``scores`` the weight-aware
+        S(v) values the order was sorted by.
+        """
         if not nodes:
-            return []
-        return rank_weight_aware_factors(self.score(nodes))
+            return [], [], []
+        factors = self.score(nodes)
+        order, values = rank_weight_aware_factors_with_scores(factors)
+        return order, factors, values
 
 
 @dataclass
@@ -95,6 +119,13 @@ class SelectionResult:
     ``cache_stats`` carries the serving cache's hit/miss/eviction
     counters (flattened per level) when selection ran with a
     :class:`~repro.engine.cache.MultiLevelCache`; empty otherwise.
+
+    ``provenance`` maps each emitted chart's stable id (see
+    :func:`repro.obs.drift.node_id`) to its
+    :class:`~repro.obs.provenance.ChartProvenance` decision record when
+    selection ran with ``provenance=True`` (or an event log); empty
+    otherwise — provenance capture is opt-in so the fast path stays
+    uninstrumented.
     """
 
     nodes: List[VisualizationNode]
@@ -103,6 +134,7 @@ class SelectionResult:
     valid: int
     timings: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    provenance: Dict[str, ChartProvenance] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -149,6 +181,7 @@ def _enumerate_phase(
     cache,
     n_jobs: int,
     metrics: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
 ) -> Tuple[List[VisualizationNode], Optional[List[bool]], PruningCounters]:
     """Candidates, (for the parallel path) their validity mask, and the
     per-rule pruning accounting of the run."""
@@ -168,6 +201,7 @@ def _enumerate_phase(
             cache=cache,
             pruning=pruning,
             metrics=metrics,
+            events=events,
         )
         return nodes, mask, pruning
     context = EnumerationContext(table, config, cache=cache)
@@ -206,27 +240,152 @@ def _rank_phase(
     ranker: Union[str, object],
     ltr: Optional[LearningToRankRanker],
     graph_strategy: str,
-) -> List[int]:
-    """Resolve the ranker (name or object with ``.rank``) and apply it."""
+    want_trace: bool = False,
+) -> Tuple[List[int], Optional[dict]]:
+    """Resolve the ranker (name or object with ``.rank``) and apply it.
+
+    Returns ``(order, trace)``; ``trace`` is ``None`` unless
+    ``want_trace`` asked for the ranker's decision internals (factor
+    triples, S(v) values, LTR scores, hybrid blend) for provenance.
+    Each ranker's traced and plain paths share one code path, so the
+    order is byte-identical either way.
+    """
     if not isinstance(ranker, str):
+        if want_trace and hasattr(ranker, "rank_with_trace"):
+            order, trace = ranker.rank_with_trace(valid_nodes)
+            return order, dict(trace)
         if not hasattr(ranker, "rank"):
             raise SelectionError(
                 f"ranker object {ranker!r} has no rank() method"
             )
-        return ranker.rank(valid_nodes)
+        return ranker.rank(valid_nodes), None
     if ranker in ("partial_order", "P"):
-        return PartialOrderRanker(graph_strategy).rank(valid_nodes)
+        po_ranker = PartialOrderRanker(graph_strategy)
+        if want_trace:
+            order, factors, values = po_ranker.rank_with_trace(valid_nodes)
+            return order, {"factors": factors, "po_scores": values}
+        return po_ranker.rank(valid_nodes), None
     if ranker in ("learning_to_rank", "L"):
         if ltr is None:
             raise SelectionError(
                 "ranker='learning_to_rank' requires a fitted "
                 "LearningToRankRanker via the ltr parameter"
             )
-        return ltr.rank(valid_nodes)
+        if want_trace:
+            scores = ltr.scores(valid_nodes)
+            # Exactly LearningToRankRanker.rank's ordering, reusing the
+            # scores instead of recomputing them.
+            order = sorted(
+                range(len(valid_nodes)), key=lambda i: (-scores[i], i)
+            )
+            return order, {"ltr_scores": [float(s) for s in scores]}
+        return ltr.rank(valid_nodes), None
     raise SelectionError(
         f"unknown ranker {ranker!r}; use 'partial_order' or "
         f"'learning_to_rank'"
     )
+
+
+def _build_provenance(
+    valid_nodes: List[VisualizationNode],
+    order: List[int],
+    k: int,
+    trace: Optional[dict],
+    recognizer: Optional[VisualizationRecognizer],
+    pruning: PruningCounters,
+) -> Dict[str, ChartProvenance]:
+    """One :class:`ChartProvenance` record per emitted (top-k) chart.
+
+    Built strictly from facts the run already computed where possible:
+    the rank trace supplies factor triples / S(v) / LTR scores / hybrid
+    positions; dominance edge counts come from the edge-free sweep over
+    the same factors; the recognizer re-predicts only the k emitted
+    nodes (read-only).  When the ranker traced no factors (a custom
+    ranker object) the expert factors are derived for description —
+    they did not decide the rank, so ``score`` stays ``None``.
+    """
+    trace = trace or {}
+    records: Dict[str, ChartProvenance] = {}
+    top = list(order[:k])
+    if not top:
+        return records
+
+    factors = trace.get("factors")
+    if factors is None:
+        factors = PartialOrderScorer().score(valid_nodes)
+    po_scores = trace.get("po_scores")
+    ltr_scores = trace.get("ltr_scores")
+    dominates, dominated_by = dominance_counts_from_factors(factors)
+
+    verdicts = probabilities = None
+    if recognizer is not None:
+        top_nodes = [valid_nodes[i] for i in top]
+        try:
+            verdicts = recognizer.predict(top_nodes)
+            probabilities = recognizer.probabilities(top_nodes)
+        except NotFittedError:
+            verdicts = probabilities = None
+
+    for position, index in enumerate(top, start=1):
+        chart = valid_nodes[index]
+        chart_id = node_id(chart)
+        hybrid = None
+        if "combined" in trace:
+            hybrid = {
+                "alpha": float(trace["alpha"]),
+                "ltr_position": float(trace["ltr_positions"][index]),
+                "po_position": float(trace["po_positions"][index]),
+                "combined": float(trace["combined"][index]),
+            }
+        verdict_info = None
+        if verdicts is not None:
+            verdict_info = {
+                "model": getattr(
+                    recognizer, "model_name", type(recognizer).__name__
+                ),
+                "verdict": bool(verdicts[position - 1]),
+            }
+            if probabilities is not None:
+                verdict_info["probability"] = float(
+                    probabilities[position - 1]
+                )
+        factor = factors[index]
+        records[chart_id] = ChartProvenance(
+            node_id=chart_id,
+            rank=position,
+            description=chart.describe(),
+            m=float(factor.m),
+            q=float(factor.q),
+            w=float(factor.w),
+            score=(
+                float(po_scores[index]) if po_scores is not None else None
+            ),
+            ltr_score=(
+                float(ltr_scores[index]) if ltr_scores is not None else None
+            ),
+            hybrid=hybrid,
+            recognizer=verdict_info,
+            dominates=int(dominates[index]),
+            dominated_by=int(dominated_by[index]),
+            siblings_pruned=dict(pruning.pruned),
+            considered=pruning.considered,
+            emitted=pruning.emitted,
+        )
+    return records
+
+
+def _flat_cache_stats(cache) -> Dict[str, int]:
+    """The flat ``{level_counter: value}`` view results have always
+    carried in ``cache_stats``, built from
+    :meth:`~repro.engine.cache.MultiLevelCache.stats_by_level` (its
+    ``aggregate`` rollup skipped) rather than the deprecated flat
+    ``stats()``."""
+    return {
+        f"{level}_{counter}": value
+        for level, counters in cache.stats_by_level().items()
+        if level != "aggregate"
+        for counter, value in counters.items()
+    }
 
 
 def _result_cache_key(
@@ -238,6 +397,7 @@ def _result_cache_key(
     ltr: Optional[LearningToRankRanker],
     config: EnumerationConfig,
     graph_strategy: str,
+    want_provenance: bool,
 ) -> tuple:
     """Identity of one selection call, for the result-level cache.
 
@@ -246,7 +406,9 @@ def _result_cache_key(
     deliberately excluded — parallel results are identical to serial, so
     they share entries.  Model objects key by identity: a retrained or
     reloaded model is a different object and misses, which is the safe
-    direction.
+    direction.  ``want_provenance`` is part of the key even though it
+    never changes the ranking: a result cached without provenance
+    records must not answer a call that asked for them.
     """
     ranker_token = ranker if isinstance(ranker, str) else ("obj", id(ranker))
     return (
@@ -257,6 +419,7 @@ def _result_cache_key(
         None if recognizer is None else id(recognizer),
         None if ltr is None else id(ltr),
         graph_strategy,
+        want_provenance,
         config.include_one_column,
         config.orderings,
         config.numeric_bins,
@@ -352,6 +515,8 @@ def select_top_k(
     n_jobs: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
+    provenance: bool = False,
 ) -> SelectionResult:
     """Compute the top-k visualizations of a table.
 
@@ -372,6 +537,14 @@ def select_top_k(
     ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) accumulates
     phase latency histograms, per-rule pruning counters, and per-level
     cache counters.  Both default to ``None`` = uninstrumented.
+
+    ``events`` (an :class:`~repro.obs.EventLog`) appends the run's
+    decision record — request / phase / prune / score / rank / cache
+    events — and ``provenance=True`` attaches a per-emitted-chart
+    :class:`~repro.obs.ChartProvenance` record to the result (implied
+    whenever ``events`` is given, since score events are built from the
+    records).  Both are read-only observers: the top-k is byte-identical
+    with them on or off.
     """
     if k < 0:
         raise SelectionError(f"k must be non-negative, got {k}")
@@ -380,11 +553,24 @@ def select_top_k(
         from ..engine.parallel import resolve_n_jobs
 
         jobs = resolve_n_jobs(jobs)
+    want_provenance = provenance or events is not None
+
+    if events is not None:
+        events.begin_request(
+            table=table.name,
+            fingerprint=table.fingerprint(),
+            k=k,
+            enumeration=enumeration,
+            ranker=(
+                ranker if isinstance(ranker, str) else type(ranker).__name__
+            ),
+            n_jobs=jobs,
+        )
 
     if cache is not None:
         key = _result_cache_key(
             table, k, enumeration, ranker, recognizer, ltr, config,
-            graph_strategy,
+            graph_strategy, want_provenance,
         )
         hit = cache.results.get(key)
         if hit is not None:
@@ -399,8 +585,20 @@ def select_top_k(
                     help="select_top_k calls answered from the result cache",
                 ).inc()
                 cache.record_metrics(metrics)
+            if events is not None:
+                events.emit(
+                    "cache", table=table.name, result_cache_hit=True,
+                )
+                events.emit(
+                    "rank", table=table.name, k=k,
+                    chart_ids=[node_id(n) for n in hit.nodes],
+                    result_cache_hit=True,
+                )
             return dataclasses.replace(
-                hit, timings=dict(hit.timings), cache_stats=cache.stats()
+                hit,
+                timings=dict(hit.timings),
+                cache_stats=_flat_cache_stats(cache),
+                provenance=dict(hit.provenance),
             )
 
     timings: Dict[str, float] = {}
@@ -426,7 +624,7 @@ def select_top_k(
             with _timed_phase(tracer, timings, "enumerate") as span:
                 candidates, valid_mask, pruning = _enumerate_phase(
                     table, enumeration, config, recognizer, cache, jobs,
-                    metrics,
+                    metrics, events,
                 )
                 if span is not None:
                     span.add("candidates", len(candidates))
@@ -441,6 +639,18 @@ def select_top_k(
                     for name, delta in sorted(kernel_delta.items()):
                         span.set(f"kernel.{name}.calls", int(delta["calls"]))
                         span.set(f"kernel.{name}.seconds", delta["seconds"])
+            if events is not None:
+                events.emit(
+                    "phase", phase="enumerate", table=table.name,
+                    seconds=timings["enumerate"],
+                    candidates=len(candidates),
+                    considered=pruning.considered,
+                    emitted=pruning.emitted,
+                )
+                for rule, count in sorted(pruning.pruned.items()):
+                    events.emit(
+                        "prune", table=table.name, rule=rule, count=count,
+                    )
 
             with _timed_phase(tracer, timings, "recognize") as span:
                 valid_nodes = _recognize_phase(
@@ -448,15 +658,35 @@ def select_top_k(
                 )
                 if span is not None:
                     span.add("valid", len(valid_nodes))
+            if events is not None:
+                events.emit(
+                    "phase", phase="recognize", table=table.name,
+                    seconds=timings["recognize"], valid=len(valid_nodes),
+                )
 
             with _timed_phase(tracer, timings, "rank") as span:
-                order = _rank_phase(valid_nodes, ranker, ltr, graph_strategy)
+                order, rank_trace = _rank_phase(
+                    valid_nodes, ranker, ltr, graph_strategy,
+                    want_trace=want_provenance,
+                )
                 if span is not None:
                     span.add("ranked", len(order))
+            if events is not None:
+                events.emit(
+                    "phase", phase="rank", table=table.name,
+                    seconds=timings["rank"], ranked=len(order),
+                )
 
             if root is not None:
                 root.set("candidates", len(candidates))
                 root.set("valid", len(valid_nodes))
+    except Exception as exc:
+        if events is not None:
+            events.emit(
+                "error", table=table.name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
     finally:
         if metrics is not None:
             KERNEL_STATS.detach(metrics)
@@ -468,14 +698,38 @@ def select_top_k(
         )
 
     top = [valid_nodes[i] for i in order[:k]]
+    provenance_records = (
+        _build_provenance(
+            valid_nodes, order, k, rank_trace, recognizer, pruning
+        )
+        if want_provenance
+        else {}
+    )
     result = SelectionResult(
         nodes=top,
         order=order,
         candidates=len(candidates),
         valid=len(valid_nodes),
         timings=timings,
-        cache_stats=cache.stats() if cache is not None else {},
+        cache_stats=_flat_cache_stats(cache) if cache is not None else {},
+        provenance=provenance_records,
     )
+    if events is not None:
+        for record in sorted(
+            provenance_records.values(), key=lambda r: r.rank
+        ):
+            fields = {"node_id": record.node_id, "rank": record.rank}
+            for name in ("m", "q", "w", "score", "ltr_score"):
+                value = getattr(record, name)
+                if value is not None:
+                    fields[name] = value
+            events.emit("score", table=table.name, **fields)
+        events.emit(
+            "rank", table=table.name, k=k,
+            chart_ids=[node_id(n) for n in top],
+        )
+        if cache is not None:
+            cache.emit_events(events, table=table.name)
     if cache is not None:
         cache.results.put(key, result)
     return result

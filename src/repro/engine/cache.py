@@ -20,9 +20,10 @@ all hit the same entries:
   of a ``top_k`` call is a single dictionary lookup.
 
 Every level is an :class:`LRUCache` with hit/miss/eviction counters;
-:meth:`MultiLevelCache.stats` flattens them into the
-``SelectionResult.timings``-style dict that selection attaches to its
-results.
+:meth:`MultiLevelCache.stats_by_level` exposes them per level (plus an
+``aggregate`` rollup) — selection flattens that view into the
+``cache_stats`` dict it attaches to results.  The flat
+:meth:`MultiLevelCache.stats` form is deprecated.
 
 This module deliberately imports nothing from :mod:`repro.core` (the
 enumeration context takes a cache by duck type), so it can be loaded
@@ -32,6 +33,7 @@ from either side of the engine/core boundary without cycles.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Iterator, Optional
 
@@ -168,7 +170,14 @@ class MultiLevelCache:
             but it buries which level served a lookup in string-prefixed
             keys — prefer :meth:`stats_by_level`, which returns the same
             counters structured per level plus an ``aggregate`` rollup.
+            Calling this emits a :class:`DeprecationWarning`.
         """
+        warnings.warn(
+            "MultiLevelCache.stats() is deprecated; use stats_by_level() "
+            "for per-level counters (plus an 'aggregate' rollup)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         merged: Dict[str, int] = {}
         for level_name in self.LEVELS:
             level: LRUCache = getattr(self, level_name)
@@ -192,6 +201,16 @@ class MultiLevelCache:
                 aggregate[counter] = aggregate.get(counter, 0) + value
         per_level["aggregate"] = aggregate
         return per_level
+
+    def emit_events(self, events, table: Optional[str] = None) -> None:
+        """Append one ``cache`` event with the per-level counters to an
+        :class:`~repro.obs.EventLog` (duck-typed: anything with
+        ``emit``).  ``table`` attributes the activity to a request's
+        table in the aggregated report."""
+        fields: Dict[str, Any] = dict(self.stats_by_level())
+        if table is not None:
+            fields["table"] = table
+        events.emit("cache", **fields)
 
     def record_metrics(self, registry) -> None:
         """Publish the per-level counters into an

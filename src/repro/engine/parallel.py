@@ -26,8 +26,18 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.enumeration import (
     EnumerationConfig,
@@ -41,16 +51,56 @@ from ..core.rules import PruningCounters
 from ..dataset.table import Table
 from ..errors import SelectionError
 from ..obs import MetricsRegistry
+from ..obs.events import EventLog
 
 __all__ = [
     "resolve_n_jobs",
     "parallel_enumerate",
     "batch_select",
+    "SlowTableLog",
 ]
 
 #: Wall-clock (seconds) above which a batch table lands in the slow log
 #: when the caller does not pick a threshold.
 DEFAULT_SLOW_TABLE_SECONDS = 1.0
+
+
+class SlowTableLog:
+    """Bounded log of slow batch tables, newest entry first.
+
+    Reads like a list — ``len``, iteration, indexing, truthiness — with
+    the most recent entry at index 0; :meth:`append` prepends and drops
+    the oldest entry beyond ``maxlen``, so a long-lived serving engine
+    can never grow its slow-table log without bound.
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = int(maxlen)
+        self._entries: Deque[dict] = deque(maxlen=self.maxlen)
+
+    def append(self, entry: dict) -> None:
+        """Record one slow-table entry as the new head of the log."""
+        self._entries.appendleft(entry)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        return list(self._entries)[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlowTableLog(maxlen={self.maxlen}, "
+            f"entries={len(self._entries)})"
+        )
 
 
 def _worker_label() -> str:
@@ -176,6 +226,8 @@ def _absorb_task_stats(
     slices: Sequence[_ColumnSlice],
     pruning: Optional[PruningCounters],
     metrics: Optional[MetricsRegistry],
+    events: Optional[EventLog] = None,
+    columns: Optional[Sequence[str]] = None,
 ) -> None:
     """Merge per-task pruning counters and latency samples upstream."""
     for _, _, task_counters, seconds, worker in slices:
@@ -188,6 +240,24 @@ def _absorb_task_stats(
                 help="Per-column enumerate+featurise+recognise task "
                 "latency, per worker",
             ).observe(seconds)
+    if events is not None:
+        # Per-task phase events, folded in as one deterministic merge:
+        # slices were gathered in input (column) order regardless of
+        # worker scheduling, so the merged log is scheduling-independent.
+        events.merge(
+            {
+                "kind": "phase",
+                "phase": "enumerate_task",
+                "column": column,
+                "worker": worker,
+                "seconds": seconds,
+                "considered": task_counters.considered,
+                "emitted": task_counters.emitted,
+            }
+            for column, (_, _, task_counters, seconds, worker) in zip(
+                columns or (), slices
+            )
+        )
 
 
 def parallel_enumerate(
@@ -200,6 +270,7 @@ def parallel_enumerate(
     cache=None,
     pruning: Optional[PruningCounters] = None,
     metrics: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
 ) -> Tuple[List[VisualizationNode], List[bool]]:
     """Enumerate, featurise and recognise candidates with a worker pool.
 
@@ -215,7 +286,11 @@ def parallel_enumerate(
     their counters back with the result), so the pruning report is
     identical to a serial run.  ``metrics`` additionally records one
     ``enumeration_task_seconds{worker=...}`` latency sample per
-    per-column task.
+    per-column task, and ``events`` (an
+    :class:`~repro.obs.EventLog`) receives one ``enumerate_task`` phase
+    event per per-column task, merged in input order — worker processes
+    cannot share the parent's log handle, so their task records are
+    gathered with the results and folded in deterministically.
 
     The multi-level ``cache`` is consulted only on the serial path —
     worker processes cannot share the parent's in-memory LRU, and
@@ -230,7 +305,7 @@ def parallel_enumerate(
     if jobs <= 1:
         ctx = EnumerationContext(table, config, cache=cache)
         slices = [_column_slice(ctx, recognizer, mode, x) for x in columns]
-        _absorb_task_stats(slices, pruning, metrics)
+        _absorb_task_stats(slices, pruning, metrics, events, columns)
         return _reassemble(slices)
 
     if backend == "thread":
@@ -257,14 +332,14 @@ def parallel_enumerate(
         raise SelectionError(
             f"unknown parallel backend {backend!r}; use 'process' or 'thread'"
         )
-    _absorb_task_stats(slices, pruning, metrics)
+    _absorb_task_stats(slices, pruning, metrics, events, columns)
     return _reassemble(slices)
 
 
 # ----------------------------------------------------------------------
 # Cross-table batch serving
 # ----------------------------------------------------------------------
-def _init_batch_worker(engine, k: int) -> None:
+def _init_batch_worker(engine, k: int, capture_events: bool) -> None:
     import dataclasses
 
     # Workers run one table each; nested pools would only thrash a
@@ -272,18 +347,36 @@ def _init_batch_worker(engine, k: int) -> None:
     engine.config = dataclasses.replace(engine.config, n_jobs=1)
     _WORKER_STATE["engine"] = engine
     _WORKER_STATE["k"] = k
+    _WORKER_STATE["capture_events"] = capture_events
 
 
-def _timed_top_k(engine, table: Table, k: int):
+def _timed_top_k(engine, table: Table, k: int, capture_events: bool = False):
     """One table through the engine, with worker-side latency capture —
-    queue wait is excluded, so the histogram measures true task time."""
+    queue wait is excluded, so the histogram measures true task time.
+
+    With ``capture_events`` the table's full per-request event stream is
+    recorded into a private in-memory :class:`~repro.obs.EventLog`
+    (workers cannot share the parent's file handle) and shipped back as
+    plain dicts for the parent to merge in input order.
+    """
     start = time.perf_counter()
-    result = engine.top_k(table, k=k)
-    return result, time.perf_counter() - start, _worker_label()
+    if capture_events:
+        worker_log = EventLog()
+        result = engine.top_k(table, k=k, events=worker_log)
+        worker_events: Optional[List[dict]] = list(worker_log.events)
+    else:
+        result = engine.top_k(table, k=k)
+        worker_events = None
+    return result, time.perf_counter() - start, _worker_label(), worker_events
 
 
 def _batch_worker(table: Table):
-    return _timed_top_k(_WORKER_STATE["engine"], table, _WORKER_STATE["k"])
+    return _timed_top_k(
+        _WORKER_STATE["engine"],
+        table,
+        _WORKER_STATE["k"],
+        _WORKER_STATE["capture_events"],
+    )
 
 
 def _record_batch_task(
@@ -293,7 +386,16 @@ def _record_batch_task(
     metrics: Optional[MetricsRegistry],
     slow_log: Optional[List[dict]],
     slow_threshold: float,
+    events: Optional[EventLog] = None,
+    worker_events: Optional[List[dict]] = None,
 ) -> None:
+    if events is not None:
+        if worker_events:
+            events.merge(worker_events)
+        events.emit(
+            "phase", phase="batch_table", table=table.name,
+            seconds=seconds, worker=worker,
+        )
     if metrics is not None:
         metrics.histogram(
             "batch_task_seconds",
@@ -325,8 +427,9 @@ def batch_select(
     n_jobs: Optional[int] = None,
     backend: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
-    slow_log: Optional[List[dict]] = None,
+    slow_log: Optional[Union[List[dict], "SlowTableLog"]] = None,
     slow_threshold: float = DEFAULT_SLOW_TABLE_SECONDS,
+    events: Optional[EventLog] = None,
 ) -> Iterator:
     """Serve a batch of tables through one trained engine, streaming
     :class:`~repro.core.selection.SelectionResult`s in input order.
@@ -340,10 +443,17 @@ def batch_select(
     ``batch_task_seconds{worker=...}`` latency sample measured *inside*
     its worker (queue wait excluded); tables at or above
     ``slow_threshold`` seconds are appended to the caller-owned
-    ``slow_log`` list as ``{table, rows, columns, seconds, worker}``
-    dicts and counted in ``batch_slow_tables_total`` — the slow-table
-    log every serving stack wants when one pathological upload drags a
-    batch.
+    ``slow_log`` (a list or :class:`SlowTableLog`) as ``{table, rows,
+    columns, seconds, worker}`` dicts and counted in
+    ``batch_slow_tables_total`` — the slow-table log every serving stack
+    wants when one pathological upload drags a batch.
+
+    ``events`` records the batch's decision events: each table's full
+    per-request stream is captured in a private worker-side log (process
+    workers cannot share the parent's handle), merged back in input
+    order, and followed by one ``batch_table`` phase event — so two runs
+    of the same batch produce the same event sequence regardless of
+    worker scheduling or backend.
     """
     tables = list(tables)
     jobs = resolve_n_jobs(
@@ -351,12 +461,16 @@ def batch_select(
     )
     backend = backend or engine.config.backend
     jobs = min(jobs, max(1, len(tables)))
+    capture = events is not None
 
     if jobs <= 1:
         for table in tables:
-            result, seconds, worker = _timed_top_k(engine, table, k)
+            result, seconds, worker, worker_events = _timed_top_k(
+                engine, table, k, capture
+            )
             _record_batch_task(
-                table, seconds, worker, metrics, slow_log, slow_threshold
+                table, seconds, worker, metrics, slow_log, slow_threshold,
+                events, worker_events,
             )
             yield result
         return
@@ -364,25 +478,28 @@ def batch_select(
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_timed_top_k, engine, t, k) for t in tables
+                pool.submit(_timed_top_k, engine, t, k, capture)
+                for t in tables
             ]
             for table, future in zip(tables, futures):
-                result, seconds, worker = future.result()
+                result, seconds, worker, worker_events = future.result()
                 _record_batch_task(
-                    table, seconds, worker, metrics, slow_log, slow_threshold
+                    table, seconds, worker, metrics, slow_log,
+                    slow_threshold, events, worker_events,
                 )
                 yield result
     elif backend == "process":
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_batch_worker,
-            initargs=(engine, k),
+            initargs=(engine, k, capture),
         ) as pool:
             futures = [pool.submit(_batch_worker, t) for t in tables]
             for table, future in zip(tables, futures):
-                result, seconds, worker = future.result()
+                result, seconds, worker, worker_events = future.result()
                 _record_batch_task(
-                    table, seconds, worker, metrics, slow_log, slow_threshold
+                    table, seconds, worker, metrics, slow_log,
+                    slow_threshold, events, worker_events,
                 )
                 yield result
     else:

@@ -14,17 +14,52 @@ with.  Three pillars:
   :data:`KERNEL_STATS` ledger the columnar transform/aggregation
   kernels report calls / rows / buckets / seconds into, so traces and
   metrics can split kernel time from the rest of the enumerate phase;
+* **decision events** (:mod:`repro.obs.events`) — :class:`EventLog`
+  appends schema-versioned JSONL records of *what the pipeline decided*
+  (requests, phases, per-rule pruning, per-chart scores, final ranks,
+  cache activity), with sampling, rotation, and a reader/aggregator
+  behind ``repro obs report``;
+* **provenance** (:mod:`repro.obs.provenance`) —
+  :class:`ChartProvenance` records explaining why each emitted chart
+  landed at its rank (factors, S(v), LTR score, hybrid blend,
+  recognizer verdict, dominance edges, sibling pruning);
+* **drift** (:mod:`repro.obs.drift`) — golden top-k snapshots plus a
+  diff classifier (identical / score_shifted / reordered / churned)
+  behind ``repro obs snapshot`` / ``repro obs diff``;
 * **instrumentation** — the selection pipeline
   (:func:`repro.core.selection.select_top_k`), the enumeration rules
   (per-rule pruning counters), the progressive method, and the serving
   engine (cache level counters, per-worker task latency) all accept an
-  optional tracer/registry; passing ``None`` keeps the uninstrumented
-  fast path (overhead proven < 5% by ``benchmarks/bench_overhead.py``).
+  optional tracer/registry/event log; passing ``None`` keeps the
+  uninstrumented fast path (overhead proven < 5% by
+  ``benchmarks/bench_overhead.py``).
 
 This package imports nothing from the rest of :mod:`repro`, so it can
 be loaded from any layer without cycles.
 """
 
+from .drift import (
+    DRIFT_KINDS,
+    SNAPSHOT_SCHEMA_VERSION,
+    build_snapshot,
+    classify_drift,
+    diff_snapshots,
+    entry_from_result,
+    format_drift_report,
+    kendall_tau,
+    load_snapshot,
+    node_id,
+    save_snapshot,
+    top_k_overlap,
+)
+from .events import (
+    EVENT_KINDS,
+    EVENT_LOG_SCHEMA_VERSION,
+    EventLog,
+    aggregate_events,
+    format_event_report,
+    read_event_log,
+)
 from .kernels import KERNEL_SECONDS_BUCKETS, KERNEL_STATS, KernelStats
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -35,20 +70,41 @@ from .metrics import (
     global_registry,
     parse_prometheus_text,
 )
+from .provenance import ChartProvenance, render_provenance
 from .trace import Span, Tracer, maybe_span
 
 __all__ = [
+    "ChartProvenance",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DRIFT_KINDS",
+    "EVENT_KINDS",
+    "EVENT_LOG_SCHEMA_VERSION",
+    "EventLog",
     "Gauge",
     "Histogram",
     "KERNEL_SECONDS_BUCKETS",
     "KERNEL_STATS",
     "KernelStats",
     "MetricsRegistry",
+    "SNAPSHOT_SCHEMA_VERSION",
     "Span",
     "Tracer",
+    "aggregate_events",
+    "build_snapshot",
+    "classify_drift",
+    "diff_snapshots",
+    "entry_from_result",
+    "format_drift_report",
+    "format_event_report",
     "global_registry",
+    "kendall_tau",
+    "load_snapshot",
     "maybe_span",
+    "node_id",
     "parse_prometheus_text",
+    "read_event_log",
+    "render_provenance",
+    "save_snapshot",
+    "top_k_overlap",
 ]

@@ -1,0 +1,321 @@
+"""Golden top-k snapshots and quality-drift classification.
+
+A ranking system's silent failure mode is not a crash — it is last
+week's refactor quietly reordering someone's top-k.  This module is the
+regression gate against that: ``repro obs snapshot`` serialises a
+canonical per-table *fingerprint* of the current code's top-k answers
+(candidate-set hash, ordered chart ids, score vectors) and ``repro obs
+diff`` replays the current code against a stored snapshot, classifying
+every table's drift:
+
+========================  =============================================
+``identical``             same charts, same order, same scores
+``score_shifted``         same charts and order; scores moved > tol
+``reordered``             same chart set, different order
+``churned``               the chart *set* itself changed
+``missing`` / ``added``   table absent on one side
+========================  =============================================
+
+Each comparison also reports Kendall-tau rank correlation over the
+common charts and top-k overlap (Jaccard), so a diff quantifies *how
+much* drift, not just that there is some.  Everything here operates on
+plain dicts and duck-typed selection results — like the rest of
+:mod:`repro.obs` this module imports nothing from the rest of
+``repro``; the CLI supplies the replayed results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "DRIFT_KINDS",
+    "node_id",
+    "entry_from_result",
+    "build_snapshot",
+    "classify_drift",
+    "diff_snapshots",
+    "kendall_tau",
+    "top_k_overlap",
+    "load_snapshot",
+    "save_snapshot",
+    "format_drift_report",
+]
+
+#: Version stamped into snapshots; bump on incompatible shape changes.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Drift classes, benign first.
+DRIFT_KINDS = (
+    "identical",
+    "score_shifted",
+    "reordered",
+    "churned",
+    "missing",
+    "added",
+)
+
+#: Score movement below this is noise, not drift (float round-off from
+#: e.g. a different summation order).
+DEFAULT_SCORE_TOLERANCE = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Snapshot construction
+# ----------------------------------------------------------------------
+def entry_from_result(
+    table_name: str,
+    fingerprint: str,
+    result: Any,
+    scores: Optional[Sequence[float]] = None,
+) -> Dict[str, Any]:
+    """One table's canonical top-k fingerprint.
+
+    ``result`` is duck-typed (`.nodes`, `.candidates`, `.valid`,
+    `.provenance`): any SelectionResult works.  ``scores`` overrides the
+    per-chart score vector; by default it is pulled from the result's
+    provenance records (weight-aware S(v), falling back to the LTR
+    score), or omitted when neither exists.
+    """
+    chart_ids = [node_id(node) for node in result.nodes]
+    if scores is None:
+        provenance = getattr(result, "provenance", {}) or {}
+        pulled: List[float] = []
+        for chart_id in chart_ids:
+            record = provenance.get(chart_id)
+            value = None
+            if record is not None:
+                value = record.score if record.score is not None else record.ltr_score
+            pulled.append(float(value) if value is not None else 0.0)
+        scores = pulled if provenance else []
+    return {
+        "table": table_name,
+        "fingerprint": fingerprint,
+        "candidates": int(result.candidates),
+        "valid": int(result.valid),
+        "k": len(chart_ids),
+        "chart_ids": chart_ids,
+        "scores": [float(s) for s in scores],
+    }
+
+
+def node_id(node: Any) -> str:
+    """Stable chart identity shared by provenance records, score/rank
+    events, and snapshot fingerprints (duck-typed over any node with
+    ``.chart`` and ``.query``)."""
+    query = node.query
+    order = query.order
+    if order is None:
+        order_token = "unsorted"
+    elif hasattr(order, "describe"):
+        order_token = order.describe()
+    else:
+        order_token = str(order)
+    parts = [
+        node.chart.value,
+        query.x,
+        query.y,
+        query.transform.describe() if query.transform else "raw",
+        query.aggregate.value if query.aggregate else "none",
+        order_token,
+    ]
+    return "|".join(parts)
+
+
+def build_snapshot(
+    entries: Sequence[Dict[str, Any]],
+    k: int,
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble per-table entries into one versioned snapshot document."""
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "k": int(k),
+        "config": dict(config or {}),
+        "tables": list(entries),
+    }
+
+
+def save_snapshot(snapshot: Dict[str, Any], path) -> None:
+    """Write a snapshot as pretty JSON (stable key order for diffs)."""
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path) -> Dict[str, Any]:
+    """Read a snapshot, refusing schema versions newer than this reader."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    version = snapshot.get("schema", 0)
+    if version > SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError(
+            f"snapshot schema v{version} is newer than this reader "
+            f"(v{SNAPSHOT_SCHEMA_VERSION})"
+        )
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Drift statistics
+# ----------------------------------------------------------------------
+def kendall_tau(a: Sequence[str], b: Sequence[str]) -> float:
+    """Kendall-tau rank correlation between two orderings.
+
+    Computed over the elements common to both sequences (each assumed
+    duplicate-free); 1.0 for identical relative order, -1.0 for fully
+    reversed, 1.0 (vacuously) when fewer than two elements are shared.
+    """
+    position_b = {item: index for index, item in enumerate(b)}
+    common = [item for item in a if item in position_b]
+    n = len(common)
+    if n < 2:
+        return 1.0
+    ranks = [position_b[item] for item in common]
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if ranks[i] < ranks[j]:
+                concordant += 1
+            else:
+                discordant += 1
+    pairs = n * (n - 1) // 2
+    return (concordant - discordant) / pairs
+
+
+def top_k_overlap(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard overlap of two chart-id sets (1.0 when both empty)."""
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+def classify_drift(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    score_tolerance: float = DEFAULT_SCORE_TOLERANCE,
+) -> Dict[str, Any]:
+    """Compare one table's old and new fingerprints.
+
+    Returns ``{"table", "kind", "kendall_tau", "overlap",
+    "max_score_delta", ...}`` with ``kind`` from :data:`DRIFT_KINDS`.
+    A changed table-content fingerprint is reported as ``churned`` with
+    ``"input_changed": True`` — the *data* moved, so chart drift is
+    expected rather than a code regression.
+    """
+    old_ids: List[str] = list(old["chart_ids"])
+    new_ids: List[str] = list(new["chart_ids"])
+    tau = kendall_tau(old_ids, new_ids)
+    overlap = top_k_overlap(old_ids, new_ids)
+
+    old_scores = list(old.get("scores") or [])
+    new_scores = list(new.get("scores") or [])
+    max_delta = 0.0
+    if old_ids == new_ids and len(old_scores) == len(new_scores):
+        for before, after in zip(old_scores, new_scores):
+            max_delta = max(max_delta, abs(after - before))
+
+    report: Dict[str, Any] = {
+        "table": new.get("table", old.get("table")),
+        "kendall_tau": round(tau, 6),
+        "overlap": round(overlap, 6),
+        "max_score_delta": max_delta,
+        "old_chart_ids": old_ids,
+        "new_chart_ids": new_ids,
+    }
+    if old.get("fingerprint") != new.get("fingerprint"):
+        report["kind"] = "churned"
+        report["input_changed"] = True
+        return report
+    if set(old_ids) != set(new_ids):
+        report["kind"] = "churned"
+    elif old_ids != new_ids:
+        report["kind"] = "reordered"
+    elif max_delta > score_tolerance:
+        report["kind"] = "score_shifted"
+    else:
+        report["kind"] = "identical"
+    return report
+
+
+def diff_snapshots(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    score_tolerance: float = DEFAULT_SCORE_TOLERANCE,
+) -> Dict[str, Any]:
+    """Compare two snapshots table by table.
+
+    Returns ``{"tables": [per-table reports], "counts": {kind: n},
+    "clean": bool}`` where ``clean`` means every table is ``identical``.
+    Tables present on only one side classify as ``missing`` (dropped)
+    or ``added``.
+    """
+    old_tables = {entry["table"]: entry for entry in old["tables"]}
+    new_tables = {entry["table"]: entry for entry in new["tables"]}
+    reports: List[Dict[str, Any]] = []
+    for name, old_entry in old_tables.items():
+        new_entry = new_tables.get(name)
+        if new_entry is None:
+            reports.append(
+                {"table": name, "kind": "missing", "kendall_tau": 0.0,
+                 "overlap": 0.0, "max_score_delta": 0.0}
+            )
+            continue
+        reports.append(classify_drift(old_entry, new_entry, score_tolerance))
+    for name in new_tables:
+        if name not in old_tables:
+            reports.append(
+                {"table": name, "kind": "added", "kendall_tau": 0.0,
+                 "overlap": 0.0, "max_score_delta": 0.0}
+            )
+    counts: Dict[str, int] = {}
+    for report in reports:
+        counts[report["kind"]] = counts.get(report["kind"], 0) + 1
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "k": new.get("k", old.get("k")),
+        "tables": reports,
+        "counts": counts,
+        "clean": all(r["kind"] == "identical" for r in reports),
+    }
+
+
+def format_drift_report(report: Dict[str, Any]) -> str:
+    """Render a :func:`diff_snapshots` report as an aligned text table."""
+    lines = [
+        "drift: "
+        + (
+            "none"
+            if report["clean"]
+            else ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(report["counts"].items())
+            )
+        )
+    ]
+    header = ["table", "kind", "tau", "overlap", "max_score_delta"]
+    rows = [
+        [
+            str(entry["table"]),
+            entry["kind"],
+            f"{entry.get('kendall_tau', 0.0):.3f}",
+            f"{entry.get('overlap', 0.0):.3f}",
+            f"{entry.get('max_score_delta', 0.0):.3g}",
+        ]
+        for entry in report["tables"]
+    ]
+    widths = [
+        max(len(header[i]), max((len(row[i]) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,493 @@
+"""Structured decision-event log: append-only JSONL with a reader side.
+
+Performance observability (:mod:`repro.obs.trace`, `.metrics`) answers
+*how long*; this module answers *what happened*: every selection run
+can append schema-versioned event records describing the decisions the
+pipeline made — which rules pruned, what scored how, which rank each
+chart landed at, whether the cache answered.  The log is the raw
+material of the ``repro obs report`` summary and the decision-provenance
+records of :mod:`repro.obs.provenance`.
+
+Event record shape (one JSON object per line)::
+
+    {"v": 1, "seq": 17, "ts": 1722950000.123, "kind": "phase",
+     "phase": "enumerate", "seconds": 0.012, "candidates": 412, ...}
+
+* ``v`` — the schema version (:data:`EVENT_LOG_SCHEMA_VERSION`);
+* ``seq`` — a per-log monotone sequence number (merge-stable ordering);
+* ``ts`` — wall-clock seconds since the epoch;
+* ``kind`` — one of :data:`EVENT_KINDS`:
+
+  ========== ==========================================================
+  ``request``  one per ``select_top_k`` / batch entry point
+  ``phase``    one per pipeline phase (or per parallel task)
+  ``prune``    per decision rule: how many candidates it eliminated
+  ``score``    per emitted chart: the factor/model scores behind it
+  ``rank``     one per run: the final ordered top-k chart ids
+  ``cache``    serving-cache activity (per-level counters, result hits)
+  ``error``    an exception escaping an instrumented region
+  ========== ==========================================================
+
+Writer features: request-granular **sampling** (``sample_rate``),
+size-bounded **rotation** of the JSONL file (``max_bytes`` /
+``max_backups``), a bounded in-memory tail (``max_events``) so
+long-running engines cannot grow without limit, and :meth:`merge` for
+folding per-worker event lists back in input order (parallel workers
+cannot share the parent's file handle).  Everything is stdlib-only and
+thread-safe; this module imports nothing from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "EVENT_LOG_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "EventLog",
+    "read_event_log",
+    "aggregate_events",
+    "format_event_report",
+]
+
+#: Version stamped into every record; bump on incompatible shape changes.
+EVENT_LOG_SCHEMA_VERSION = 1
+
+#: The closed set of record kinds the writer accepts.
+EVENT_KINDS = (
+    "request",
+    "phase",
+    "prune",
+    "score",
+    "rank",
+    "cache",
+    "error",
+)
+
+
+class EventLog:
+    """Append-only structured event log (in-memory tail + optional JSONL).
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append to; ``None`` keeps events in memory only.
+    sample_rate:
+        Fraction of *requests* to record, in [0, 1].  Sampling is
+        request-granular: either every event of a request is kept or
+        none is, so per-request invariants (``considered == emitted +
+        pruned``) always hold within the log.  The decision is
+        deterministic (every ``round(1/rate)``-ish request by counter,
+        not RNG), so two identical runs produce identical logs.
+    max_bytes:
+        Rotate the JSONL file when it would exceed this size; ``None``
+        disables rotation.  Rotated files move to ``path.1`` ..
+        ``path.<max_backups>`` (newest = ``.1``), oldest dropped.
+    max_backups:
+        How many rotated files to keep.
+    max_events:
+        Bound on the in-memory tail (oldest events drop first).  The
+        file, when given, always receives every sampled event.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        sample_rate: float = 1.0,
+        max_bytes: Optional[int] = None,
+        max_backups: int = 3,
+        max_events: int = 10_000,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.path = os.fspath(path) if path is not None else None
+        self.sample_rate = float(sample_rate)
+        self.max_bytes = max_bytes
+        self.max_backups = max(1, int(max_backups))
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=max_events)
+        self._seq = 0
+        self._requests = 0
+        self._sampled = True  # events before any request are always kept
+        self._dropped = 0
+        self._handle: Optional[io.TextIOWrapper] = None
+        self._lock = threading.Lock()
+
+    # -- writer --------------------------------------------------------
+    def begin_request(self, **fields: Any) -> bool:
+        """Open a new request scope and emit its ``request`` event.
+
+        Returns whether this request is sampled; until the next
+        ``begin_request`` every :meth:`emit` follows that decision.
+        """
+        with self._lock:
+            self._requests += 1
+            # Deterministic stride sampling: request i is kept when the
+            # running total floor(i * rate) advances, which spreads kept
+            # requests evenly and needs no RNG state.
+            kept = math.floor(self._requests * self.sample_rate) > math.floor(
+                (self._requests - 1) * self.sample_rate
+            )
+            self._sampled = kept
+            if not kept:
+                self._dropped += 1
+                return False
+            self._append("request", fields)
+            return True
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Append one event of ``kind`` (dropped if the current request
+        is unsampled)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; use one of {EVENT_KINDS}"
+            )
+        with self._lock:
+            if not self._sampled:
+                return
+            self._append(kind, fields)
+
+    def merge(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Fold pre-built event dicts (e.g. a worker's) into this log.
+
+        Events are re-sequenced but otherwise appended verbatim in the
+        order given — callers gather per-worker lists in input order, so
+        the merged log is deterministic regardless of worker scheduling.
+        Dropped when the current request is unsampled, like :meth:`emit`.
+        """
+        with self._lock:
+            if not self._sampled:
+                return
+            for event in events:
+                kind = event.get("kind", "phase")
+                fields = {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("v", "seq", "ts", "kind")
+                }
+                if "ts" in event:
+                    fields["worker_ts"] = event["ts"]
+                self._append(kind, fields)
+
+    def _append(self, kind: str, fields: Dict[str, Any]) -> None:
+        """Build, store, and (when file-backed) persist one record.
+        Caller holds the lock."""
+        self._seq += 1
+        record: Dict[str, Any] = {
+            "v": EVENT_LOG_SCHEMA_VERSION,
+            "seq": self._seq,
+            "ts": time.time(),
+            "kind": kind,
+        }
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        self.events.append(record)
+        if self.path is not None:
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+            self._rotate_if_needed(len(line))
+            if self._handle is None:
+                self._handle = open(self.path, "a")
+            self._handle.write(line)
+            self._handle.flush()
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... when the next write would
+        exceed ``max_bytes``.  Caller holds the lock."""
+        if self.max_bytes is None or self.path is None:
+            return
+        try:
+            current = os.path.getsize(self.path)
+        except OSError:
+            current = 0
+        if current + incoming <= self.max_bytes:
+            return
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        oldest = f"{self.path}.{self.max_backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.max_backups - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        if os.path.exists(self.path):
+            os.replace(self.path, f"{self.path}.1")
+
+    def close(self) -> None:
+        """Flush and close the file handle (in-memory tail stays)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- reader-side conveniences --------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(list(self.events))
+
+    def by_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """The in-memory tail filtered to one event kind."""
+        return [event for event in self.events if event["kind"] == kind]
+
+    @property
+    def requests_seen(self) -> int:
+        """Requests offered to the log (sampled or not)."""
+        return self._requests
+
+    @property
+    def requests_dropped(self) -> int:
+        """Requests the sampler skipped entirely."""
+        return self._dropped
+
+    # -- pickling (file handles / locks cannot cross processes) --------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_handle"] = None
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = self.path or "memory"
+        return (
+            f"EventLog({target!r}, events={len(self.events)}, "
+            f"requests={self._requests}, dropped={self._dropped})"
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe projection of one field value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Reader / aggregator
+# ----------------------------------------------------------------------
+def read_event_log(path) -> List[Dict[str, Any]]:
+    """All events of a JSONL log, rotated backups first (oldest to
+    newest), skipping blank lines.
+
+    Raises ``ValueError`` on records whose schema version is newer than
+    this reader understands.
+    """
+    path = os.fspath(path)
+    files: List[str] = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        files.append(f"{path}.{index}")
+        index += 1
+    files.reverse()  # .2 (older) before .1 (newer)
+    if os.path.exists(path):
+        files.append(path)
+    events: List[Dict[str, Any]] = []
+    for name in files:
+        with open(name) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                version = record.get("v", 0)
+                if version > EVENT_LOG_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"event log schema v{version} is newer than this "
+                        f"reader (v{EVENT_LOG_SCHEMA_VERSION})"
+                    )
+                events.append(record)
+    return events
+
+
+def aggregate_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Roll an event stream up into the ``repro obs report`` summary.
+
+    Returns ``{"events", "kinds", "requests", "phases", "rules",
+    "tables", "cache", "errors"}`` where ``phases`` maps phase name to
+    count/total/mean seconds, ``rules`` maps decision rule to pruned
+    totals, and ``tables`` maps table name to request/candidate/emitted
+    accounting.
+    """
+    kinds: Dict[str, int] = {}
+    phases: Dict[str, Dict[str, float]] = {}
+    rules: Dict[str, int] = {}
+    tables: Dict[str, Dict[str, float]] = {}
+    cache: Dict[str, float] = {}
+    errors: List[Dict[str, Any]] = []
+    total = 0
+    requests = 0
+
+    for event in events:
+        total += 1
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "request":
+            requests += 1
+            name = event.get("table", "?")
+            entry = tables.setdefault(
+                name, {"requests": 0, "considered": 0, "emitted": 0,
+                       "pruned": 0, "result_cache_hits": 0}
+            )
+            entry["requests"] += 1
+            if event.get("result_cache_hit"):
+                entry["result_cache_hits"] += 1
+        elif kind == "phase":
+            name = event.get("phase", "?")
+            entry = phases.setdefault(name, {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += float(event.get("seconds", 0.0))
+            table_name = event.get("table")
+            if table_name is not None and name == "enumerate":
+                table_entry = tables.setdefault(
+                    table_name,
+                    {"requests": 0, "considered": 0, "emitted": 0,
+                     "pruned": 0, "result_cache_hits": 0},
+                )
+                table_entry["considered"] += int(event.get("considered", 0))
+                table_entry["emitted"] += int(event.get("emitted", 0))
+        elif kind == "prune":
+            rule = event.get("rule", "?")
+            count = int(event.get("count", 0))
+            rules[rule] = rules.get(rule, 0) + count
+            table_name = event.get("table")
+            if table_name is not None:
+                table_entry = tables.setdefault(
+                    table_name,
+                    {"requests": 0, "considered": 0, "emitted": 0,
+                     "pruned": 0, "result_cache_hits": 0},
+                )
+                table_entry["pruned"] += count
+        elif kind == "cache":
+            if event.get("result_cache_hit") and event.get("table"):
+                table_entry = tables.setdefault(
+                    event["table"],
+                    {"requests": 0, "considered": 0, "emitted": 0,
+                     "pruned": 0, "result_cache_hits": 0},
+                )
+                table_entry["result_cache_hits"] += 1
+            for key, value in event.items():
+                if key in ("v", "seq", "ts", "kind", "table"):
+                    continue
+                if isinstance(value, dict):
+                    for counter, amount in value.items():
+                        if isinstance(amount, (int, float)):
+                            full = f"{key}_{counter}"
+                            cache[full] = cache.get(full, 0) + amount
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    cache[key] = cache.get(key, 0) + value
+                elif value is True:
+                    cache[key] = cache.get(key, 0) + 1
+        elif kind == "error":
+            errors.append(
+                {k: v for k, v in event.items() if k not in ("v", "seq")}
+            )
+
+    for entry in phases.values():
+        entry["mean_seconds"] = (
+            entry["seconds"] / entry["count"] if entry["count"] else 0.0
+        )
+    return {
+        "events": total,
+        "kinds": dict(sorted(kinds.items())),
+        "requests": requests,
+        "phases": dict(sorted(phases.items())),
+        "rules": dict(sorted(rules.items())),
+        "tables": dict(sorted(tables.items())),
+        "cache": dict(sorted(cache.items())),
+        "errors": errors,
+    }
+
+
+def _rows_to_text(title: str, header: List[str], rows: List[List[str]]) -> List[str]:
+    """One fixed-width text table."""
+    if not rows:
+        return []
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return lines
+
+
+def format_event_report(summary: Dict[str, Any]) -> str:
+    """Render an :func:`aggregate_events` summary as aligned text tables
+    (the body of ``repro obs report``)."""
+    lines: List[str] = [
+        f"events: {summary['events']}  requests: {summary['requests']}",
+        "kinds: "
+        + ", ".join(f"{k}={v}" for k, v in summary["kinds"].items()),
+    ]
+    phase_rows = [
+        [name, str(int(entry["count"])), f"{entry['seconds']:.4f}",
+         f"{entry['mean_seconds']:.4f}"]
+        for name, entry in summary["phases"].items()
+    ]
+    lines += _rows_to_text(
+        "per-phase:", ["phase", "count", "total_s", "mean_s"], phase_rows
+    )
+    rule_rows = [
+        [rule, str(count)] for rule, count in summary["rules"].items()
+    ]
+    lines += _rows_to_text("per-rule pruning:", ["rule", "pruned"], rule_rows)
+    table_rows = [
+        [
+            name,
+            str(int(entry["requests"])),
+            str(int(entry["considered"])),
+            str(int(entry["emitted"])),
+            str(int(entry["pruned"])),
+            str(int(entry["result_cache_hits"])),
+        ]
+        for name, entry in summary["tables"].items()
+    ]
+    lines += _rows_to_text(
+        "per-table:",
+        ["table", "requests", "considered", "emitted", "pruned", "cache_hits"],
+        table_rows,
+    )
+    if summary["cache"]:
+        lines.append(
+            "cache: "
+            + ", ".join(
+                f"{k}={int(v)}" for k, v in summary["cache"].items()
+            )
+        )
+    if summary["errors"]:
+        lines.append(f"errors: {len(summary['errors'])}")
+        for error in summary["errors"][:10]:
+            lines.append(f"  - {error.get('error', error)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,159 @@
+"""Per-chart decision provenance: *why* a chart landed at its rank.
+
+A :class:`ChartProvenance` record captures every fact the ranking
+pipeline used when it placed one emitted visualization: the recognizer
+verdict (and its probability when the model exposes one), the expert
+M/Q/W factor values, the chart's dominance edges in and out of the
+partial-order graph, its learning-to-rank score, the hybrid blend
+positions, and the per-rule pruning accounting of the run that
+eliminated its sibling candidates.  ``SelectionResult.provenance`` maps
+a stable chart id to one record per emitted chart;
+:func:`repro.core.explain.provenance_report` renders them as a
+human-readable "why this rank" report.
+
+Records are plain data (floats, strings, dicts) so this module — like
+the rest of :mod:`repro.obs` — imports nothing from the rest of
+``repro`` and every record serialises cleanly to JSON for the event log
+and golden snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ChartProvenance", "render_provenance"]
+
+
+@dataclass
+class ChartProvenance:
+    """Everything the pipeline knew when it ranked one emitted chart.
+
+    Attributes
+    ----------
+    node_id:
+        Stable identity of the chart (chart type + columns + transform
+        + aggregate + order), shared with the event log and snapshots.
+    rank:
+        1-based final position among the emitted top-k.
+    description:
+        The chart's one-line human-readable summary.
+    m, q, w:
+        The normalised partial-order factors (matching quality,
+        transformation quality, column importance); ``None`` when the
+        run's ranker never scored them and they could not be derived.
+    score:
+        The weight-aware partial-order score S(v); ``None`` for pure
+        learned rankers.
+    ltr_score:
+        The LambdaMART model score; ``None`` when no learned ranker ran.
+    hybrid:
+        ``{"alpha", "ltr_position", "po_position", "combined"}`` when
+        the hybrid blend decided the rank; ``None`` otherwise.
+    recognizer:
+        ``{"model", "verdict", "probability"}`` when a trained
+        recognizer filtered candidates; ``None`` when the expert
+        M(v) > 0 criterion (or no filter) ran instead.
+    dominates, dominated_by:
+        Dominance edges out of / into this chart in the partial-order
+        graph over the run's valid candidates.
+    siblings_pruned:
+        Per-decision-rule counts of sibling candidates the run pruned
+        before ranking (the whole run's accounting, identical across
+        records of one run).
+    considered, emitted:
+        The run's candidate accounting; ``considered == emitted +
+        sum(siblings_pruned.values())`` by construction.
+    """
+
+    node_id: str
+    rank: int
+    description: str
+    m: Optional[float] = None
+    q: Optional[float] = None
+    w: Optional[float] = None
+    score: Optional[float] = None
+    ltr_score: Optional[float] = None
+    hybrid: Optional[Dict[str, float]] = None
+    recognizer: Optional[Dict[str, Any]] = None
+    dominates: int = 0
+    dominated_by: int = 0
+    siblings_pruned: Dict[str, int] = field(default_factory=dict)
+    considered: int = 0
+    emitted: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (event log / snapshot payloads)."""
+        payload: Dict[str, Any] = {
+            "node_id": self.node_id,
+            "rank": self.rank,
+            "description": self.description,
+            "dominates": self.dominates,
+            "dominated_by": self.dominated_by,
+            "siblings_pruned": dict(self.siblings_pruned),
+            "considered": self.considered,
+            "emitted": self.emitted,
+        }
+        for key in ("m", "q", "w", "score", "ltr_score"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.hybrid is not None:
+            payload["hybrid"] = dict(self.hybrid)
+        if self.recognizer is not None:
+            payload["recognizer"] = dict(self.recognizer)
+        return payload
+
+    def summary(self) -> str:
+        """Multi-line "why this rank" text for one chart."""
+        lines = [f"#{self.rank}: {self.description}"]
+        if self.m is not None:
+            lines.append(
+                f"  factors: M={self.m:.3f} (chart/data fit), "
+                f"Q={self.q:.3f} (summarisation), "
+                f"W={self.w:.3f} (column importance)"
+            )
+        if self.score is not None:
+            lines.append(
+                f"  partial order: S(v)={self.score:.4g}; dominates "
+                f"{self.dominates} charts, dominated by {self.dominated_by}"
+            )
+        if self.ltr_score is not None:
+            lines.append(f"  learning-to-rank score: {self.ltr_score:.4f}")
+        if self.hybrid is not None:
+            lines.append(
+                "  hybrid blend: ltr position "
+                f"{int(self.hybrid['ltr_position'])} + "
+                f"{self.hybrid['alpha']:g} x partial-order position "
+                f"{int(self.hybrid['po_position'])} = "
+                f"{self.hybrid['combined']:g}"
+            )
+        if self.recognizer is not None:
+            verdict = "good" if self.recognizer.get("verdict") else "bad"
+            probability = self.recognizer.get("probability")
+            detail = (
+                f" (p={probability:.2f})" if probability is not None else ""
+            )
+            lines.append(
+                f"  recognizer [{self.recognizer.get('model')}]: "
+                f"{verdict}{detail}"
+            )
+        pruned_total = sum(self.siblings_pruned.values())
+        if self.considered:
+            lines.append(
+                f"  siblings: {self.considered} variants considered, "
+                f"{self.emitted} emitted, {pruned_total} pruned"
+            )
+            for rule, count in sorted(
+                self.siblings_pruned.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:5]:
+                lines.append(f"    - {rule}: {count}")
+        return "\n".join(lines)
+
+
+def render_provenance(records: List[ChartProvenance]) -> str:
+    """The full "why this rank" report for one run, best rank first."""
+    ordered = sorted(records, key=lambda record: record.rank)
+    return "\n\n".join(record.summary() for record in ordered) + (
+        "\n" if ordered else ""
+    )

@@ -112,3 +112,97 @@ class TestParser:
         assert args.k == 5
         assert args.format == "ascii"
         assert args.enumeration == "rules"
+
+
+class TestObservabilityFlags:
+    def test_no_cache_prints_explicit_na(self, flights_csv):
+        code, text = _run(
+            ["visualize", flights_csv, "--k", "2", "--format", "list",
+             "--no-cache"]
+        )
+        assert code == 0
+        assert "# cache: n/a (caching disabled)" in text
+        assert "# phases:" in text
+
+    def test_cache_line_shows_levels_when_enabled(self, flights_csv):
+        code, text = _run(
+            ["visualize", flights_csv, "--k", "2", "--format", "list"]
+        )
+        assert code == 0
+        assert "results=" in text and "transforms=" in text
+
+    def test_provenance_flag_appends_report(self, flights_csv):
+        code, text = _run(
+            ["visualize", flights_csv, "--k", "2", "--format", "list",
+             "--provenance"]
+        )
+        assert code == 0
+        assert "# provenance" in text
+        assert "#1:" in text and "factors:" in text
+
+    def test_events_flag_writes_jsonl(self, flights_csv, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        code, text = _run(
+            ["visualize", flights_csv, "--k", "2", "--format", "list",
+             "--events", str(log_path)]
+        )
+        assert code == 0
+        assert log_path.exists()
+        assert "# wrote" in text and "events" in text
+        from repro.obs import read_event_log
+
+        events = read_event_log(log_path)
+        assert any(e["kind"] == "request" for e in events)
+        assert any(e["kind"] == "rank" for e in events)
+
+
+class TestObsCommand:
+    def test_report_renders_tables(self, flights_csv, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        _run(["visualize", flights_csv, "--k", "2", "--format", "list",
+              "--events", str(log_path)])
+        code, text = _run(["obs", "report", str(log_path)])
+        assert code == 0
+        assert "per-phase:" in text
+        assert "per-table:" in text
+
+    def test_report_json(self, flights_csv, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        _run(["visualize", flights_csv, "--k", "2", "--format", "list",
+              "--events", str(log_path)])
+        code, text = _run(["obs", "report", str(log_path), "--json"])
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["requests"] == 1
+        flights = summary["tables"]["flights"]
+        assert flights["considered"] == flights["emitted"] + flights["pruned"]
+
+    def test_snapshot_then_diff_is_clean(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        code, text = _run(
+            ["obs", "snapshot", "--out", str(golden), "--k", "2",
+             "--scale", "0.02", "--tables", "Happiness Rank"]
+        )
+        assert code == 0
+        snapshot = json.loads(golden.read_text())
+        assert snapshot["tables"][0]["chart_ids"]
+        report_path = tmp_path / "drift.json"
+        code, text = _run(
+            ["obs", "diff", str(golden), "--out", str(report_path)]
+        )
+        assert code == 0
+        assert "drift: none" in text
+        report = json.loads(report_path.read_text())
+        assert report["clean"] is True
+
+    def test_diff_fails_on_doctored_snapshot(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        _run(["obs", "snapshot", "--out", str(golden), "--k", "2",
+              "--scale", "0.02", "--tables", "Happiness Rank"])
+        snapshot = json.loads(golden.read_text())
+        snapshot["tables"][0]["chart_ids"].reverse()
+        snapshot["tables"][0]["scores"].reverse()
+        golden.write_text(json.dumps(snapshot))
+        code, text = _run(["obs", "diff", str(golden)])
+        assert code == 1
+        assert "reordered" in text

@@ -75,13 +75,22 @@ class TestLRUCache:
 
 
 class TestMultiLevelCache:
-    def test_stats_flattens_all_levels(self):
+    def test_stats_by_level_reports_all_levels(self):
         cache = MultiLevelCache()
         cache.transforms.put("t", 1)
         cache.features.get("missing")
-        stats = cache.stats()
+        levels = cache.stats_by_level()
+        assert levels["transforms"]["size"] == 1
+        assert levels["features"]["misses"] == 1
+        assert levels["results"]["hits"] == 0
+        assert levels["aggregate"]["misses"] == 1
+
+    def test_flat_stats_is_deprecated_but_still_flat(self):
+        cache = MultiLevelCache()
+        cache.transforms.put("t", 1)
+        with pytest.warns(DeprecationWarning, match="stats_by_level"):
+            stats = cache.stats()
         assert stats["transforms_size"] == 1
-        assert stats["features_misses"] == 1
         assert stats["results_hits"] == 0
 
     def test_clear_empties_every_level(self):

@@ -1,0 +1,188 @@
+"""Golden snapshots and drift classification (repro.obs.drift)."""
+
+import pytest
+
+from repro.core import select_top_k
+from repro.core.partial_order import PartialOrderScorer
+from repro.obs.drift import (
+    SNAPSHOT_SCHEMA_VERSION,
+    build_snapshot,
+    classify_drift,
+    diff_snapshots,
+    entry_from_result,
+    format_drift_report,
+    kendall_tau,
+    load_snapshot,
+    save_snapshot,
+    top_k_overlap,
+)
+
+
+class TestRankStatistics:
+    def test_kendall_tau_bounds(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+        # One discordant pair (b, c) out of six: (5 - 1) / 6.
+        assert kendall_tau(["a", "b", "c", "d"], ["a", "c", "b", "d"]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_kendall_tau_over_common_elements_only(self):
+        # Only a and c are shared; their relative order flips.
+        assert kendall_tau(["a", "x", "c"], ["c", "y", "a"]) == -1.0
+        assert kendall_tau(["a"], ["a"]) == 1.0
+        assert kendall_tau([], []) == 1.0
+
+    def test_top_k_overlap(self):
+        assert top_k_overlap(["a", "b"], ["a", "b"]) == 1.0
+        assert top_k_overlap(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+        assert top_k_overlap([], []) == 1.0
+        assert top_k_overlap(["a"], []) == 0.0
+
+
+def _entry(chart_ids, scores=None, fingerprint="fp", table="t"):
+    return {
+        "table": table,
+        "fingerprint": fingerprint,
+        "candidates": 10,
+        "valid": len(chart_ids),
+        "k": len(chart_ids),
+        "chart_ids": list(chart_ids),
+        "scores": list(scores if scores is not None else []),
+    }
+
+
+class TestClassification:
+    def test_identical(self):
+        report = classify_drift(
+            _entry(["a", "b"], [1.0, 0.5]), _entry(["a", "b"], [1.0, 0.5])
+        )
+        assert report["kind"] == "identical"
+        assert report["kendall_tau"] == 1.0
+        assert report["overlap"] == 1.0
+
+    def test_score_noise_below_tolerance_is_identical(self):
+        report = classify_drift(
+            _entry(["a"], [1.0]), _entry(["a"], [1.0 + 1e-12])
+        )
+        assert report["kind"] == "identical"
+
+    def test_score_shifted(self):
+        report = classify_drift(
+            _entry(["a", "b"], [1.0, 0.5]), _entry(["a", "b"], [1.0, 0.4])
+        )
+        assert report["kind"] == "score_shifted"
+        assert report["max_score_delta"] == pytest.approx(0.1)
+
+    def test_reordered(self):
+        report = classify_drift(_entry(["a", "b"]), _entry(["b", "a"]))
+        assert report["kind"] == "reordered"
+        assert report["kendall_tau"] == -1.0
+        assert report["overlap"] == 1.0
+
+    def test_churned(self):
+        report = classify_drift(_entry(["a", "b"]), _entry(["a", "c"]))
+        assert report["kind"] == "churned"
+        assert "input_changed" not in report
+
+    def test_changed_fingerprint_flags_input_change(self):
+        report = classify_drift(
+            _entry(["a"], fingerprint="old"), _entry(["a"], fingerprint="new")
+        )
+        assert report["kind"] == "churned"
+        assert report["input_changed"] is True
+
+    def test_diff_counts_missing_and_added(self):
+        old = build_snapshot([_entry(["a"], table="kept"),
+                              _entry(["a"], table="gone")], k=1)
+        new = build_snapshot([_entry(["a"], table="kept"),
+                              _entry(["a"], table="fresh")], k=1)
+        report = diff_snapshots(old, new)
+        assert report["counts"] == {"identical": 1, "missing": 1, "added": 1}
+        assert report["clean"] is False
+        kinds = {r["table"]: r["kind"] for r in report["tables"]}
+        assert kinds == {"kept": "identical", "gone": "missing",
+                         "fresh": "added"}
+
+    def test_format_drift_report(self):
+        old = build_snapshot([_entry(["a", "b"], table="t")], k=2)
+        new = build_snapshot([_entry(["b", "a"], table="t")], k=2)
+        text = format_drift_report(diff_snapshots(old, new))
+        assert "drift: reordered=1" in text
+        assert "t" in text and "tau" in text
+
+
+class TestSnapshotIO:
+    def test_save_load_round_trip(self, tmp_path):
+        snapshot = build_snapshot(
+            [_entry(["a"])], k=1, config={"scale": 0.05, "seed": 0}
+        )
+        path = tmp_path / "golden.json"
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded == snapshot
+        assert loaded["schema"] == SNAPSHOT_SCHEMA_VERSION
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "golden.json"
+        save_snapshot(
+            {"schema": SNAPSHOT_SCHEMA_VERSION + 1, "tables": []}, path
+        )
+        with pytest.raises(ValueError, match="newer"):
+            load_snapshot(path)
+
+
+class _WeightPerturbedRanker:
+    """Partial-order ranking under deliberately skewed factor weights —
+    the quality regression the drift gate must catch."""
+
+    def __init__(self, wm=1.0, wq=1.0, ww=-2.0):
+        self.weights = (wm, wq, ww)
+
+    def rank(self, nodes):
+        factors = PartialOrderScorer().score(nodes)
+        wm, wq, ww = self.weights
+        keys = [wm * f.m + wq * f.q + ww * f.w for f in factors]
+        return sorted(range(len(nodes)), key=lambda i: (-keys[i], i))
+
+
+class TestEndToEndDrift:
+    def _snapshot(self, table, k=50, **kwargs):
+        result = select_top_k(table, k=k, provenance=True, **kwargs)
+        entry = entry_from_result(
+            table.name, table.fingerprint(), result
+        )
+        return build_snapshot([entry], k=k)
+
+    def test_same_commit_replay_is_drift_free(self, flights_table):
+        old = self._snapshot(flights_table)
+        new = self._snapshot(flights_table)
+        report = diff_snapshots(old, new)
+        assert report["clean"] is True
+        assert report["counts"] == {"identical": 1}
+
+    def test_weight_perturbation_is_detected_as_reordered(self, flights_table):
+        # k exceeds the valid-candidate count, so both runs emit the same
+        # chart *set* and only the order can move.
+        golden = self._snapshot(flights_table, k=500)
+        perturbed = self._snapshot(
+            flights_table, k=500, ranker=_WeightPerturbedRanker()
+        )
+        report = diff_snapshots(golden, perturbed)
+        (entry,) = report["tables"]
+        assert entry["kind"] == "reordered"
+        assert entry["overlap"] == 1.0
+        assert entry["kendall_tau"] < 1.0
+
+    def test_entry_pulls_scores_from_provenance(self, flights_table):
+        result = select_top_k(flights_table, k=3, provenance=True)
+        entry = entry_from_result(
+            flights_table.name, flights_table.fingerprint(), result
+        )
+        assert len(entry["scores"]) == len(entry["chart_ids"]) == 3
+        assert entry["scores"][0] >= entry["scores"][-1]
+        plain = select_top_k(flights_table, k=3)
+        bare = entry_from_result(
+            flights_table.name, flights_table.fingerprint(), plain
+        )
+        assert bare["scores"] == []

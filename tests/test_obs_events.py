@@ -1,0 +1,202 @@
+"""Unit tests for the structured decision-event log (repro.obs.events)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_LOG_SCHEMA_VERSION,
+    EventLog,
+    aggregate_events,
+    format_event_report,
+    read_event_log,
+)
+
+
+class TestWriter:
+    def test_append_stamps_schema_and_sequence(self):
+        log = EventLog()
+        log.begin_request(table="t", k=3)
+        log.emit("phase", phase="enumerate", seconds=0.5)
+        records = list(log)
+        assert [r["kind"] for r in records] == ["request", "phase"]
+        assert [r["seq"] for r in records] == [1, 2]
+        assert all(r["v"] == EVENT_LOG_SCHEMA_VERSION for r in records)
+        assert records[0]["table"] == "t" and records[0]["k"] == 3
+
+    def test_unknown_kind_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            log.emit("bogus")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            EventLog(sample_rate=1.5)
+        with pytest.raises(ValueError, match="max_bytes"):
+            EventLog(path="x.jsonl", max_bytes=0)
+
+    def test_non_jsonable_fields_are_stringified(self):
+        log = EventLog()
+        log.emit("error", error=ValueError("boom"), extra={"a": (1, 2)})
+        record = log.by_kind("error")[0]
+        json.dumps(record)  # every field round-trips through JSON
+        assert record["error"] == "boom"
+        assert record["extra"] == {"a": [1, 2]}
+
+    def test_in_memory_tail_is_bounded(self):
+        log = EventLog(max_events=3)
+        log.begin_request()
+        for i in range(5):
+            log.emit("phase", phase=f"p{i}")
+        assert len(log) == 3
+        assert [e["phase"] for e in log] == ["p2", "p3", "p4"]
+
+    def test_by_kind_filters(self):
+        log = EventLog()
+        log.begin_request(table="t")
+        log.emit("prune", rule="dedup", count=4)
+        log.emit("prune", rule="pie_avg", count=1)
+        assert len(log.by_kind("prune")) == 2
+        assert log.by_kind("rank") == []
+
+
+class TestSampling:
+    def test_sampling_is_request_granular(self):
+        log = EventLog(sample_rate=0.5)
+        for i in range(4):
+            log.begin_request(index=i)
+            log.emit("rank", chart_ids=[])
+        # floor(i * 0.5) advances on every second request.
+        assert log.requests_seen == 4
+        assert log.requests_dropped == 2
+        kept = [e["index"] for e in log.by_kind("request")]
+        assert len(kept) == 2
+        # A dropped request drops *all* of its events.
+        assert len(log.by_kind("rank")) == 2
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            log = EventLog(sample_rate=0.3)
+            for i in range(10):
+                log.begin_request(index=i)
+            return [e["index"] for e in log.by_kind("request")]
+
+        assert run() == run()
+
+    def test_zero_rate_drops_everything(self):
+        log = EventLog(sample_rate=0.0)
+        assert log.begin_request() is False
+        log.emit("rank", chart_ids=[])
+        assert len(log) == 0
+
+
+class TestFileAndRotation:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=str(path)) as log:
+            log.begin_request(table="t")
+            log.emit("rank", chart_ids=["a", "b"])
+        events = read_event_log(path)
+        assert [e["kind"] for e in events] == ["request", "rank"]
+        assert events[1]["chart_ids"] == ["a", "b"]
+
+    def test_rotation_keeps_bounded_backups_and_reads_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path), max_bytes=200, max_backups=2)
+        log.begin_request()
+        for i in range(40):
+            log.emit("phase", phase=f"p{i:02d}")
+        log.close()
+        assert path.exists()
+        assert (tmp_path / "events.jsonl.1").exists()
+        assert not (tmp_path / "events.jsonl.3").exists()
+        events = read_event_log(path)
+        # Oldest-surviving-first: phase names strictly increase.
+        names = [e["phase"] for e in events if e["kind"] == "phase"]
+        assert names == sorted(names)
+
+    def test_reader_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps({"v": EVENT_LOG_SCHEMA_VERSION + 1, "kind": "rank"})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="newer"):
+            read_event_log(path)
+
+
+class TestMerge:
+    def test_merge_preserves_input_order_and_resequences(self):
+        log = EventLog()
+        log.begin_request(table="t")
+        worker = [
+            {"v": 1, "seq": 9, "ts": 123.0, "kind": "phase",
+             "phase": "enumerate_task", "column": "a"},
+            {"v": 1, "seq": 10, "ts": 124.0, "kind": "phase",
+             "phase": "enumerate_task", "column": "b"},
+        ]
+        log.merge(worker)
+        merged = log.by_kind("phase")
+        assert [e["column"] for e in merged] == ["a", "b"]
+        assert [e["seq"] for e in merged] == [2, 3]
+        assert [e["worker_ts"] for e in merged] == [123.0, 124.0]
+
+    def test_pickle_round_trip(self):
+        log = EventLog()
+        log.begin_request(table="t")
+        clone = pickle.loads(pickle.dumps(log))
+        clone.emit("rank", chart_ids=[])  # restored lock works
+        assert len(clone) == 2
+
+
+class TestAggregator:
+    def _stream(self):
+        log = EventLog()
+        log.begin_request(table="flights", k=3)
+        log.emit("phase", phase="enumerate", seconds=0.2, table="flights",
+                 considered=10, emitted=6)
+        log.emit("prune", rule="dedup", count=3, table="flights")
+        log.emit("prune", rule="pie_avg", count=1, table="flights")
+        log.emit("cache", table="flights",
+                 results={"hits": 0, "misses": 1, "evictions": 0, "size": 1})
+        log.begin_request(table="flights", k=3)
+        log.emit("cache", result_cache_hit=True, table="flights")
+        log.emit("error", error="ValueError: boom")
+        return list(log)
+
+    def test_aggregate_rolls_up_phases_rules_tables(self):
+        summary = aggregate_events(self._stream())
+        assert summary["requests"] == 2
+        assert summary["phases"]["enumerate"]["count"] == 1
+        assert summary["phases"]["enumerate"]["mean_seconds"] == pytest.approx(0.2)
+        assert summary["rules"] == {"dedup": 3, "pie_avg": 1}
+        flights = summary["tables"]["flights"]
+        assert flights["requests"] == 2
+        assert flights["considered"] == 10
+        assert flights["emitted"] == 6
+        assert flights["pruned"] == 4
+        assert flights["result_cache_hits"] == 1
+        # The invariant the sampler guarantees per request:
+        assert flights["considered"] == flights["emitted"] + flights["pruned"]
+        assert summary["cache"]["results_misses"] == 1
+        assert len(summary["errors"]) == 1
+
+    def test_format_event_report_renders_all_sections(self):
+        text = format_event_report(aggregate_events(self._stream()))
+        assert "events: 8  requests: 2" in text
+        assert "per-phase:" in text
+        assert "per-rule pruning:" in text
+        assert "per-table:" in text
+        assert "dedup" in text and "flights" in text
+        assert "errors: 1" in text
+
+    def test_every_kind_is_accepted(self):
+        log = EventLog()
+        log.begin_request()
+        for kind in EVENT_KINDS:
+            if kind != "request":
+                log.emit(kind)
+        summary = aggregate_events(list(log))
+        assert summary["events"] == len(EVENT_KINDS)

@@ -132,10 +132,11 @@ class TestSelectionMetrics:
         samples = parse_prometheus_text(registry.to_prometheus_text())
         assert samples[("selection_result_cache_hits_total", ())] == 1
         assert samples[("cache_hits_total", (("level", "results"),))] == 1
+        by_level = cache.stats_by_level()
         for level in ("transforms", "features", "results"):
             assert (
                 samples[("cache_misses_total", (("level", level),))]
-                == cache.stats()[f"{level}_misses"]
+                == by_level[level]["misses"]
             )
 
 
@@ -143,7 +144,8 @@ class TestCacheStats:
     def test_stats_by_level_matches_flat_stats(self, flights_table):
         cache = MultiLevelCache()
         select_top_k(flights_table, k=3, cache=cache)
-        flat = cache.stats()
+        with pytest.warns(DeprecationWarning):
+            flat = cache.stats()
         levels = cache.stats_by_level()
         assert set(levels) == {"transforms", "features", "results", "aggregate"}
         for level in ("transforms", "features", "results"):

@@ -181,3 +181,56 @@ class TestPrometheusExposition:
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_prometheus_text("{not metrics}")
+
+
+class TestExporterEdgeCases:
+    """Prometheus exposition corners: escaping and degenerate histograms."""
+
+    @pytest.mark.parametrize(
+        "tricky",
+        [
+            "back\\slash",
+            'quo"te',
+            "new\nline",
+            "\\n",  # literal backslash-n, not a newline
+            "trailing\\",
+            'all\\three"\nat once',
+        ],
+    )
+    def test_each_escape_class_round_trips(self, tricky):
+        registry = MetricsRegistry()
+        registry.counter("edge_total", labels={"v": tricky}).inc()
+        text = registry.to_prometheus_text()
+        samples = parse_prometheus_text(text)
+        assert samples[("edge_total", (("v", tricky),))] == 1
+
+    def test_escaped_sample_stays_on_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter("line_total", labels={"v": "a\nb\nc"}).inc()
+        sample_lines = [
+            line
+            for line in registry.to_prometheus_text().splitlines()
+            if line.startswith("line_total")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_single_bucket_percentiles_stay_in_observed_range(self):
+        hist = Histogram(buckets=(10.0,))
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        estimates = [hist.percentile(q) for q in (0.0, 0.25, 0.5, 0.9, 1.0)]
+        assert all(2.0 <= e <= 6.0 for e in estimates)
+        assert estimates == sorted(estimates)
+
+    def test_single_bucket_overflow_reports_observed_max(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(50.0)
+        assert hist.percentile(0.5) == 50.0
+        assert hist.summary()["p99"] == 50.0
+
+    def test_empty_histogram_exports_without_samples_breaking_parse(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle_seconds", buckets=(1.0,))
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        assert samples[("idle_seconds_count", ())] == 0
+        assert samples[("idle_seconds_bucket", (("le", "+Inf"),))] == 0

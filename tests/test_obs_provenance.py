@@ -1,0 +1,213 @@
+"""Decision provenance: per-chart records, byte-identity, reconciliation."""
+
+import json
+
+import pytest
+
+from repro.core import DeepEye, select_top_k
+from repro.core.explain import provenance_report
+from repro.engine import MultiLevelCache
+from repro.engine.parallel import SlowTableLog
+from repro.obs import ChartProvenance, EventLog, aggregate_events, node_id
+from repro.obs.provenance import render_provenance
+
+
+def _keys(result):
+    return [n.key() for n in result.nodes]
+
+
+class TestProvenanceRecords:
+    def test_every_emitted_chart_has_a_record(self, flights_table):
+        result = select_top_k(flights_table, k=5, provenance=True)
+        assert set(result.provenance) == {node_id(n) for n in result.nodes}
+        for position, node in enumerate(result.nodes, start=1):
+            record = result.provenance[node_id(node)]
+            assert record.rank == position
+            assert record.description == node.describe()
+
+    def test_records_reconcile_with_pruning(self, flights_table):
+        result = select_top_k(flights_table, k=5, provenance=True)
+        for record in result.provenance.values():
+            assert record.considered == record.emitted + sum(
+                record.siblings_pruned.values()
+            )
+            assert record.emitted == result.candidates
+
+    def test_partial_order_records_carry_factors_and_dominance(
+        self, flights_table
+    ):
+        result = select_top_k(flights_table, k=5, provenance=True)
+        records = sorted(result.provenance.values(), key=lambda r: r.rank)
+        for record in records:
+            assert record.m is not None and 0.0 <= record.m <= 1.0
+            assert record.q is not None and record.w is not None
+            assert record.score is not None
+            assert record.dominates >= 0 and record.dominated_by >= 0
+        # The emitted set is ordered by the weight-aware score.
+        assert records[0].score >= records[-1].score
+
+    def test_record_serialises_and_summarises(self, flights_table):
+        result = select_top_k(flights_table, k=3, provenance=True)
+        record = next(iter(result.provenance.values()))
+        payload = record.to_dict()
+        json.dumps(payload)
+        assert payload["node_id"] == record.node_id
+        text = record.summary()
+        assert f"#{record.rank}:" in text
+        assert "factors:" in text
+
+    def test_disabled_by_default(self, flights_table):
+        result = select_top_k(flights_table, k=3)
+        assert result.provenance == {}
+
+    def test_report_rendering(self, flights_table):
+        result = select_top_k(flights_table, k=3, provenance=True)
+        report = provenance_report(result)
+        assert report.startswith("#1:")
+        plain = select_top_k(flights_table, k=3)
+        assert provenance_report(plain) == ""
+        assert render_provenance([]) == ""
+
+
+class TestByteIdentity:
+    """Instrumentation must be a pure observer of the top-k."""
+
+    def test_events_and_provenance_do_not_change_topk(self, flights_table):
+        plain = select_top_k(flights_table, k=5)
+        log = EventLog()
+        instrumented = select_top_k(
+            flights_table, k=5, events=log, provenance=True
+        )
+        assert _keys(plain) == _keys(instrumented)
+        assert plain.order == instrumented.order
+        assert len(log) > 0
+
+    def test_parallel_run_identical_with_events(self, flights_table):
+        plain = select_top_k(flights_table, k=5, n_jobs=2)
+        log = EventLog()
+        instrumented = select_top_k(flights_table, k=5, n_jobs=2, events=log)
+        assert _keys(plain) == _keys(instrumented)
+        # Per-worker enumerate_task events merge in input order, so two
+        # runs agree regardless of worker scheduling.
+        def task_columns(event_log):
+            return [
+                e["column"] for e in event_log.by_kind("phase")
+                if e.get("phase") == "enumerate_task"
+            ]
+
+        assert task_columns(log)
+        repeat = EventLog()
+        select_top_k(flights_table, k=5, n_jobs=2, events=repeat)
+        assert task_columns(log) == task_columns(repeat)
+
+    def test_warm_cache_identical_with_events(self, flights_table):
+        cache = MultiLevelCache()
+        cold = select_top_k(flights_table, k=4, cache=cache, events=EventLog())
+        log = EventLog()
+        warm = select_top_k(flights_table, k=4, cache=cache, events=log)
+        assert _keys(cold) == _keys(warm)
+        hits = [
+            e for e in log.by_kind("cache") if e.get("result_cache_hit")
+        ]
+        assert len(hits) == 1
+
+    def test_cache_key_separates_provenance(self, flights_table):
+        cache = MultiLevelCache()
+        plain = select_top_k(flights_table, k=3, cache=cache)
+        assert plain.provenance == {}
+        with_records = select_top_k(
+            flights_table, k=3, cache=cache, provenance=True
+        )
+        assert with_records.provenance  # not served the record-less hit
+        warm = select_top_k(flights_table, k=3, cache=cache, provenance=True)
+        assert set(warm.provenance) == set(with_records.provenance)
+        assert _keys(plain) == _keys(with_records) == _keys(warm)
+
+
+class TestEventStream:
+    def test_selection_emits_full_decision_record(self, flights_table):
+        log = EventLog()
+        result = select_top_k(flights_table, k=4, events=log)
+        (request,) = log.by_kind("request")
+        assert request["table"] == "flights"
+        assert request["k"] == 4
+        phases = {e["phase"] for e in log.by_kind("phase")}
+        assert {"enumerate", "recognize", "rank"} <= phases
+        scores = log.by_kind("score")
+        assert len(scores) == len(result.nodes)
+        assert [e["rank"] for e in scores] == list(range(1, len(scores) + 1))
+        (rank_event,) = log.by_kind("rank")
+        assert rank_event["chart_ids"] == [node_id(n) for n in result.nodes]
+
+    def test_event_log_reconciles_considered_vs_pruned(self, flights_table):
+        log = EventLog()
+        select_top_k(flights_table, k=4, events=log)
+        summary = aggregate_events(list(log))
+        entry = summary["tables"]["flights"]
+        assert entry["considered"] > 0
+        assert entry["considered"] == entry["emitted"] + entry["pruned"]
+
+    def test_error_event_on_failure(self, flights_table):
+        log = EventLog()
+        with pytest.raises(Exception):
+            select_top_k(flights_table, k=3, ranker="no_such_ranker",
+                         events=log)
+        errors = log.by_kind("error")
+        assert errors and "no_such_ranker" in errors[0]["error"]
+
+
+class TestSlowTableLog:
+    def test_bounded_and_newest_first(self):
+        log = SlowTableLog(maxlen=2)
+        log.append({"table": "a"})
+        log.append({"table": "b"})
+        log.append({"table": "c"})
+        assert len(log) == 2
+        assert [entry["table"] for entry in log] == ["c", "b"]
+        assert log[0]["table"] == "c"
+        log.clear()
+        assert len(log) == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            SlowTableLog(maxlen=0)
+
+
+class TestPipelineIntegration:
+    def test_engine_level_events_and_provenance(self, flights_table):
+        log = EventLog()
+        engine = DeepEye(ranking="partial_order", recognizer_model=None,
+                         events=log, provenance=True)
+        result = engine.top_k(flights_table, k=3)
+        assert result.provenance
+        assert log.by_kind("request")
+
+    def test_per_call_provenance_override(self, flights_table):
+        engine = DeepEye(ranking="partial_order", recognizer_model=None,
+                         provenance=True)
+        assert engine.top_k(flights_table, k=3).provenance
+        # The per-call override wins over the constructor default (and an
+        # engine without an event log really runs record-free).
+        plain = engine.top_k(flights_table, k=3, provenance=False)
+        assert plain.provenance == {}
+
+    def test_slow_table_cap_is_configurable(self, flights_table):
+        engine = DeepEye(ranking="partial_order", recognizer_model=None,
+                         max_slow_tables=1)
+        assert engine.slow_tables._entries.maxlen == 1
+
+    def test_batch_merges_worker_events_in_input_order(self, tiny_table,
+                                                       flights_table):
+        log = EventLog()
+        engine = DeepEye(ranking="partial_order", recognizer_model=None,
+                         events=log)
+        tables = [tiny_table, flights_table]
+        results = list(engine.top_k_batch(tables, k=2, n_jobs=2))
+        assert len(results) == 2
+        batch_events = [
+            e for e in log.by_kind("phase")
+            if e.get("phase") == "batch_table"
+        ]
+        assert [e["table"] for e in batch_events] == ["tiny", "flights"]
+        requests = [e["table"] for e in log.by_kind("request")]
+        assert requests == ["tiny", "flights"]
