@@ -1,0 +1,189 @@
+"""Cache-tier benchmark: persistent L4 fleet reuse + batch dedup.
+
+Two headline measurements, both written to ``BENCH_cache.json``:
+
+* **cold vs warm fleet** — the same fleet of tables is served twice by
+  *separate Python processes* sharing one ``--cache-dir``.  The first
+  (cold) process computes everything and populates the disk tier; the
+  second (warm) process starts with empty in-memory LRUs and must serve
+  from L4.  The headline is ``speedup = cold / warm`` (medians of
+  repeats); the run **fails (exit 1) when speedup < --min-speedup**
+  (default 5x, the ISSUE's acceptance bar).  Timing covers only the
+  selection loop inside each worker — interpreter startup is excluded
+  by timing in-process and reporting the number back over stdout.
+
+* **batch dedup** — a fleet containing content-identical columns under
+  different names is served serially (``n_jobs=1``) with cross-table
+  sharing off and on; the :data:`repro.obs.kernels.KERNEL_STATS` ledger
+  counts transform-kernel invocations each way.  Dedup must strictly
+  reduce them (serial so the per-process ledger sees every call).
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_cache_tiers.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+_WORKER = """
+import json, sys, time
+from repro.corpus.generators import make_table
+from repro.core import select_top_k
+from repro.engine import DiskCacheTier, MultiLevelCache
+
+spec = json.loads(sys.stdin.read())
+tables = [
+    make_table(name, scale=spec["scale"], seed=seed)
+    for name, seed in spec["fleet"]
+]
+cache = MultiLevelCache(disk=DiskCacheTier(spec["cache_dir"]))
+start = time.perf_counter()
+for table in tables:
+    select_top_k(table, k=spec["k"], cache=cache)
+seconds = time.perf_counter() - start
+disk = cache.disk.stats()
+print(json.dumps({
+    "seconds": seconds,
+    "disk_hits": disk["hits"],
+    "disk_misses": disk["misses"],
+    "disk_stores": disk["stores"],
+}))
+"""
+
+
+def _run_fleet(cache_dir: str, fleet, scale: float, k: int) -> Dict:
+    """One fleet pass in a fresh process sharing ``cache_dir``."""
+    spec = json.dumps(
+        {"cache_dir": cache_dir, "fleet": fleet, "scale": scale, "k": k}
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER],
+        input=spec, capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def bench_fleet(fleet, scale: float, k: int, repeats: int) -> Dict:
+    cold_times: List[float] = []
+    warm_times: List[float] = []
+    cold_stats = warm_stats = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-l4-") as cache_dir:
+            cold_stats = _run_fleet(cache_dir, fleet, scale, k)
+            warm_stats = _run_fleet(cache_dir, fleet, scale, k)
+            cold_times.append(cold_stats["seconds"])
+            warm_times.append(warm_stats["seconds"])
+    cold = statistics.median(cold_times)
+    warm = statistics.median(warm_times)
+    return {
+        "tables": len(fleet),
+        "repeats": repeats,
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "speedup": round(cold / warm, 2) if warm > 0 else float("inf"),
+        "cold_disk": {key: cold_stats[key] for key in
+                      ("disk_hits", "disk_misses", "disk_stores")},
+        "warm_disk": {key: warm_stats[key] for key in
+                      ("disk_hits", "disk_misses", "disk_stores")},
+    }
+
+
+def bench_dedup(scale: float, k: int) -> Dict:
+    from repro.core import DeepEye
+    from repro.corpus.generators import make_table
+    from repro.dataset import Table
+    from repro.obs.kernels import KERNEL_STATS
+
+    kernels = ("group_categorical", "bin_numeric", "bin_temporal", "bin_udf")
+    base = make_table("City Weather", scale=scale, seed=3)
+    twin = Table(
+        "City Weather Twin",
+        [col.renamed(f"{col.name}_copy") for col in base.columns],
+    )
+    fleet = [base, twin, make_table("Monthly Sales", scale=scale, seed=4)]
+
+    def run(dedup: bool):
+        engine = DeepEye(ranking="partial_order")
+        KERNEL_STATS.reset()
+        start = time.perf_counter()
+        list(engine.top_k_batch(fleet, k=k, n_jobs=1, dedup=dedup))
+        seconds = time.perf_counter() - start
+        return KERNEL_STATS.calls(*kernels), seconds
+
+    calls_off, seconds_off = run(False)
+    calls_on, seconds_on = run(True)
+    return {
+        "tables": len(fleet),
+        "transform_calls_without_dedup": calls_off,
+        "transform_calls_with_dedup": calls_on,
+        "calls_saved": calls_off - calls_on,
+        "seconds_without_dedup": round(seconds_off, 4),
+        "seconds_with_dedup": round(seconds_on, 4),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fleet, 1 repeat")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--out", default="BENCH_cache.json")
+    args = parser.parse_args(argv)
+
+    fleet = [
+        ["City Weather", 3], ["Monthly Sales", 4], ["FlyDelay", 5],
+        ["Happiness Rank", 6], ["City Weather", 7], ["Monthly Sales", 8],
+    ]
+    repeats = args.repeats
+    if args.quick:
+        fleet = fleet[:3]
+        repeats = 1
+
+    fleet_result = bench_fleet(fleet, args.scale, args.k, repeats)
+    dedup_result = bench_dedup(args.scale, args.k)
+
+    passed = (
+        fleet_result["speedup"] >= args.min_speedup
+        and fleet_result["warm_disk"]["disk_hits"] > 0
+        and dedup_result["calls_saved"] > 0
+    )
+    payload = {
+        "benchmark": "cache_tiers",
+        "scale": args.scale,
+        "k": args.k,
+        "cpus": os.cpu_count(),
+        "min_speedup": args.min_speedup,
+        "fleet": fleet_result,
+        "batch_dedup": dedup_result,
+        "passed": passed,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    print(f"cold fleet:  {fleet_result['cold_seconds']}s")
+    print(f"warm fleet:  {fleet_result['warm_seconds']}s "
+          f"({fleet_result['speedup']}x, "
+          f"{fleet_result['warm_disk']['disk_hits']} L4 hits)")
+    print(f"batch dedup: {dedup_result['transform_calls_without_dedup']} -> "
+          f"{dedup_result['transform_calls_with_dedup']} transform kernel "
+          f"calls ({dedup_result['calls_saved']} saved)")
+    print(f"passed: {passed}  ->  {args.out}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

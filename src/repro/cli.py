@@ -90,6 +90,12 @@ def _serving_parent() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the multi-level serving cache",
     )
+    serving.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="attach a persistent disk cache tier (L4) rooted at DIR; "
+        "entries survive across runs (ignored with --no-cache)",
+    )
     obs = parent.add_argument_group("observability")
     obs.add_argument(
         "--trace",
@@ -229,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--tables",
         help="comma-separated subset of table names (default: all)",
     )
+    snapshot.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="run the snapshot selections through a persistent disk "
+        "cache tier rooted at DIR",
+    )
 
     diff = obs_commands.add_parser(
         "diff",
@@ -245,6 +257,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated drift kinds that make the command exit 1 "
         "(default: everything except 'identical')",
     )
+    diff.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="replay through a persistent disk cache tier rooted at DIR "
+        "(the cache-persistence CI job diffs twice against one DIR to "
+        "prove disk-served answers are byte-identical)",
+    )
+
+    cache = commands.add_parser(
+        "cache",
+        help="manage a persistent disk cache tier (see --cache-dir)",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry counts and on-disk bytes of a cache directory"
+    )
+    cache_stats.add_argument("dir", help="cache directory")
+    cache_stats.add_argument(
+        "--json", action="store_true", help="emit the stats as JSON"
+    )
+
+    cache_warm = cache_commands.add_parser(
+        "warm",
+        help="load the hottest disk entries into an in-memory cache and "
+        "report per-level counts (validates a prewarm workflow)",
+    )
+    cache_warm.add_argument("dir", help="cache directory")
+    cache_warm.add_argument(
+        "--per-level", type=int, default=None,
+        help="cap on entries loaded per level (default: the level's "
+        "LRU capacity)",
+    )
+
+    cache_clear = cache_commands.add_parser(
+        "clear", help="delete every entry under a cache directory"
+    )
+    cache_clear.add_argument("dir", help="cache directory")
 
     return parser
 
@@ -325,9 +375,19 @@ def _cache_report(result) -> str:
     )
 
 
+def _cache_from_args(args):
+    """The serving cache the --no-cache/--cache-dir flags ask for."""
+    from .engine import DiskCacheTier, MultiLevelCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    disk = DiskCacheTier(cache_dir) if cache_dir else None
+    return MultiLevelCache(disk=disk)
+
+
 def _cmd_visualize(args, out) -> int:
     from .core.explain import provenance_report
-    from .engine import MultiLevelCache
 
     table = read_csv(args.csv)
     result = select_top_k(
@@ -335,7 +395,7 @@ def _cmd_visualize(args, out) -> int:
         k=args.k,
         enumeration=args.enumeration,
         config=EnumerationConfig(n_jobs=args.jobs, backend=args.backend),
-        cache=None if args.no_cache else MultiLevelCache(),
+        cache=_cache_from_args(args),
         tracer=args.obs_tracer,
         metrics=args.obs_registry,
         events=args.obs_events,
@@ -436,15 +496,30 @@ def _cmd_profile(args, out) -> int:
 
 
 def _snapshot_entries(
-    k: int, scale: float, seed: int, names: Optional[Sequence[str]]
+    k: int,
+    scale: float,
+    seed: int,
+    names: Optional[Sequence[str]],
+    cache_dir: Optional[str] = None,
 ) -> List[dict]:
     """One snapshot entry per bundled example table (deterministic:
-    `make_table` is seeded, selection runs serial partial-order)."""
+    `make_table` is seeded, selection runs serial partial-order).
+
+    With ``cache_dir`` the selections run through a disk-backed cache —
+    the answers must be byte-identical to the uncached replay, which is
+    exactly what the cache-persistence CI job asserts by diffing a
+    snapshot against a disk-tier replay twice in separate processes.
+    """
+    cache = None
+    if cache_dir:
+        from .engine import DiskCacheTier, MultiLevelCache
+
+        cache = MultiLevelCache(disk=DiskCacheTier(cache_dir))
     wanted = list(names) if names else [s.name for s in TESTING_SPECS]
     entries = []
     for name in wanted:
         table = make_table(name, scale=scale, seed=seed)
-        result = select_top_k(table, k=k, provenance=True)
+        result = select_top_k(table, k=k, provenance=True, cache=cache)
         entries.append(
             entry_from_result(table.name, table.fingerprint(), result)
         )
@@ -467,7 +542,10 @@ def _cmd_obs(args, out) -> int:
             if args.tables
             else None
         )
-        entries = _snapshot_entries(args.k, args.scale, args.seed, names)
+        entries = _snapshot_entries(
+            args.k, args.scale, args.seed, names,
+            cache_dir=getattr(args, "cache_dir", None),
+        )
         config = {
             "scale": args.scale,
             "seed": args.seed,
@@ -491,6 +569,7 @@ def _cmd_obs(args, out) -> int:
         float(config.get("scale", 0.05)),
         int(config.get("seed", 0)),
         config.get("tables"),
+        cache_dir=getattr(args, "cache_dir", None),
     )
     report = diff_snapshots(old, build_snapshot(entries, k, config))
     if args.out:
@@ -507,6 +586,58 @@ def _cmd_obs(args, out) -> int:
     return 1 if failures else 0
 
 
+def _cmd_cache(args, out) -> int:
+    from .engine import DiskCacheTier, MultiLevelCache
+
+    tier = DiskCacheTier(args.dir)
+    if args.cache_command == "stats":
+        stats = {
+            "dir": tier.directory,
+            "schema_version": int(
+                tier.version_dir.rsplit("v", 1)[-1]
+            ),
+            "bytes": tier.total_bytes(),
+            "entries": {
+                level: tier.entry_count(level) for level in tier.levels
+            },
+        }
+        if args.json:
+            json.dump(stats, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            per_level = "  ".join(
+                f"{level}={count}" for level, count in stats["entries"].items()
+            )
+            print(
+                f"# cache {stats['dir']} (schema v{stats['schema_version']}):"
+                f" {stats['bytes']} bytes  {per_level}",
+                file=out,
+            )
+        return 0
+
+    if args.cache_command == "warm":
+        import time as _time
+
+        cache = MultiLevelCache(disk=tier)
+        start = _time.perf_counter()
+        loaded = cache.prewarm(per_level=args.per_level)
+        seconds = _time.perf_counter() - start
+        per_level = "  ".join(
+            f"{level}={count}" for level, count in loaded.items()
+        )
+        print(
+            f"# prewarmed {sum(loaded.values())} entries in {seconds:.3f}s"
+            f"  ({per_level or 'empty cache'})",
+            file=out,
+        )
+        return 0
+
+    # clear
+    removed = tier.clear()
+    print(f"# removed {removed} entries from {tier.directory}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "visualize": _cmd_visualize,
     "search": _cmd_search,
@@ -516,6 +647,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
     "obs": _cmd_obs,
+    "cache": _cmd_cache,
 }
 
 

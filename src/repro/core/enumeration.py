@@ -219,14 +219,29 @@ class EnumerationContext:
         if transform not in self._transforms:
             if self.cache is not None:
                 key = (self._cache_fp, transform)
-                result = self.cache.transforms.get(key)
+                result = self._cache_get("transforms", key)
                 if result is None:
                     result = apply_transform(transform, self.table)
-                    self.cache.transforms.put(key, result)
+                    self._cache_put("transforms", key, result)
             else:
                 result = apply_transform(transform, self.table)
             self._transforms[transform] = result
         return self._transforms[transform]
+
+    def _cache_get(self, level: str, key):
+        """Tiered lookup when the cache supports it (``fetch`` falls
+        through to the disk tier); plain ``get`` for duck-typed caches."""
+        fetch = getattr(self.cache, "fetch", None)
+        if fetch is not None:
+            return fetch(level, key)
+        return getattr(self.cache, level).get(key)
+
+    def _cache_put(self, level: str, key, value) -> None:
+        store = getattr(self.cache, "store", None)
+        if store is not None:
+            store(level, key, value)
+        else:
+            getattr(self.cache, level).put(key, value)
 
     def aggregated(self, transform: Transform, y: str, op: AggregateOp) -> np.ndarray:
         """Cached per-bucket aggregate of Y under a TRANSFORM."""
@@ -334,10 +349,10 @@ class EnumerationContext:
                 query.aggregate,
                 query.order,
             )
-            features = self.cache.features.get(key)
+            features = self._cache_get("features", key)
             if features is None:
                 features = self._measure_features(query, chart_data)
-                self.cache.features.put(key, features)
+                self._cache_put("features", key, features)
         else:
             features = self._measure_features(query, chart_data)
         return VisualizationNode(

@@ -85,6 +85,14 @@ class DeepEye:
         :class:`~repro.engine.cache.MultiLevelCache`, ``False``/``None``
         disables caching, or pass an existing instance to share one
         cache between engines.  Cleared automatically on :meth:`train`.
+    cache_dir:
+        Optional directory for the persistent L4 tier: entries survive
+        process restarts (see :mod:`repro.engine.persistent`).  Attaches
+        a :class:`~repro.engine.persistent.DiskCacheTier` to the serving
+        cache (building one if ``cache`` did not already supply an
+        instance with a disk tier); call :meth:`prewarm` on startup to
+        pull the hottest entries back into memory.  Ignored when caching
+        is disabled.
     trace:
         Tracing: ``True`` builds a private :class:`~repro.obs.Tracer`,
         or pass an existing tracer to share one across engines;
@@ -124,6 +132,7 @@ class DeepEye:
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
         cache: Union[bool, MultiLevelCache, None] = True,
+        cache_dir=None,
         trace: Union[bool, Tracer, None] = False,
         metrics: Union[bool, MetricsRegistry, None] = False,
         slow_threshold: float = 1.0,
@@ -150,6 +159,11 @@ class DeepEye:
             self.cache = cache
         else:
             self.cache = None
+        if cache_dir is not None and self.cache is not None:
+            if getattr(self.cache, "disk", None) is None:
+                from ..engine.persistent import DiskCacheTier
+
+                self.cache.disk = DiskCacheTier(cache_dir)
         if trace is True:
             self.tracer: Optional[Tracer] = Tracer()
         elif trace:
@@ -183,6 +197,15 @@ class DeepEye:
         self.ltr: Optional[LearningToRankRanker] = None
         self.hybrid: Optional[HybridRanker] = None
         self._trained = False
+
+    def prewarm(self, per_level: Optional[int] = None) -> dict:
+        """Load the hottest disk-tier entries into the in-memory cache
+        levels (the restart workflow: construct with ``cache_dir``,
+        ``prewarm()``, then serve).  Returns per-level loaded counts;
+        ``{}`` when there is no cache or no disk tier."""
+        if self.cache is None or getattr(self.cache, "disk", None) is None:
+            return {}
+        return self.cache.prewarm(per_level=per_level)
 
     # -- pickling (observability state stays in the parent) -------------
     def __getstate__(self) -> dict:
@@ -352,6 +375,7 @@ class DeepEye:
         k: int = 10,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
+        dedup: Optional[bool] = None,
     ) -> Iterator[SelectionResult]:
         """Serve a batch of tables, streaming results in input order.
 
@@ -366,6 +390,12 @@ class DeepEye:
         the bounded :attr:`slow_tables` log (newest first).  With an
         engine-level event log, each table's full event stream is
         captured worker-side and merged back in input order.
+
+        ``dedup`` controls cross-table computation sharing within the
+        batch: identical ``(column content, transform)`` pairs across
+        tables compute once and seed the transform cache before fan-out
+        (on by default when the engine has a cache; the top-k is
+        byte-identical either way).
         """
         # Imported here, not at module level: repro.engine.parallel
         # imports core enumeration modules, so importing it while this
@@ -382,4 +412,5 @@ class DeepEye:
             slow_log=self.slow_tables,
             slow_threshold=self.slow_threshold,
             events=self.events,
+            dedup=dedup,
         )

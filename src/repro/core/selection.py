@@ -567,12 +567,23 @@ def select_top_k(
             n_jobs=jobs,
         )
 
+    # Result entries may persist to the disk tier only when every key
+    # component is stable across processes: model objects key by id(),
+    # which is meaningless in the next process, so model-bearing calls
+    # stay memory-only (transform/feature levels persist regardless —
+    # their keys are pure content fingerprints + AST fragments).
+    disk_stable = (
+        isinstance(ranker, str) and recognizer is None and ltr is None
+    )
     if cache is not None:
         key = _result_cache_key(
             table, k, enumeration, ranker, recognizer, ltr, config,
             graph_strategy, want_provenance,
         )
-        hit = cache.results.get(key)
+        if disk_stable and hasattr(cache, "fetch"):
+            hit = cache.fetch("results", key)
+        else:
+            hit = cache.results.get(key)
         if hit is not None:
             with maybe_span(
                 tracer, "select_top_k", table=table.name, k=k,
@@ -731,5 +742,8 @@ def select_top_k(
         if cache is not None:
             cache.emit_events(events, table=table.name)
     if cache is not None:
-        cache.results.put(key, result)
+        if hasattr(cache, "store"):
+            cache.store("results", key, result, disk=disk_stable)
+        else:
+            cache.results.put(key, result)
     return result

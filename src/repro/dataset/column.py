@@ -16,6 +16,7 @@ distinct values ``d(X)``, the unique ratio ``r(X) = d(X)/|X|`` and the
 from __future__ import annotations
 
 import datetime as _dt
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Optional, Sequence
@@ -98,6 +99,7 @@ class Column:
     def __init__(self, name: str, ctype: ColumnType, values: Sequence) -> None:
         self.name = name
         self.ctype = ColumnType(ctype)
+        self._fingerprint: Optional[str] = None
         if self.ctype is ColumnType.CATEGORICAL:
             self.values = np.asarray([str(v) for v in values], dtype=object)
         elif self.ctype is ColumnType.TEMPORAL:
@@ -110,6 +112,35 @@ class Column:
                     f"column {name!r} declared numerical but holds "
                     f"non-numeric values"
                 ) from exc
+
+    def fingerprint(self) -> str:
+        """A stable content hash over this column's *type and values*.
+
+        The column **name is deliberately excluded**: two columns holding
+        identical data under different names (a ``carrier`` column in one
+        table, ``airline`` in another) hash identically, which is what
+        cross-table computation sharing keys on — a transform's output
+        depends only on the values it scans, never on what the column is
+        called.  Contrast :meth:`repro.dataset.table.Table.fingerprint`,
+        which *does* cover names because a rename changes which charts
+        are produced.  Like the table hash it is a hex SHA-256, stable
+        across processes and platforms, and memoised (columns are
+        immutable by convention).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.ctype.value.encode("ascii"))
+            digest.update(b"\x00")
+            if self.ctype is ColumnType.CATEGORICAL:
+                for value in self.values:
+                    digest.update(str(value).encode("utf-8"))
+                    digest.update(b"\x1f")
+            else:
+                digest.update(
+                    np.ascontiguousarray(self.values, dtype=np.float64).tobytes()
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Statistics used as ML features (Section III, features 1-4)
@@ -169,11 +200,13 @@ class Column:
         return Column(self.name, self.ctype, self.values[np.asarray(indices)])
 
     def renamed(self, name: str) -> "Column":
-        """A shallow copy of this column under a different name."""
+        """A shallow copy of this column under a different name (the
+        content fingerprint carries over — renames don't change it)."""
         clone = Column.__new__(Column)
         clone.name = name
         clone.ctype = self.ctype
         clone.values = self.values
+        clone._fingerprint = self._fingerprint
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -121,6 +121,21 @@ class Table:
         same data hash identically, which is what cache keys and corpus
         dedup both want.  Computed once and memoised (tables are
         immutable by convention).
+
+        **Persistence guarantee.**  This digest is now a *persistent*
+        cache key (the disk tier in :mod:`repro.engine.persistent`
+        addresses entries by it), not just an in-memory one, so it must
+        be reproducible across processes, platforms, and runs: the hash
+        is SHA-256 over a fixed byte encoding (column name UTF-8, type
+        tag, then values — categorical values as UTF-8 strings with
+        ``\\x1f`` separators, numerical/temporal values as little-endian
+        IEEE-754 float64 via numpy ``tobytes``), with no use of
+        ``hash()``, ``id()``, dict iteration order, or anything else
+        process-dependent.  The same CSV loaded twice — today, tomorrow,
+        on another machine — yields the same hex digest.  Changing this
+        encoding silently invalidates every deployed disk cache and
+        golden drift snapshot; treat it as a frozen format (covered by
+        cross-process tests in ``tests/test_dataset_table.py``).
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()

@@ -1,15 +1,28 @@
 """Query execution and serving engine: shared scans, caching, parallelism."""
 
-from .shared_scan import AggregateRequest, ScanStats, SharedScanEngine
+from .shared_scan import (
+    AggregateRequest,
+    BatchDedupStats,
+    ScanStats,
+    SharedScanEngine,
+    batch_shared_transforms,
+    transform_signature,
+)
 from .cache import LRUCache, MultiLevelCache
+from .persistent import PERSISTENT_CACHE_SCHEMA_VERSION, DiskCacheTier
 from .parallel import batch_select, parallel_enumerate, resolve_n_jobs
 
 __all__ = [
     "AggregateRequest",
+    "BatchDedupStats",
     "ScanStats",
     "SharedScanEngine",
+    "batch_shared_transforms",
+    "transform_signature",
     "LRUCache",
     "MultiLevelCache",
+    "DiskCacheTier",
+    "PERSISTENT_CACHE_SCHEMA_VERSION",
     "batch_select",
     "parallel_enumerate",
     "resolve_n_jobs",

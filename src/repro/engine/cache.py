@@ -25,6 +25,13 @@ Every level is an :class:`LRUCache` with hit/miss/eviction counters;
 ``cache_stats`` dict it attaches to results.  The flat
 :meth:`MultiLevelCache.stats` form is deprecated.
 
+An optional fourth level persists across process lifetimes: pass a
+:class:`~repro.engine.persistent.DiskCacheTier` as ``disk`` and the
+:meth:`MultiLevelCache.fetch` / :meth:`MultiLevelCache.store` pair
+consult it behind the in-memory levels — a miss in memory falls through
+to disk (promoting the entry on a hit), and a store writes through, so
+a fresh process inherits everything the previous fleet computed.
+
 This module deliberately imports nothing from :mod:`repro.core` (the
 enumeration context takes a cache by duck type), so it can be loaded
 from either side of the engine/core boundary without cycles.
@@ -38,6 +45,9 @@ from collections import OrderedDict
 from typing import Any, Dict, Hashable, Iterator, Optional
 
 __all__ = ["LRUCache", "MultiLevelCache"]
+
+#: Distinguishes "stored None" from "absent" in tiered lookups.
+_SENTINEL = object()
 
 
 class LRUCache:
@@ -102,13 +112,17 @@ class LRUCache:
             self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
-        """``{hits, misses, evictions, size}`` of this level."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._data),
-        }
+        """``{hits, misses, evictions, size}`` of this level (a
+        consistent snapshot: taken under the same lock the counters
+        mutate under, so a concurrent ``get`` never yields a torn
+        hits/misses pair)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._data),
+            }
 
     # -- pickling (locks cannot cross process boundaries) ---------------
     def __getstate__(self) -> Dict[str, Any]:
@@ -140,6 +154,10 @@ class MultiLevelCache:
         ``(fingerprint, query signature)`` -> feature vector.
     results:
         ``(fingerprint, selection signature)`` -> full selection result.
+    disk:
+        Optional :class:`~repro.engine.persistent.DiskCacheTier` (L4)
+        consulted by :meth:`fetch` behind the in-memory levels and
+        written through by :meth:`store`.
     """
 
     def __init__(
@@ -147,19 +165,64 @@ class MultiLevelCache:
         transform_size: int = 1024,
         feature_size: int = 16384,
         result_size: int = 256,
+        disk=None,
     ) -> None:
         self.transforms = LRUCache(transform_size)
         self.features = LRUCache(feature_size)
         self.results = LRUCache(result_size)
+        self.disk = disk
 
     def clear(self) -> None:
-        """Invalidate every level (e.g. after retraining the models)."""
+        """Invalidate every in-memory level (e.g. after retraining the
+        models).  The disk tier, if any, is left intact — use
+        ``cache.disk.clear()`` to reclaim it explicitly."""
         self.transforms.clear()
         self.features.clear()
         self.results.clear()
 
     #: The level names in lookup-cost order (cheapest reuse last).
     LEVELS = ("transforms", "features", "results")
+
+    # -- tiered lookup (memory, then disk) ------------------------------
+    def fetch(self, level: str, key: Hashable, default: Any = None) -> Any:
+        """Look ``key`` up in ``level``, falling through to the disk
+        tier on a memory miss.
+
+        A disk hit is *promoted* into the in-memory level before being
+        returned, so repeat traffic pays the file read once per process
+        lifetime.  With no disk tier attached this is exactly
+        ``getattr(self, level).get(key, default)``.
+        """
+        lru: LRUCache = getattr(self, level)
+        value = lru.get(key, _SENTINEL)
+        if value is not _SENTINEL:
+            return value
+        if self.disk is not None:
+            hit = self.disk.get(level, key)
+            if hit is not None:
+                lru.put(key, hit)
+                return hit
+        return default
+
+    def store(
+        self, level: str, key: Hashable, value: Any, disk: bool = True
+    ) -> None:
+        """Insert into the in-memory ``level`` and (by default) write
+        through to the disk tier.  ``disk=False`` keeps an entry
+        process-local — used for values whose keys are not stable
+        across processes (e.g. results keyed on live model object
+        identity)."""
+        getattr(self, level).put(key, value)
+        if disk and self.disk is not None:
+            self.disk.put(level, key, value)
+
+    def prewarm(self, per_level: Optional[int] = None) -> Dict[str, int]:
+        """Load the hottest disk entries into the in-memory levels (see
+        :meth:`~repro.engine.persistent.DiskCacheTier.prewarm`); returns
+        per-level loaded counts, ``{}`` when no disk tier is attached."""
+        if self.disk is None:
+            return {}
+        return self.disk.prewarm(self, per_level=per_level)
 
     def stats(self) -> Dict[str, int]:
         """Flat ``{level_counter: value}`` dict across all three levels.
@@ -190,7 +253,11 @@ class MultiLevelCache:
 
         ``{"transforms": {hits, misses, evictions, size}, "features":
         {...}, "results": {...}, "aggregate": {...}}`` — the structured
-        successor of the flat :meth:`stats` dict.
+        successor of the flat :meth:`stats` dict.  With a disk tier
+        attached, a ``"disk"`` entry carries its counters (hits,
+        misses, stores, evictions, errors, size, bytes); the
+        ``aggregate`` rollup stays memory-only so its meaning is stable
+        whether or not persistence is configured.
         """
         per_level: Dict[str, Dict[str, int]] = {
             name: getattr(self, name).stats() for name in self.LEVELS
@@ -199,6 +266,8 @@ class MultiLevelCache:
         for level_stats in per_level.values():
             for counter, value in level_stats.items():
                 aggregate[counter] = aggregate.get(counter, 0) + value
+        if self.disk is not None:
+            per_level["disk"] = self.disk.stats()
         per_level["aggregate"] = aggregate
         return per_level
 
@@ -206,8 +275,20 @@ class MultiLevelCache:
         """Append one ``cache`` event with the per-level counters to an
         :class:`~repro.obs.EventLog` (duck-typed: anything with
         ``emit``).  ``table`` attributes the activity to a request's
-        table in the aggregated report."""
-        fields: Dict[str, Any] = dict(self.stats_by_level())
+        table in the aggregated report.
+
+        The per-level dicts are namespaced under a single ``levels``
+        field (schema v2) rather than spread at the top level, so a
+        level name can never collide with event envelope fields like
+        ``table``.
+        """
+        by_level = self.stats_by_level()
+        levels = {
+            name: stats
+            for name, stats in by_level.items()
+            if name != "aggregate"
+        }
+        fields: Dict[str, Any] = {"levels": levels}
         if table is not None:
             fields["table"] = table
         events.emit("cache", **fields)
@@ -240,9 +321,42 @@ class MultiLevelCache:
                 "cache_entries", labels=labels,
                 help="Entries currently resident in this level",
             ).set(len(level))
+        if self.disk is not None:
+            disk_stats = self.disk.stats()
+            labels = {"level": "disk"}
+            registry.counter(
+                "cache_hits_total", labels=labels,
+                help="Serving-cache lookups served from this level",
+            ).set_cumulative(disk_stats["hits"])
+            registry.counter(
+                "cache_misses_total", labels=labels,
+                help="Serving-cache lookups this level could not answer",
+            ).set_cumulative(disk_stats["misses"])
+            registry.counter(
+                "cache_evictions_total", labels=labels,
+                help="LRU evictions from this level",
+            ).set_cumulative(disk_stats["evictions"])
+            registry.counter(
+                "cache_disk_stores_total", labels=labels,
+                help="Entries written through to the disk tier",
+            ).set_cumulative(disk_stats["stores"])
+            registry.counter(
+                "cache_disk_errors_total", labels=labels,
+                help="Corrupt/unreadable disk entries degraded to misses",
+            ).set_cumulative(disk_stats["errors"])
+            registry.gauge(
+                "cache_entries", labels=labels,
+                help="Entries currently resident in this level",
+            ).set(disk_stats["size"])
+            registry.gauge(
+                "cache_disk_bytes", labels=labels,
+                help="Bytes occupied by the disk tier",
+            ).set(disk_stats["bytes"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        disk = "" if self.disk is None else f", disk={self.disk.entry_count()}"
         return (
             f"MultiLevelCache(transforms={len(self.transforms)}, "
-            f"features={len(self.features)}, results={len(self.results)})"
+            f"features={len(self.features)}, results={len(self.results)}"
+            f"{disk})"
         )

@@ -420,6 +420,45 @@ def _record_batch_task(
             ).inc()
 
 
+def _seed_batch_dedup(
+    engine,
+    tables: Sequence[Table],
+    metrics: Optional[MetricsRegistry],
+    events: Optional[EventLog],
+) -> None:
+    """Pre-seed the engine's transform cache with cross-table shared
+    scans (see :func:`~repro.engine.shared_scan.batch_shared_transforms`).
+
+    Runs in the parent before any fan-out, so the seeded entries reach
+    every backend: serial and thread workers share the cache object,
+    and process workers receive it inside the engine the pool
+    initializer pickles.
+    """
+    from .shared_scan import batch_shared_transforms
+
+    cache = getattr(engine, "cache", None)
+    if cache is None or len(tables) < 2:
+        return
+    start = time.perf_counter()
+    entries, stats = batch_shared_transforms(
+        tables, engine.config, mode=getattr(engine, "enumeration", "rules")
+    )
+    for key, value in entries.items():
+        if hasattr(cache, "store"):
+            cache.store("transforms", key, value)
+        else:  # duck-typed cache without a disk tier
+            cache.transforms.put(key, value)
+    if metrics is not None:
+        stats.record_metrics(metrics)
+    if events is not None:
+        events.emit(
+            "phase", phase="batch_dedup", tables=stats.tables,
+            transforms_total=stats.transforms_total,
+            computed=stats.computed, reused=stats.reused,
+            seconds=time.perf_counter() - start,
+        )
+
+
 def batch_select(
     engine,
     tables: Iterable[Table],
@@ -430,6 +469,7 @@ def batch_select(
     slow_log: Optional[Union[List[dict], "SlowTableLog"]] = None,
     slow_threshold: float = DEFAULT_SLOW_TABLE_SECONDS,
     events: Optional[EventLog] = None,
+    dedup: Optional[bool] = None,
 ) -> Iterator:
     """Serve a batch of tables through one trained engine, streaming
     :class:`~repro.core.selection.SelectionResult`s in input order.
@@ -454,6 +494,14 @@ def batch_select(
     order, and followed by one ``batch_table`` phase event — so two runs
     of the same batch produce the same event sequence regardless of
     worker scheduling or backend.
+
+    ``dedup`` controls cross-table computation sharing: before any
+    fan-out, identical ``(column content, transform)`` pairs across the
+    batch's tables are computed once and seeded into the engine's
+    transform cache (the top-k is byte-identical — only repeat scans
+    disappear).  Defaults to on whenever the engine has a cache; pass
+    ``False`` to force every table to scan independently (the ablation
+    baseline).
     """
     tables = list(tables)
     jobs = resolve_n_jobs(
@@ -462,6 +510,8 @@ def batch_select(
     backend = backend or engine.config.backend
     jobs = min(jobs, max(1, len(tables)))
     capture = events is not None
+    if dedup or (dedup is None and getattr(engine, "cache", None) is not None):
+        _seed_batch_dedup(engine, tables, metrics, events)
 
     if jobs <= 1:
         for table in tables:

@@ -11,6 +11,22 @@ TRANSFORM, each transform scans the table exactly once, and within a
 scan every requested Y column's SUM and COUNT are computed together
 (AVG = SUM / COUNT falls out for free).  ``execute_naive`` runs the
 same batch one-query-at-a-time for the ablation benchmark.
+
+The second half of this module extends the sharing across *tables*:
+within one ``batch_select`` call, different tables routinely carry
+identical columns (denormalised exports, per-region copies of a shared
+dimension, the same CSV uploaded under two names).  A transform's
+output depends only on the values it scans — the compact
+:class:`~repro.language.binning.TransformResult` contains no column
+name — so identical ``(column content, transform)`` pairs across tables
+can compute once.  :func:`batch_shared_transforms` finds those pairs by
+per-column content fingerprint (:meth:`repro.dataset.column.Column.fingerprint`,
+cheaper than the whole-table hash and name-independent), computes each
+group once, and returns cache-seed entries keyed exactly as
+:class:`~repro.core.enumeration.EnumerationContext` looks them up, so
+every backend (serial, thread, process — the seeded cache ships to
+process workers inside the pickled engine) reuses the first result
+instead of rescanning.
 """
 
 from __future__ import annotations
@@ -25,11 +41,25 @@ from ..dataset.column import ColumnType
 from ..dataset.table import Table
 from ..errors import ValidationError
 from ..language.aggregation import aggregate
-from ..language.ast import AggregateOp, Transform
+from ..language.ast import (
+    AggregateOp,
+    BinByGranularity,
+    BinByUDF,
+    BinIntoBuckets,
+    GroupBy,
+    Transform,
+)
 from ..language.executor import apply_transform
 from ..obs.kernels import KERNEL_STATS
 
-__all__ = ["AggregateRequest", "ScanStats", "SharedScanEngine"]
+__all__ = [
+    "AggregateRequest",
+    "ScanStats",
+    "SharedScanEngine",
+    "BatchDedupStats",
+    "transform_signature",
+    "batch_shared_transforms",
+]
 
 
 @dataclass(frozen=True)
@@ -177,3 +207,133 @@ class SharedScanEngine:
             )
             results[request] = (result.labels, values)
         return results
+
+
+# ----------------------------------------------------------------------
+# Cross-table computation sharing within one batch
+# ----------------------------------------------------------------------
+@dataclass
+class BatchDedupStats:
+    """Accounting for one :func:`batch_shared_transforms` pass.
+
+    ``transforms_total`` counts the distinct ``(table, transform)``
+    pairs the batch's enumeration would apply; ``computed`` the content
+    groups actually scanned; ``reused`` the pairs served from another
+    table's scan — the transform-kernel invocations the batch saved.
+    """
+
+    tables: int = 0
+    transforms_total: int = 0
+    computed: int = 0
+    reused: int = 0
+
+    def record_metrics(self, registry) -> None:
+        """Publish into a :class:`~repro.obs.metrics.MetricsRegistry`
+        (plain ``inc`` — each batch contributes its own deltas)."""
+        registry.counter(
+            "batch_dedup_transforms_total", labels={"outcome": "computed"},
+            help="Transform groups the batch deduper scanned once",
+        ).inc(self.computed)
+        registry.counter(
+            "batch_dedup_transforms_total", labels={"outcome": "reused"},
+            help="(table, transform) pairs served from another table's scan",
+        ).inc(self.reused)
+
+
+def transform_signature(transform: Transform) -> Tuple:
+    """Name-independent identity of a transform's *computation*.
+
+    Two transforms share a signature exactly when, applied to columns
+    with identical content, they produce byte-identical
+    :class:`~repro.language.binning.TransformResult`\\ s — so the column
+    *name* inside the AST node is deliberately dropped (``GROUP BY
+    carrier`` on one table and ``GROUP BY airline`` on another are the
+    same scan when the values match).  UDF bins key on the registered
+    UDF name: within one batch a name maps to one callable (the shared
+    engine config), which is the same contract the feature-level cache
+    already relies on.
+    """
+    if isinstance(transform, GroupBy):
+        return ("group",)
+    if isinstance(transform, BinByGranularity):
+        return ("bin_gran", transform.granularity.value)
+    if isinstance(transform, BinIntoBuckets):
+        return ("bin_buckets", int(transform.n))
+    if isinstance(transform, BinByUDF):
+        return ("bin_udf", transform.udf_name)
+    # Unknown transform kinds never dedup (but still enumerate fine).
+    return ("opaque", type(transform).__name__, transform.describe())
+
+
+def _candidate_transforms(column, config, mode: str) -> List[Transform]:
+    """The transforms enumeration would apply with this column on x.
+
+    Deliberately the same generators the enumeration modes use —
+    imported lazily because :mod:`repro.core` imports this package at
+    init time (same discipline as ``selection.py``'s lazy import of
+    :mod:`repro.engine.parallel`).
+    """
+    from ..core.enumeration import _exhaustive_transforms
+    from ..core.rules import transform_rules
+
+    if mode == "exhaustive":
+        return [t for t in _exhaustive_transforms(column, config) if t is not None]
+    return transform_rules(column, config.rule_config())
+
+
+def batch_shared_transforms(
+    tables: Sequence[Table],
+    config,
+    mode: str = "rules",
+) -> Tuple[Dict[Tuple[str, Transform], object], BatchDedupStats]:
+    """Compute each distinct ``(column content, transform)`` group once.
+
+    Walks every table's columns, groups the transforms the batch's
+    enumeration will request by ``(column fingerprint,
+    transform signature)``, applies each group with two or more
+    occurrences a single time, and returns ``{(table fingerprint,
+    transform): TransformResult}`` seed entries — exactly the keys
+    :class:`~repro.core.enumeration.EnumerationContext.transform_result`
+    looks up in the shared ``transforms`` cache level, so seeding them
+    before the batch fans out makes every duplicate a cache hit on
+    every backend.  Groups occurring once are left to enumeration's own
+    lazy path (no speculative scans for work pruning may skip).
+
+    The shared result object is byte-identical for every occurrence
+    (``TransformResult`` carries no column name), so the top-k is
+    unchanged — only the number of transform-kernel invocations drops.
+    """
+    stats = BatchDedupStats(tables=len(tables))
+    # (column_fp, signature) -> list of (table_fp, transform, table)
+    groups: Dict[Tuple[str, Tuple], List[Tuple[str, Transform, Table]]] = {}
+    for table in tables:
+        table_fp = table.fingerprint()
+        for column in table.columns:
+            transforms = _candidate_transforms(column, config, mode)
+            if not transforms:
+                continue
+            column_fp = column.fingerprint()
+            for transform in transforms:
+                key = (column_fp, transform_signature(transform))
+                groups.setdefault(key, []).append(
+                    (table_fp, transform, table)
+                )
+
+    entries: Dict[Tuple[str, Transform], object] = {}
+    for occurrences in groups.values():
+        stats.transforms_total += len(occurrences)
+        distinct = {(fp, transform) for fp, transform, _ in occurrences}
+        if len(distinct) < 2:
+            continue
+        first_fp, first_transform, first_table = occurrences[0]
+        result = apply_transform(first_transform, first_table)
+        stats.computed += 1
+        seeded = set()
+        for table_fp, transform, _table in occurrences:
+            cache_key = (table_fp, transform)
+            if cache_key in seeded:
+                continue
+            seeded.add(cache_key)
+            entries[cache_key] = result
+        stats.reused += len(seeded) - 1
+    return entries, stats

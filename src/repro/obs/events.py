@@ -10,7 +10,7 @@ records of :mod:`repro.obs.provenance`.
 
 Event record shape (one JSON object per line)::
 
-    {"v": 1, "seq": 17, "ts": 1722950000.123, "kind": "phase",
+    {"v": 2, "seq": 17, "ts": 1722950000.123, "kind": "phase",
      "phase": "enumerate", "seconds": 0.012, "candidates": 412, ...}
 
 * ``v`` — the schema version (:data:`EVENT_LOG_SCHEMA_VERSION`);
@@ -58,7 +58,10 @@ __all__ = [
 ]
 
 #: Version stamped into every record; bump on incompatible shape changes.
-EVENT_LOG_SCHEMA_VERSION = 1
+#: v2: ``cache`` events namespace their per-level counter dicts under a
+#: single ``levels`` field instead of spreading them at the top level,
+#: where a level name could collide with envelope fields like ``table``.
+EVENT_LOG_SCHEMA_VERSION = 2
 
 #: The closed set of record kinds the writer accepts.
 EVENT_KINDS = (
@@ -394,7 +397,17 @@ def aggregate_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             for key, value in event.items():
                 if key in ("v", "seq", "ts", "kind", "table"):
                     continue
-                if isinstance(value, dict):
+                if key == "levels" and isinstance(value, dict):
+                    # v2 shape: {"levels": {level: {counter: n}}}.
+                    for level, counters in value.items():
+                        if not isinstance(counters, dict):
+                            continue
+                        for counter, amount in counters.items():
+                            if isinstance(amount, (int, float)):
+                                full = f"{level}_{counter}"
+                                cache[full] = cache.get(full, 0) + amount
+                elif isinstance(value, dict):
+                    # v1 shape: per-level dicts spread at the top level.
                     for counter, amount in value.items():
                         if isinstance(amount, (int, float)):
                             full = f"{key}_{counter}"

@@ -168,3 +168,45 @@ class TestFingerprint:
         a = Table.from_dict("t", {"c": ["x", "y"]})
         b = Table.from_dict("t", {"c": ["x", "z"]})
         assert a.fingerprint() != b.fingerprint()
+
+
+class TestFingerprintPersistence:
+    """The persistent cache (repro.engine.persistent) keys disk entries
+    on this digest, so it must be reproducible across processes — not
+    just within one interpreter."""
+
+    def test_same_csv_loaded_twice_matches(self, tmp_path):
+        from repro.dataset.io import read_csv
+
+        path = tmp_path / "data.csv"
+        path.write_text("city,value\na,1.0\nb,2.0\na,3.0\n")
+        assert read_csv(str(path)).fingerprint() == (
+            read_csv(str(path)).fingerprint()
+        )
+
+    def test_stable_across_processes(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = tmp_path / "data.csv"
+        path.write_text("city,value\na,1.0\nb,2.0\na,3.0\nc,4.5\n")
+        script = (
+            "from repro.dataset.io import read_csv;"
+            f"print(read_csv({str(path)!r}).fingerprint())"
+        )
+        digests = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        from repro.dataset.io import read_csv
+
+        digests.add(read_csv(str(path)).fingerprint())
+        assert len(digests) == 1
+
+    def test_digest_is_hex_sha256(self):
+        fp = Table.from_dict("t", {"x": [1, 2, 3]}).fingerprint()
+        assert isinstance(fp, str) and len(fp) == 64
+        int(fp, 16)

@@ -200,3 +200,37 @@ class TestAggregator:
                 log.emit(kind)
         summary = aggregate_events(list(log))
         assert summary["events"] == len(EVENT_KINDS)
+
+
+class TestLevelsNamespacing:
+    """Schema v2: cache events nest per-level counters under ``levels``
+    so identical counter names across levels cannot collide."""
+
+    def test_aggregate_unpacks_levels(self):
+        log = EventLog()
+        log.begin_request(table="t")
+        log.emit("cache", table="t", levels={
+            "transforms": {"hits": 2, "misses": 1},
+            "results": {"hits": 1, "misses": 0},
+            "disk": {"hits": 3, "stores": 4},
+        })
+        summary = aggregate_events(list(log))
+        assert summary["cache"]["transforms_hits"] == 2
+        assert summary["cache"]["transforms_misses"] == 1
+        assert summary["cache"]["results_hits"] == 1
+        assert summary["cache"]["disk_hits"] == 3
+        assert summary["cache"]["disk_stores"] == 4
+
+    def test_v1_flat_dicts_still_aggregate(self):
+        # pre-v2 logs on disk spread level dicts at the top of the
+        # payload; the reader keeps accepting them
+        log = EventLog()
+        log.begin_request(table="t")
+        log.emit("cache", table="t",
+                 results={"hits": 5, "misses": 2})
+        summary = aggregate_events(list(log))
+        assert summary["cache"]["results_hits"] == 5
+        assert summary["cache"]["results_misses"] == 2
+
+    def test_schema_version_is_two(self):
+        assert EVENT_LOG_SCHEMA_VERSION == 2
