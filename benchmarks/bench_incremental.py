@@ -1,0 +1,243 @@
+"""Incremental append-delta benchmark: living tables vs full recompute.
+
+Measures what :class:`repro.engine.IncrementalSession` buys over
+re-running ``select_top_k`` from scratch after every append, on a
+synthetic "living" table (two categorical, one numerical and one
+temporal column — the shape of an event stream that keeps growing).
+
+Three measurements, all written to ``BENCH_incremental.json``:
+
+* **append throughput** — for each batch size, a session absorbs a
+  series of append batches while a from-scratch ``select_top_k`` over
+  the same grown table is timed next to it.  The headline is
+  ``speedup = scratch_median / incremental_median`` at ``--gate-batch``
+  (default 256); the run **fails (exit 1) when it is below
+  --min-speedup** (default 3x, the ISSUE's acceptance bar).
+
+* **byte identity** — every single measurement is gated through
+  :func:`repro.obs.drift.classify_drift` against the scratch result;
+  any kind other than ``identical`` fails the run.  The benchmark is
+  therefore also a correctness harness: the speedup only counts if the
+  incremental top-k is byte-identical to the full recompute.
+
+* **fingerprint micro-bench** — ``Table.append_rows`` continues each
+  column's rolling hash over just the delta; the baseline rebuilds the
+  grown columns and re-hashes every value.  Both must agree on the
+  final hex digest.
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import json
+import os
+import statistics
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import select_top_k
+from repro.dataset import Column, ColumnType, Table
+from repro.engine import IncrementalSession
+from repro.obs.drift import classify_drift, entry_from_result
+
+_REGIONS = np.array(
+    ["north", "south", "east", "west", "centre", "coast",
+     "delta", "plains", "ridge", "valley", "summit", "shore"]
+)
+_TIERS = np.array(["bronze", "silver", "gold", "platinum", "basic", "plus"])
+_DAY0 = dt.date(2019, 1, 1).toordinal()
+_DAY_SPAN = 2000
+
+
+def _living_table(n: int, seed: int) -> Table:
+    """An event-stream shaped table: 2 Cat + 1 Num + 1 Tem."""
+    rng = np.random.default_rng(seed)
+    days = [
+        dt.date.fromordinal(_DAY0 + int(o))
+        for o in rng.integers(0, _DAY_SPAN, n)
+    ]
+    return Table(
+        "living_events",
+        [
+            Column("region", ColumnType.CATEGORICAL,
+                   _REGIONS[rng.integers(0, len(_REGIONS), n)]),
+            Column("tier", ColumnType.CATEGORICAL,
+                   _TIERS[rng.integers(0, len(_TIERS), n)]),
+            Column("revenue", ColumnType.NUMERICAL,
+                   rng.normal(250.0, 60.0, n)),
+            Column("day", ColumnType.TEMPORAL, days),
+        ],
+    )
+
+
+def _batch(seed: int, size: int) -> List[List]:
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            str(_REGIONS[rng.integers(len(_REGIONS))]),
+            str(_TIERS[rng.integers(len(_TIERS))]),
+            float(rng.normal(250.0, 60.0)),
+            dt.date.fromordinal(_DAY0 + int(rng.integers(_DAY_SPAN))),
+        ]
+        for _ in range(size)
+    ]
+
+
+def bench_appends(
+    base_rows: int, batch_size: int, appends: int, k: int, seed: int
+) -> Dict:
+    """Time ``appends`` consecutive batches both ways over one session."""
+    session = IncrementalSession(_living_table(base_rows, seed), k=k)
+    incremental: List[float] = []
+    scratch: List[float] = []
+    drift_kinds: List[str] = []
+    for i in range(appends):
+        rows = _batch(1000 * batch_size + i, batch_size)
+
+        start = time.perf_counter()
+        session.append(rows)
+        incremental.append(time.perf_counter() - start)
+
+        grown = session.table
+        start = time.perf_counter()
+        result = select_top_k(grown, k=k, provenance=True)
+        scratch.append(time.perf_counter() - start)
+
+        expected = entry_from_result(grown.name, grown.fingerprint(), result)
+        drift_kinds.append(classify_drift(expected, session.entry)["kind"])
+
+    inc = statistics.median(incremental)
+    scr = statistics.median(scratch)
+    return {
+        "batch_size": batch_size,
+        "appends": appends,
+        "final_rows": session.table.num_rows,
+        "incremental_seconds": round(inc, 4),
+        "scratch_seconds": round(scr, 4),
+        "speedup": round(scr / inc, 2) if inc > 0 else float("inf"),
+        "rows_per_second": round(batch_size / inc, 1) if inc > 0 else float("inf"),
+        "drift_kinds": drift_kinds,
+    }
+
+
+def bench_fingerprint(
+    base_rows: int, batch_size: int, repeats: int, seed: int
+) -> Dict:
+    """Rolling append_rows fingerprint vs full re-hash of the grown table."""
+    table = _living_table(base_rows, seed)
+    table.fingerprint()  # warm the per-column rolling hash state
+    rows = _batch(9999, batch_size)
+    rolling: List[float] = []
+    full: List[float] = []
+    agree = True
+    for _ in range(repeats):
+        start = time.perf_counter()
+        grown = table.append_rows(rows)
+        rolling_fp = grown.fingerprint()
+        rolling.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        rebuilt = Table(
+            grown.name,
+            [Column(c.name, c.ctype, c.values) for c in grown.columns],
+        )
+        full_fp = rebuilt.fingerprint()
+        full.append(time.perf_counter() - start)
+        agree = agree and rolling_fp == full_fp
+
+    roll = statistics.median(rolling)
+    rehash = statistics.median(full)
+    return {
+        "base_rows": base_rows,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "rolling_seconds": round(roll, 6),
+        "full_rehash_seconds": round(rehash, 6),
+        "speedup": round(rehash / roll, 2) if roll > 0 else float("inf"),
+        "fingerprints_agree": agree,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="gate batch only, fewer appends")
+    parser.add_argument("--base-rows", type=int, default=100_000)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--appends", type=int, default=5,
+                        help="append batches per batch size")
+    parser.add_argument("--batch-sizes", type=int, nargs="+",
+                        default=[64, 256, 1024])
+    parser.add_argument("--gate-batch", type=int, default=256)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_incremental.json")
+    args = parser.parse_args(argv)
+
+    batch_sizes = list(args.batch_sizes)
+    appends = args.appends
+    if args.quick:
+        batch_sizes = [args.gate_batch]
+        appends = min(appends, 3)
+    if args.gate_batch not in batch_sizes:
+        batch_sizes.append(args.gate_batch)
+
+    results = [
+        bench_appends(args.base_rows, batch, appends, args.k, args.seed)
+        for batch in sorted(batch_sizes)
+    ]
+    fingerprint = bench_fingerprint(
+        args.base_rows, args.gate_batch, repeats=5, seed=args.seed
+    )
+
+    gate = next(r for r in results if r["batch_size"] == args.gate_batch)
+    all_identical = all(
+        kind == "identical" for r in results for kind in r["drift_kinds"]
+    )
+    passed = (
+        gate["speedup"] >= args.min_speedup
+        and all_identical
+        and fingerprint["fingerprints_agree"]
+    )
+
+    payload = {
+        "benchmark": "incremental",
+        "base_rows": args.base_rows,
+        "k": args.k,
+        "cpus": os.cpu_count(),
+        "min_speedup": args.min_speedup,
+        "gate_batch": args.gate_batch,
+        "batches": results,
+        "fingerprint": fingerprint,
+        "all_identical": all_identical,
+        "passed": passed,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    for r in results:
+        print(
+            f"batch={r['batch_size']:>5}: incremental {r['incremental_seconds']}s"
+            f" vs scratch {r['scratch_seconds']}s  ({r['speedup']}x,"
+            f" {r['rows_per_second']} rows/s, drift={set(r['drift_kinds'])})"
+        )
+    print(
+        f"fingerprint: rolling {fingerprint['rolling_seconds']}s vs rehash "
+        f"{fingerprint['full_rehash_seconds']}s ({fingerprint['speedup']}x)"
+    )
+    print(f"gate: {gate['speedup']}x >= {args.min_speedup}x at "
+          f"batch={args.gate_batch}, identical={all_identical}")
+    print(f"passed: {passed}  ->  {args.out}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

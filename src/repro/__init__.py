@@ -33,6 +33,7 @@ from .core import (
     select_top_k,
 )
 from .dataset import Column, ColumnType, Table, read_csv, write_csv
+from .engine import AppendReport, IncrementalDriftError, IncrementalSession
 from .language import ChartType, VisQuery, execute, parse_query
 from .obs import MetricsRegistry, Tracer, global_registry
 
@@ -57,6 +58,9 @@ __all__ = [
     "Table",
     "read_csv",
     "write_csv",
+    "IncrementalSession",
+    "AppendReport",
+    "IncrementalDriftError",
     "ChartType",
     "VisQuery",
     "execute",

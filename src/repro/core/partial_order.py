@@ -168,15 +168,32 @@ class PartialOrderScorer:
         total = len(nodes)
         return {column: count / total for column, count in counts.items()}
 
-    def score(self, nodes: Sequence[VisualizationNode]) -> List[FactorScores]:
-        """The normalised (M, Q, W) triple of every node, in input order."""
+    def score(
+        self,
+        nodes: Sequence[VisualizationNode],
+        raw_m: Optional[Sequence[float]] = None,
+    ) -> List[FactorScores]:
+        """The normalised (M, Q, W) triple of every node, in input order.
+
+        ``raw_m`` optionally supplies the un-normalised M(v) of each
+        node (same order as ``nodes``), skipping the per-node
+        :func:`matching_quality_raw` calls — the incremental engine
+        caches raw M across appends for charts whose inputs did not
+        move.  Normalisation still happens here: Eq. (5) depends on the
+        whole candidate set, not on a single node.
+        """
         if not nodes:
             return []
 
-        raw_m = [
-            matching_quality_raw(n, self.r2_threshold, self.trend_families)
-            for n in nodes
-        ]
+        if raw_m is None:
+            raw_m = [
+                matching_quality_raw(n, self.r2_threshold, self.trend_families)
+                for n in nodes
+            ]
+        elif len(raw_m) != len(nodes):
+            raise ValueError(
+                f"raw_m has {len(raw_m)} entries for {len(nodes)} nodes"
+            )
         # Eq. (5): normalise M per chart type by the same-chart maximum.
         max_per_chart: Dict[ChartType, float] = {}
         for node, value in zip(nodes, raw_m):

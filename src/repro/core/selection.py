@@ -378,8 +378,7 @@ def _flat_cache_stats(cache) -> Dict[str, int]:
     """The flat ``{level_counter: value}`` view results have always
     carried in ``cache_stats``, built from
     :meth:`~repro.engine.cache.MultiLevelCache.stats_by_level` (its
-    ``aggregate`` rollup skipped) rather than the deprecated flat
-    ``stats()``."""
+    ``aggregate`` rollup skipped)."""
     return {
         f"{level}_{counter}": value
         for level, counters in cache.stats_by_level().items()

@@ -100,6 +100,7 @@ class Column:
         self.name = name
         self.ctype = ColumnType(ctype)
         self._fingerprint: Optional[str] = None
+        self._hasher = None
         if self.ctype is ColumnType.CATEGORICAL:
             self.values = np.asarray([str(v) for v in values], dtype=object)
         elif self.ctype is ColumnType.TEMPORAL:
@@ -112,6 +113,19 @@ class Column:
                     f"column {name!r} declared numerical but holds "
                     f"non-numeric values"
                 ) from exc
+
+    def _absorb(self, hasher, values) -> None:
+        """Feed ``values`` into ``hasher`` in the frozen byte encoding
+        (categorical as UTF-8 strings with ``\\x1f`` separators,
+        numerical/temporal as little-endian float64)."""
+        if self.ctype is ColumnType.CATEGORICAL:
+            for value in values:
+                hasher.update(str(value).encode("utf-8"))
+                hasher.update(b"\x1f")
+        else:
+            hasher.update(
+                np.ascontiguousarray(values, dtype=np.float64).tobytes()
+            )
 
     def fingerprint(self) -> str:
         """A stable content hash over this column's *type and values*.
@@ -126,21 +140,53 @@ class Column:
         are produced.  Like the table hash it is a hex SHA-256, stable
         across processes and platforms, and memoised (columns are
         immutable by convention).
+
+        Internally the digest is kept as a *running* hash state over the
+        prefix ``ctype tag + value bytes``, so :meth:`extended` can grow
+        a column by hashing only the appended chunk (``O(delta)``) —
+        appending bytes to a SHA-256 stream never rewrites the prefix.
         """
         if self._fingerprint is None:
-            digest = hashlib.sha256()
-            digest.update(self.ctype.value.encode("ascii"))
-            digest.update(b"\x00")
-            if self.ctype is ColumnType.CATEGORICAL:
-                for value in self.values:
-                    digest.update(str(value).encode("utf-8"))
-                    digest.update(b"\x1f")
-            else:
-                digest.update(
-                    np.ascontiguousarray(self.values, dtype=np.float64).tobytes()
-                )
-            self._fingerprint = digest.hexdigest()
+            hasher = self._hasher
+            if hasher is None:
+                hasher = hashlib.sha256()
+                hasher.update(self.ctype.value.encode("ascii"))
+                hasher.update(b"\x00")
+                self._absorb(hasher, self.values)
+                self._hasher = hasher
+            self._fingerprint = hasher.hexdigest()
         return self._fingerprint
+
+    def extended(self, values: Sequence) -> "Column":
+        """A new column with ``values`` appended (rows coerced like the
+        constructor's), carrying the rolling content hash forward.
+
+        When this column's hash state exists (it is built on the first
+        :meth:`fingerprint` call), the extension copies it and absorbs
+        only the new chunk's bytes — the appended column's fingerprint
+        then costs ``O(len(values))`` instead of ``O(total rows)``.
+        """
+        chunk = Column(self.name, self.ctype, values)
+        if len(chunk.values) == 0:
+            return self
+        clone = Column.__new__(Column)
+        clone.name = self.name
+        clone.ctype = self.ctype
+        clone.values = np.concatenate([self.values, chunk.values])
+        clone._fingerprint = None
+        clone._hasher = None
+        if self._hasher is not None:
+            hasher = self._hasher.copy()
+            self._absorb(hasher, chunk.values)
+            clone._hasher = hasher
+        return clone
+
+    def __getstate__(self):
+        # hashlib objects cannot pickle; the memoised hex digest (a
+        # plain string) travels, the live hash state is rebuilt lazily.
+        state = self.__dict__.copy()
+        state["_hasher"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Statistics used as ML features (Section III, features 1-4)
@@ -207,6 +253,9 @@ class Column:
         clone.ctype = self.ctype
         clone.values = self.values
         clone._fingerprint = self._fingerprint
+        # Safe to share: the stored hash state is only ever read
+        # (hexdigest) or copied (extended), never updated in place.
+        clone._hasher = self._hasher
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -122,41 +122,67 @@ class Table:
         dedup both want.  Computed once and memoised (tables are
         immutable by convention).
 
-        **Persistence guarantee.**  This digest is now a *persistent*
-        cache key (the disk tier in :mod:`repro.engine.persistent`
-        addresses entries by it), not just an in-memory one, so it must
-        be reproducible across processes, platforms, and runs: the hash
-        is SHA-256 over a fixed byte encoding (column name UTF-8, type
-        tag, then values — categorical values as UTF-8 strings with
-        ``\\x1f`` separators, numerical/temporal values as little-endian
-        IEEE-754 float64 via numpy ``tobytes``), with no use of
-        ``hash()``, ``id()``, dict iteration order, or anything else
+        **Persistence guarantee.**  This digest is a *persistent* cache
+        key (the disk tier in :mod:`repro.engine.persistent` addresses
+        entries by it), not just an in-memory one, so it must be
+        reproducible across processes, platforms, and runs: the hash is
+        SHA-256 over a fixed byte encoding with no use of ``hash()``,
+        ``id()``, dict iteration order, or anything else
         process-dependent.  The same CSV loaded twice — today, tomorrow,
-        on another machine — yields the same hex digest.  Changing this
-        encoding silently invalidates every deployed disk cache and
-        golden drift snapshot; treat it as a frozen format (covered by
-        cross-process tests in ``tests/test_dataset_table.py``).
+        on another machine — yields the same hex digest.
+
+        **Format (v2, compositional).**  The table digest is SHA-256
+        over, per column in schema order: the column name (UTF-8), a
+        ``\\x00`` separator, the raw 32 bytes of the column's own
+        content digest (:meth:`~repro.dataset.column.Column.fingerprint`,
+        which covers the type tag and every value), and a ``\\x01``
+        terminator.  Composing over per-column digests is what makes
+        :meth:`append_rows` cheap: each column keeps a *running* SHA-256
+        over its value stream, appending a chunk extends those streams
+        in ``O(delta rows)``, and the table digest is then recombined in
+        ``O(columns)``.  Changing this encoding (or the per-column one)
+        silently invalidates every deployed disk cache and golden drift
+        snapshot; treat it as a frozen format (covered by cross-process
+        tests in ``tests/test_dataset_table.py``).
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()
             for column in self._columns:
                 digest.update(column.name.encode("utf-8"))
                 digest.update(b"\x00")
-                digest.update(column.ctype.value.encode("ascii"))
-                digest.update(b"\x00")
-                if column.ctype is ColumnType.CATEGORICAL:
-                    for value in column.values:
-                        digest.update(str(value).encode("utf-8"))
-                        digest.update(b"\x1f")
-                else:
-                    digest.update(
-                        np.ascontiguousarray(
-                            column.values, dtype=np.float64
-                        ).tobytes()
-                    )
+                digest.update(bytes.fromhex(column.fingerprint()))
                 digest.update(b"\x01")
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def append_rows(self, rows: Iterable[Sequence]) -> "Table":
+        """A new table with ``rows`` (tuples in schema order) appended.
+
+        The schema is pinned: each cell is coerced to its column's
+        existing type (no re-inference), so appending can never retype a
+        column.  Each column carries its rolling content-hash state
+        forward (see :meth:`~repro.dataset.column.Column.extended`),
+        making the grown table's :meth:`fingerprint` an ``O(delta rows
+        + columns)`` operation instead of a full rehash — and guaranteed
+        byte-identical to the fingerprint of the same data loaded from
+        scratch.
+        """
+        materialized = [list(row) for row in rows]
+        for i, row in enumerate(materialized):
+            if len(row) != self.num_columns:
+                raise DatasetError(
+                    f"table {self.name!r}: appended row {i} has "
+                    f"{len(row)} cells, expected {self.num_columns}"
+                )
+        if not materialized:
+            return self
+        return Table(
+            self.name,
+            [
+                column.extended([row[j] for row in materialized])
+                for j, column in enumerate(self._columns)
+            ],
+        )
 
     def column(self, name: str) -> Column:
         """Look up a column by name, raising :class:`ColumnNotFoundError`."""

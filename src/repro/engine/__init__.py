@@ -9,6 +9,7 @@ from .shared_scan import (
     transform_signature,
 )
 from .cache import LRUCache, MultiLevelCache
+from .incremental import AppendReport, IncrementalDriftError, IncrementalSession
 from .persistent import PERSISTENT_CACHE_SCHEMA_VERSION, DiskCacheTier
 from .parallel import batch_select, parallel_enumerate, resolve_n_jobs
 
@@ -21,6 +22,9 @@ __all__ = [
     "transform_signature",
     "LRUCache",
     "MultiLevelCache",
+    "IncrementalSession",
+    "AppendReport",
+    "IncrementalDriftError",
     "DiskCacheTier",
     "PERSISTENT_CACHE_SCHEMA_VERSION",
     "batch_select",

@@ -40,7 +40,6 @@ from either side of the engine/core boundary without cycles.
 from __future__ import annotations
 
 import threading
-import warnings
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Iterator, Optional
 
@@ -223,30 +222,6 @@ class MultiLevelCache:
         if self.disk is None:
             return {}
         return self.disk.prewarm(self, per_level=per_level)
-
-    def stats(self) -> Dict[str, int]:
-        """Flat ``{level_counter: value}`` dict across all three levels.
-
-        .. deprecated::
-            The flat form survives for backward compatibility (it is the
-            shape ``SelectionResult.cache_stats`` has always carried),
-            but it buries which level served a lookup in string-prefixed
-            keys — prefer :meth:`stats_by_level`, which returns the same
-            counters structured per level plus an ``aggregate`` rollup.
-            Calling this emits a :class:`DeprecationWarning`.
-        """
-        warnings.warn(
-            "MultiLevelCache.stats() is deprecated; use stats_by_level() "
-            "for per-level counters (plus an 'aggregate' rollup)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        merged: Dict[str, int] = {}
-        for level_name in self.LEVELS:
-            level: LRUCache = getattr(self, level_name)
-            for counter, value in level.stats().items():
-                merged[f"{level_name}_{counter}"] = value
-        return merged
 
     def stats_by_level(self) -> Dict[str, Dict[str, int]]:
         """Per-level counters plus an ``aggregate`` rollup.

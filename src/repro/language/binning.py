@@ -48,12 +48,18 @@ from .ast import BinGranularity
 __all__ = [
     "Bucket",
     "TransformResult",
+    "DeltaMerge",
     "TRANSFORM_KERNELS",
     "DEFAULT_NUM_BUCKETS",
     "bin_temporal",
     "bin_numeric",
     "bin_udf",
     "group_categorical",
+    "merge_delta",
+    "merge_group_categorical",
+    "merge_bin_temporal",
+    "merge_bin_numeric",
+    "merge_bin_udf",
     "assign_buckets",
     "use_reference_kernels",
 ]
@@ -498,6 +504,423 @@ def group_categorical(column: Column) -> TransformResult:
         _time.perf_counter() - start,
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# Append-delta merge paths (incremental TransformResult maintenance)
+# ----------------------------------------------------------------------
+@dataclass
+class DeltaMerge:
+    """Outcome of merging an appended row chunk into a kernel result.
+
+    ``result`` is the transform over the *grown* column, bit-identical
+    to rerunning the kernel from scratch.  ``old_positions`` maps each
+    old bucket index to its merged index, and ``delta_assignment`` maps
+    each appended row to its merged bucket — together exactly what an
+    aggregate maintainer needs to scatter old per-bucket sums into the
+    new layout and continue the fold over only the new rows.  When the
+    merge was impossible (numeric bin edges moved because the appended
+    chunk extended the column's range) the kernel reran over the full
+    column instead: ``rebuilt`` is True and both mappings are ``None``.
+    """
+
+    result: TransformResult
+    old_positions: "np.ndarray | None"
+    delta_assignment: "np.ndarray | None"
+    old_buckets: int
+    rebuilt: bool = False
+
+    @property
+    def new_buckets(self) -> int:
+        """Bucket-count change (can be negative after a rebuild)."""
+        return self.result.num_buckets - self.old_buckets
+
+    @property
+    def remapped(self) -> bool:
+        """True when old bucket indices shifted in the merged layout."""
+        if self.old_positions is None:
+            return True
+        return bool(
+            (
+                self.old_positions
+                != np.arange(len(self.old_positions), dtype=np.intp)
+            ).any()
+        )
+
+
+def _unchanged_merge(old: TransformResult) -> DeltaMerge:
+    """The empty-chunk merge: nothing moves."""
+    return DeltaMerge(
+        result=old,
+        old_positions=np.arange(old.num_buckets, dtype=np.intp),
+        delta_assignment=np.empty(0, dtype=np.intp),
+        old_buckets=old.num_buckets,
+    )
+
+
+def _fresh_merge(result: TransformResult) -> DeltaMerge:
+    """Merging into a zero-row result: the delta *is* the result."""
+    return DeltaMerge(
+        result=result,
+        old_positions=np.empty(0, dtype=np.intp),
+        delta_assignment=result.assignment,
+        old_buckets=0,
+    )
+
+
+def _record_merge(name: str, rows: int, result: TransformResult, start: float) -> None:
+    KERNEL_STATS.record(
+        name, rows, result.num_buckets, _time.perf_counter() - start
+    )
+
+
+def merge_group_categorical(
+    old: TransformResult, delta_column: Column
+) -> DeltaMerge:
+    """Merge appended rows into a ``GROUP BY`` result.
+
+    First-appearance order makes this the cheapest merge: old bucket
+    indices never shift, new labels append at the end in their
+    delta-first-appearance order, and the old assignment is reused
+    as-is.
+    """
+    if old.num_rows == 0:
+        return _fresh_merge(group_categorical(delta_column))
+    if len(delta_column.values) == 0:
+        # Validate like the kernel would, even with nothing to do.
+        if not delta_column.ctype.is_groupable:
+            raise ValidationError(
+                f"GROUP BY requires a categorical or temporal column, got "
+                f"{delta_column.ctype.value} column {delta_column.name!r}"
+            )
+        return _unchanged_merge(old)
+    start = _time.perf_counter()
+    delta = group_categorical(delta_column)
+    slot_of = {label: j for j, label in enumerate(old.labels)}
+    mapping = np.empty(delta.num_buckets, dtype=np.intp)
+    appended_labels: List[str] = []
+    for j, label in enumerate(delta.labels):
+        slot = slot_of.get(label)
+        if slot is None:
+            mapping[j] = old.num_buckets + len(appended_labels)
+            appended_labels.append(label)
+        else:
+            mapping[j] = slot
+    total = old.num_buckets + len(appended_labels)
+    sort_keys = np.arange(total, dtype=np.float64)
+    delta_assignment = mapping[delta.assignment]
+    merged = TransformResult(
+        old.labels + tuple(appended_labels),
+        sort_keys,
+        sort_keys,
+        np.concatenate([old.assignment, delta_assignment]),
+    )
+    out = DeltaMerge(
+        result=merged,
+        old_positions=np.arange(old.num_buckets, dtype=np.intp),
+        delta_assignment=delta_assignment,
+        old_buckets=old.num_buckets,
+    )
+    _record_merge(
+        "merge_group_categorical", len(delta_column.values), merged, start
+    )
+    return out
+
+
+def merge_bin_temporal(
+    old: TransformResult, delta_column: Column, granularity: BinGranularity
+) -> DeltaMerge:
+    """Merge appended rows into a ``BIN BY <granularity>`` result.
+
+    New calendar keys can interleave with old ones (buckets are sorted
+    by key), so the old assignment is remapped through a positions
+    gather — an ``O(old rows)`` intp pass, still far cheaper than
+    re-binning, and labels are formatted only for new distinct buckets
+    (each label is a pure function of its bucket key, so representative
+    choice cannot change it).
+    """
+    _require_temporal(delta_column, granularity)
+    if old.num_rows == 0:
+        return _fresh_merge(bin_temporal(delta_column, granularity))
+    if len(delta_column.values) == 0:
+        return _unchanged_merge(old)
+    start = _time.perf_counter()
+    _require_finite(delta_column, f"BIN BY {granularity.value}")
+    delta_keys = _temporal_keys_columnar(delta_column.values, granularity)
+    d_distinct, d_first, d_inverse = np.unique(
+        delta_keys, return_index=True, return_inverse=True
+    )
+    # Calendar keys are small integers; the float64 sort_keys round-trip
+    # exactly.
+    old_keys = old.sort_keys.astype(np.int64)
+    merged_keys = np.union1d(old_keys, d_distinct)
+    old_positions = np.searchsorted(merged_keys, old_keys).astype(np.intp)
+    delta_positions = np.searchsorted(merged_keys, d_distinct).astype(np.intp)
+    labels: List[str] = [None] * len(merged_keys)  # type: ignore[list-item]
+    for pos, label in zip(old_positions.tolist(), old.labels):
+        labels[pos] = label
+    label_fn = _TEMPORAL_KEYS[granularity][1]
+    for j, pos in enumerate(delta_positions.tolist()):
+        if labels[pos] is None:
+            labels[pos] = label_fn(_moment(delta_column.values[d_first[j]]))
+    sort_keys = merged_keys.astype(np.float64)
+    delta_assignment = delta_positions[d_inverse]
+    merged = TransformResult(
+        tuple(labels),
+        sort_keys,
+        sort_keys,
+        np.concatenate([old_positions[old.assignment], delta_assignment]),
+    )
+    out = DeltaMerge(
+        result=merged,
+        old_positions=old_positions,
+        delta_assignment=delta_assignment,
+        old_buckets=old.num_buckets,
+    )
+    _record_merge(
+        "merge_bin_temporal", len(delta_column.values), merged, start
+    )
+    return out
+
+
+def merge_bin_numeric(
+    old: TransformResult,
+    full_column: Column,
+    delta_column: Column,
+    n: int = DEFAULT_NUM_BUCKETS,
+    old_min: "float | None" = None,
+    old_max: "float | None" = None,
+) -> DeltaMerge:
+    """Merge appended rows into a ``BIN INTO n`` result.
+
+    Equal-width edges depend on the column's global ``[lo, hi]``, which
+    the compact result does not preserve exactly — callers that track
+    the pre-append min/max pass them via ``old_min``/``old_max``
+    (otherwise they are recomputed from the full column's old-row
+    prefix).  While the appended chunk stays inside the old range the
+    merge is incremental with the exact kernel arithmetic; a chunk that
+    extends the range moves every edge, so the kernel reruns over the
+    full column (``rebuilt=True``).
+    """
+    _require_numeric(delta_column, n)
+    if old.num_rows == 0:
+        return _fresh_merge(bin_numeric(full_column, n))
+    if len(delta_column.values) == 0:
+        return _unchanged_merge(old)
+    if old.num_rows + len(delta_column.values) != len(full_column.values):
+        raise ValidationError(
+            f"delta merge size mismatch: {old.num_rows} old rows + "
+            f"{len(delta_column.values)} appended != "
+            f"{len(full_column.values)} total"
+        )
+    start = _time.perf_counter()
+    _require_finite(delta_column, "BIN INTO")
+    if old_min is None or old_max is None:
+        prefix = full_column.values[: old.num_rows]
+        old_min, old_max = float(np.min(prefix)), float(np.max(prefix))
+    lo, hi = float(old_min), float(old_max)
+    delta_values = delta_column.values
+    d_lo = float(np.min(delta_values))
+    d_hi = float(np.max(delta_values))
+    if hi <= lo:
+        # Old column was constant (single point bucket).
+        if d_lo == lo and d_hi == lo:
+            merged = TransformResult(
+                old.labels,
+                old.sort_keys,
+                old.values,
+                np.concatenate(
+                    [old.assignment, np.zeros(len(delta_values), dtype=np.intp)]
+                ),
+            )
+            out = DeltaMerge(
+                result=merged,
+                old_positions=np.zeros(1, dtype=np.intp),
+                delta_assignment=np.zeros(len(delta_values), dtype=np.intp),
+                old_buckets=1,
+            )
+            _record_merge("merge_bin_numeric", len(delta_values), merged, start)
+            return out
+        result = bin_numeric(full_column, n)
+        return DeltaMerge(
+            result=result,
+            old_positions=None,
+            delta_assignment=None,
+            old_buckets=old.num_buckets,
+            rebuilt=True,
+        )
+    if d_lo < lo or d_hi > hi:
+        # Range grew: every edge moves, incremental merge impossible.
+        result = bin_numeric(full_column, n)
+        return DeltaMerge(
+            result=result,
+            old_positions=None,
+            delta_assignment=None,
+            old_buckets=old.num_buckets,
+            rebuilt=True,
+        )
+    # In-range chunk: the kernel's exact index arithmetic over only the
+    # new rows, then a sorted union of occupied buckets.
+    width = (hi - lo) / n
+    indices = np.clip(((delta_values - lo) / width).astype(np.int64), 0, n - 1)
+    d_occupied, d_inverse = np.unique(indices, return_inverse=True)
+    old_occupied = old.sort_keys.astype(np.int64)
+    merged_occupied = np.union1d(old_occupied, d_occupied)
+    old_positions = np.searchsorted(merged_occupied, old_occupied).astype(np.intp)
+    delta_positions = np.searchsorted(merged_occupied, d_occupied).astype(np.intp)
+    edges = _numeric_edges(lo, hi, n)
+    lefts = edges[merged_occupied]
+    rights = edges[merged_occupied + 1]
+    labels: List[str] = [None] * len(merged_occupied)  # type: ignore[list-item]
+    for pos, label in zip(old_positions.tolist(), old.labels):
+        labels[pos] = label
+    for pos in delta_positions.tolist():
+        if labels[pos] is None:
+            labels[pos] = _interval_label(
+                float(lefts[pos]), float(rights[pos])
+            )
+    delta_assignment = delta_positions[d_inverse]
+    merged = TransformResult(
+        tuple(labels),
+        merged_occupied.astype(np.float64),
+        (lefts + rights) / 2.0,
+        np.concatenate([old_positions[old.assignment], delta_assignment]),
+    )
+    out = DeltaMerge(
+        result=merged,
+        old_positions=old_positions,
+        delta_assignment=delta_assignment,
+        old_buckets=old.num_buckets,
+    )
+    _record_merge("merge_bin_numeric", len(delta_values), merged, start)
+    return out
+
+
+def merge_bin_udf(
+    old: TransformResult,
+    full_column: Column,
+    delta_column: Column,
+    udf: Callable[[float], object],
+) -> DeltaMerge:
+    """Merge appended rows into a ``BIN BY UDF`` result.
+
+    The UDF runs only over the new rows.  Representatives merge by the
+    kernel's exact rules: an existing label's representative is the min
+    over its non-NaN inputs unless its (old) first row was NaN, in
+    which case NaN sticks; a label first seen in the delta takes its
+    delta-local representative with the first-row-NaN rule applied at
+    its global first appearance.  Labels reorder by (representative,
+    first-appearance) exactly as the kernel's lexsort would.
+    """
+    if old.num_rows == 0:
+        return _fresh_merge(bin_udf(full_column, udf))
+    raw = delta_column.values
+    if len(raw) == 0:
+        return _unchanged_merge(old)
+    start = _time.perf_counter()
+    old_n = old.num_rows
+    labels_delta = np.asarray([str(udf(value)) for value in raw], dtype=object)
+    d_distinct, d_first, d_inverse = np.unique(
+        labels_delta, return_index=True, return_inverse=True
+    )
+    # Old per-bucket first-appearance rows, recovered from the
+    # assignment (one intp pass over the old rows).
+    old_first = np.full(old.num_buckets, old_n, dtype=np.intp)
+    np.minimum.at(
+        old_first, old.assignment, np.arange(old_n, dtype=np.intp)
+    )
+    categorical = delta_column.ctype is ColumnType.CATEGORICAL
+    if not categorical:
+        numeric = np.asarray(raw, dtype=np.float64)
+        d_min = np.full(len(d_distinct), np.inf)
+        np.fmin.at(d_min, d_inverse, numeric)
+        d_first_is_nan = np.isnan(numeric[d_first])
+    reps = np.array(old.sort_keys, dtype=np.float64, copy=True)
+    slot_of = {label: j for j, label in enumerate(old.labels)}
+    mapping = np.empty(len(d_distinct), dtype=np.intp)
+    new_labels: List[str] = []
+    new_reps: List[float] = []
+    new_first: List[int] = []
+    for j, label in enumerate(d_distinct.tolist()):
+        slot = slot_of.get(label)
+        if slot is None:
+            mapping[j] = old.num_buckets + len(new_labels)
+            new_labels.append(label)
+            if categorical:
+                new_reps.append(float(old_n + d_first[j]))
+            elif d_first_is_nan[j]:
+                new_reps.append(np.nan)
+            else:
+                new_reps.append(float(d_min[j]))
+            new_first.append(old_n + int(d_first[j]))
+        else:
+            mapping[j] = slot
+            if not categorical and not np.isnan(reps[slot]):
+                reps[slot] = np.fmin(reps[slot], d_min[j])
+    all_reps = np.concatenate([reps, np.asarray(new_reps, dtype=np.float64)])
+    all_first = np.concatenate(
+        [old_first, np.asarray(new_first, dtype=np.intp)]
+    )
+    all_labels = old.labels + tuple(new_labels)
+    order = np.lexsort((all_first, all_reps))
+    rank = np.empty(len(order), dtype=np.intp)
+    rank[order] = np.arange(len(order), dtype=np.intp)
+    sort_keys = all_reps[order]
+    delta_assignment = rank[mapping[d_inverse]]
+    merged = TransformResult(
+        tuple(all_labels[j] for j in order),
+        sort_keys,
+        sort_keys,
+        np.concatenate([rank[old.assignment], delta_assignment]),
+    )
+    out = DeltaMerge(
+        result=merged,
+        old_positions=rank[: old.num_buckets],
+        delta_assignment=delta_assignment,
+        old_buckets=old.num_buckets,
+    )
+    _record_merge("merge_bin_udf", len(raw), merged, start)
+    return out
+
+
+def merge_delta(
+    transform,
+    old: TransformResult,
+    full_column: Column,
+    delta_column: Column,
+    old_min: "float | None" = None,
+    old_max: "float | None" = None,
+) -> DeltaMerge:
+    """Dispatch an append-delta merge by transform AST node.
+
+    ``full_column`` is the grown column (old rows + appended chunk) and
+    ``delta_column`` just the chunk; ``old_min``/``old_max`` feed the
+    numeric-bin edge check (see :func:`merge_bin_numeric`).  The merged
+    :class:`TransformResult` is always bit-identical to rerunning the
+    matching kernel over ``full_column`` — the differential property
+    ``tests/test_kernels_delta.py`` fuzzes.
+    """
+    from .ast import BinByGranularity, BinByUDF, BinIntoBuckets, GroupBy
+
+    if old.num_rows + len(delta_column.values) != len(full_column.values):
+        raise ValidationError(
+            f"delta merge size mismatch: {old.num_rows} old rows + "
+            f"{len(delta_column.values)} appended != "
+            f"{len(full_column.values)} total"
+        )
+    if isinstance(transform, GroupBy):
+        return merge_group_categorical(old, delta_column)
+    if isinstance(transform, BinByGranularity):
+        return merge_bin_temporal(old, delta_column, transform.granularity)
+    if isinstance(transform, BinIntoBuckets):
+        return merge_bin_numeric(
+            old, full_column, delta_column, transform.n, old_min, old_max
+        )
+    if isinstance(transform, BinByUDF):
+        return merge_bin_udf(old, full_column, delta_column, transform.udf)
+    raise ValidationError(
+        f"no delta merge for transform {type(transform).__name__}"
+    )
 
 
 def assign_buckets(buckets: Sequence[Bucket]) -> TransformResult:

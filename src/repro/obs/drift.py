@@ -44,8 +44,12 @@ __all__ = [
     "format_drift_report",
 ]
 
-#: Version stamped into snapshots; bump on incompatible shape changes.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: Version stamped into snapshots; bump on incompatible shape changes
+#: *or* on table-content fingerprint format changes (the ``fingerprint``
+#: fields of snapshots written under different schema versions are not
+#: comparable).  v2: the table fingerprint became compositional over
+#: per-column digests (rolling-hash appends).
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: Drift classes, benign first.
 DRIFT_KINDS = (
@@ -201,6 +205,7 @@ def classify_drift(
     old: Dict[str, Any],
     new: Dict[str, Any],
     score_tolerance: float = DEFAULT_SCORE_TOLERANCE,
+    compare_fingerprints: bool = True,
 ) -> Dict[str, Any]:
     """Compare one table's old and new fingerprints.
 
@@ -209,6 +214,14 @@ def classify_drift(
     A changed table-content fingerprint is reported as ``churned`` with
     ``"input_changed": True`` — the *data* moved, so chart drift is
     expected rather than a code regression.
+
+    ``compare_fingerprints=False`` skips that input check and classifies
+    purely on chart ids and scores.  Two callers need this: diffing
+    across snapshot *schema* versions (a fingerprint format change makes
+    every hash differ even for identical data — see
+    :func:`diff_snapshots`), and the incremental engine's churn
+    subscription, where the input changed *by construction* (rows were
+    appended) and the question is whether the top-k moved.
     """
     old_ids: List[str] = list(old["chart_ids"])
     new_ids: List[str] = list(new["chart_ids"])
@@ -230,7 +243,7 @@ def classify_drift(
         "old_chart_ids": old_ids,
         "new_chart_ids": new_ids,
     }
-    if old.get("fingerprint") != new.get("fingerprint"):
+    if compare_fingerprints and old.get("fingerprint") != new.get("fingerprint"):
         report["kind"] = "churned"
         report["input_changed"] = True
         return report
@@ -256,7 +269,14 @@ def diff_snapshots(
     "clean": bool}`` where ``clean`` means every table is ``identical``.
     Tables present on only one side classify as ``missing`` (dropped)
     or ``added``.
+
+    When the two snapshots carry *different schema versions*, table
+    fingerprints are not compared: a fingerprint-format bump changes
+    every hash without any data changing, and flagging that as
+    ``churned``/``input_changed`` would drown the real signal (chart
+    ids and scores), which is always compared.
     """
+    compare_fingerprints = old.get("schema", 0) == new.get("schema", 0)
     old_tables = {entry["table"]: entry for entry in old["tables"]}
     new_tables = {entry["table"]: entry for entry in new["tables"]}
     reports: List[Dict[str, Any]] = []
@@ -268,7 +288,14 @@ def diff_snapshots(
                  "overlap": 0.0, "max_score_delta": 0.0}
             )
             continue
-        reports.append(classify_drift(old_entry, new_entry, score_tolerance))
+        reports.append(
+            classify_drift(
+                old_entry,
+                new_entry,
+                score_tolerance,
+                compare_fingerprints=compare_fingerprints,
+            )
+        )
     for name in new_tables:
         if name not in old_tables:
             reports.append(

@@ -25,6 +25,8 @@ Event record shape (one JSON object per line)::
   ``score``    per emitted chart: the factor/model scores behind it
   ``rank``     one per run: the final ordered top-k chart ids
   ``cache``    serving-cache activity (per-level counters, result hits)
+  ``delta``    one per incremental append decision (merge / rebuild /
+               churn) — see :mod:`repro.engine.incremental`
   ``error``    an exception escaping an instrumented region
   ========== ==========================================================
 
@@ -71,6 +73,7 @@ EVENT_KINDS = (
     "score",
     "rank",
     "cache",
+    "delta",
     "error",
 )
 

@@ -210,3 +210,83 @@ class TestFingerprintPersistence:
         fp = Table.from_dict("t", {"x": [1, 2, 3]}).fingerprint()
         assert isinstance(fp, str) and len(fp) == 64
         int(fp, 16)
+
+
+class TestAppendRows:
+    def _rows(self):
+        return [
+            ["c", 4, dt.datetime(2020, 1, 4)],
+            ["a", 5, dt.datetime(2020, 1, 5)],
+        ]
+
+    def test_appends_rows_in_schema_order(self):
+        grown = _table().append_rows(self._rows())
+        assert grown.num_rows == 5
+        assert grown.row(3) == ("c", 4.0, grown.column("when").values[3])
+        assert list(grown.column("city").values) == ["a", "b", "a", "c", "a"]
+
+    def test_original_table_is_untouched(self):
+        table = _table()
+        fingerprint = table.fingerprint()
+        table.append_rows(self._rows())
+        assert table.num_rows == 3
+        assert table.fingerprint() == fingerprint
+
+    def test_rolling_fingerprint_matches_scratch(self):
+        # The acceptance bar for the rolling hash: growing a table must
+        # give byte-for-byte the fingerprint of the same data built from
+        # scratch — with the hash state warm (fingerprint() called
+        # before the append) and cold alike.
+        warm = _table()
+        warm.fingerprint()  # builds the per-column rolling hash state
+        cold = _table()
+        scratch = Table.from_dict(
+            "t",
+            {
+                "city": ["a", "b", "a", "c", "a"],
+                "value": [1, 2, 3, 4, 5],
+                "when": [dt.datetime(2020, 1, 1 + i) for i in range(5)],
+            },
+        )
+        assert warm.append_rows(self._rows()).fingerprint() == scratch.fingerprint()
+        assert cold.append_rows(self._rows()).fingerprint() == scratch.fingerprint()
+
+    def test_chained_appends_match_one_shot(self):
+        chained = _table().append_rows(self._rows()[:1]).append_rows(self._rows()[1:])
+        one_shot = _table().append_rows(self._rows())
+        assert chained.fingerprint() == one_shot.fingerprint()
+
+    def test_schema_is_pinned_no_retyping(self):
+        # Cells coerce to the existing column type; a numeric-looking
+        # value appended to a categorical column stays a string.
+        grown = _table().append_rows([[7, 8, dt.datetime(2020, 2, 1)]])
+        assert grown.column("city").ctype is ColumnType.CATEGORICAL
+        assert grown.column("city").values[-1] == "7"
+        assert grown.column("value").values[-1] == 8.0
+
+    def test_wrong_cell_count_raises_with_row_index(self):
+        with pytest.raises(DatasetError, match="row 1"):
+            _table().append_rows(
+                [["a", 1, dt.datetime(2020, 2, 1)], ["b", 2]]
+            )
+
+    def test_uncoercible_cell_raises(self):
+        with pytest.raises(DatasetError):
+            _table().append_rows([["a", "not-a-number", dt.datetime(2020, 2, 1)]])
+
+    def test_empty_append_returns_self(self):
+        table = _table()
+        assert table.append_rows([]) is table
+
+    def test_fingerprinted_table_survives_pickling(self):
+        import pickle
+
+        table = _table()
+        table.fingerprint()  # live hashlib state is unpicklable; dropped
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.fingerprint() == table.fingerprint()
+        grown = clone.append_rows(self._rows())
+        assert (
+            grown.fingerprint()
+            == _table().append_rows(self._rows()).fingerprint()
+        )

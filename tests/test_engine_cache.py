@@ -85,13 +85,10 @@ class TestMultiLevelCache:
         assert levels["results"]["hits"] == 0
         assert levels["aggregate"]["misses"] == 1
 
-    def test_flat_stats_is_deprecated_but_still_flat(self):
-        cache = MultiLevelCache()
-        cache.transforms.put("t", 1)
-        with pytest.warns(DeprecationWarning, match="stats_by_level"):
-            stats = cache.stats()
-        assert stats["transforms_size"] == 1
-        assert stats["results_hits"] == 0
+    def test_flat_stats_shim_removed(self):
+        # The deprecated flat stats() shim is gone; stats_by_level() is
+        # the only multi-level counter surface.
+        assert not hasattr(MultiLevelCache(), "stats")
 
     def test_clear_empties_every_level(self):
         cache = MultiLevelCache()

@@ -285,3 +285,107 @@ class TestConcurrentWriters:
         assert reader.stats()["errors"] == 0
         final = reader.get("results", ("shared", "entry"))
         assert final is not None and final["data"] == list(range(500))
+
+
+def _stale_writer(directory, old_fp, n_writes):
+    """Concurrently re-publish stale pre-append entries under the old
+    fingerprint while the parent queries the grown table."""
+    from repro.engine import DiskCacheTier
+    from repro.language.ast import GroupBy
+
+    tier = DiskCacheTier(directory)
+    for i in range(n_writes):
+        tier.put("transforms", (old_fp, GroupBy("city")), {"stale": i})
+        tier.put("results", (old_fp, ("k", 5)), {"stale": i})
+
+
+class TestAppendStaleness:
+    """Satellite: a pre-append cache entry must never be served for a
+    post-append fingerprint — appends change the fingerprint, and every
+    cache level keys on it."""
+
+    def _grown(self, table):
+        return table.append_rows(
+            [["d", 7.0, 3.0], ["a", 8.0, 2.0], ["e", 9.0, 1.0]]
+        )
+
+    def test_append_changes_the_cache_key(self):
+        table = _table()
+        grown = self._grown(table)
+        assert grown.fingerprint() != table.fingerprint()
+        # ...and the change is content-derived, not instance-derived:
+        again = _table().append_rows(
+            [["d", 7.0, 3.0], ["a", 8.0, 2.0], ["e", 9.0, 1.0]]
+        )
+        assert again.fingerprint() == grown.fingerprint()
+
+    def test_poisoned_pre_append_entries_never_served(self, tmp_path):
+        table = _table()
+        cache = MultiLevelCache(disk=DiskCacheTier(tmp_path))
+        select_top_k(table, k=5, cache=cache)  # populate under old fp
+
+        # Poison every entry (memory + disk). If any pre-append entry
+        # were served for the grown table, selection would crash or
+        # drift; instead it must recompute cleanly.
+        for level_name in ("transforms", "features", "results"):
+            level = getattr(cache, level_name)
+            for key in list(level):
+                level.put(key, "poison")
+                cache.disk.put(level_name, key, "poison")
+
+        grown = self._grown(table)
+        baseline = build_snapshot(
+            [_selection_entry(grown, None)], k=5
+        )
+        poisoned = build_snapshot(
+            [_selection_entry(grown, cache)], k=5
+        )
+        assert diff_snapshots(baseline, poisoned)["clean"]
+
+        # A fresh process-equivalent (new cache over the same poisoned
+        # disk directory) is just as safe.
+        fresh = MultiLevelCache(disk=DiskCacheTier(tmp_path))
+        refetched = build_snapshot([_selection_entry(grown, fresh)], k=5)
+        assert diff_snapshots(baseline, refetched)["clean"]
+
+    def test_incremental_session_on_poisoned_disk(self, tmp_path):
+        from repro import IncrementalSession
+
+        table = _table("living")
+        cache = MultiLevelCache(disk=DiskCacheTier(tmp_path))
+        session = IncrementalSession(table, k=4, cache=cache)
+        old_fp = table.fingerprint()
+        # Poison everything published under the pre-append fingerprint,
+        # in memory and on disk.  Post-append lookups key on the *new*
+        # fingerprint, so none of these may ever be served again.
+        for key in list(cache.transforms):
+            cache.transforms.put(key, "poison")
+            cache.disk.put("transforms", key, "poison")
+        session.append([["d", 7.0, 3.0], ["e", 8.0, 2.0]])
+        assert session.table.fingerprint() != old_fp
+        assert session.verify()["kind"] == "identical"
+
+    def test_concurrent_stale_writer_never_pollutes_grown_reads(self, tmp_path):
+        table = _table()
+        grown = self._grown(table)
+        baseline = build_snapshot([_selection_entry(grown, None)], k=5)
+
+        ctx = multiprocessing.get_context("spawn")
+        writer = ctx.Process(
+            target=_stale_writer,
+            args=(str(tmp_path), table.fingerprint(), 40),
+        )
+        writer.start()
+        try:
+            while writer.is_alive():
+                cache = MultiLevelCache(disk=DiskCacheTier(tmp_path))
+                snapshot = build_snapshot(
+                    [_selection_entry(grown, cache)], k=5
+                )
+                assert diff_snapshots(baseline, snapshot)["clean"]
+        finally:
+            writer.join()
+        # One last read after the writer finished flooding stale keys.
+        cache = MultiLevelCache(disk=DiskCacheTier(tmp_path))
+        final = build_snapshot([_selection_entry(grown, cache)], k=5)
+        assert diff_snapshots(baseline, final)["clean"]

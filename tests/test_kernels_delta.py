@@ -1,0 +1,317 @@
+"""Differential tests for the append-delta merge kernels.
+
+The living-table invariant: for every transform kernel and any split of
+a column into a prefix (old rows) and a suffix (appended rows),
+
+    merge_delta(transform, kernel(old), full, delta) == kernel(full)
+
+bit-for-bit — same labels, sort keys, representative values, bucket
+order, and per-row assignment.  Hypothesis drives the splits across
+every column type, including NaN-only and empty append batches, batches
+that introduce new labels/buckets, and numeric batches that grow the
+binning range (the rebuild path).  The DeltaMerge bookkeeping
+(``old_positions`` / ``delta_assignment``) is additionally checked to
+reproduce the full kernel's per-bucket counts, since that is exactly
+what the incremental aggregate maintainer folds with.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import Column, ColumnType
+from repro.errors import ValidationError
+from repro.language import (
+    BinGranularity,
+    bin_numeric,
+    bin_temporal,
+    bin_udf,
+    group_categorical,
+)
+from repro.language.ast import (
+    BinByGranularity,
+    BinByUDF,
+    BinIntoBuckets,
+    GroupBy,
+)
+from repro.language.binning import DeltaMerge, TransformResult, merge_delta
+
+
+def _split(name, ctype, values, cut):
+    """(old column, full column, delta column) for a prefix/suffix split."""
+    values = np.asarray(values, dtype=object if ctype is ColumnType.CATEGORICAL else np.float64)
+    cut = min(cut, len(values))
+    return (
+        Column(name, ctype, values[:cut]),
+        Column(name, ctype, values),
+        Column(name, ctype, values[cut:]),
+    )
+
+
+def _assert_merge_identical(merge: DeltaMerge, scratch: TransformResult):
+    """The merged result is bit-identical to the from-scratch kernel and
+    the merge bookkeeping reproduces its per-bucket row counts."""
+    result = merge.result
+    assert result.labels == scratch.labels
+    assert np.array_equal(result.sort_keys, scratch.sort_keys, equal_nan=True)
+    assert np.array_equal(result.values, scratch.values, equal_nan=True)
+    assert np.array_equal(result.assignment, scratch.assignment)
+    assert result == scratch  # TransformResult.__eq__, the session's check
+    if not merge.rebuilt:
+        old_rows = result.num_rows - len(merge.delta_assignment)
+        # Per-bucket counts of the old prefix in *old* index space
+        # (gathered back through the positions map), scattered and
+        # extended exactly as the incremental aggregate maintainer does.
+        old_counts = np.bincount(
+            scratch.assignment[:old_rows], minlength=result.num_buckets
+        )[merge.old_positions]
+        counts = np.zeros(result.num_buckets, dtype=np.int64)
+        counts[merge.old_positions] = old_counts
+        counts += np.bincount(
+            merge.delta_assignment, minlength=result.num_buckets
+        )
+        assert np.array_equal(
+            counts, np.bincount(scratch.assignment, minlength=result.num_buckets)
+        )
+
+
+_labels = st.sampled_from(["ORD", "LAX", "SFO", "NYC", "ATL", ""])
+_finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+_seconds = st.floats(min_value=-3e9, max_value=3e9, allow_nan=False)
+
+
+class TestGroupByDelta:
+    @given(st.lists(_labels, max_size=120), st.integers(min_value=0, max_value=120))
+    @settings(max_examples=120, deadline=None)
+    def test_categorical_split_matches_full(self, labels, cut):
+        old, full, delta = _split("c", ColumnType.CATEGORICAL, labels, cut)
+        merge = merge_delta(GroupBy("c"), group_categorical(old), full, delta)
+        _assert_merge_identical(merge, group_categorical(full))
+
+    def test_new_labels_append_in_first_appearance_order(self):
+        old, full, delta = _split(
+            "c", ColumnType.CATEGORICAL,
+            ["b", "a", "b", "z", "q", "a", "z"], 3,
+        )
+        merge = merge_delta(GroupBy("c"), group_categorical(old), full, delta)
+        assert merge.result.labels == ("b", "a", "z", "q")
+        assert merge.new_buckets == 2
+        assert not merge.remapped  # first-appearance order never shifts
+        _assert_merge_identical(merge, group_categorical(full))
+
+    @given(st.lists(st.sampled_from([0.0, 1.5, 86400.0, -7.0]), max_size=60),
+           st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_temporal_group_split_matches_full(self, seconds, cut):
+        old, full, delta = _split("t", ColumnType.TEMPORAL, seconds, cut)
+        merge = merge_delta(GroupBy("t"), group_categorical(old), full, delta)
+        _assert_merge_identical(merge, group_categorical(full))
+
+    def test_nan_only_append_batch_raises_like_scratch(self):
+        old, full, delta = _split(
+            "t", ColumnType.TEMPORAL, [1.0, 2.0, np.nan, np.nan], 2
+        )
+        state = group_categorical(old)
+        with pytest.raises(ValidationError):
+            merge_delta(GroupBy("t"), state, full, delta)
+        with pytest.raises(ValidationError):
+            group_categorical(full)
+
+
+class TestBinTemporalDelta:
+    @given(
+        st.lists(_seconds, max_size=100),
+        st.integers(min_value=0, max_value=100),
+        st.sampled_from(list(BinGranularity)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_split_matches_full(self, seconds, cut, granularity):
+        old, full, delta = _split("t", ColumnType.TEMPORAL, seconds, cut)
+        merge = merge_delta(
+            BinByGranularity("t", granularity),
+            bin_temporal(old, granularity),
+            full,
+            delta,
+        )
+        _assert_merge_identical(merge, bin_temporal(full, granularity))
+
+    def test_interleaving_keys_remap_old_assignment(self):
+        # Old rows cover Mar/Jul; the delta inserts Jan and May, which
+        # sort *between* existing buckets — positions must shift.
+        stamps = [
+            dt.datetime(2021, 3, 2), dt.datetime(2021, 7, 9),
+            dt.datetime(2021, 1, 1), dt.datetime(2021, 5, 5),
+        ]
+        seconds = [(s - dt.datetime(1970, 1, 1)).total_seconds() for s in stamps]
+        old, full, delta = _split("t", ColumnType.TEMPORAL, seconds, 2)
+        merge = merge_delta(
+            BinByGranularity("t", BinGranularity.MONTH),
+            bin_temporal(old, BinGranularity.MONTH),
+            full, delta,
+        )
+        assert merge.remapped
+        assert merge.result.labels == ("2021-01", "2021-03", "2021-05", "2021-07")
+        _assert_merge_identical(merge, bin_temporal(full, BinGranularity.MONTH))
+
+    def test_empty_append_batch_is_unchanged(self):
+        old, full, delta = _split("t", ColumnType.TEMPORAL, [0.0, 86400.0], 2)
+        state = bin_temporal(old, BinGranularity.DAY)
+        merge = merge_delta(
+            BinByGranularity("t", BinGranularity.DAY), state, full, delta
+        )
+        assert merge.new_buckets == 0 and not merge.rebuilt
+        _assert_merge_identical(merge, bin_temporal(full, BinGranularity.DAY))
+
+
+class TestBinNumericDelta:
+    @given(
+        st.lists(_finite, max_size=120),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=1, max_value=30),
+        st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_split_matches_full(self, values, cut, n, pass_extrema):
+        old, full, delta = _split("v", ColumnType.NUMERICAL, values, cut)
+        old_min = float(np.min(old.values)) if pass_extrema and len(old.values) else None
+        old_max = float(np.max(old.values)) if pass_extrema and len(old.values) else None
+        merge = merge_delta(
+            BinIntoBuckets("v", n), bin_numeric(old, n), full, delta,
+            old_min, old_max,
+        )
+        _assert_merge_identical(merge, bin_numeric(full, n))
+
+    def test_in_range_append_merges_without_rebuild(self):
+        old, full, delta = _split(
+            "v", ColumnType.NUMERICAL, [0.0, 100.0, 12.5, 99.0, 0.1], 2
+        )
+        merge = merge_delta(
+            BinIntoBuckets("v", 10), bin_numeric(old, 10), full, delta,
+            0.0, 100.0,
+        )
+        assert not merge.rebuilt
+        _assert_merge_identical(merge, bin_numeric(full, 10))
+
+    def test_range_growth_rebuilds(self):
+        old, full, delta = _split(
+            "v", ColumnType.NUMERICAL, [0.0, 10.0, -5.0, 25.0], 2
+        )
+        merge = merge_delta(
+            BinIntoBuckets("v", 4), bin_numeric(old, 4), full, delta, 0.0, 10.0
+        )
+        assert merge.rebuilt
+        _assert_merge_identical(merge, bin_numeric(full, 4))
+
+    @given(_finite, st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_constant_column_growth(self, value, old_rows, new_rows, n):
+        # Degenerate old range (single point bucket) extended by more of
+        # the same value must stay a point bucket, exactly as scratch.
+        values = [value] * (old_rows + new_rows)
+        old, full, delta = _split("v", ColumnType.NUMERICAL, values, old_rows)
+        merge = merge_delta(
+            BinIntoBuckets("v", n), bin_numeric(old, n), full, delta,
+            value, value,
+        )
+        _assert_merge_identical(merge, bin_numeric(full, n))
+
+    def test_nan_only_append_batch_raises_like_scratch(self):
+        old, full, delta = _split(
+            "v", ColumnType.NUMERICAL, [1.0, 2.0, np.nan], 2
+        )
+        state = bin_numeric(old, 5)
+        with pytest.raises(ValidationError):
+            merge_delta(BinIntoBuckets("v", 5), state, full, delta, 1.0, 2.0)
+        with pytest.raises(ValidationError):
+            bin_numeric(full, 5)
+
+    def test_growth_from_empty_prefix(self):
+        old, full, delta = _split("v", ColumnType.NUMERICAL, [3.0, 1.0, 2.0], 0)
+        merge = merge_delta(
+            BinIntoBuckets("v", 3), bin_numeric(old, 3), full, delta
+        )
+        _assert_merge_identical(merge, bin_numeric(full, 3))
+
+
+def _parity_udf(value):
+    if isinstance(value, str):
+        return value.upper() or "EMPTY"
+    return "odd" if (np.isnan(value) or int(value) % 2) else "even"
+
+
+class TestBinUDFDelta:
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=-100, max_value=100),
+                st.just(float("nan")),
+            ),
+            max_size=100,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_numeric_split_matches_full(self, values, cut):
+        old, full, delta = _split("v", ColumnType.NUMERICAL, values, cut)
+        transform = BinByUDF("v", "parity", _parity_udf)
+        merge = merge_delta(
+            transform, bin_udf(old, _parity_udf), full, delta
+        )
+        _assert_merge_identical(merge, bin_udf(full, _parity_udf))
+
+    @given(st.lists(_labels, max_size=80), st.integers(min_value=0, max_value=80))
+    @settings(max_examples=80, deadline=None)
+    def test_categorical_split_matches_full(self, labels, cut):
+        old, full, delta = _split("c", ColumnType.CATEGORICAL, labels, cut)
+        transform = BinByUDF("c", "upper", _parity_udf)
+        merge = merge_delta(
+            transform, bin_udf(old, _parity_udf), full, delta
+        )
+        _assert_merge_identical(merge, bin_udf(full, _parity_udf))
+
+    def test_delta_row_lowers_a_bucket_representative(self):
+        # The representative is the min value mapping to the label; an
+        # appended smaller row must replace it and can reorder buckets.
+        values = [10.0, 3.0, 2.0]  # "even", "odd", then "even" again
+        old, full, delta = _split("v", ColumnType.NUMERICAL, values, 2)
+        merge = merge_delta(
+            BinByUDF("v", "parity", _parity_udf),
+            bin_udf(old, _parity_udf), full, delta,
+        )
+        scratch = bin_udf(full, _parity_udf)
+        assert scratch.labels == ("even", "odd")
+        assert tuple(scratch.sort_keys) == (2.0, 3.0)
+        _assert_merge_identical(merge, scratch)
+
+    def test_nan_first_row_keeps_nan_representative(self):
+        values = [1.0, np.nan, 2.0, np.nan]
+        old, full, delta = _split("v", ColumnType.NUMERICAL, values, 2)
+        merge = merge_delta(
+            BinByUDF("v", "parity", _parity_udf),
+            bin_udf(old, _parity_udf), full, delta,
+        )
+        _assert_merge_identical(merge, bin_udf(full, _parity_udf))
+
+
+class TestMergeDeltaDispatch:
+    def test_rejects_row_count_mismatch(self):
+        old_col = Column("c", ColumnType.CATEGORICAL, ["a", "b"])
+        full = Column("c", ColumnType.CATEGORICAL, ["a", "b", "c", "d"])
+        delta = Column("c", ColumnType.CATEGORICAL, ["c"])  # 2 + 1 != 4
+        with pytest.raises(ValidationError):
+            merge_delta(GroupBy("c"), group_categorical(old_col), full, delta)
+
+    def test_unknown_transform_rejected(self):
+        class Mystery:
+            column = "c"
+
+        old_col = Column("c", ColumnType.CATEGORICAL, ["a"])
+        full = Column("c", ColumnType.CATEGORICAL, ["a", "b"])
+        delta = Column("c", ColumnType.CATEGORICAL, ["b"])
+        with pytest.raises(ValidationError):
+            merge_delta(Mystery(), group_categorical(old_col), full, delta)

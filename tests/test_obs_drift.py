@@ -112,6 +112,47 @@ class TestClassification:
         assert "t" in text and "tau" in text
 
 
+class TestSchemaVersioning:
+    def test_schema_is_v2_for_compositional_fingerprints(self):
+        # v2 marks the rolling/compositional table-fingerprint format;
+        # hashes written under v1 are not comparable to v2 hashes.
+        assert SNAPSHOT_SCHEMA_VERSION == 2
+
+    def test_cross_schema_diff_skips_fingerprint_comparison(self):
+        # A fingerprint-format bump changes every hash with no data
+        # change; only chart ids and scores are compared across schemas.
+        old = build_snapshot([_entry(["a"], [1.0], fingerprint="v1-hash")], k=1)
+        old["schema"] = SNAPSHOT_SCHEMA_VERSION - 1
+        new = build_snapshot([_entry(["a"], [1.0], fingerprint="v2-hash")], k=1)
+        report = diff_snapshots(old, new)
+        assert report["clean"] is True
+
+    def test_cross_schema_diff_still_sees_real_drift(self):
+        old = build_snapshot([_entry(["a"], fingerprint="v1-hash")], k=1)
+        old["schema"] = SNAPSHOT_SCHEMA_VERSION - 1
+        new = build_snapshot([_entry(["b"], fingerprint="v2-hash")], k=1)
+        (entry,) = diff_snapshots(old, new)["tables"]
+        assert entry["kind"] == "churned"
+        assert "input_changed" not in entry
+
+    def test_same_schema_diff_still_flags_input_change(self):
+        old = build_snapshot([_entry(["a"], fingerprint="x")], k=1)
+        new = build_snapshot([_entry(["a"], fingerprint="y")], k=1)
+        (entry,) = diff_snapshots(old, new)["tables"]
+        assert entry["kind"] == "churned"
+        assert entry["input_changed"] is True
+
+    def test_classify_drift_can_skip_fingerprints(self):
+        # The incremental engine's churn check: rows were appended, so
+        # the input hash differs by construction.
+        report = classify_drift(
+            _entry(["a"], [1.0], fingerprint="old"),
+            _entry(["a"], [1.0], fingerprint="new"),
+            compare_fingerprints=False,
+        )
+        assert report["kind"] == "identical"
+
+
 class TestSnapshotIO:
     def test_save_load_round_trip(self, tmp_path):
         snapshot = build_snapshot(

@@ -141,16 +141,11 @@ class TestSelectionMetrics:
 
 
 class TestCacheStats:
-    def test_stats_by_level_matches_flat_stats(self, flights_table):
+    def test_stats_by_level_structure_and_rollup(self, flights_table):
         cache = MultiLevelCache()
         select_top_k(flights_table, k=3, cache=cache)
-        with pytest.warns(DeprecationWarning):
-            flat = cache.stats()
         levels = cache.stats_by_level()
         assert set(levels) == {"transforms", "features", "results", "aggregate"}
-        for level in ("transforms", "features", "results"):
-            for counter in ("hits", "misses", "evictions", "size"):
-                assert levels[level][counter] == flat[f"{level}_{counter}"]
         for counter in ("hits", "misses", "evictions", "size"):
             assert levels["aggregate"][counter] == sum(
                 levels[level][counter]
