@@ -1,0 +1,352 @@
+"""Out-of-core ingestion benchmark: pushdown speedup + streaming memory.
+
+Two measurements back the ingestion layer:
+
+* **pushdown vs pull-then-bin** — a seeded sqlite table is charted two
+  ways: ``SqlitePushdown.serve`` (GROUP BY runs inside the database,
+  bucket arrays come back) vs the historical pull path (fetch every
+  row, build the in-memory table, run the transform kernels).  Outputs
+  are asserted equal before any timing is trusted; the run **fails
+  (exit 1)** when the speedup falls below ``--min-speedup`` (default 3).
+* **streaming build memory** — a synthetic million-row source is built
+  in streaming mode at two sizes; ``tracemalloc`` peaks must stay under
+  ``--max-stream-mb`` and near-constant as rows double (the sketch and
+  reservoir are bounded, so doubling the stream must not double the
+  peak), and the source is asserted to have been read exactly once.
+
+Results land in ``BENCH_ingestion.json`` (override ``--out``).
+
+Run standalone (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_ingestion.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sqlite3
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.dataset.inference import ColumnType
+from repro.dataset.sources import (
+    DEFAULT_CHUNK_ROWS,
+    SqlitePushdown,
+    SqliteSource,
+    TableSource,
+    from_source,
+)
+from repro.language.ast import (
+    AggregateOp,
+    BinGranularity,
+    BinByGranularity,
+    BinIntoBuckets,
+    GroupBy,
+)
+from repro.language.binning import (
+    bin_numeric,
+    bin_temporal,
+    group_categorical,
+)
+
+REGIONS = ["north", "south", "east", "west", "centre"]
+
+SIGNATURES = [
+    (GroupBy("region"), AggregateOp.CNT, None),
+    (GroupBy("region"), AggregateOp.SUM, "sales"),
+    (GroupBy("region"), AggregateOp.AVG, "sales"),
+    (BinIntoBuckets("sales", 10), AggregateOp.CNT, None),
+    (BinIntoBuckets("sales", 10), AggregateOp.SUM, "units"),
+    (BinByGranularity("day", BinGranularity.MONTH), AggregateOp.CNT, None),
+    (BinByGranularity("day", BinGranularity.MONTH), AggregateOp.SUM, "sales"),
+]
+
+
+def _make_sqlite(path: Path, rows: int, seed: int = 7) -> None:
+    rng = np.random.default_rng(seed)
+    conn = sqlite3.connect(str(path))
+    conn.execute(
+        "CREATE TABLE sales (region TEXT, day TEXT, sales REAL, units REAL)"
+    )
+    batch = 50_000
+    for start in range(0, rows, batch):
+        n = min(batch, rows - start)
+        regions = rng.integers(0, len(REGIONS), n)
+        days = rng.integers(0, 365, n)
+        sales = np.round(rng.uniform(0, 500, n), 2)
+        units = rng.integers(0, 40, n)
+        conn.executemany(
+            "INSERT INTO sales VALUES (?, ?, ?, ?)",
+            [
+                (
+                    REGIONS[regions[i]],
+                    f"2021-{days[i] // 31 + 1:02d}-{days[i] % 28 + 1:02d}",
+                    float(sales[i]),
+                    float(units[i]),
+                )
+                for i in range(n)
+            ],
+        )
+    conn.commit()
+    conn.close()
+
+
+def _pull_then_bin(path: Path):
+    """The historical path: fetch all rows, build the table, run kernels."""
+    table = from_source(
+        SqliteSource(path, table="sales"), materialize=True, pushdown=False
+    )
+    charts = {}
+    for transform, op, y in SIGNATURES:
+        column = table.column(transform.column)
+        if isinstance(transform, GroupBy):
+            small = group_categorical(column)
+        elif isinstance(transform, BinByGranularity):
+            small = bin_temporal(column, transform.granularity)
+        else:
+            small = bin_numeric(column, transform.n)
+        counts = np.bincount(small.assignment, minlength=small.num_buckets)
+        if op is AggregateOp.CNT:
+            y_values = counts.astype(np.float64)
+        else:
+            weights = table.column(y).values.astype(np.float64)
+            sums = np.bincount(
+                small.assignment, weights=weights, minlength=small.num_buckets
+            )
+            y_values = (
+                sums
+                if op is AggregateOp.SUM
+                else np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            )
+        charts[(transform, op, y)] = (
+            small.labels,
+            tuple(np.asarray(y_values).tolist()),
+        )
+    return charts
+
+
+def _pushdown(path: Path):
+    """The new path: GROUP BY runs inside sqlite; rows never enter Python.
+
+    The provider is built directly from the known column types — the
+    whole point of pushdown is that serving never requires pulling or
+    inferring the relation, so the pull path's materialisation cost is
+    exactly what it saves.
+    """
+    provider = SqlitePushdown(
+        path,
+        '"sales"',
+        {
+            "region": ColumnType.CATEGORICAL,
+            "day": ColumnType.TEMPORAL,
+            "sales": ColumnType.NUMERICAL,
+            "units": ColumnType.NUMERICAL,
+        },
+        has_rowid_relation=True,
+    )
+    charts = {}
+    for transform, op, y in SIGNATURES:
+        parts = provider.serve(transform, op, y)
+        assert parts is not None, provider.stats()
+        charts[(transform, op, y)] = (parts["labels"], parts["y_values"])
+    return charts
+
+
+def _time(fn, *args):
+    start = time.perf_counter()
+    value = fn(*args)
+    return value, time.perf_counter() - start
+
+
+class SyntheticSource(TableSource):
+    """A generated relation that counts how many times it was read."""
+
+    kind = "synthetic"
+
+    def __init__(self, rows: int, seed: int = 11) -> None:
+        self.rows = rows
+        self.seed = seed
+        self.passes = 0
+
+    @property
+    def default_name(self) -> str:
+        return f"synthetic-{self.rows}"
+
+    def describe(self) -> str:
+        """Row count and seed of the generated relation."""
+        return f"{self.rows} generated rows (seed={self.seed})"
+
+    def iter_chunks(
+        self, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> Iterator[Tuple[List[str], List[tuple]]]:
+        """Generate chunk-sized row batches; one full sweep per call."""
+        self.passes += 1
+        rng = np.random.default_rng(self.seed)
+        header = ["region", "value", "year"]
+        remaining = self.rows
+        while remaining > 0:
+            n = min(chunk_rows, remaining)
+            remaining -= n
+            regions = rng.integers(0, len(REGIONS), n)
+            values = rng.uniform(-1000, 1000, n)
+            years = rng.integers(1995, 2024, n)
+            yield header, [
+                (
+                    REGIONS[regions[i]],
+                    f"{values[i]:.4f}",
+                    str(years[i]),
+                )
+                for i in range(n)
+            ]
+
+
+def _streaming_peak_mb(rows: int, chunk_rows: int, sample_rows: int):
+    source = SyntheticSource(rows)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    table = from_source(
+        source,
+        materialize=False,
+        chunk_rows=chunk_rows,
+        sample_rows=sample_rows,
+    )
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert source.passes == 1, "streaming build must read the source once"
+    assert table.stream_profile.rows == rows
+    return peak / 1e6, seconds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="BENCH_ingestion.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="fail when pushdown is not this much faster than pull-then-bin",
+    )
+    parser.add_argument(
+        "--max-stream-mb",
+        type=float,
+        default=250.0,
+        help="fail when the streaming build's tracemalloc peak exceeds this",
+    )
+    args = parser.parse_args()
+
+    sql_rows = 150_000 if args.quick else 600_000
+    stream_sizes = (250_000, 500_000) if args.quick else (500_000, 1_000_000)
+    chunk_rows = DEFAULT_CHUNK_ROWS
+    sample_rows = 10_000
+
+    report = {
+        "benchmark": "out_of_core_ingestion",
+        "cpus": os.cpu_count(),
+        "quick": bool(args.quick),
+        "min_speedup": args.min_speedup,
+        "max_stream_mb": args.max_stream_mb,
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sales.db"
+        _make_sqlite(path, sql_rows)
+
+        # Warm the page cache so both paths read a hot file.
+        Path(path).read_bytes()
+        pull_charts, pull_seconds = _time(_pull_then_bin, path)
+        push_charts, push_seconds = _time(_pushdown, path)
+
+        # Identical labels; aggregates within float-summation noise.
+        assert set(pull_charts) == set(push_charts)
+        for key, (labels, y_values) in pull_charts.items():
+            assert push_charts[key][0] == labels, key
+            np.testing.assert_allclose(
+                np.asarray(push_charts[key][1]),
+                np.asarray(y_values),
+                rtol=1e-9,
+            )
+
+        speedup = pull_seconds / push_seconds if push_seconds > 0 else float("inf")
+        report["pushdown"] = {
+            "rows": sql_rows,
+            "signatures": len(SIGNATURES),
+            "pull_then_bin_seconds": round(pull_seconds, 4),
+            "pushdown_seconds": round(push_seconds, 4),
+            "speedup": round(speedup, 2),
+        }
+
+    streaming = []
+    for rows in stream_sizes:
+        peak_mb, seconds = _streaming_peak_mb(rows, chunk_rows, sample_rows)
+        streaming.append(
+            {
+                "rows": rows,
+                "chunk_rows": chunk_rows,
+                "sample_rows": sample_rows,
+                "peak_traced_mb": round(peak_mb, 2),
+                "seconds": round(seconds, 3),
+                "one_pass": True,
+            }
+        )
+    growth = streaming[-1]["peak_traced_mb"] / max(
+        streaming[0]["peak_traced_mb"], 0.01
+    )
+    report["streaming"] = {
+        "builds": streaming,
+        "peak_growth_at_2x_rows": round(growth, 3),
+    }
+
+    failures = []
+    if speedup < args.min_speedup:
+        failures.append(
+            f"pushdown speedup {speedup:.2f}x < required "
+            f"{args.min_speedup:.2f}x"
+        )
+    worst_mb = max(b["peak_traced_mb"] for b in streaming)
+    if worst_mb > args.max_stream_mb:
+        failures.append(
+            f"streaming peak {worst_mb:.1f}MB > budget "
+            f"{args.max_stream_mb:.1f}MB"
+        )
+    if growth > 1.5:
+        failures.append(
+            f"streaming peak grew {growth:.2f}x when rows doubled "
+            f"(expected bounded memory)"
+        )
+    report["failures"] = failures
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+
+    print(
+        f"pushdown: {report['pushdown']['speedup']}x over pull-then-bin "
+        f"({report['pushdown']['pushdown_seconds']}s vs "
+        f"{report['pushdown']['pull_then_bin_seconds']}s, "
+        f"{sql_rows} rows, {len(SIGNATURES)} signatures)"
+    )
+    for build in streaming:
+        print(
+            f"streaming: {build['rows']} rows in {build['seconds']}s, "
+            f"peak {build['peak_traced_mb']}MB (one pass)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

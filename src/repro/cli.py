@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence
 from .core import keyword_search, make_node, select_top_k
 from .core.enumeration import EnumerationConfig
 from .corpus.generators import TESTING_SPECS, TRAINING_SPECS, make_table
-from .dataset import read_csv, write_csv
+from .dataset import write_csv
 from .errors import ReproError
 from .obs import (
     EventLog,
@@ -96,6 +96,38 @@ def _serving_parent() -> argparse.ArgumentParser:
         help="attach a persistent disk cache tier (L4) rooted at DIR; "
         "entries survive across runs (ignored with --no-cache)",
     )
+    ingest = parent.add_argument_group("ingestion")
+    ingest.add_argument(
+        "--source",
+        choices=("auto", "csv", "jsonl", "sqlite"),
+        default="auto",
+        help="input backend; 'auto' infers from the file extension "
+        "(.csv/.tsv, .jsonl/.ndjson, .db/.sqlite/.sqlite3)",
+    )
+    ingest.add_argument(
+        "--table",
+        metavar="NAME",
+        help="sqlite only: read this table (rowid stays visible, so "
+        "GROUP BY pushdown covers first-appearance ordering)",
+    )
+    ingest.add_argument(
+        "--query",
+        metavar="SQL",
+        help="sqlite only: read the result of this SQL query instead "
+        "of a whole table",
+    )
+    ingest.add_argument(
+        "--stream",
+        action="store_true",
+        help="force the one-pass streaming build (sketch + reservoir "
+        "sample) regardless of source size",
+    )
+    ingest.add_argument(
+        "--no-pushdown",
+        action="store_true",
+        help="disable sqlite GROUP BY pushdown; transforms run on the "
+        "materialised table via the in-memory kernels",
+    )
     obs = parent.add_argument_group("observability")
     obs.add_argument(
         "--trace",
@@ -131,7 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="top-k visualizations of a CSV file",
         parents=[serving],
     )
-    visualize.add_argument("csv", help="input CSV path")
+    visualize.add_argument(
+        "csv", help="input path (CSV, JSONL, or sqlite; see --source)"
+    )
     visualize.add_argument("--k", type=int, default=5, help="number of charts")
     visualize.add_argument(
         "--format",
@@ -155,7 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     search = commands.add_parser(
         "search", help="keyword visualization search", parents=[serving]
     )
-    search.add_argument("csv", help="input CSV path")
+    search.add_argument(
+        "csv", help="input path (CSV, JSONL, or sqlite; see --source)"
+    )
     search.add_argument("keywords", help="query, e.g. 'average delay by hour'")
     search.add_argument("--k", type=int, default=3)
     search.add_argument(
@@ -167,7 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a visualization-language query",
         parents=[serving],
     )
-    query.add_argument("csv", help="input CSV path")
+    query.add_argument(
+        "csv", help="input path (CSV, JSONL, or sqlite; see --source)"
+    )
     query.add_argument(
         "--text",
         help="the query text; reads stdin when omitted",
@@ -181,7 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank a CSV's charts and explain each position",
         parents=[serving],
     )
-    explain.add_argument("csv", help="input CSV path")
+    explain.add_argument(
+        "csv", help="input path (CSV, JSONL, or sqlite; see --source)"
+    )
     explain.add_argument("--k", type=int, default=3)
 
     profile = commands.add_parser(
@@ -189,7 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile a CSV: types, cardinalities, correlations",
         parents=[serving],
     )
-    profile.add_argument("csv", help="input CSV path")
+    profile.add_argument(
+        "csv", help="input path (CSV, JSONL, or sqlite; see --source)"
+    )
 
     commands.add_parser("datasets", help="list the built-in synthetic corpus")
 
@@ -386,10 +428,35 @@ def _cache_from_args(args):
     return MultiLevelCache(disk=disk)
 
 
+def _load_table(args):
+    """The input table per the ingestion flags.
+
+    The positional stays named ``csv`` for compatibility, but
+    --source/--table/--query route it through the multi-backend
+    ingestion layer; a plain CSV path without --stream materialises
+    through the exact ``read_csv`` build path.
+    """
+    from .dataset.sources import from_source, resolve_source
+
+    source = resolve_source(
+        args.csv,
+        kind=getattr(args, "source", None),
+        query=getattr(args, "query", None),
+        table=getattr(args, "table", None),
+    )
+    return from_source(
+        source,
+        materialize="streaming" if getattr(args, "stream", False) else "auto",
+        pushdown=not getattr(args, "no_pushdown", False),
+        tracer=getattr(args, "obs_tracer", None),
+        metrics=getattr(args, "obs_registry", None),
+    )
+
+
 def _cmd_visualize(args, out) -> int:
     from .core.explain import provenance_report
 
-    table = read_csv(args.csv)
+    table = _load_table(args)
     result = select_top_k(
         table,
         k=args.k,
@@ -420,7 +487,7 @@ def _cmd_visualize(args, out) -> int:
 
 
 def _cmd_search(args, out) -> int:
-    table = read_csv(args.csv)
+    table = _load_table(args)
     hits = keyword_search(table, args.keywords, k=args.k)
     if not hits:
         print(f"no charts match {args.keywords!r}", file=out)
@@ -436,7 +503,7 @@ def _cmd_search(args, out) -> int:
 def _cmd_query(args, out) -> int:
     from .language import validate_query
 
-    table = read_csv(args.csv)
+    table = _load_table(args)
     text = args.text if args.text is not None else sys.stdin.read()
     parsed = parse_query(text)
     problems = validate_query(parsed.query, table)
@@ -477,7 +544,7 @@ def _cmd_explain(args, out) -> int:
     from .core import enumerate_rule_based, explain_ranking
     from .core.partial_order import matching_quality_raw
 
-    table = read_csv(args.csv)
+    table = _load_table(args)
     nodes = [
         n for n in enumerate_rule_based(table) if matching_quality_raw(n) > 0
     ]
@@ -490,7 +557,7 @@ def _cmd_explain(args, out) -> int:
 def _cmd_profile(args, out) -> int:
     from .dataset import profile_table
 
-    table = read_csv(args.csv)
+    table = _load_table(args)
     print(profile_table(table).describe(), file=out)
     return 0
 

@@ -180,7 +180,7 @@ class EnumerationContext:
         self.cache = cache
         self.pruning = PruningCounters()
         self._cache_fp: Optional[str] = (
-            table.fingerprint() if cache is not None else None
+            table.cache_fingerprint() if cache is not None else None
         )
         self._column_features: Dict[str, ColumnFeatures] = {}
         self._raw_corr: Dict[Tuple[str, str], float] = {}
@@ -383,6 +383,92 @@ class EnumerationContext:
             y_spread=y_spread,
             trend_r2=trend_r2,
         )
+
+
+class SourceEnumerationContext(EnumerationContext):
+    """Enumeration context for source-backed tables.
+
+    Two optional table annotations (see :mod:`repro.dataset.sources`)
+    change where cached primitives come from, leaving every other code
+    path — variant generation, pruning, feature measurement, node
+    assembly — untouched:
+
+    * ``table.pushdown_provider`` (materialised sqlite): transformed
+      data variants are served straight from SQL ``GROUP BY`` bucket
+      arrays when the signature is expressible; the provider returns
+      ``None`` for anything it cannot translate exactly and the
+      in-memory kernel path runs as usual.  Pushdown chart parts stay
+      in a per-provider memo, never in the shared transform cache —
+      they carry no row assignment and must not masquerade as kernel
+      ``TransformResult`` entries.
+    * ``table.stream_profile`` (reservoir-sample tables): per-column
+      features (1)–(5) come from the one-pass full-stream sketch
+      statistics instead of the sampled column bytes, so ``d(X)``,
+      ``|X|``, ``r(X)``, min and max describe the real table.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        config: EnumerationConfig = EnumerationConfig(),
+        cache=None,
+    ) -> None:
+        super().__init__(table, config, cache=cache)
+        self.provider = getattr(table, "pushdown_provider", None)
+        self.profile = getattr(table, "stream_profile", None)
+
+    def column_features(self, name: str) -> ColumnFeatures:
+        if self.profile is not None and name not in self._column_features:
+            stats = self.profile.stats_for(name)
+            if stats is not None:
+                self._column_features[name] = ColumnFeatures(
+                    num_distinct=stats.num_distinct,
+                    num_tuples=stats.num_tuples,
+                    unique_ratio=stats.unique_ratio,
+                    min_value=stats.min_value,
+                    max_value=stats.max_value,
+                    ctype=stats.ctype,
+                )
+        return super().column_features(name)
+
+    def _base_data(
+        self,
+        x: str,
+        y: str,
+        transform: Optional[Transform],
+        op: Optional[AggregateOp],
+    ) -> Optional[ChartData]:
+        if self.provider is not None and transform is not None and op is not None:
+            parts = self.provider.serve(transform, op, y)
+            if parts is not None:
+                placeholder = VisQuery(
+                    chart=ChartType.BAR, x=x, y=y,
+                    transform=transform, aggregate=op,
+                )
+                return ChartData(
+                    query=placeholder,
+                    x_labels=parts["labels"],
+                    x_values=parts["values"],
+                    y_values=parts["y_values"],
+                    x_is_discrete=parts["x_is_discrete"],
+                    source_rows=parts["source_rows"],
+                )
+        return super()._base_data(x, y, transform, op)
+
+
+def context_for(
+    table: Table,
+    config: EnumerationConfig = EnumerationConfig(),
+    cache=None,
+) -> EnumerationContext:
+    """The right context class for a table: source-aware when the table
+    carries a pushdown provider or stream profile, plain otherwise."""
+    if (
+        getattr(table, "pushdown_provider", None) is not None
+        or getattr(table, "stream_profile", None) is not None
+    ):
+        return SourceEnumerationContext(table, config, cache=cache)
+    return EnumerationContext(table, config, cache=cache)
 
 
 # ----------------------------------------------------------------------

@@ -144,7 +144,18 @@ def provenance_report(result) -> str:
     records = getattr(result, "provenance", None) or {}
     if not records:
         return ""
-    return render_provenance(list(records.values()))
+    report = render_provenance(list(records.values()))
+    source = getattr(result, "source", None)
+    if source:
+        query = source.get("query_fingerprint")
+        header = (
+            f"source: {source.get('kind')} {source.get('id')} "
+            f"mode={source.get('mode')}"
+            + (f" query={query}" if query else "")
+            + (" pushdown" if source.get("pushdown") else "")
+        )
+        report = header + "\n" + report
+    return report
 
 
 def explain_ranking(

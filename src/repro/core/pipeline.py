@@ -198,6 +198,59 @@ class DeepEye:
         self.hybrid: Optional[HybridRanker] = None
         self._trained = False
 
+    def from_source(
+        self,
+        path,
+        kind: Optional[str] = None,
+        query: Optional[str] = None,
+        table: Optional[str] = None,
+        name: Optional[str] = None,
+        materialize: Union[bool, str] = "auto",
+        pushdown: bool = True,
+        chunk_rows: Optional[int] = None,
+        sample_rows: Optional[int] = None,
+        max_materialize_rows: Optional[int] = None,
+        seed: Optional[int] = None,
+        types=None,
+        delimiter: str = ",",
+    ) -> Table:
+        """Load a table from a data source with this engine's
+        observability attached (ingest spans on :attr:`tracer`,
+        ``ingest_*`` counters on :attr:`metrics`).
+
+        ``kind`` is ``csv`` / ``jsonl`` / ``sqlite`` or ``None`` to
+        infer from the file extension; ``table``/``query`` select the
+        sqlite relation.  ``materialize`` is ``True``, ``False``, or
+        ``"auto"`` (stream past ``max_materialize_rows``); see
+        :func:`repro.dataset.sources.from_source` for the build modes
+        and :class:`~repro.dataset.sources.SqlitePushdown` for when
+        transforms run inside the database.
+        """
+        from ..dataset import sources as _sources
+
+        source = _sources.resolve_source(
+            path, kind, query=query, table=table, name=name,
+            delimiter=delimiter,
+        )
+        kwargs = {}
+        if chunk_rows is not None:
+            kwargs["chunk_rows"] = chunk_rows
+        if sample_rows is not None:
+            kwargs["sample_rows"] = sample_rows
+        if max_materialize_rows is not None:
+            kwargs["max_materialize_rows"] = max_materialize_rows
+        if seed is not None:
+            kwargs["seed"] = seed
+        return _sources.from_source(
+            source,
+            materialize=materialize,
+            pushdown=pushdown,
+            types=types,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            **kwargs,
+        )
+
     def prewarm(self, per_level: Optional[int] = None) -> dict:
         """Load the hottest disk-tier entries into the in-memory cache
         levels (the restart workflow: construct with ``cache_dir``,

@@ -35,6 +35,7 @@ from ..obs.provenance import ChartProvenance
 from .enumeration import (
     EnumerationConfig,
     EnumerationContext,
+    context_for,
     enumerate_candidates,
     search_space_size,
 )
@@ -126,6 +127,10 @@ class SelectionResult:
     selection ran with ``provenance=True`` (or an event log); empty
     otherwise — provenance capture is opt-in so the fast path stays
     uninstrumented.
+
+    ``source`` is the ingest record of a source-backed table (kind,
+    content id, query fingerprint, mode, pushdown flag — see
+    :mod:`repro.dataset.sources`); ``None`` for plain in-memory tables.
     """
 
     nodes: List[VisualizationNode]
@@ -135,6 +140,7 @@ class SelectionResult:
     timings: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
     provenance: Dict[str, ChartProvenance] = field(default_factory=dict)
+    source: Optional[Dict[str, object]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -185,6 +191,16 @@ def _enumerate_phase(
 ) -> Tuple[List[VisualizationNode], Optional[List[bool]], PruningCounters]:
     """Candidates, (for the parallel path) their validity mask, and the
     per-rule pruning accounting of the run."""
+    source_backed = (
+        getattr(table, "pushdown_provider", None) is not None
+        or getattr(table, "stream_profile", None) is not None
+    )
+    if n_jobs > 1 and source_backed:
+        # Pushdown providers hold a sqlite connection and stream
+        # profiles back per-column features; both live outside the
+        # table bytes workers would rebuild contexts from.  Run serial
+        # — the database is doing the heavy lifting anyway.
+        n_jobs = 1
     if n_jobs > 1:
         # Imported here, not at module level: repro.engine.parallel
         # imports this package's enumeration module, so a top-level
@@ -204,7 +220,7 @@ def _enumerate_phase(
             events=events,
         )
         return nodes, mask, pruning
-    context = EnumerationContext(table, config, cache=cache)
+    context = context_for(table, config, cache=cache)
     nodes = enumerate_candidates(table, enumeration, config, context)
     return nodes, None, context.pruning
 
@@ -411,7 +427,10 @@ def _result_cache_key(
     """
     ranker_token = ranker if isinstance(ranker, str) else ("obj", id(ranker))
     return (
-        table.fingerprint(),
+        # cache_fingerprint, not fingerprint: source-backed tables
+        # (sqlite pushdown, stream samples) scope their entries away
+        # from byte-identical pure in-memory tables.
+        table.cache_fingerprint(),
         k,
         enumeration,
         ranker_token,
@@ -553,9 +572,10 @@ def select_top_k(
 
         jobs = resolve_n_jobs(jobs)
     want_provenance = provenance or events is not None
+    source_info = getattr(table, "source_info", None)
 
     if events is not None:
-        events.begin_request(
+        request_fields = dict(
             table=table.name,
             fingerprint=table.fingerprint(),
             k=k,
@@ -565,6 +585,15 @@ def select_top_k(
             ),
             n_jobs=jobs,
         )
+        if source_info is not None:
+            # Schema v3: where the table came from (see obs/events.py).
+            request_fields["source_kind"] = source_info.get("kind")
+            request_fields["source_id"] = source_info.get("id")
+            request_fields["source_query"] = source_info.get(
+                "query_fingerprint"
+            )
+            request_fields["source_mode"] = source_info.get("mode")
+        events.begin_request(**request_fields)
 
     # Result entries may persist to the disk tier only when every key
     # component is stable across processes: model objects key by id(),
@@ -706,6 +735,9 @@ def select_top_k(
             metrics, enumeration, timings, len(candidates),
             len(valid_nodes), pruning, cache,
         )
+        provider = getattr(table, "pushdown_provider", None)
+        if provider is not None:
+            provider.record_metrics(metrics)
 
     top = [valid_nodes[i] for i in order[:k]]
     provenance_records = (
@@ -723,6 +755,7 @@ def select_top_k(
         timings=timings,
         cache_stats=_flat_cache_stats(cache) if cache is not None else {},
         provenance=provenance_records,
+        source=dict(source_info) if source_info is not None else None,
     )
     if events is not None:
         for record in sorted(

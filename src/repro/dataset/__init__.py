@@ -4,6 +4,27 @@ from .column import EPOCH, Column, ColumnType
 from .inference import build_column, infer_type, parse_temporal
 from .io import read_csv, write_csv
 from .profile import ColumnProfile, TableProfile, profile_table
+from .sketches import (
+    ColumnSketch,
+    DistinctCounter,
+    ReservoirSample,
+    SketchColumnStats,
+    StreamProfile,
+    StreamingHistogram,
+    StreamingMoments,
+    TableSketch,
+    TypeVotes,
+)
+from .sources import (
+    NA_TOKENS,
+    CsvSource,
+    JsonlSource,
+    SqlitePushdown,
+    SqliteSource,
+    TableSource,
+    from_source,
+    resolve_source,
+)
 from .stats import ColumnStats, TableStats, column_stats, entropy, table_stats
 from .table import Table
 
@@ -25,4 +46,21 @@ __all__ = [
     "column_stats",
     "table_stats",
     "entropy",
+    "ColumnSketch",
+    "DistinctCounter",
+    "ReservoirSample",
+    "SketchColumnStats",
+    "StreamProfile",
+    "StreamingHistogram",
+    "StreamingMoments",
+    "TableSketch",
+    "TypeVotes",
+    "NA_TOKENS",
+    "CsvSource",
+    "JsonlSource",
+    "SqliteSource",
+    "SqlitePushdown",
+    "TableSource",
+    "from_source",
+    "resolve_source",
 ]

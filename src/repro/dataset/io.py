@@ -11,7 +11,6 @@ import datetime as _dt
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
-from ..errors import DatasetError
 from .column import ColumnType
 from .table import Table
 
@@ -28,16 +27,19 @@ def read_csv(
 
     Column types are inferred from the cell values unless pinned via
     ``types``.  The table name defaults to the file stem.
+
+    Delegates to the chunked :class:`~repro.dataset.sources.CsvSource`
+    so there is a single CSV parse path: missing-value tokens
+    (:data:`~repro.dataset.sources.NA_TOKENS`, e.g. ``NA``/``null``)
+    are normalised to nulls exactly as the other source backends do.
     """
-    path = Path(path)
-    with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise DatasetError(f"{path}: empty CSV file") from None
-        rows = list(reader)
-    return Table.from_rows(name or path.stem, header, rows, types)
+    from .sources import CsvSource, from_source
+
+    return from_source(
+        CsvSource(path, name=name, delimiter=delimiter),
+        materialize=True,
+        types=types,
+    )
 
 
 def _format_cell(value) -> str:

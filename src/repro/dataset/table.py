@@ -46,6 +46,16 @@ class Table:
             raise DatasetError(f"table {name!r}: duplicate column names in {names}")
         self._by_name: Dict[str, Column] = {c.name: c for c in self._columns}
         self._fingerprint: Optional[str] = None
+        #: Source-layer annotations (see :mod:`repro.dataset.sources`):
+        #: where the table came from, the one-pass stream profile backing
+        #: a sample table's features, the sqlite GROUP BY pushdown
+        #: provider, and the cache scope separating source-backed cache
+        #: entries from pure in-memory ones.  All default to the plain
+        #: in-memory behaviour.
+        self.source_info: Optional[Dict[str, object]] = None
+        self.stream_profile = None
+        self.pushdown_provider = None
+        self.cache_scope: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -154,6 +164,24 @@ class Table:
                 digest.update(b"\x01")
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def cache_fingerprint(self) -> str:
+        """The fingerprint under which cache entries for this table live.
+
+        Identical to :meth:`fingerprint` for plain in-memory tables —
+        every existing L1–L4 cache key is unchanged — but prefixed with
+        :attr:`cache_scope` for source-backed tables.  The scope exists
+        because two tables can hold byte-identical *columns* yet answer
+        queries differently: a pushdown-backed sqlite table aggregates
+        in the database (same buckets, different float summation order),
+        and a reservoir-sample table's features come from full-stream
+        sketches its sampled bytes do not determine.  Keying those
+        results by content hash alone would let them poison the pure
+        in-memory entries, and vice versa.
+        """
+        if self.cache_scope is None:
+            return self.fingerprint()
+        return f"{self.cache_scope}:{self.fingerprint()}"
 
     def append_rows(self, rows: Iterable[Sequence]) -> "Table":
         """A new table with ``rows`` (tuples in schema order) appended.

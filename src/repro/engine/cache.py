@@ -157,6 +157,16 @@ class MultiLevelCache:
         Optional :class:`~repro.engine.persistent.DiskCacheTier` (L4)
         consulted by :meth:`fetch` behind the in-memory levels and
         written through by :meth:`store`.
+
+    The ``fingerprint`` component of every key is
+    ``Table.cache_fingerprint()``: the pure content hash for in-memory
+    tables (all pre-existing entries unchanged), prefixed with a source
+    scope for source-backed tables — ``sqlpush:`` for sqlite
+    pushdown-backed tables (SQL aggregation has a different float
+    summation order) and ``stream-<digest>:`` for reservoir-sample
+    tables (features come from full-stream sketches, not the sampled
+    bytes).  Source+query thereby key all four levels with no change to
+    the level machinery itself.
     """
 
     def __init__(

@@ -70,7 +70,10 @@ __all__ = [
 #: header; bump on any incompatible change to the payload shape (e.g. a
 #: ``TransformResult`` or ``SelectionResult`` field change) and old
 #: entries are never addressed again — a clean, total invalidation.
-PERSISTENT_CACHE_SCHEMA_VERSION = 1
+#: v2: ``SelectionResult`` gained the ``source`` ingest-record field —
+#: v1 pickles would crash ``dataclasses.replace`` on the result-cache
+#: hit path.
+PERSISTENT_CACHE_SCHEMA_VERSION = 2
 
 #: File magic for entry headers ("DeepEye L4").
 _MAGIC = b"DEL4"

@@ -62,6 +62,8 @@ __all__ = [
     "merge_bin_udf",
     "assign_buckets",
     "use_reference_kernels",
+    "numeric_bucket_arrays",
+    "numeric_bin_index_sql",
 ]
 
 #: Default bucket count for ``BIN X`` with no explicit target (the paper's
@@ -296,6 +298,60 @@ def _moment(seconds: float) -> _dt.datetime:
 
 
 # ----------------------------------------------------------------------
+# Signature -> SQL translation (sqlite GROUP BY pushdown)
+# ----------------------------------------------------------------------
+def numeric_bucket_arrays(
+    lo: float, hi: float, n: int, occupied=None
+) -> Tuple[Tuple[str, ...], Sequence[float], Sequence[float]]:
+    """``(labels, sort_keys, values)`` for the occupied ``BIN INTO n``
+    buckets over ``[lo, hi]``.
+
+    This is the single source of bucket labels shared by the
+    :func:`bin_numeric` kernel and the sqlite GROUP BY pushdown: both
+    derive labels from the same :func:`_numeric_edges` ``np.linspace``
+    call, so a pushdown that only ever sees bucket *indices* from SQL
+    still produces byte-identical labels, sort keys, and midpoint
+    values.  ``occupied`` is the sorted array of occupied bucket
+    indices; ``None`` means all ``n`` (the degenerate ``hi <= lo`` case
+    ignores it and returns the single point bucket).
+    """
+    if hi <= lo:
+        return (_point_label(lo),), (0.0,), (lo,)
+    if occupied is None:
+        occupied = np.arange(n, dtype=np.int64)
+    else:
+        occupied = np.asarray(occupied, dtype=np.int64)
+    edges = _numeric_edges(lo, hi, n)
+    lefts = edges[occupied]
+    rights = edges[occupied + 1]
+    labels = tuple(
+        _interval_label(left, right)
+        for left, right in zip(lefts.tolist(), rights.tolist())
+    )
+    return labels, occupied.astype(np.float64), (lefts + rights) / 2.0
+
+
+def numeric_bin_index_sql(expr: str, lo: float, hi: float, n: int) -> str:
+    """A SQL expression computing :func:`bin_numeric`'s bucket index.
+
+    Mirrors the kernel arithmetic exactly for IEEE-754 doubles:
+    ``(v - lo) / width`` evaluates identically in sqlite's C doubles
+    and numpy's float64 (same two correctly rounded operations on the
+    same operands — ``repr`` round-trips the Python floats into decimal
+    literals sqlite parses back to the identical doubles), ``CAST AS
+    INTEGER`` truncates toward zero like ``astype(np.int64)``, and the
+    scalar ``MIN``/``MAX`` pair is ``np.clip(..., 0, n - 1)``.  Only
+    valid for ``hi > lo`` over finite inputs — the same precondition as
+    the kernel's non-degenerate branch.
+    """
+    width = (hi - lo) / n
+    return (
+        f"MIN(MAX(CAST((({expr}) - ({lo!r})) / ({width!r}) AS INTEGER), 0), "
+        f"{n - 1})"
+    )
+
+
+# ----------------------------------------------------------------------
 # Vectorized kernels
 # ----------------------------------------------------------------------
 def _temporal_keys_columnar(
@@ -399,8 +455,9 @@ def bin_numeric(
         _require_finite(column, "BIN INTO")
         lo, hi = float(np.min(values)), float(np.max(values))
         if hi <= lo:
+            labels, sort_keys, mids = numeric_bucket_arrays(lo, hi, n)
             result = TransformResult(
-                (_point_label(lo),), (0.0,), (lo,),
+                labels, sort_keys, mids,
                 np.zeros(len(values), dtype=np.intp),
             )
         else:
@@ -409,17 +466,10 @@ def bin_numeric(
                 ((values - lo) / width).astype(np.int64), 0, n - 1
             )
             occupied, assignment = np.unique(indices, return_inverse=True)
-            edges = _numeric_edges(lo, hi, n)
-            lefts = edges[occupied]
-            rights = edges[occupied + 1]
-            labels = tuple(
-                _interval_label(left, right)
-                for left, right in zip(lefts.tolist(), rights.tolist())
+            labels, sort_keys, mids = numeric_bucket_arrays(
+                lo, hi, n, occupied
             )
-            result = TransformResult(
-                labels, occupied.astype(np.float64),
-                (lefts + rights) / 2.0, assignment,
-            )
+            result = TransformResult(labels, sort_keys, mids, assignment)
     KERNEL_STATS.record(
         "bin_numeric", len(values), result.num_buckets,
         _time.perf_counter() - start,

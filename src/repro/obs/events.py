@@ -63,7 +63,12 @@ __all__ = [
 #: v2: ``cache`` events namespace their per-level counter dicts under a
 #: single ``levels`` field instead of spreading them at the top level,
 #: where a level name could collide with envelope fields like ``table``.
-EVENT_LOG_SCHEMA_VERSION = 2
+#: v3: ``request`` events of source-backed tables carry the ingest
+#: record — ``source_kind`` / ``source_id`` / ``source_query`` /
+#: ``source_mode`` (see ``repro.dataset.sources``).  Additive: the
+#: reader accepts older versions unchanged (absent fields read as
+#: "plain in-memory table").
+EVENT_LOG_SCHEMA_VERSION = 3
 
 #: The closed set of record kinds the writer accepts.
 EVENT_KINDS = (

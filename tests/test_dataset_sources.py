@@ -1,0 +1,318 @@
+"""Multi-backend ingestion: byte-identity across sources, NA-token
+unification, cache scoping, auto-mode demotion, and the observability
+contract (request-event source fields, result provenance, metrics)."""
+
+import json
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.core import DeepEye, select_top_k
+from repro.core.explain import provenance_report
+from repro.dataset import read_csv
+from repro.dataset.sources import (
+    NA_TOKENS,
+    CsvSource,
+    JsonlSource,
+    SqliteSource,
+    from_source,
+    normalize_cell,
+    resolve_source,
+)
+from repro.errors import DatasetError
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    classify_drift,
+    entry_from_result,
+)
+
+# One logical table, 60 rows: a categorical, a temporal, and two
+# numeric columns, with NA tokens and blanks sprinkled in.  Every cell
+# is a string so all three backends see identical raw values (native
+# ints would legitimately infer differently than their str() forms).
+ROWS = []
+for i in range(60):
+    ROWS.append(
+        (
+            ["north", "south", "east", "NA"][i % 4],
+            f"2021-{(i % 12) + 1:02d}-15",
+            "null" if i % 13 == 0 else f"{(i * 7) % 30}.5",
+            "" if i % 11 == 0 else str((i * 3) % 50),
+        )
+    )
+HEADER = ["region", "month", "sales", "units"]
+
+
+def _write_csv(path):
+    with path.open("w") as handle:
+        handle.write(",".join(HEADER) + "\n")
+        for row in ROWS:
+            handle.write(",".join(row) + "\n")
+    return path
+
+
+def _write_jsonl(path):
+    with path.open("w") as handle:
+        for row in ROWS:
+            handle.write(json.dumps(dict(zip(HEADER, row))) + "\n")
+    return path
+
+
+def _write_sqlite(path, table="demo"):
+    conn = sqlite3.connect(str(path))
+    conn.execute(
+        f"CREATE TABLE {table} "
+        "(region TEXT, month TEXT, sales TEXT, units TEXT)"
+    )
+    conn.executemany(
+        f"INSERT INTO {table} VALUES (?, ?, ?, ?)", ROWS
+    )
+    conn.commit()
+    conn.close()
+    return path
+
+
+@pytest.fixture
+def backends(tmp_path):
+    return {
+        "csv": _write_csv(tmp_path / "demo.csv"),
+        "jsonl": _write_jsonl(tmp_path / "demo.jsonl"),
+        "sqlite": _write_sqlite(tmp_path / "demo.db"),
+    }
+
+
+def _entry(table, k=6):
+    result = select_top_k(table, k=k, provenance=True)
+    return entry_from_result(table.name, table.fingerprint(), result), result
+
+
+class TestByteIdentity:
+    def test_all_backends_fingerprint_identically(self, backends):
+        tables = {
+            "csv": from_source(CsvSource(backends["csv"], name="demo")),
+            "jsonl": from_source(JsonlSource(backends["jsonl"], name="demo")),
+            "sqlite": from_source(
+                SqliteSource(backends["sqlite"], table="demo")
+            ),
+        }
+        fps = {kind: t.fingerprint() for kind, t in tables.items()}
+        assert len(set(fps.values())) == 1, fps
+
+    def test_topk_identical_across_backends_and_modes(self, backends):
+        base_table = read_csv(backends["csv"], name="demo")
+        base, _ = _entry(base_table)
+        variants = {
+            "jsonl": from_source(JsonlSource(backends["jsonl"], name="demo")),
+            "sqlite_push": from_source(
+                SqliteSource(backends["sqlite"], table="demo"), pushdown=True
+            ),
+            "sqlite_nopush": from_source(
+                SqliteSource(backends["sqlite"], table="demo"), pushdown=False
+            ),
+            # Capacity >= rows: the streaming build must be exact.
+            "stream_exact": from_source(
+                CsvSource(backends["csv"], name="demo"), materialize=False
+            ),
+        }
+        for label, table in variants.items():
+            entry, _ = _entry(table)
+            report = classify_drift(base, entry)
+            assert report["kind"] == "identical", (label, report)
+
+    def test_pushdown_actually_served(self, backends):
+        table = from_source(SqliteSource(backends["sqlite"], table="demo"))
+        select_top_k(table, k=6)
+        stats = table.pushdown_provider.stats()
+        assert stats["served"] > 0, stats
+
+
+class TestReadCsvDelegation:
+    def test_read_csv_equals_from_source(self, backends):
+        via_reader = read_csv(backends["csv"], name="demo")
+        via_source = from_source(
+            CsvSource(backends["csv"], name="demo"), materialize=True
+        )
+        assert via_reader.fingerprint() == via_source.fingerprint()
+        # read_csv is an ingestion entry point too, so it records where
+        # the table came from.
+        assert via_reader.source_info["kind"] == "csv"
+
+    def test_empty_csv_error_preserved(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(DatasetError, match="empty CSV file"):
+            read_csv(empty)
+
+    def test_ragged_row_error_preserved(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DatasetError, match="row 1 has 1 cells"):
+            read_csv(bad)
+
+
+class TestNaUnification:
+    def test_tokens_normalise_case_insensitively(self):
+        for token in ["NA", "na", " N/A ", "NaN", "NULL", "None", "", "  "]:
+            assert normalize_cell(token) is None
+        assert normalize_cell("nah") == "nah"
+        assert normalize_cell(0) == 0
+
+    def test_na_tokens_are_dropped_before_inference(self, tmp_path):
+        # A 95%-numeric column polluted with NA tokens stays NUMERICAL
+        # because the tokens become nulls before the type vote.
+        path = tmp_path / "na.csv"
+        cells = [str(i) for i in range(40)] + ["NA", "n/a"]
+        path.write_text("v\n" + "\n".join(cells) + "\n")
+        table = read_csv(path)
+        assert table.column("v").ctype.value == "Num"
+
+    def test_token_table_is_shared(self):
+        assert "n/a" in NA_TOKENS and "null" in NA_TOKENS
+
+
+class TestJsonlSchema:
+    def test_unknown_key_is_an_error(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2, "b": 3}\n')
+        with pytest.raises(DatasetError, match="not in the first record"):
+            from_source(JsonlSource(path))
+
+    def test_missing_keys_become_nulls(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a": "u", "b": "v"}\n{"a": "w"}\n')
+        table = from_source(JsonlSource(path))
+        assert table.num_rows == 2
+        assert table.column("b").values[1] == ""
+
+    def test_empty_jsonl_is_an_error(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError, match="empty JSONL"):
+            from_source(JsonlSource(path))
+
+
+class TestCacheScoping:
+    def test_plain_csv_table_has_no_scope(self, backends):
+        table = from_source(CsvSource(backends["csv"], name="demo"))
+        assert table.cache_scope is None
+        assert table.cache_fingerprint() == table.fingerprint()
+
+    def test_pushdown_table_scopes_sqlpush(self, backends):
+        table = from_source(SqliteSource(backends["sqlite"], table="demo"))
+        assert table.cache_scope == "sqlpush"
+        assert table.cache_fingerprint() == (
+            "sqlpush:" + table.fingerprint()
+        )
+
+    def test_streaming_table_scopes_by_profile_digest(self, backends):
+        table = from_source(
+            CsvSource(backends["csv"], name="demo"), materialize=False
+        )
+        expected = "stream-" + table.stream_profile.digest()[:16]
+        assert table.cache_scope == expected
+        assert table.cache_fingerprint().startswith(expected + ":")
+
+
+class TestAutoMode:
+    def test_small_source_materialises(self, backends):
+        table = from_source(CsvSource(backends["csv"], name="demo"))
+        assert table.source_info["mode"] == "materialized"
+        assert table.stream_profile is None
+
+    def test_mid_pass_demotion_to_streaming(self, backends):
+        table = from_source(
+            CsvSource(backends["csv"], name="demo"),
+            chunk_rows=8,
+            max_materialize_rows=20,
+        )
+        assert table.source_info["mode"] == "streaming"
+        assert table.stream_profile is not None
+        assert table.stream_profile.rows == len(ROWS)
+
+    def test_sqlite_auto_uses_count_probe(self, backends):
+        table = from_source(
+            SqliteSource(backends["sqlite"], table="demo"),
+            max_materialize_rows=10,
+        )
+        assert table.source_info["mode"] == "streaming"
+
+
+class TestObservability:
+    def test_request_events_carry_source_fields(self, backends):
+        table = from_source(SqliteSource(backends["sqlite"], table="demo"))
+        events = EventLog()
+        select_top_k(table, k=3, events=events)
+        request = next(e for e in events if e["kind"] == "request")
+        assert request["source_kind"] == "sqlite"
+        assert request["source_mode"] == "materialized"
+        assert request["source_id"] == table.source_info["id"]
+
+    def test_result_and_provenance_carry_source(self, backends):
+        table = from_source(SqliteSource(backends["sqlite"], table="demo"))
+        result = select_top_k(table, k=3, provenance=True)
+        assert result.source["kind"] == "sqlite"
+        report = provenance_report(result)
+        assert report.startswith("source: sqlite")
+        assert "pushdown" in report.splitlines()[0]
+
+    def test_plain_table_has_no_source(self, backends):
+        from repro.dataset.table import Table
+
+        table = Table.from_rows("t", HEADER, [tuple(r) for r in ROWS])
+        result = select_top_k(table, k=3)
+        assert result.source is None
+
+    def test_ingest_and_pushdown_metrics(self, backends):
+        registry = MetricsRegistry()
+        table = from_source(
+            SqliteSource(backends["sqlite"], table="demo"), metrics=registry
+        )
+        select_top_k(table, k=3, metrics=registry)
+        text = registry.to_prometheus_text()
+        assert "ingest_rows_total" in text
+        assert "pushdown_served_total" in text
+
+
+class TestResolveSource:
+    def test_extension_inference(self, tmp_path):
+        assert resolve_source(tmp_path / "a.csv").kind == "csv"
+        assert resolve_source(tmp_path / "a.jsonl").kind == "jsonl"
+        assert resolve_source(tmp_path / "a.db", table="t").kind == "sqlite"
+
+    def test_tsv_implies_tab_delimiter(self, tmp_path):
+        source = resolve_source(tmp_path / "a.tsv")
+        assert source.delimiter == "\t"
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="unknown source kind"):
+            resolve_source(tmp_path / "a.csv", kind="parquet")
+
+    def test_sqlite_needs_exactly_one_relation(self, tmp_path):
+        with pytest.raises(DatasetError, match="exactly one"):
+            SqliteSource(tmp_path / "a.db")
+        with pytest.raises(DatasetError, match="exactly one"):
+            SqliteSource(tmp_path / "a.db", table="t", query="SELECT 1")
+
+
+class TestEngineEntryPoint:
+    def test_deepeye_from_source(self, backends):
+        engine = DeepEye(ranking="partial_order")
+        table = engine.from_source(backends["sqlite"], table="demo")
+        assert table.source_info["kind"] == "sqlite"
+        result = engine.top_k(table, k=3)
+        assert len(result.nodes) == 3
+
+    def test_provider_survives_pickling(self, backends):
+        from repro.language.ast import AggregateOp, GroupBy
+
+        table = from_source(SqliteSource(backends["sqlite"], table="demo"))
+        provider = table.pushdown_provider
+        assert provider.serve(GroupBy("region"), AggregateOp.CNT, None)
+        clone = pickle.loads(pickle.dumps(provider))
+        assert clone._conn is None
+        # The clone reconnects lazily and serves identically.
+        assert clone.serve(GroupBy("region"), AggregateOp.CNT, None) == (
+            provider.serve(GroupBy("region"), AggregateOp.CNT, None)
+        )

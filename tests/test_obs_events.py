@@ -232,5 +232,6 @@ class TestLevelsNamespacing:
         assert summary["cache"]["results_hits"] == 5
         assert summary["cache"]["results_misses"] == 2
 
-    def test_schema_version_is_two(self):
-        assert EVENT_LOG_SCHEMA_VERSION == 2
+    def test_schema_version_is_three(self):
+        # v3: request events gained optional source_* fields
+        assert EVENT_LOG_SCHEMA_VERSION == 3
