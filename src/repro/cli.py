@@ -22,11 +22,19 @@ one of them to CSV for experimentation.
 
 ``obs``        observability tooling: ``obs report`` aggregates a JSONL
 decision-event log, ``obs snapshot`` writes a golden top-k snapshot
-over the bundled example tables, and ``obs diff`` replays the current
-code against a stored snapshot and classifies per-table quality drift::
+over the bundled example tables, ``obs diff`` replays the current
+code against a stored snapshot and classifies per-table quality drift,
+and ``obs timeline`` joins an event log (plus optional trace / metrics
+exports) into one ordered per-request narrative::
 
     python -m repro obs snapshot --out golden.json
     python -m repro obs diff golden.json
+    python -m repro obs timeline events.jsonl --request <id>
+
+Every pipeline command also accepts ``--profile PATH``: a sampling
+wall-clock profiler runs for the duration of the command and writes
+flamegraph-collapsed stacks to PATH plus a speedscope JSON profile to
+PATH ``.speedscope.json``.
 """
 
 from __future__ import annotations
@@ -44,17 +52,24 @@ from .errors import ReproError
 from .obs import (
     EventLog,
     MetricsRegistry,
+    RuntimeSampler,
+    SamplingProfiler,
     Tracer,
     aggregate_events,
     build_snapshot,
+    build_timeline,
     diff_snapshots,
     entry_from_result,
     format_drift_report,
     format_event_report,
+    format_timeline,
     load_snapshot,
     maybe_span,
+    parse_exemplars,
     read_event_log,
+    request_scope,
     save_snapshot,
+    timeline_request_ids,
 )
 from .language import parse_query
 from .render import render_ascii, to_vega_lite_json
@@ -71,6 +86,11 @@ def _serving_parent() -> argparse.ArgumentParser:
     ``explain``, and ``profile``.
     """
     parent = argparse.ArgumentParser(add_help=False)
+    # Marks commands carrying this parent: only they get live obs
+    # plumbing in main().  Subcommand flags that happen to share a
+    # dest (`obs timeline --trace/--metrics` name *input* files) must
+    # not trigger trace/metrics *output* writers over their inputs.
+    parent.set_defaults(obs_flags=True)
     serving = parent.add_argument_group("serving")
     serving.add_argument(
         "--jobs",
@@ -146,6 +166,20 @@ def _serving_parent() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append structured decision events (JSONL) of this run to "
         "PATH; inspect with `repro obs report PATH`",
+    )
+    obs.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="sample the run with the wall-clock profiler and write "
+        "flamegraph-collapsed stacks to PATH plus speedscope JSON to "
+        "PATH.speedscope.json",
+    )
+    obs.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="sampling period for --profile (default: 0.005)",
     )
     return parent
 
@@ -284,6 +318,40 @@ def build_parser() -> argparse.ArgumentParser:
         "cache tier rooted at DIR",
     )
 
+    timeline = obs_commands.add_parser(
+        "timeline",
+        help="join an event log (plus optional trace/metrics exports) "
+        "into one ordered per-request narrative",
+    )
+    timeline.add_argument(
+        "log", help="event-log path (rotated .1/.2/... backups included)"
+    )
+    timeline.add_argument(
+        "--request",
+        metavar="ID",
+        help="the request id to reconstruct (default: the log's only "
+        "request; error when ambiguous)",
+    )
+    timeline.add_argument(
+        "--list",
+        action="store_true",
+        help="list the request ids present in the log and exit",
+    )
+    timeline.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also merge spans from a --trace Chrome-trace JSON export",
+    )
+    timeline.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="also merge metric exemplars from a --metrics "
+        "Prometheus-text export",
+    )
+    timeline.add_argument(
+        "--json", action="store_true", help="emit the records as JSON"
+    )
+
     diff = obs_commands.add_parser(
         "diff",
         help="replay the current code against a golden snapshot and "
@@ -346,8 +414,19 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _obs_from_args(args):
     """(tracer, registry, events) per the --trace/--metrics/--events
-    flags (None = off)."""
-    tracer = Tracer() if getattr(args, "trace", None) else None
+    flags (None = off).
+
+    ``--profile`` also gets a tracer even without ``--trace``: the
+    profiler attributes samples to open spans, so phase context in the
+    flamegraph costs nothing extra.  The trace file is still only
+    written when ``--trace`` asked for one.
+    """
+    if not getattr(args, "obs_flags", False):
+        return None, None, None
+    wants_tracer = getattr(args, "trace", None) or getattr(
+        args, "profile", None
+    )
+    tracer = Tracer() if wants_tracer else None
     registry = MetricsRegistry() if getattr(args, "metrics", None) else None
     events = (
         EventLog(path=args.events) if getattr(args, "events", None) else None
@@ -357,7 +436,7 @@ def _obs_from_args(args):
 
 def _emit_obs(args, tracer: Optional[Tracer], registry, events, out) -> None:
     """Write the trace / metrics / events outputs the flags asked for."""
-    if tracer is not None:
+    if tracer is not None and getattr(args, "trace", None):
         if args.trace == "-":
             json.dump(tracer.to_chrome_trace(), out, indent=2)
             out.write("\n")
@@ -365,6 +444,9 @@ def _emit_obs(args, tracer: Optional[Tracer], registry, events, out) -> None:
             tracer.write_chrome_trace(args.trace)
             print(f"# wrote trace to {args.trace}", file=out)
     if registry is not None:
+        # One vitals sample per run, so even fast one-shot commands
+        # report RSS / GC / thread gauges next to their request metrics.
+        RuntimeSampler(registry).sample_once()
         text = registry.to_prometheus_text()
         if args.metrics == "-":
             out.write(text)
@@ -593,7 +675,57 @@ def _snapshot_entries(
     return entries
 
 
+def _cmd_obs_timeline(args, out) -> int:
+    """Join event / span / exemplar streams into one request narrative."""
+    events = list(read_event_log(args.log))
+    request_ids = timeline_request_ids(events)
+    if args.list:
+        if not request_ids:
+            print("# no request ids in log", file=out)
+            return 1
+        for request_id in request_ids:
+            print(request_id, file=out)
+        return 0
+    request_id = args.request
+    if request_id is None:
+        if len(request_ids) == 1:
+            request_id = request_ids[0]
+        else:
+            print(
+                f"error: log holds {len(request_ids)} request ids; pick "
+                "one with --request (see --list)",
+                file=sys.stderr,
+            )
+            return 2
+    trace = None
+    if args.trace:
+        with open(args.trace) as handle:
+            trace = json.load(handle)
+    exemplars = None
+    if args.metrics:
+        with open(args.metrics) as handle:
+            exemplars = parse_exemplars(handle.read())
+    records = build_timeline(
+        events, trace=trace, exemplars=exemplars, request_id=request_id
+    )
+    if not records:
+        print(
+            f"error: no records for request {request_id!r}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        json.dump(records, out, indent=2)
+        out.write("\n")
+    else:
+        out.write(format_timeline(records))
+    return 0
+
+
 def _cmd_obs(args, out) -> int:
+    if args.obs_command == "timeline":
+        return _cmd_obs_timeline(args, out)
+
     if args.obs_command == "report":
         summary = aggregate_events(read_event_log(args.log))
         if args.json:
@@ -718,6 +850,21 @@ _COMMANDS = {
 }
 
 
+def _emit_profile(args, profiler: SamplingProfiler, out) -> None:
+    """Write the --profile outputs: collapsed stacks + speedscope JSON."""
+    profiler.write_collapsed(args.profile)
+    speedscope = args.profile + ".speedscope.json"
+    profiler.write_speedscope(speedscope, name=f"repro {args.command}")
+    info = profiler.summary()
+    print(
+        f"# wrote profile to {args.profile} (+ .speedscope.json): "
+        f"{info['samples']} samples / {info['distinct_stacks']} stacks "
+        f"@ {info['interval'] * 1000:g}ms over "
+        f"{info['wall_seconds']:.2f}s",
+        file=out,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -729,11 +876,28 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args.obs_tracer = tracer
     args.obs_registry = registry
     args.obs_events = events
+    profiler = (
+        SamplingProfiler(interval=args.profile_interval, tracer=tracer)
+        if getattr(args, "profile", None)
+        else None
+    )
     try:
-        with maybe_span(tracer, args.command, argv=" ".join(argv or sys.argv[1:])):
-            code = _COMMANDS[args.command](args, out)
+        # One CLI invocation is one request: ingestion, selection, and
+        # every metric exemplar below correlate under a single id.
+        with request_scope(command=args.command), maybe_span(
+            tracer, args.command, argv=" ".join(argv or sys.argv[1:])
+        ):
+            if profiler is not None:
+                profiler.start()
+            try:
+                code = _COMMANDS[args.command](args, out)
+            finally:
+                if profiler is not None:
+                    profiler.stop()
     except (ReproError, FileNotFoundError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     _emit_obs(args, tracer, registry, events, out)
+    if profiler is not None:
+        _emit_profile(args, profiler, out)
     return code

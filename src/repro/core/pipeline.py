@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Union
@@ -109,7 +110,8 @@ class DeepEye:
         :attr:`slow_tables` log (threshold ``slow_threshold`` seconds).
     events:
         Decision-event logging: pass an :class:`~repro.obs.EventLog`
-        and every :meth:`top_k` / :meth:`top_k_batch` call appends its
+        (or ``True`` for a fresh in-memory one) and every
+        :meth:`top_k` / :meth:`top_k_batch` call appends its
         request / phase / prune / score / rank / cache events to it;
         ``None`` (default) disables.  Implies provenance capture.
     provenance:
@@ -117,6 +119,14 @@ class DeepEye:
         record per emitted chart to each result's ``provenance`` dict
         (implied whenever ``events`` is given).  The top-k is
         byte-identical with it on or off.
+    slo:
+        Health monitoring: ``True`` builds an
+        :class:`~repro.obs.health.SLOMonitor` with the default
+        latency/error/cache-hit objectives, or pass a configured
+        monitor; ``False``/``None`` (default) disables.  Every
+        :meth:`top_k` and :meth:`top_k_batch` table then records one
+        outcome per objective — read :meth:`SLOMonitor.snapshot` for
+        the burn rates and alert states.
     max_slow_tables:
         Bound on the :attr:`slow_tables` log (newest first; oldest
         entries drop beyond the cap).
@@ -136,8 +146,9 @@ class DeepEye:
         trace: Union[bool, Tracer, None] = False,
         metrics: Union[bool, MetricsRegistry, None] = False,
         slow_threshold: float = 1.0,
-        events: Optional[EventLog] = None,
+        events: Union[bool, EventLog, None] = None,
         provenance: bool = False,
+        slo=None,
         max_slow_tables: int = 256,
     ) -> None:
         if ranking not in ("partial_order", "learning_to_rank", "hybrid"):
@@ -176,8 +187,23 @@ class DeepEye:
             self.metrics = metrics
         else:
             self.metrics = None
-        self.events = events
+        # Explicit identity checks: an empty EventLog is falsy (it has
+        # __len__), so a plain truthiness test would drop one.
+        if events is True:
+            self.events: Optional[EventLog] = EventLog()
+        elif events is False:
+            self.events = None
+        else:
+            self.events = events
         self.provenance = bool(provenance)
+        if slo is True:
+            from ..obs.health import SLOMonitor
+
+            self.slo = SLOMonitor.with_default_objectives()
+        elif slo:
+            self.slo = slo
+        else:
+            self.slo = None
         self.slow_threshold = slow_threshold
         self.max_slow_tables = int(max_slow_tables)
         # Imported here, not at module level: repro.engine.parallel
@@ -274,6 +300,7 @@ class DeepEye:
         state["tracer"] = None
         state["metrics"] = None
         state["events"] = None
+        state["slo"] = None
         state["slow_tables"] = SlowTableLog(self.max_slow_tables)
         return state
 
@@ -380,6 +407,8 @@ class DeepEye:
         k: int = 10,
         events: Optional[EventLog] = None,
         provenance: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        record_slo: bool = True,
     ) -> SelectionResult:
         """Select the top-k visualizations for a table.
 
@@ -389,9 +418,13 @@ class DeepEye:
         drift between them; they differ only in the ranker handed to
         the rank phase.
 
-        ``events`` / ``provenance`` override the engine-level settings
-        for this call (the batch driver uses the ``events`` override to
-        capture per-table worker logs it merges in input order).
+        ``events`` / ``provenance`` / ``tracer`` override the
+        engine-level settings for this call (the batch driver uses the
+        ``events`` and ``tracer`` overrides to capture per-table worker
+        logs and span trees it merges in input order).  ``record_slo``
+        lets the batch driver disable per-call SLO recording — it
+        records one outcome per table itself, with queue effects and
+        worker identity in hand.
         """
         if self.ranking == "partial_order":
             ranker: Union[str, object] = "partial_order"
@@ -406,21 +439,36 @@ class DeepEye:
         else:  # hybrid: the paper's best configuration
             ranker = self.hybrid
             recognizer = self.recognizer
-        return select_top_k(
-            table,
-            k=k,
-            enumeration=self.enumeration,
-            ranker=ranker,
-            recognizer=recognizer,
-            ltr=self.ltr,
-            config=self.config,
-            graph_strategy=self.graph_strategy,
-            cache=self.cache,
-            tracer=self.tracer,
-            metrics=self.metrics,
-            events=self.events if events is None else events,
-            provenance=self.provenance if provenance is None else provenance,
-        )
+        start = time.perf_counter()
+        try:
+            result = select_top_k(
+                table,
+                k=k,
+                enumeration=self.enumeration,
+                ranker=ranker,
+                recognizer=recognizer,
+                ltr=self.ltr,
+                config=self.config,
+                graph_strategy=self.graph_strategy,
+                cache=self.cache,
+                tracer=self.tracer if tracer is None else tracer,
+                metrics=self.metrics,
+                events=self.events if events is None else events,
+                provenance=self.provenance if provenance is None else provenance,
+            )
+        except Exception:
+            if record_slo and self.slo is not None:
+                self.slo.record_outcome("selection_errors", False)
+            raise
+        if record_slo and self.slo is not None:
+            self.slo.record_latency(
+                "selection_latency", time.perf_counter() - start
+            )
+            self.slo.record_outcome("selection_errors", True)
+            self.slo.record_outcome(
+                "cache_hit_rate", result.result_cache_hit
+            )
+        return result
 
     def top_k_batch(
         self,
@@ -466,4 +514,6 @@ class DeepEye:
             slow_threshold=self.slow_threshold,
             events=self.events,
             dedup=dedup,
+            tracer=self.tracer,
+            slo=self.slo,
         )

@@ -20,6 +20,7 @@ and whole results across calls (see :mod:`repro.engine.cache`).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -28,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..dataset.table import Table
 from ..errors import NotFittedError, SelectionError
 from ..obs import MetricsRegistry, Tracer, maybe_span
+from ..obs.context import current_request_id, request_scope
 from ..obs.drift import node_id
 from ..obs.events import EventLog
 from ..obs.kernels import KERNEL_STATS
@@ -141,6 +143,11 @@ class SelectionResult:
     cache_stats: Dict[str, int] = field(default_factory=dict)
     provenance: Dict[str, ChartProvenance] = field(default_factory=dict)
     source: Optional[Dict[str, object]] = None
+    #: True when this call was answered from the result-level cache
+    #: (timings then describe the original computing run) — the
+    #: cache-hit signal the SLO monitor's ``cache_hit_rate`` objective
+    #: consumes.
+    result_cache_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -386,6 +393,7 @@ def _build_provenance(
             siblings_pruned=dict(pruning.pruned),
             considered=pruning.considered,
             emitted=pruning.emitted,
+            request_id=current_request_id(),
         )
     return records
 
@@ -520,6 +528,24 @@ def _record_selection_metrics(
         cache.record_metrics(metrics)
 
 
+def _request_scoped(fn):
+    """Run ``fn`` inside a :func:`~repro.obs.context.request_scope`.
+
+    An enclosing scope (a batch worker's table-level id, a CLI
+    invocation's id) is reused; otherwise a fresh id is minted — so
+    every selection's spans, events, provenance records, and metric
+    exemplars share one ``request_id`` without the call sites having to
+    thread it."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with request_scope():
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@_request_scoped
 def select_top_k(
     table: Table,
     k: int = 10,
@@ -638,6 +664,7 @@ def select_top_k(
                 timings=dict(hit.timings),
                 cache_stats=_flat_cache_stats(cache),
                 provenance=dict(hit.provenance),
+                result_cache_hit=True,
             )
 
     timings: Dict[str, float] = {}

@@ -40,6 +40,7 @@ import csv
 import hashlib
 import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import (
     Dict,
@@ -55,6 +56,7 @@ from typing import (
 import numpy as np
 
 from ..errors import DatasetError
+from ..obs.context import request_scope
 from ..obs.trace import maybe_span
 from .column import Column, ColumnType
 from .inference import _parse_number
@@ -854,7 +856,12 @@ def _source_info(
 
 
 def _record_ingest_metrics(
-    metrics, source: TableSource, mode: str, rows: int, chunks: int
+    metrics,
+    source: TableSource,
+    mode: str,
+    rows: int,
+    chunks: int,
+    seconds: float,
 ) -> None:
     if metrics is None:
         return
@@ -867,6 +874,9 @@ def _record_ingest_metrics(
     metrics.counter(
         "ingest_tables_total", labels={"source": source.kind, "mode": mode}
     ).inc()
+    metrics.histogram(
+        "ingest_seconds", labels={"source": source.kind}
+    ).observe(seconds)
 
 
 def _materialized_table(
@@ -946,13 +956,14 @@ def from_source(
                 else "streaming"
             )
 
-    with maybe_span(
+    with request_scope(source=source.kind), maybe_span(
         tracer,
         "ingest",
         source=source.kind,
         source_id=source.source_id(),
         requested_mode=str(materialize),
     ) as span:
+        ingest_start = time.perf_counter()
         sketch: Optional[TableSketch] = None
         pending: List[tuple] = []
         header: List[str] = []
@@ -996,6 +1007,7 @@ def from_source(
             span.set("chunks", chunks_seen)
             span.set("columns", len(header))
         _record_ingest_metrics(
-            metrics, source, final_mode, rows_seen, chunks_seen
+            metrics, source, final_mode, rows_seen, chunks_seen,
+            time.perf_counter() - ingest_start,
         )
     return table

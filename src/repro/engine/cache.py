@@ -233,6 +233,16 @@ class MultiLevelCache:
             return {}
         return self.disk.prewarm(self, per_level=per_level)
 
+    def level_sizes(self) -> Dict[str, int]:
+        """Current entry count per in-memory level.
+
+        The cheap live-depth probe the runtime sampler polls
+        (:meth:`repro.obs.health.RuntimeSampler.register_queue`): three
+        ``len()`` calls, no counter aggregation, safe to call from a
+        background thread at any rate.
+        """
+        return {name: len(getattr(self, name)) for name in self.LEVELS}
+
     def stats_by_level(self) -> Dict[str, Dict[str, int]]:
         """Per-level counters plus an ``aggregate`` rollup.
 

@@ -74,6 +74,7 @@ from ..errors import SelectionError, ValidationError
 from ..language.ast import AggregateOp
 from ..language.binning import TransformResult, merge_delta
 from ..obs import maybe_span
+from ..obs.context import request_scope
 from ..obs.drift import classify_drift, entry_from_result, node_id
 from ..obs.kernels import KERNEL_STATS
 
@@ -296,28 +297,33 @@ class IncrementalSession:
         self.table = table
         self.epoch = 0
         fingerprint = table.fingerprint()
-        if self._events is not None:
-            self._events.begin_request(
-                table=table.name, fingerprint=fingerprint, k=k,
-                enumeration=enumeration, ranker="partial_order",
-                incremental=True, epoch=0, appended_rows=0,
+        # Each epoch (init, then every append) is one logical request:
+        # a fresh scope correlates the epoch's spans and events without
+        # mixing epochs under a single id.
+        with request_scope(fresh=True, epoch=0):
+            if self._events is not None:
+                self._events.begin_request(
+                    table=table.name, fingerprint=fingerprint, k=k,
+                    enumeration=enumeration, ranker="partial_order",
+                    incremental=True, epoch=0, appended_rows=0,
+                )
+            timings: Dict[str, float] = {}
+            ctx = EnumerationContext(table, config, cache=cache)
+            with maybe_span(
+                self._tracer, "incremental_init",
+                table=table.name, rows=table.num_rows, k=k,
+            ):
+                run = self._pipeline(ctx, timings)
+            self._harvest(ctx)
+            self._column_state = {
+                column.name: _ColumnState.of(column)
+                for column in table.columns
+            }
+            self._result = run.result
+            self._entry = entry_from_result(
+                table.name, fingerprint, run.result, scores=run.top_scores
             )
-        timings: Dict[str, float] = {}
-        ctx = EnumerationContext(table, config, cache=cache)
-        with maybe_span(
-            self._tracer, "incremental_init",
-            table=table.name, rows=table.num_rows, k=k,
-        ):
-            run = self._pipeline(ctx, timings)
-        self._harvest(ctx)
-        self._column_state = {
-            column.name: _ColumnState.of(column) for column in table.columns
-        }
-        self._result = run.result
-        self._entry = entry_from_result(
-            table.name, fingerprint, run.result, scores=run.top_scores
-        )
-        self._emit_pipeline_events(run, timings, drift=None, merge_log=())
+            self._emit_pipeline_events(run, timings, drift=None, merge_log=())
         if auto_verify:
             self.verify()
 
@@ -377,82 +383,96 @@ class IncrementalSession:
         old_n = self.table.num_rows
         new_table = self.table.append_rows(materialized)
         new_fp = new_table.fingerprint()
-        if self._events is not None:
-            self._events.begin_request(
-                table=new_table.name, fingerprint=new_fp, k=self.k,
-                enumeration=self.enumeration, ranker="partial_order",
-                incremental=True, epoch=self.epoch + 1,
-                appended_rows=len(materialized),
-            )
-        timings: Dict[str, float] = {}
-        merge_log: List[Dict[str, Any]] = []
-        try:
-            with maybe_span(
-                self._tracer, "incremental_append",
-                table=new_table.name, epoch=self.epoch + 1,
-                appended_rows=len(materialized), total_rows=new_table.num_rows,
-            ) as root:
-                ctx = EnumerationContext(new_table, self.config, cache=self.cache)
-                start = time.perf_counter()
-                with maybe_span(self._tracer, "merge", table=new_table.name):
-                    delta_columns = {
-                        column.name: Column(
-                            column.name, column.ctype, column.values[old_n:]
-                        )
-                        for column in new_table.columns
-                    }
-                    self._merge_transforms(
-                        ctx, new_table, new_fp, delta_columns, old_n, merge_log
-                    )
-                    for name, state in self._column_state.items():
-                        state.extend(delta_columns[name].values)
-                        ctx._column_features[name] = state.features()
-                    for key in self._agg_keys:
-                        transform, y_name, op = key
-                        state = self._transform_state.get(transform)
-                        if state is not None:
-                            ctx._aggregates[key] = state.aggregated(op, y_name)
-                timings["merge"] = time.perf_counter() - start
-
-                run = self._pipeline(ctx, timings)
-                if root is not None:
-                    root.set("candidates", run.result.candidates)
-                    root.set("valid", run.result.valid)
-        except Exception as exc:
+        with request_scope(fresh=True, epoch=self.epoch + 1):
             if self._events is not None:
-                self._events.emit(
-                    "error", table=new_table.name,
-                    error=f"{type(exc).__name__}: {exc}",
+                self._events.begin_request(
+                    table=new_table.name, fingerprint=new_fp, k=self.k,
+                    enumeration=self.enumeration, ranker="partial_order",
+                    incremental=True, epoch=self.epoch + 1,
+                    appended_rows=len(materialized),
                 )
-            raise
-        self._harvest(ctx)
+            timings: Dict[str, float] = {}
+            merge_log: List[Dict[str, Any]] = []
+            try:
+                with maybe_span(
+                    self._tracer, "incremental_append",
+                    table=new_table.name, epoch=self.epoch + 1,
+                    appended_rows=len(materialized),
+                    total_rows=new_table.num_rows,
+                ) as root:
+                    ctx = EnumerationContext(
+                        new_table, self.config, cache=self.cache
+                    )
+                    start = time.perf_counter()
+                    with maybe_span(
+                        self._tracer, "merge", table=new_table.name
+                    ):
+                        delta_columns = {
+                            column.name: Column(
+                                column.name, column.ctype,
+                                column.values[old_n:]
+                            )
+                            for column in new_table.columns
+                        }
+                        self._merge_transforms(
+                            ctx, new_table, new_fp, delta_columns, old_n,
+                            merge_log
+                        )
+                        for name, state in self._column_state.items():
+                            state.extend(delta_columns[name].values)
+                            ctx._column_features[name] = state.features()
+                        for key in self._agg_keys:
+                            transform, y_name, op = key
+                            state = self._transform_state.get(transform)
+                            if state is not None:
+                                ctx._aggregates[key] = state.aggregated(
+                                    op, y_name
+                                )
+                    timings["merge"] = time.perf_counter() - start
 
-        new_entry = entry_from_result(
-            new_table.name, new_fp, run.result, scores=run.top_scores
-        )
-        drift = classify_drift(self._entry, new_entry, compare_fingerprints=False)
-        self.table = new_table
-        self.epoch += 1
-        self._result = run.result
-        self._entry = new_entry
+                    run = self._pipeline(ctx, timings)
+                    if root is not None:
+                        root.set("candidates", run.result.candidates)
+                        root.set("valid", run.result.valid)
+            except Exception as exc:
+                if self._events is not None:
+                    self._events.emit(
+                        "error", table=new_table.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                raise
+            self._harvest(ctx)
 
-        actions = [entry["action"] for entry in merge_log]
-        report = AppendReport(
-            epoch=self.epoch,
-            appended_rows=len(materialized),
-            total_rows=new_table.num_rows,
-            fingerprint=new_fp,
-            result=run.result,
-            drift=drift,
-            transforms_merged=actions.count("merged"),
-            transforms_rebuilt=actions.count("rebuilt"),
-            transforms_invalidated=actions.count("invalidated"),
-            raw_m_reused=run.raw_m_reused,
-            raw_m_computed=run.raw_m_computed,
-            timings=dict(timings),
-        )
-        self._emit_pipeline_events(run, timings, drift=drift, merge_log=merge_log)
-        self._record_metrics(report)
+            new_entry = entry_from_result(
+                new_table.name, new_fp, run.result, scores=run.top_scores
+            )
+            drift = classify_drift(
+                self._entry, new_entry, compare_fingerprints=False
+            )
+            self.table = new_table
+            self.epoch += 1
+            self._result = run.result
+            self._entry = new_entry
+
+            actions = [entry["action"] for entry in merge_log]
+            report = AppendReport(
+                epoch=self.epoch,
+                appended_rows=len(materialized),
+                total_rows=new_table.num_rows,
+                fingerprint=new_fp,
+                result=run.result,
+                drift=drift,
+                transforms_merged=actions.count("merged"),
+                transforms_rebuilt=actions.count("rebuilt"),
+                transforms_invalidated=actions.count("invalidated"),
+                raw_m_reused=run.raw_m_reused,
+                raw_m_computed=run.raw_m_computed,
+                timings=dict(timings),
+            )
+            self._emit_pipeline_events(
+                run, timings, drift=drift, merge_log=merge_log
+            )
+            self._record_metrics(report)
         if report.churned:
             for callback in list(self._subscribers):
                 callback(report)

@@ -28,6 +28,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import (
     Deque,
     Iterable,
@@ -51,7 +52,9 @@ from ..core.rules import PruningCounters
 from ..dataset.table import Table
 from ..errors import SelectionError
 from ..obs import MetricsRegistry
+from ..obs.context import new_request_id, request_scope
 from ..obs.events import EventLog
+from ..obs.trace import Tracer, maybe_span
 
 __all__ = [
     "resolve_n_jobs",
@@ -79,22 +82,42 @@ class SlowTableLog:
             raise ValueError(f"maxlen must be positive, got {maxlen}")
         self.maxlen = int(maxlen)
         self._entries: Deque[dict] = deque(maxlen=self.maxlen)
+        # Thread-backend batch callbacks append concurrently; a bare
+        # deque's appendleft is atomic in CPython, but iteration during
+        # a concurrent append is not — one lock makes every access safe.
+        self._lock = threading.Lock()
 
     def append(self, entry: dict) -> None:
         """Record one slow-table entry as the new head of the log."""
-        self._entries.appendleft(entry)
+        with self._lock:
+            self._entries.appendleft(entry)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[dict]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
     def __getitem__(self, index):
-        return list(self._entries)[index]
+        with self._lock:
+            return list(self._entries)[index]
+
+    # Engines holding a log get shipped to process workers: drop the
+    # unpicklable lock and re-create it (fresh, unheld) on load.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -339,7 +362,9 @@ def parallel_enumerate(
 # ----------------------------------------------------------------------
 # Cross-table batch serving
 # ----------------------------------------------------------------------
-def _init_batch_worker(engine, k: int, capture_events: bool) -> None:
+def _init_batch_worker(
+    engine, k: int, capture_events: bool, capture_spans: bool = False
+) -> None:
     import dataclasses
 
     # Workers run one table each; nested pools would only thrash a
@@ -348,34 +373,69 @@ def _init_batch_worker(engine, k: int, capture_events: bool) -> None:
     _WORKER_STATE["engine"] = engine
     _WORKER_STATE["k"] = k
     _WORKER_STATE["capture_events"] = capture_events
+    _WORKER_STATE["capture_spans"] = capture_spans
 
 
-def _timed_top_k(engine, table: Table, k: int, capture_events: bool = False):
+def _timed_top_k(
+    engine,
+    table: Table,
+    k: int,
+    capture_events: bool = False,
+    request_id: Optional[str] = None,
+    capture_spans: bool = False,
+):
     """One table through the engine, with worker-side latency capture —
     queue wait is excluded, so the histogram measures true task time.
 
     With ``capture_events`` the table's full per-request event stream is
     recorded into a private in-memory :class:`~repro.obs.EventLog`
     (workers cannot share the parent's file handle) and shipped back as
-    plain dicts for the parent to merge in input order.
+    plain dicts for the parent to merge in input order.  ``request_id``
+    (minted by the batch driver) is re-entered as the task's request
+    scope, so every worker-side record carries the id the parent will
+    look the table up by.  ``capture_spans`` (process workers under a
+    traced parent) records the task's span tree into a private
+    :class:`~repro.obs.Tracer` and ships ``(spans, epoch_unix)`` back
+    for :meth:`~repro.obs.Tracer.adopt`.
     """
     start = time.perf_counter()
-    if capture_events:
-        worker_log = EventLog()
-        result = engine.top_k(table, k=k, events=worker_log)
-        worker_events: Optional[List[dict]] = list(worker_log.events)
-    else:
-        result = engine.top_k(table, k=k)
-        worker_events = None
-    return result, time.perf_counter() - start, _worker_label(), worker_events
+    with request_scope(request_id):
+        kwargs: dict = {}
+        worker_log = None
+        worker_tracer = None
+        if capture_events:
+            worker_log = EventLog()
+            kwargs["events"] = worker_log
+        if capture_spans:
+            worker_tracer = Tracer()
+            kwargs["tracer"] = worker_tracer
+        if hasattr(engine, "top_k"):
+            result = engine.top_k(table, k=k, record_slo=False, **kwargs)
+        else:  # bare callable engines (tests)
+            result = engine(table, k=k, **kwargs)
+    worker_events = list(worker_log.events) if worker_log is not None else None
+    worker_spans = (
+        (list(worker_tracer.spans), worker_tracer.epoch_unix)
+        if worker_tracer is not None
+        else None
+    )
+    return (
+        result,
+        time.perf_counter() - start,
+        _worker_label(),
+        worker_events,
+        worker_spans,
+    )
 
 
-def _batch_worker(table: Table):
+def _batch_worker(table: Table, request_id: Optional[str] = None):
     return _timed_top_k(
         _WORKER_STATE["engine"],
         table,
         _WORKER_STATE["k"],
         _WORKER_STATE["capture_events"],
+        request_id,
+        _WORKER_STATE.get("capture_spans", False),
     )
 
 
@@ -388,20 +448,46 @@ def _record_batch_task(
     slow_threshold: float,
     events: Optional[EventLog] = None,
     worker_events: Optional[List[dict]] = None,
+    request_id: Optional[str] = None,
+    result=None,
+    slo=None,
+    tracer: Optional[Tracer] = None,
+    worker_spans=None,
 ) -> None:
+    if tracer is not None and worker_spans:
+        spans, worker_epoch = worker_spans
+        tracer.adopt(spans, worker_epoch, worker=worker)
     if events is not None:
         if worker_events:
             events.merge(worker_events)
-        events.emit(
-            "phase", phase="batch_table", table=table.name,
+        fields = dict(
+            phase="batch_table", table=table.name,
             seconds=seconds, worker=worker,
         )
+        if request_id is not None:
+            fields["request_id"] = request_id
+        events.emit("phase", **fields)
+    if slo is not None:
+        slo.record_latency("selection_latency", seconds)
+        slo.record_outcome("selection_errors", True)
+        if result is not None:
+            slo.record_outcome(
+                "cache_hit_rate",
+                bool(getattr(result, "result_cache_hit", False)),
+            )
     if metrics is not None:
-        metrics.histogram(
-            "batch_task_seconds",
-            labels={"worker": worker},
-            help="Per-table top_k latency inside the batch pool, per worker",
-        ).observe(seconds)
+        # Re-enter the table's scope so the sample carries its exemplar
+        # even when the observation lands parent-side (process workers
+        # increment their own pickled registry, which is discarded).
+        with request_scope(request_id) if request_id else nullcontext():
+            metrics.histogram(
+                "batch_task_seconds",
+                labels={"worker": worker},
+                help=(
+                    "Per-table top_k latency inside the batch pool, "
+                    "per worker"
+                ),
+            ).observe(seconds)
     if seconds >= slow_threshold:
         if slow_log is not None:
             slow_log.append(
@@ -470,6 +556,8 @@ def batch_select(
     slow_threshold: float = DEFAULT_SLOW_TABLE_SECONDS,
     events: Optional[EventLog] = None,
     dedup: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
+    slo=None,
 ) -> Iterator:
     """Serve a batch of tables through one trained engine, streaming
     :class:`~repro.core.selection.SelectionResult`s in input order.
@@ -502,6 +590,16 @@ def batch_select(
     disappear).  Defaults to on whenever the engine has a cache; pass
     ``False`` to force every table to scan independently (the ablation
     baseline).
+
+    Request correlation: the driver mints one request id per table *in
+    the parent* and ships it to the task (process workers re-enter the
+    scope by id), so a table's worker-side spans/events and the
+    parent-side ``batch_table`` record all agree — the join
+    ``repro obs timeline --request <id>`` relies on.  ``tracer``
+    additionally records a ``batch_select`` umbrella span and (process
+    backend) adopts each worker's span tree onto its own timeline;
+    ``slo`` (an :class:`~repro.obs.health.SLOMonitor`) receives one
+    latency + error + cache-hit outcome per table.
     """
     tables = list(tables)
     jobs = resolve_n_jobs(
@@ -510,49 +608,74 @@ def batch_select(
     backend = backend or engine.config.backend
     jobs = min(jobs, max(1, len(tables)))
     capture = events is not None
+    request_ids = [new_request_id() for _ in tables]
     if dedup or (dedup is None and getattr(engine, "cache", None) is not None):
         _seed_batch_dedup(engine, tables, metrics, events)
 
-    if jobs <= 1:
-        for table in tables:
-            result, seconds, worker, worker_events = _timed_top_k(
-                engine, table, k, capture
-            )
-            _record_batch_task(
-                table, seconds, worker, metrics, slow_log, slow_threshold,
-                events, worker_events,
-            )
-            yield result
-        return
+    with maybe_span(
+        tracer, "batch_select", tables=len(tables), n_jobs=jobs,
+        backend=backend if jobs > 1 else "serial",
+    ):
+        if jobs <= 1:
+            for table, rid in zip(tables, request_ids):
+                result, seconds, worker, worker_events, worker_spans = (
+                    _timed_top_k(engine, table, k, capture, rid)
+                )
+                _record_batch_task(
+                    table, seconds, worker, metrics, slow_log,
+                    slow_threshold, events, worker_events, rid,
+                    result=result, slo=slo,
+                )
+                yield result
+            return
 
-    if backend == "thread":
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_timed_top_k, engine, t, k, capture)
-                for t in tables
-            ]
-            for table, future in zip(tables, futures):
-                result, seconds, worker, worker_events = future.result()
-                _record_batch_task(
-                    table, seconds, worker, metrics, slow_log,
-                    slow_threshold, events, worker_events,
-                )
-                yield result
-    elif backend == "process":
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_batch_worker,
-            initargs=(engine, k, capture),
-        ) as pool:
-            futures = [pool.submit(_batch_worker, t) for t in tables]
-            for table, future in zip(tables, futures):
-                result, seconds, worker, worker_events = future.result()
-                _record_batch_task(
-                    table, seconds, worker, metrics, slow_log,
-                    slow_threshold, events, worker_events,
-                )
-                yield result
-    else:
-        raise SelectionError(
-            f"unknown parallel backend {backend!r}; use 'process' or 'thread'"
-        )
+        if backend == "thread":
+            # Threads share the parent tracer: engine.top_k records
+            # spans straight onto it (per-thread stacks), so no span
+            # capture/adoption round-trip is needed.
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_timed_top_k, engine, t, k, capture, rid)
+                    for t, rid in zip(tables, request_ids)
+                ]
+                for table, rid, future in zip(
+                    tables, request_ids, futures
+                ):
+                    result, seconds, worker, worker_events, worker_spans = (
+                        future.result()
+                    )
+                    _record_batch_task(
+                        table, seconds, worker, metrics, slow_log,
+                        slow_threshold, events, worker_events, rid,
+                        result=result, slo=slo,
+                    )
+                    yield result
+        elif backend == "process":
+            capture_spans = tracer is not None
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_batch_worker,
+                initargs=(engine, k, capture, capture_spans),
+            ) as pool:
+                futures = [
+                    pool.submit(_batch_worker, t, rid)
+                    for t, rid in zip(tables, request_ids)
+                ]
+                for table, rid, future in zip(
+                    tables, request_ids, futures
+                ):
+                    result, seconds, worker, worker_events, worker_spans = (
+                        future.result()
+                    )
+                    _record_batch_task(
+                        table, seconds, worker, metrics, slow_log,
+                        slow_threshold, events, worker_events, rid,
+                        result=result, slo=slo,
+                        tracer=tracer, worker_spans=worker_spans,
+                    )
+                    yield result
+        else:
+            raise SelectionError(
+                f"unknown parallel backend {backend!r}; use 'process' "
+                f"or 'thread'"
+            )

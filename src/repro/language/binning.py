@@ -283,12 +283,17 @@ def _numeric_edges(lo: float, hi: float, n: int) -> np.ndarray:
 
 
 def _interval_label(left: float, right: float) -> str:
-    """``[left, right)`` formatted the one way every caller shares."""
-    return f"[{left:g}, {right:g})"
+    """``[left, right)`` formatted the one way every caller shares.
+
+    ``+ 0.0`` folds IEEE negative zero into positive zero so an
+    all ``-0.0`` column labels as ``[0, 0]`` on every path (sqlite
+    normalises ``-0.0`` on the way through, numpy keeps it)."""
+    return f"[{left + 0.0:g}, {right + 0.0:g})"
 
 
 def _point_label(value: float) -> str:
     """The degenerate single-point interval of a constant column."""
+    value += 0.0
     return f"[{value:g}, {value:g}]"
 
 

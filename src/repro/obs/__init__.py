@@ -26,6 +26,19 @@ with.  Three pillars:
 * **drift** (:mod:`repro.obs.drift`) — golden top-k snapshots plus a
   diff classifier (identical / score_shifted / reordered / churned)
   behind ``repro obs snapshot`` / ``repro obs diff``;
+* **request context** (:mod:`repro.obs.context`) — contextvars-based
+  request scopes minting the ``request_id`` stamped into every span,
+  event, provenance record, and metric exemplar, and the timeline
+  joiner behind ``repro obs timeline``;
+* **profiling** (:mod:`repro.obs.profiler`) —
+  :class:`SamplingProfiler`, a low-overhead wall-clock sampler
+  (``setitimer`` + ``sys._current_frames``) exporting
+  flamegraph-collapsed text and speedscope JSON, span-attributed via
+  the tracer's open-span stacks;
+* **health** (:mod:`repro.obs.health`) — :class:`SLOMonitor` rolling
+  multi-window burn-rate objectives over selection latency / errors /
+  cache hits, plus :class:`RuntimeSampler` feeding process gauges
+  (RSS, GC, threads, queue depths) into a registry;
 * **instrumentation** — the selection pipeline
   (:func:`repro.core.selection.select_top_k`), the enumeration rules
   (per-rule pruning counters), the progressive method, and the serving
@@ -38,6 +51,16 @@ This package imports nothing from the rest of :mod:`repro`, so it can
 be loaded from any layer without cycles.
 """
 
+from .context import (
+    RequestContext,
+    build_timeline,
+    current_context,
+    current_request_id,
+    format_timeline,
+    new_request_id,
+    request_scope,
+    timeline_request_ids,
+)
 from .drift import (
     DRIFT_KINDS,
     SNAPSHOT_SCHEMA_VERSION,
@@ -60,6 +83,13 @@ from .events import (
     format_event_report,
     read_event_log,
 )
+from .health import (
+    SLO,
+    RuntimeSampler,
+    SLOMonitor,
+    SLOStatus,
+    read_rss_bytes,
+)
 from .kernels import KERNEL_SECONDS_BUCKETS, KERNEL_STATS, KernelStats
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -68,8 +98,10 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     global_registry,
+    parse_exemplars,
     parse_prometheus_text,
 )
+from .profiler import SamplingProfiler, active_profiler
 from .provenance import ChartProvenance, render_provenance
 from .trace import Span, Tracer, maybe_span
 
@@ -87,24 +119,40 @@ __all__ = [
     "KERNEL_STATS",
     "KernelStats",
     "MetricsRegistry",
+    "RequestContext",
+    "RuntimeSampler",
+    "SLO",
+    "SLOMonitor",
+    "SLOStatus",
     "SNAPSHOT_SCHEMA_VERSION",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "active_profiler",
     "aggregate_events",
     "build_snapshot",
+    "build_timeline",
     "classify_drift",
+    "current_context",
+    "current_request_id",
     "diff_snapshots",
     "entry_from_result",
     "format_drift_report",
     "format_event_report",
+    "format_timeline",
     "global_registry",
     "kendall_tau",
     "load_snapshot",
     "maybe_span",
+    "new_request_id",
     "node_id",
+    "parse_exemplars",
     "parse_prometheus_text",
     "read_event_log",
+    "read_rss_bytes",
     "render_provenance",
+    "request_scope",
     "save_snapshot",
+    "timeline_request_ids",
     "top_k_overlap",
 ]

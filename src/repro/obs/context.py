@@ -1,0 +1,333 @@
+"""Request-correlated telemetry: one id across spans, events, metrics.
+
+The obs pillars each record *their* view of a run — spans know where
+time went, events know what was decided, provenance knows why a chart
+ranked, metrics know the fleet aggregates.  What none of them could do
+before this module is answer "show me everything about *this* request":
+the streams had no shared key.
+
+A :class:`RequestContext` fixes that.  It is a contextvars-carried
+envelope minted once per logical request (a ``select_top_k`` call, one
+table of a batch, one incremental epoch, one CLI invocation) whose
+``request_id`` every instrument stamps into its records:
+
+* spans — :meth:`repro.obs.trace.Tracer.span` attaches a
+  ``request_id`` attribute to every span opened under an active scope;
+* events — :class:`repro.obs.events.EventLog` (schema v4) writes the
+  id into each record's envelope;
+* provenance — :class:`repro.obs.provenance.ChartProvenance` carries
+  the id of the run that ranked the chart;
+* metrics — counters and histograms capture **exemplars**: the last
+  observation annotated with its request id, exported on the
+  OpenMetrics ``# {request_id="..."} value ts`` suffix.
+
+Scopes nest and propagate: :func:`request_scope` reuses an enclosing
+scope by default (a batch worker's table-level id covers the ingest,
+selection and cache activity inside it) and the plain-string
+``request_id`` crosses process boundaries with the task arguments —
+the batch driver mints ids in the parent, ships them to pool workers,
+and the worker re-enters the scope before running the engine, so
+worker-side records and parent-side records of one table agree.
+
+The reader half, :func:`build_timeline`, joins the four streams back
+into one time-ordered per-request narrative — the body of
+``repro obs timeline``.
+
+Pure stdlib; imports nothing from the rest of :mod:`repro` (the
+timeline takes already-parsed records, so there is no cycle with the
+modules that import this one).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "RequestContext",
+    "new_request_id",
+    "current_context",
+    "current_request_id",
+    "request_scope",
+    "build_timeline",
+    "format_timeline",
+    "timeline_request_ids",
+]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """One logical request's identity, carried by a context variable.
+
+    ``request_id`` is a plain string so the context survives pickling
+    by value: cross-process callers ship the id, not the object, and
+    re-enter :func:`request_scope` on the far side.  ``parent_id``
+    links a nested scope (one table of a batch) to its enclosing one
+    (the batch itself) when the nesting was made explicit with
+    ``fresh=True``.
+    """
+
+    request_id: str
+    parent_id: Optional[str] = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+_REQUEST: contextvars.ContextVar[Optional[RequestContext]] = (
+    contextvars.ContextVar("repro_request_context", default=None)
+)
+
+#: Per-process session prefix: ids mint as ``<session>-<pid>-<counter>``
+#: so ids from a forked pool worker (same session, different pid) can
+#: never collide with the parent's.
+_SESSION = uuid.uuid4().hex[:8]
+_COUNTER = itertools.count(1)
+
+
+def new_request_id() -> str:
+    """Mint a fresh process-unique request id (cheap, no RNG state)."""
+    return f"{_SESSION}-{os.getpid():x}-{next(_COUNTER):06x}"
+
+
+def current_context() -> Optional[RequestContext]:
+    """The active :class:`RequestContext`, or ``None`` outside a scope."""
+    return _REQUEST.get()
+
+
+def current_request_id() -> Optional[str]:
+    """The active request id, or ``None`` outside a scope."""
+    context = _REQUEST.get()
+    return None if context is None else context.request_id
+
+
+@contextmanager
+def request_scope(
+    request_id: Optional[str] = None,
+    fresh: bool = False,
+    **attrs: Any,
+) -> Iterator[RequestContext]:
+    """Enter a request scope for the duration of the ``with`` block.
+
+    * ``request_id`` given — enter a scope with exactly that id (the
+      cross-process re-entry path: pool workers pass the id the parent
+      minted).
+    * no id, an enclosing scope active, ``fresh=False`` (default) —
+      **reuse** the enclosing scope, so instrumented layers can all
+      guard themselves with ``request_scope()`` without fragmenting one
+      request into many ids.
+    * no id otherwise — mint a new one (``fresh=True`` forces this and
+      records the enclosing id as ``parent_id``; an incremental session
+      uses it to give each epoch its own id).
+    """
+    enclosing = _REQUEST.get()
+    if request_id is None and enclosing is not None and not fresh:
+        yield enclosing
+        return
+    context = RequestContext(
+        request_id=request_id or new_request_id(),
+        parent_id=None if enclosing is None else enclosing.request_id,
+        attrs=dict(attrs),
+    )
+    token = _REQUEST.set(context)
+    try:
+        yield context
+    finally:
+        _REQUEST.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Timeline reader: join events + spans + provenance + exemplars
+# ----------------------------------------------------------------------
+def _flatten_trace(trace: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-span flat records from either trace export form.
+
+    Accepts the nested :meth:`~repro.obs.trace.Tracer.to_dict` form
+    (``{"epoch_unix", "spans": [...]}``) or the Chrome trace-event form
+    (``{"traceEvents": [...], "epochUnix": ...}``); span start offsets
+    rebase onto the tracer's unix epoch so they sort against event
+    timestamps.
+    """
+    records: List[Dict[str, Any]] = []
+    if "traceEvents" in trace:
+        epoch = float(trace.get("epochUnix", 0.0))
+        for event in trace["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            args = event.get("args", {})
+            records.append(
+                {
+                    "ts": epoch + event["ts"] / 1e6,
+                    "name": event["name"],
+                    "duration": event.get("dur", 0.0) / 1e6,
+                    "depth": 0,
+                    "request_id": args.get("request_id"),
+                    "attributes": dict(args),
+                }
+            )
+        return records
+
+    epoch = float(trace.get("epoch_unix", 0.0))
+
+    def walk(span: Mapping[str, Any], depth: int) -> None:
+        attributes = dict(span.get("attributes", {}))
+        records.append(
+            {
+                "ts": epoch + float(span.get("start", 0.0)),
+                "name": span.get("name", "?"),
+                "duration": float(span.get("duration", 0.0)),
+                "depth": depth,
+                "request_id": attributes.get("request_id"),
+                "attributes": attributes,
+            }
+        )
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in trace.get("spans", ()):
+        walk(root, 0)
+    return records
+
+
+def _event_ts(event: Mapping[str, Any]) -> float:
+    """The wall-clock instant an event describes: merged worker events
+    keep their original worker-side timestamp (``worker_ts``), which
+    orders them where they happened rather than where they were merged."""
+    return float(event.get("worker_ts", event.get("ts", 0.0)))
+
+
+def build_timeline(
+    events: Optional[Sequence[Mapping[str, Any]]] = None,
+    trace: Optional[Mapping[str, Any]] = None,
+    exemplars: Optional[Sequence[Mapping[str, Any]]] = None,
+    request_id: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Join event / span / provenance / exemplar streams into one
+    time-ordered list of timeline records.
+
+    ``events`` are decision-event dicts (``read_event_log`` output or an
+    :class:`~repro.obs.events.EventLog` tail) — ``score`` events, which
+    carry the per-chart provenance facts, surface as the ``provenance``
+    stream; ``trace`` is a trace export dict; ``exemplars`` come from
+    :func:`repro.obs.metrics.parse_exemplars`.  ``request_id`` filters
+    every stream to one request; ``None`` keeps everything.
+
+    Each record has ``ts`` (unix seconds), ``stream`` (``event`` /
+    ``span`` / ``provenance`` / ``exemplar``), ``request_id``, ``name``,
+    and the stream's own detail fields; the list is ordered by
+    ``(ts, seq)`` so same-instant event records keep their log order.
+    """
+    records: List[Dict[str, Any]] = []
+    for event in events or ():
+        rid = event.get("request_id")
+        if request_id is not None and rid != request_id:
+            continue
+        kind = event.get("kind", "?")
+        detail = {
+            key: value
+            for key, value in event.items()
+            if key not in ("v", "seq", "ts", "worker_ts", "kind", "request_id")
+        }
+        records.append(
+            {
+                "ts": _event_ts(event),
+                "seq": int(event.get("seq", 0)),
+                "stream": "provenance" if kind == "score" else "event",
+                "request_id": rid,
+                "name": kind,
+                "detail": detail,
+            }
+        )
+    if trace is not None:
+        for span in _flatten_trace(trace):
+            rid = span["request_id"]
+            if request_id is not None and rid != request_id:
+                continue
+            detail = {
+                key: value
+                for key, value in span["attributes"].items()
+                if key != "request_id"
+            }
+            detail["duration"] = span["duration"]
+            records.append(
+                {
+                    "ts": span["ts"],
+                    "seq": 0,
+                    "stream": "span",
+                    "request_id": rid,
+                    "name": span["name"],
+                    "depth": span["depth"],
+                    "detail": detail,
+                }
+            )
+    for exemplar in exemplars or ():
+        rid = exemplar.get("request_id")
+        if request_id is not None and rid != request_id:
+            continue
+        records.append(
+            {
+                "ts": float(exemplar.get("ts", 0.0)),
+                "seq": 0,
+                "stream": "exemplar",
+                "request_id": rid,
+                "name": exemplar.get("name", "?"),
+                "detail": {
+                    "value": exemplar.get("value"),
+                    "labels": dict(exemplar.get("labels", {})),
+                },
+            }
+        )
+    records.sort(key=lambda record: (record["ts"], record["seq"]))
+    return records
+
+
+def timeline_request_ids(
+    events: Sequence[Mapping[str, Any]],
+) -> List[str]:
+    """Distinct request ids of an event stream, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for event in events:
+        rid = event.get("request_id")
+        if rid is not None and rid not in seen:
+            seen[rid] = None
+    return list(seen)
+
+
+def _detail_text(detail: Mapping[str, Any]) -> str:
+    parts = []
+    for key, value in detail.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        elif isinstance(value, (list, tuple)):
+            parts.append(f"{key}=[{len(value)}]")
+        elif isinstance(value, dict):
+            inner = ",".join(f"{k}={v}" for k, v in value.items())
+            parts.append(f"{key}={{{inner}}}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def format_timeline(records: Sequence[Mapping[str, Any]]) -> str:
+    """Render a :func:`build_timeline` list as the ``repro obs
+    timeline`` narrative: one aligned line per record, timestamps as
+    offsets from the first record."""
+    if not records:
+        return "(empty timeline)\n"
+    base = records[0]["ts"]
+    lines = []
+    for record in records:
+        offset = record["ts"] - base
+        indent = "  " * int(record.get("depth", 0))
+        name = record["name"]
+        if record["stream"] == "span":
+            name = f"{indent}{name}"
+        rid = record.get("request_id") or "-"
+        lines.append(
+            f"+{offset:9.4f}s  {record['stream']:<10} {rid:<24} "
+            f"{name:<24} {_detail_text(record['detail'])}".rstrip()
+        )
+    return "\n".join(lines) + "\n"

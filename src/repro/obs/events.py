@@ -50,6 +50,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
 
+from .context import current_request_id
+
 __all__ = [
     "EVENT_LOG_SCHEMA_VERSION",
     "EVENT_KINDS",
@@ -68,7 +70,14 @@ __all__ = [
 #: ``source_mode`` (see ``repro.dataset.sources``).  Additive: the
 #: reader accepts older versions unchanged (absent fields read as
 #: "plain in-memory table").
-EVENT_LOG_SCHEMA_VERSION = 3
+#: v4: every record written inside a
+#: :func:`repro.obs.context.request_scope` carries the scope's
+#: ``request_id`` in its envelope — the correlation key joining events
+#: to spans, provenance, and metric exemplars (``repro obs timeline``).
+#: Additive: v2/v3 logs still parse (records simply have no
+#: ``request_id``), and worker-side ids folded in via :meth:`merge` are
+#: preserved verbatim rather than overwritten by the parent's scope.
+EVENT_LOG_SCHEMA_VERSION = 4
 
 #: The closed set of record kinds the writer accepts.
 EVENT_KINDS = (
@@ -200,6 +209,10 @@ class EventLog:
             "ts": time.time(),
             "kind": kind,
         }
+        if "request_id" not in fields:
+            request_id = current_request_id()
+            if request_id is not None:
+                record["request_id"] = request_id
         for key, value in fields.items():
             record[key] = _jsonable(value)
         self.events.append(record)

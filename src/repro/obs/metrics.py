@@ -17,6 +17,14 @@ text exposition format) and :meth:`MetricsRegistry.to_json`;
 :func:`parse_prometheus_text` round-trips the former for tests and
 scrapers.
 
+Counters and histograms capture **exemplars**: when an observation
+happens inside a :func:`~repro.obs.context.request_scope`, the last
+observation's value, timestamp, and request id are remembered and
+exported on an OpenMetrics-style suffix (``... # {request_id="..."}
+value ts``) — the join key that lets ``repro obs timeline`` tie a
+fleet-level histogram back to one concrete request.
+:func:`parse_exemplars` reads them back.
+
 ``global_registry()`` returns the shared process-wide registry used
 when instrumentation is enabled without an explicit registry.  Pure
 stdlib; no Prometheus client dependency.
@@ -27,7 +35,10 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .context import current_request_id
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -37,6 +48,7 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "parse_prometheus_text",
+    "parse_exemplars",
 ]
 
 #: Upper bounds (seconds) tuned for the selection pipeline's latency
@@ -49,21 +61,34 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 LabelItems = Tuple[Tuple[str, str], ...]
 
 
+def _capture_exemplar(value: float) -> Optional[Dict[str, Any]]:
+    """The exemplar for one observation, or ``None`` outside a request
+    scope (unscoped observations never overwrite a correlated one)."""
+    request_id = current_request_id()
+    if request_id is None:
+        return None
+    return {"request_id": request_id, "value": value, "ts": time.time()}
+
+
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("value", "_lock")
+    __slots__ = ("value", "exemplar", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.exemplar: Optional[Dict[str, Any]] = None
         self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
+        exemplar = _capture_exemplar(amount)
         with self._lock:
             self.value += amount
+            if exemplar is not None:
+                self.exemplar = exemplar
 
     def set_cumulative(self, value: float) -> None:
         """Bridge an externally maintained cumulative total into this
@@ -108,7 +133,10 @@ class Histogram:
     observed range.
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count", "min", "max", "_lock")
+    __slots__ = (
+        "buckets", "counts", "sum", "count", "min", "max",
+        "exemplars", "_lock",
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -124,11 +152,14 @@ class Histogram:
         self.count = 0
         self.min = math.inf
         self.max = -math.inf
+        #: last request-correlated observation per bucket index
+        self.exemplars: Dict[int, Dict[str, Any]] = {}
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
+        exemplar = _capture_exemplar(value)
         with self._lock:
             index = len(self.buckets)
             for i, bound in enumerate(self.buckets):
@@ -142,6 +173,8 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            if exemplar is not None:
+                self.exemplars[index] = exemplar
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (``q`` in [0, 1]) from the buckets.
@@ -228,6 +261,19 @@ def _format_value(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def _format_exemplar(exemplar: Optional[Dict[str, Any]]) -> str:
+    """The OpenMetrics exemplar suffix, or ``""`` when absent."""
+    if not exemplar:
+        return ""
+    labels = _format_labels(
+        (("request_id", str(exemplar["request_id"])),)
+    )
+    return (
+        f" # {labels} {_format_value(exemplar['value'])}"
+        f" {repr(float(exemplar['ts']))}"
+    )
 
 
 class MetricsRegistry:
@@ -318,15 +364,21 @@ class MetricsRegistry:
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key in sorted(family.instruments):
                 instrument = family.instruments[key]
-                if family.kind in ("counter", "gauge"):
+                if family.kind == "counter":
+                    lines.append(
+                        f"{family.name}{_format_labels(key)} "
+                        f"{_format_value(instrument.value)}"
+                        f"{_format_exemplar(instrument.exemplar)}"
+                    )
+                elif family.kind == "gauge":
                     lines.append(
                         f"{family.name}{_format_labels(key)} "
                         f"{_format_value(instrument.value)}"
                     )
                 else:
                     cumulative = 0
-                    for bound, count in zip(
-                        instrument.buckets, instrument.counts
+                    for i, (bound, count) in enumerate(
+                        zip(instrument.buckets, instrument.counts)
                     ):
                         cumulative += count
                         labels = _format_labels(
@@ -334,10 +386,13 @@ class MetricsRegistry:
                         )
                         lines.append(
                             f"{family.name}_bucket{labels} {cumulative}"
+                            f"{_format_exemplar(instrument.exemplars.get(i))}"
                         )
                     labels = _format_labels(key, ("le", "+Inf"))
+                    overflow = len(instrument.buckets)
                     lines.append(
                         f"{family.name}_bucket{labels} {instrument.count}"
+                        f"{_format_exemplar(instrument.exemplars.get(overflow))}"
                     )
                     lines.append(
                         f"{family.name}_sum{_format_labels(key)} "
@@ -381,11 +436,23 @@ def global_registry() -> MetricsRegistry:
     return _GLOBAL_REGISTRY
 
 
+# Labels must be matched non-greedily so an exemplar's own brace pair
+# (the `# {request_id="..."} ...` tail) is never swallowed into the
+# sample's label set.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+    r"(?:\{(?P<labels>.*?)\})?\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exemplar_labels>.*?)\}"
+    r"\s+(?P<exemplar_value>\S+)(?:\s+(?P<exemplar_ts>\S+))?)?$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(labels_text: str) -> LabelItems:
+    return tuple(
+        (k, v.encode().decode("unicode_escape"))
+        for k, v in _LABEL_RE.findall(labels_text)
+    )
 
 
 def parse_prometheus_text(
@@ -395,7 +462,9 @@ def parse_prometheus_text(
 
     The inverse of :meth:`MetricsRegistry.to_prometheus_text` for the
     subset this module emits (used by the round-trip tests and simple
-    scrapers).  ``+Inf``/``-Inf``/``NaN`` parse to their float values.
+    scrapers).  ``+Inf``/``-Inf``/``NaN`` parse to their float values;
+    exemplar suffixes are accepted and ignored (see
+    :func:`parse_exemplars` for the exemplars themselves).
     """
     samples: Dict[Tuple[str, LabelItems], float] = {}
     for line in text.splitlines():
@@ -405,12 +474,40 @@ def parse_prometheus_text(
         match = _SAMPLE_RE.match(line)
         if match is None:
             raise ValueError(f"unparseable metrics line: {line!r}")
-        labels_text = match.group("labels") or ""
-        labels = tuple(
-            (k, v.encode().decode("unicode_escape"))
-            for k, v in _LABEL_RE.findall(labels_text)
-        )
+        labels = _parse_labels(match.group("labels") or "")
         samples[(match.group("name"), tuple(sorted(labels)))] = float(
             match.group("value")
         )
     return samples
+
+
+def parse_exemplars(text: str) -> List[Dict[str, Any]]:
+    """The exemplars of an exposition page, as timeline-ready records.
+
+    Each record: ``{"name", "labels", "request_id", "value", "ts"}`` —
+    ``name``/``labels`` identify the series the exemplar annotates
+    (``_bucket`` suffix and ``le`` label intact), ``value`` is the
+    exemplar observation, ``ts`` its unix timestamp (0.0 when the line
+    carried none).
+    """
+    exemplars: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None or match.group("exemplar_value") is None:
+            continue
+        exemplar_labels = dict(
+            _parse_labels(match.group("exemplar_labels") or "")
+        )
+        exemplars.append(
+            {
+                "name": match.group("name"),
+                "labels": dict(_parse_labels(match.group("labels") or "")),
+                "request_id": exemplar_labels.get("request_id"),
+                "value": float(match.group("exemplar_value")),
+                "ts": float(match.group("exemplar_ts") or 0.0),
+            }
+        )
+    return exemplars

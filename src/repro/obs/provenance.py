@@ -64,6 +64,11 @@ class ChartProvenance:
     considered, emitted:
         The run's candidate accounting; ``considered == emitted +
         sum(siblings_pruned.values())`` by construction.
+    request_id:
+        The :func:`repro.obs.context.request_scope` id of the run that
+        produced this record; ``None`` outside a scope.  The join key
+        tying a chart's "why this rank" back to its spans, events, and
+        metric exemplars in ``repro obs timeline``.
     """
 
     node_id: str
@@ -81,6 +86,7 @@ class ChartProvenance:
     siblings_pruned: Dict[str, int] = field(default_factory=dict)
     considered: int = 0
     emitted: int = 0
+    request_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (event log / snapshot payloads)."""
@@ -102,6 +108,8 @@ class ChartProvenance:
             payload["hybrid"] = dict(self.hybrid)
         if self.recognizer is not None:
             payload["recognizer"] = dict(self.recognizer)
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
         return payload
 
     def summary(self) -> str:

@@ -27,7 +27,9 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .context import current_request_id
 
 __all__ = ["Span", "Tracer", "maybe_span"]
 
@@ -107,6 +109,12 @@ class Span:
         return f"Span({self.name!r}, {state}, children={len(self.children)})"
 
 
+#: Synthetic Chrome-trace tids for adopted worker spans start here —
+#: far above real Linux tids, so they can never collide with the
+#: parent's own thread rows.
+_SYNTHETIC_TID_BASE = 1_000_000
+
+
 def _jsonable(value: Any) -> Any:
     """Best-effort JSON-safe projection of an attribute value."""
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -128,6 +136,9 @@ class Tracer:
         self.spans: List[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
+        # Shared view of every thread's open-span names, for the
+        # sampling profiler: {thread_id: (outermost, ..., innermost)}.
+        self._open_names: Dict[int, Tuple[str, ...]] = {}
 
     # -- span production ------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -147,26 +158,81 @@ class Tracer:
         """Open a span; it closes (and records its end time) on exit.
 
         The span becomes a child of the calling thread's innermost open
-        span, or a new top-level span when none is open.
+        span, or a new top-level span when none is open.  A span opened
+        inside a :func:`~repro.obs.context.request_scope` carries the
+        scope's id as a ``request_id`` attribute (explicit attributes
+        win).
         """
         stack = self._stack()
+        thread_id = threading.get_ident()
         span = Span(
             name,
             time.perf_counter() - self.epoch,
-            threading.get_ident(),
+            thread_id,
             **attributes,
         )
+        if "request_id" not in span.attributes:
+            request_id = current_request_id()
+            if request_id is not None:
+                span.attributes["request_id"] = request_id
         if stack:
             stack[-1].children.append(span)
         stack.append(span)
+        with self._lock:
+            self._open_names[thread_id] = tuple(s.name for s in stack)
         try:
             yield span
         finally:
             span.end = time.perf_counter() - self.epoch
             stack.pop()
-            if not stack:
-                with self._lock:
+            with self._lock:
+                if stack:
+                    self._open_names[thread_id] = tuple(
+                        s.name for s in stack
+                    )
+                else:
+                    self._open_names.pop(thread_id, None)
                     self.spans.append(span)
+
+    def open_stacks(self) -> Dict[int, Tuple[str, ...]]:
+        """Every thread's currently-open span names, outermost first —
+        the span attribution the sampling profiler prefixes onto its
+        stacks (a snapshot copy; safe to read from any thread)."""
+        with self._lock:
+            return dict(self._open_names)
+
+    def adopt(
+        self,
+        spans: Sequence[Span],
+        epoch_unix: float,
+        worker: Optional[str] = None,
+    ) -> None:
+        """Graft finished spans captured by *another* tracer (typically
+        in a pool worker process) onto this one.
+
+        ``epoch_unix`` is the capturing tracer's wall-clock epoch; span
+        offsets are rebased onto this tracer's epoch so the merged
+        timeline lines up (subject to cross-process clock skew, which
+        on one host is microseconds).  ``worker`` tags each adopted
+        root, and the Chrome export assigns every distinct worker label
+        its own synthetic tid so worker timelines render as separate
+        rows instead of interleaving on the parent's.
+        """
+        delta = epoch_unix - self.epoch_unix
+
+        def rebase(span: Span) -> None:
+            span.start += delta
+            if span.end is not None:
+                span.end += delta
+            for child in span.children:
+                rebase(child)
+
+        with self._lock:
+            for span in spans:
+                rebase(span)
+                if worker is not None:
+                    span.attributes.setdefault("worker", worker)
+                self.spans.append(span)
 
     # -- export ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -187,12 +253,28 @@ class Tracer:
 
         Every finished span becomes one complete ("ph": "X") event with
         microsecond ``ts``/``dur``; nesting is implied by containment,
-        which the viewer reconstructs per (pid, tid) row.
+        which the viewer reconstructs per (pid, tid) row.  Spans adopted
+        from pool workers (root tagged with a ``worker`` attribute by
+        :meth:`adopt`) get a stable synthetic tid per distinct worker —
+        thread ids from other processes can collide with the parent's,
+        which used to interleave every worker's phases on one row — and
+        a ``thread_name`` metadata event labels each synthetic row.
         """
         events: List[Dict[str, Any]] = []
         pid = os.getpid()
 
-        def emit(span: Span) -> None:
+        with self._lock:
+            roots = list(self.spans)
+
+        # Stable mapping: worker label -> synthetic tid, in first-seen
+        # root order so re-exports agree.
+        worker_tids: Dict[str, int] = {}
+        for root in roots:
+            worker = root.attributes.get("worker")
+            if worker is not None and worker not in worker_tids:
+                worker_tids[worker] = _SYNTHETIC_TID_BASE + len(worker_tids)
+
+        def emit(span: Span, tid: int) -> None:
             args = {k: _jsonable(v) for k, v in span.attributes.items()}
             args.update(span.counters)
             events.append(
@@ -203,18 +285,32 @@ class Tracer:
                     "ts": span.start * 1e6,
                     "dur": span.duration * 1e6,
                     "pid": pid,
-                    "tid": span.thread_id,
+                    "tid": tid,
                     "args": args,
                 }
             )
             for child in span.children:
-                emit(child)
+                emit(child, tid)
 
-        with self._lock:
-            roots = list(self.spans)
         for root in roots:
-            emit(root)
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+            worker = root.attributes.get("worker")
+            tid = worker_tids.get(worker, root.thread_id)
+            emit(root, tid)
+        for worker, tid in worker_tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "epochUnix": self.epoch_unix,
+        }
 
     def write_chrome_trace(self, path) -> None:
         """Serialise :meth:`to_chrome_trace` to a file."""

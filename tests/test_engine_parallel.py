@@ -150,3 +150,62 @@ class TestDeepEyeServing:
         assert len(results) == 2
         for result in results:
             assert 0 < len(result.nodes) <= 3
+
+
+class TestSlowTableLogConcurrency:
+    def test_concurrent_appends_and_reads_are_safe(self):
+        import threading
+
+        from repro.engine.parallel import SlowTableLog
+
+        log = SlowTableLog(maxlen=64)
+        errors = []
+        stop = threading.Event()
+
+        def writer(tag):
+            for i in range(500):
+                log.append({"table": f"{tag}-{i}", "seconds": 0.1})
+
+        def reader():
+            # Iterating while writers mutate used to raise
+            # "deque mutated during iteration".
+            while not stop.is_set():
+                try:
+                    entries = list(log)
+                    for entry in entries:
+                        assert "table" in entry
+                    len(log)
+                    if entries:
+                        log[0]
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [
+            threading.Thread(target=writer, args=(tag,))
+            for tag in ("a", "b", "c")
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        assert len(log) == 64
+        # Newest-first ordering survives: head is some writer's last entry.
+        assert log[0]["table"].split("-")[1] == "499"
+
+    def test_pickles_without_its_lock(self):
+        import pickle
+
+        from repro.engine.parallel import SlowTableLog
+
+        log = SlowTableLog(maxlen=8)
+        log.append({"table": "t", "seconds": 1.0})
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone[0]["table"] == "t"
+        clone.append({"table": "u", "seconds": 2.0})  # restored lock works
+        assert len(clone) == 2

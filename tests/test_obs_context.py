@@ -1,0 +1,324 @@
+"""Tests for request-correlated telemetry: scopes, stamping, timeline."""
+
+import json
+import re
+
+import pytest
+
+from repro.core import DeepEye, select_top_k
+from repro.core.enumeration import EnumerationConfig
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    build_timeline,
+    current_context,
+    current_request_id,
+    format_timeline,
+    new_request_id,
+    parse_exemplars,
+    read_event_log,
+    request_scope,
+    timeline_request_ids,
+)
+from repro.obs.context import RequestContext
+
+
+class TestRequestScope:
+    def test_outside_any_scope_there_is_no_context(self):
+        assert current_context() is None
+        assert current_request_id() is None
+
+    def test_ids_are_unique_and_well_formed(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        for rid in ids:
+            assert re.fullmatch(r"[0-9a-f]{8}-[0-9a-f]+-[0-9a-f]{6}", rid)
+
+    def test_scope_mints_and_restores(self):
+        with request_scope() as context:
+            assert current_request_id() == context.request_id
+        assert current_request_id() is None
+
+    def test_nested_scope_reuses_enclosing_by_default(self):
+        with request_scope() as outer:
+            with request_scope() as inner:
+                assert inner.request_id == outer.request_id
+
+    def test_fresh_forces_new_id_and_links_parent(self):
+        with request_scope() as outer:
+            with request_scope(fresh=True) as inner:
+                assert inner.request_id != outer.request_id
+                assert inner.parent_id == outer.request_id
+
+    def test_explicit_id_reenters_cross_process_style(self):
+        rid = new_request_id()
+        with request_scope(rid) as context:
+            assert context.request_id == rid
+            assert current_request_id() == rid
+
+    def test_attrs_are_carried(self):
+        with request_scope(table="flights") as context:
+            assert context.attrs == {"table": "flights"}
+
+    def test_context_is_frozen(self):
+        with pytest.raises(AttributeError):
+            RequestContext("x").request_id = "y"
+
+    def test_exception_still_restores(self):
+        with pytest.raises(RuntimeError):
+            with request_scope():
+                raise RuntimeError("boom")
+        assert current_request_id() is None
+
+
+class TestStamping:
+    def test_spans_carry_the_scope_id(self, flights_table):
+        tracer = Tracer()
+        with request_scope() as context:
+            select_top_k(flights_table, k=2, tracer=tracer)
+        root = tracer.find("select_top_k")
+        assert root.attributes["request_id"] == context.request_id
+        for child in root.children:
+            assert child.attributes["request_id"] == context.request_id
+
+    def test_select_top_k_mints_its_own_scope(self, flights_table):
+        # No enclosing scope: the selection still correlates its own
+        # spans/events/provenance under a freshly minted id.
+        tracer = Tracer()
+        log = EventLog()
+        result = select_top_k(
+            flights_table, k=2, tracer=tracer, events=log,
+            provenance=True,
+        )
+        rid = tracer.find("select_top_k").attributes["request_id"]
+        assert rid is not None
+        assert {event["request_id"] for event in log} == {rid}
+        for record in result.provenance.values():
+            assert record.request_id == rid
+
+    def test_events_envelope_carries_the_id(self):
+        log = EventLog()
+        with request_scope() as context:
+            log.emit("phase", phase="enumerate")
+        (event,) = list(log)
+        assert event["request_id"] == context.request_id
+
+    def test_exemplars_only_inside_a_scope(self):
+        registry = MetricsRegistry()
+        registry.counter("outside_total").inc()
+        with request_scope() as context:
+            registry.counter("inside_total").inc()
+        text = registry.to_prometheus_text()
+        exemplars = parse_exemplars(text)
+        assert [e["name"] for e in exemplars] == ["inside_total"]
+        assert exemplars[0]["request_id"] == context.request_id
+
+
+class TestTimeline:
+    def _streams(self):
+        rid = "req-1"
+        events = [
+            {"v": 4, "seq": 1, "ts": 10.0, "kind": "request",
+             "request_id": rid, "table": "t"},
+            {"v": 4, "seq": 2, "ts": 11.0, "kind": "score",
+             "request_id": rid, "node_id": "bar|x|y", "rank": 1},
+            {"v": 4, "seq": 3, "ts": 12.0, "kind": "rank",
+             "request_id": "other", "table": "u"},
+        ]
+        trace = {
+            "epoch_unix": 9.0,
+            "spans": [
+                {"name": "select_top_k", "start": 1.5, "duration": 2.0,
+                 "attributes": {"request_id": rid},
+                 "children": [
+                     {"name": "enumerate", "start": 1.6,
+                      "duration": 1.0,
+                      "attributes": {"request_id": rid}},
+                 ]},
+            ],
+        }
+        exemplars = [
+            {"name": "selection_runs_total", "labels": {}, "value": 1.0,
+             "ts": 12.5, "request_id": rid},
+            {"name": "selection_runs_total", "labels": {}, "value": 2.0,
+             "ts": 12.6, "request_id": "other"},
+        ]
+        return rid, events, trace, exemplars
+
+    def test_join_filters_orders_and_classifies(self):
+        rid, events, trace, exemplars = self._streams()
+        records = build_timeline(
+            events, trace=trace, exemplars=exemplars, request_id=rid
+        )
+        assert [r["stream"] for r in records] == [
+            "event", "span", "span", "provenance", "exemplar"
+        ]
+        assert all(r["request_id"] == rid for r in records)
+        timestamps = [r["ts"] for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_unfiltered_keeps_everything(self):
+        _, events, trace, exemplars = self._streams()
+        records = build_timeline(events, trace=trace, exemplars=exemplars)
+        assert len(records) == 7
+
+    def test_chrome_trace_form_is_accepted(self):
+        rid = "req-1"
+        trace = {
+            "epochUnix": 100.0,
+            "traceEvents": [
+                {"name": "select_top_k", "ph": "X", "ts": 2e6,
+                 "dur": 1e6, "pid": 1, "tid": 1,
+                 "args": {"request_id": rid}},
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+                 "args": {"name": "worker"}},
+            ],
+        }
+        records = build_timeline(trace=trace, request_id=rid)
+        (record,) = records
+        assert record["ts"] == pytest.approx(102.0)
+        assert record["detail"]["duration"] == pytest.approx(1.0)
+
+    def test_request_ids_in_first_seen_order(self):
+        events = [
+            {"request_id": "b"}, {"request_id": "a"},
+            {"request_id": "b"}, {"kind": "phase"},
+        ]
+        assert timeline_request_ids(events) == ["b", "a"]
+
+    def test_format_renders_one_line_per_record(self):
+        rid, events, trace, exemplars = self._streams()
+        records = build_timeline(
+            events, trace=trace, exemplars=exemplars, request_id=rid
+        )
+        text = format_timeline(records)
+        assert len(text.rstrip("\n").split("\n")) == len(records)
+        assert text.startswith("+   0.0000s")
+        assert format_timeline([]) == "(empty timeline)\n"
+
+
+class TestBatchCorrelation:
+    """The acceptance path: a process-worker batch reconstructs per
+    table as one request across all four streams."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_batch_run_yields_one_coherent_request_per_table(
+        self, flights_table, tiny_table, tmp_path, backend
+    ):
+        log_path = str(tmp_path / "events.jsonl")
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        events = EventLog(path=log_path)
+        engine = DeepEye(
+            ranking="partial_order",
+            config=EnumerationConfig(n_jobs=2, backend=backend),
+            trace=tracer,
+            metrics=registry,
+            events=events,
+        )
+        results = list(
+            engine.top_k_batch([flights_table, tiny_table], k=2)
+        )
+        assert len(results) == 2
+        events.close()
+
+        recorded = read_event_log(log_path)
+        request_ids = timeline_request_ids(recorded)
+        assert len(request_ids) == 2
+        trace = tracer.to_dict()
+        exemplars = parse_exemplars(registry.to_prometheus_text())
+
+        for rid, table in zip(request_ids, [flights_table, tiny_table]):
+            records = build_timeline(
+                recorded, trace=trace, exemplars=exemplars,
+                request_id=rid,
+            )
+            streams = {record["stream"] for record in records}
+            assert streams == {"event", "span", "provenance", "exemplar"}
+            assert all(r["request_id"] == rid for r in records)
+            timestamps = [r["ts"] for r in records]
+            assert timestamps == sorted(timestamps)
+            # The worker-side request event names the right table.
+            (request_event,) = [
+                r for r in records
+                if r["stream"] == "event" and r["name"] == "request"
+            ]
+            assert request_event["detail"]["table"] == table.name
+            # And the selection span made it across the pool boundary.
+            span_names = {
+                r["name"] for r in records if r["stream"] == "span"
+            }
+            assert "select_top_k" in span_names
+
+    def test_adopted_worker_spans_are_tagged(self, flights_table):
+        tracer = Tracer()
+        engine = DeepEye(
+            ranking="partial_order",
+            config=EnumerationConfig(n_jobs=2, backend="process"),
+            trace=tracer,
+            cache=False,  # a result-cache hit would skip the second span
+        )
+        list(engine.top_k_batch([flights_table, flights_table], k=2))
+        adopted = [
+            span for span in tracer.spans
+            if span.attributes.get("worker") is not None
+        ]
+        assert len(adopted) == 2
+        for span in adopted:
+            assert span.name == "select_top_k"
+            assert span.attributes["worker"].startswith("pid-")
+
+
+class TestCliTimeline:
+    def test_cli_round_trip(self, flights_table, tmp_path, capsys):
+        from repro.cli import main
+        from repro.dataset import write_csv
+
+        csv_path = str(tmp_path / "t.csv")
+        write_csv(flights_table, csv_path)
+        log_path = str(tmp_path / "events.jsonl")
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.txt")
+        assert main([
+            "visualize", csv_path, "--k", "2", "--format", "list",
+            "--events", log_path, "--trace", trace_path,
+            "--metrics", metrics_path,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "timeline", log_path, "--list"]) == 0
+        rid = capsys.readouterr().out.strip()
+        assert rid
+
+        assert main([
+            "obs", "timeline", log_path, "--request", rid,
+            "--trace", trace_path, "--metrics", metrics_path,
+        ]) == 0
+        text = capsys.readouterr().out
+        assert rid in text
+        for stream in ("event", "span", "provenance", "exemplar"):
+            assert stream in text
+        # The input trace must survive the read (regression: the
+        # timeline's --trace used to collide with the writer flag).
+        with open(trace_path) as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_cli_json_and_ambiguity(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log_path = str(tmp_path / "events.jsonl")
+        log = EventLog(path=log_path)
+        with request_scope():
+            log.emit("phase", phase="a")
+        with request_scope():
+            log.emit("phase", phase="b")
+        log.close()
+        assert main(["obs", "timeline", log_path]) == 2
+        capsys.readouterr()
+        rid = timeline_request_ids(read_event_log(log_path))[0]
+        assert main([
+            "obs", "timeline", log_path, "--request", rid, "--json"
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["request_id"] for r in records] == [rid]

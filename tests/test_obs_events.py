@@ -232,6 +232,94 @@ class TestLevelsNamespacing:
         assert summary["cache"]["results_hits"] == 5
         assert summary["cache"]["results_misses"] == 2
 
-    def test_schema_version_is_three(self):
-        # v3: request events gained optional source_* fields
-        assert EVENT_LOG_SCHEMA_VERSION == 3
+    def test_schema_version_is_four(self):
+        # v4: the envelope gained an optional request_id field
+        assert EVENT_LOG_SCHEMA_VERSION == 4
+
+
+class TestSchemaBackCompat:
+    """v2/v3 logs on disk keep parsing through the v4 reader."""
+
+    def _write(self, path, records):
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_v2_and_v3_records_still_read_and_aggregate(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        self._write(path, [
+            # v2: no source_* fields, no request_id
+            {"v": 2, "seq": 1, "ts": 1.0, "kind": "request",
+             "table": "t", "k": 3},
+            {"v": 2, "seq": 2, "ts": 1.5, "kind": "phase",
+             "phase": "enumerate", "table": "t", "seconds": 0.5},
+            # v3: request events gained source_* fields
+            {"v": 3, "seq": 3, "ts": 2.0, "kind": "request",
+             "table": "u", "k": 3, "source_kind": "csv"},
+            {"v": 3, "seq": 4, "ts": 2.5, "kind": "rank",
+             "table": "u", "k": 3, "chart_ids": ["a"]},
+        ])
+        records = read_event_log(path)
+        assert len(records) == 4
+        assert all("request_id" not in record for record in records)
+        summary = aggregate_events(records)
+        assert summary["requests"] == 2
+        assert summary["phases"]["enumerate"]["count"] == 1
+
+    def test_newer_schema_still_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        self._write(path, [
+            {"v": EVENT_LOG_SCHEMA_VERSION + 1, "seq": 1, "ts": 1.0,
+             "kind": "request"},
+        ])
+        with pytest.raises(ValueError, match="newer than this reader"):
+            read_event_log(path)
+
+    def test_mixed_old_and_new_logs_join_in_a_timeline(self, tmp_path):
+        from repro.obs import build_timeline, request_scope
+
+        path = tmp_path / "mixed.jsonl"
+        self._write(path, [
+            {"v": 2, "seq": 1, "ts": 1.0, "kind": "phase",
+             "phase": "enumerate", "table": "t"},
+        ])
+        log = EventLog(path=str(path))
+        with request_scope() as context:
+            log.emit("phase", phase="rank", table="t")
+        log.close()
+        records = read_event_log(path)
+        assert len(records) == 2
+        # The old record has no id, so a filtered timeline only shows
+        # the new one — and an unfiltered one shows both.
+        assert len(build_timeline(records, request_id=context.request_id)) == 1
+        assert len(build_timeline(records)) == 2
+
+    def test_merge_preserves_worker_request_ids(self):
+        from repro.obs import request_scope
+
+        worker_log = EventLog()
+        with request_scope("worker-req-1"):
+            worker_log.emit("phase", phase="enumerate", table="t")
+        parent_log = EventLog()
+        with request_scope("parent-req-9"):
+            parent_log.merge(list(worker_log))
+        (merged,) = list(parent_log)
+        assert merged["request_id"] == "worker-req-1"
+
+
+class TestEngineCoercion:
+    def test_events_true_builds_a_fresh_log(self, flights_table):
+        from repro.core import DeepEye
+        from repro.obs.events import EventLog as Log
+
+        engine = DeepEye(ranking="partial_order", events=True)
+        assert isinstance(engine.events, Log)
+        engine.top_k(flights_table, k=2)
+        assert engine.events.by_kind("request")
+
+    def test_empty_event_log_instance_is_kept(self):
+        from repro.core import DeepEye
+
+        log = EventLog()
+        assert DeepEye(ranking="partial_order", events=log).events is log
+        assert DeepEye(ranking="partial_order", events=False).events is None

@@ -10,7 +10,9 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     global_registry,
+    parse_exemplars,
     parse_prometheus_text,
+    request_scope,
 )
 
 
@@ -234,3 +236,128 @@ class TestExporterEdgeCases:
         samples = parse_prometheus_text(registry.to_prometheus_text())
         assert samples[("idle_seconds_count", ())] == 0
         assert samples[("idle_seconds_bucket", (("le", "+Inf"),))] == 0
+
+
+class TestPercentileBucketBoundaries:
+    """Interpolation at the first and last finite bucket edges."""
+
+    def test_first_bucket_lower_edge_clamps_to_observed_min(self):
+        # All mass in the first bucket: the interpolation's lower edge
+        # is min(observed min, bucket bound), never a phantom zero.
+        hist = Histogram(buckets=(10.0, 20.0))
+        for value in (8.0, 9.0, 10.0):
+            hist.observe(value)
+        assert hist.percentile(0.0) == pytest.approx(8.0)
+        low = hist.percentile(0.01)
+        assert 8.0 <= low <= 10.0
+        assert hist.percentile(1.0) == pytest.approx(10.0)
+
+    def test_first_bucket_with_min_above_its_bound_stays_clamped(self):
+        # min lands above the first bound (possible only when the first
+        # bucket is empty): estimates still never fall below min.
+        hist = Histogram(buckets=(10.0, 20.0))
+        for value in (12.0, 14.0, 16.0):
+            hist.observe(value)
+        for q in (0.0, 0.3, 0.6, 1.0):
+            assert 12.0 <= hist.percentile(q) <= 16.0
+
+    def test_last_finite_bucket_upper_edge_clamps_to_observed_max(self):
+        # All mass in the last finite bucket: q=1.0 reports the
+        # observed max, not the bucket's upper bound.
+        hist = Histogram(buckets=(10.0, 20.0))
+        for value in (11.0, 12.0, 13.0):
+            hist.observe(value)
+        assert hist.percentile(1.0) == pytest.approx(13.0)
+        assert hist.percentile(0.5) <= 13.0
+
+    def test_quantile_spanning_into_overflow_uses_max(self):
+        hist = Histogram(buckets=(10.0,))
+        hist.observe(5.0)
+        hist.observe(100.0)
+        assert hist.percentile(1.0) == pytest.approx(100.0)
+        assert hist.percentile(0.25) <= 10.0
+
+    def test_estimates_are_monotone_across_the_boundary(self):
+        hist = Histogram(buckets=(10.0, 20.0, 30.0))
+        for value in (9.0, 10.0, 10.5, 19.0, 20.0, 25.0, 40.0):
+            hist.observe(value)
+        quantiles = [i / 20 for i in range(21)]
+        estimates = [hist.percentile(q) for q in quantiles]
+        assert estimates == sorted(estimates)
+        assert estimates[0] >= 9.0
+        assert estimates[-1] == pytest.approx(40.0)
+
+
+class TestExemplars:
+    def test_counter_line_carries_the_last_exemplar(self):
+        registry = MetricsRegistry()
+        with request_scope() as context:
+            registry.counter("runs_total", labels={"mode": "rules"}).inc()
+        text = registry.to_prometheus_text()
+        (line,) = [
+            l for l in text.splitlines() if l.startswith("runs_total")
+        ]
+        assert f'# {{request_id="{context.request_id}"}}' in line
+
+    def test_histogram_exemplars_attach_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        with request_scope() as fast:
+            hist.observe(0.05)
+        with request_scope() as slow:
+            hist.observe(5.0)
+        exemplars = parse_exemplars(registry.to_prometheus_text())
+        by_le = {
+            e["labels"]["le"]: e for e in exemplars
+            if e["name"] == "lat_seconds_bucket"
+        }
+        assert by_le["0.1"]["request_id"] == fast.request_id
+        assert by_le["0.1"]["value"] == pytest.approx(0.05)
+        assert by_le["+Inf"]["request_id"] == slow.request_id
+        assert by_le["+Inf"]["value"] == pytest.approx(5.0)
+
+    def test_round_trip_with_exemplars_preserves_samples(self):
+        # The exemplar tail must be invisible to the value parser.
+        registry = MetricsRegistry()
+        with request_scope():
+            registry.counter("a_total", labels={"k": "v"}).inc(3)
+            registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        registry.gauge("g").set(2.5)
+        text = registry.to_prometheus_text()
+        samples = parse_prometheus_text(text)
+        assert samples[("a_total", (("k", "v"),))] == 3
+        assert samples[("h_seconds_bucket", (("le", "1"),))] == 1
+        assert samples[("h_seconds_count", ())] == 1
+        assert samples[("g", ())] == 2.5
+
+    def test_no_scope_means_no_exemplars(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total").inc()
+        registry.histogram("plain_seconds", buckets=(1.0,)).observe(0.5)
+        text = registry.to_prometheus_text()
+        assert "#" not in text.replace("# HELP", "").replace("# TYPE", "")
+        assert parse_exemplars(text) == []
+
+    def test_exemplar_timestamps_parse(self):
+        registry = MetricsRegistry()
+        with request_scope():
+            registry.counter("t_total").inc()
+        (exemplar,) = parse_exemplars(registry.to_prometheus_text())
+        assert exemplar["ts"] > 0
+
+    def test_gauges_never_carry_exemplars(self):
+        registry = MetricsRegistry()
+        with request_scope():
+            registry.gauge("depth").set(4)
+        assert parse_exemplars(registry.to_prometheus_text()) == []
+
+    def test_tricky_label_values_with_exemplar_tail(self):
+        registry = MetricsRegistry()
+        tricky = 'a"b\\c'
+        with request_scope() as context:
+            registry.counter("esc2_total", labels={"v": tricky}).inc()
+        text = registry.to_prometheus_text()
+        samples = parse_prometheus_text(text)
+        assert samples[("esc2_total", (("v", tricky),))] == 1
+        (exemplar,) = parse_exemplars(text)
+        assert exemplar["request_id"] == context.request_id

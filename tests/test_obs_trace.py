@@ -174,3 +174,82 @@ class TestMaybeSpanAndClear:
             pass
         tracer.clear()
         assert tracer.spans == []
+
+
+class TestAdoptedWorkerTids:
+    """Spans adopted from pool workers render on their own synthetic
+    Chrome rows instead of interleaving with the parent's threads."""
+
+    def _worker_trace(self, name):
+        tracer = Tracer()
+        with tracer.span(name):
+            with tracer.span(f"{name}-child"):
+                pass
+        return tracer
+
+    def test_each_worker_gets_a_distinct_synthetic_tid(self):
+        parent = Tracer()
+        with parent.span("batch"):
+            pass
+        for label in ("pid-100", "pid-200"):
+            worker = self._worker_trace(f"task-{label}")
+            parent.adopt(worker.spans, worker.epoch_unix, worker=label)
+        trace = parent.to_chrome_trace()
+        events = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+        tid_a = events["task-pid-100"]["tid"]
+        tid_b = events["task-pid-200"]["tid"]
+        assert tid_a != tid_b
+        # Synthetic tids sit in a narrow band above the base, one per
+        # distinct worker label.
+        assert {tid_a, tid_b} == {1_000_000, 1_000_001}
+        # Parent spans keep their real thread id, outside that band.
+        assert events["batch"]["tid"] not in {tid_a, tid_b}
+        # Children ride on their root's synthetic row.
+        assert events["task-pid-100-child"]["tid"] == tid_a
+        assert events["task-pid-200-child"]["tid"] == tid_b
+
+    def test_synthetic_tids_are_stable_across_exports(self):
+        parent = Tracer()
+        for label in ("pid-7", "pid-8", "pid-7"):
+            worker = self._worker_trace(f"t-{label}")
+            parent.adopt(worker.spans, worker.epoch_unix, worker=label)
+        first = parent.to_chrome_trace()
+        second = parent.to_chrome_trace()
+        tids = lambda t: [
+            e["tid"] for e in t["traceEvents"] if e["ph"] == "X"
+        ]
+        assert tids(first) == tids(second)
+        # Both spans from the same worker share one row.
+        by_name = {
+            e["name"]: e["tid"] for e in first["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert by_name["t-pid-7"] == sorted(
+            tid for name, tid in by_name.items() if name == "t-pid-7"
+        )[0]
+
+    def test_thread_name_metadata_labels_worker_rows(self):
+        parent = Tracer()
+        worker = self._worker_trace("task")
+        parent.adopt(worker.spans, worker.epoch_unix, worker="pid-42")
+        trace = parent.to_chrome_trace()
+        meta = [
+            e for e in trace["traceEvents"] if e["ph"] == "M"
+            and e["name"] == "thread_name"
+        ]
+        assert any(
+            e["args"]["name"] == "worker pid-42" and e["tid"] == 1_000_000
+            for e in meta
+        )
+        assert "epochUnix" in trace
+
+    def test_adopt_rebases_worker_offsets_onto_parent_epoch(self):
+        parent = Tracer()
+        worker = Tracer()
+        # Simulate a worker whose perf_counter epoch started 5 wall
+        # seconds after the parent's.
+        with worker.span("late"):
+            pass
+        parent.adopt(worker.spans, parent.epoch_unix + 5.0)
+        (span,) = parent.spans
+        assert span.start >= 5.0
